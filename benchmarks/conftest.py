@@ -1,0 +1,100 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Section 7), printing the same rows/series the paper reports.
+Simulation scale is reduced by default so the whole suite completes in
+minutes; set ``REPRO_SCALE=full`` for paper-scale runs (12-hour measured
+intervals at full request rates).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.simulation import LibrarySimulation, SimConfig
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import IOPS, TYPICAL, VOLUME, WorkloadProfile
+
+
+FULL_SCALE = os.environ.get("REPRO_SCALE", "small") == "full"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Scaling knobs for the simulated evaluation."""
+
+    interval_hours: float
+    warmup_hours: float
+    cooldown_hours: float
+    rate_factor: float  # multiplies each profile's request rate
+    num_platters: int
+
+    def trace_for(self, profile: WorkloadProfile, seed: int = 0, stream: int = 30):
+        generator = WorkloadGenerator(seed=seed)
+        return generator.interval_trace(
+            profile.mean_rate_per_second * self.rate_factor,
+            interval_hours=self.interval_hours,
+            warmup_hours=self.warmup_hours,
+            cooldown_hours=self.cooldown_hours,
+            size_model=profile.size_model,
+            burstiness=profile.burstiness,
+            stream=stream,
+        )
+
+
+SCALE = (
+    BenchScale(
+        interval_hours=12.0,
+        warmup_hours=2.0,
+        cooldown_hours=2.0,
+        rate_factor=1.0,
+        num_platters=3000,
+    )
+    if FULL_SCALE
+    else BenchScale(
+        interval_hours=1.5,
+        warmup_hours=0.25,
+        cooldown_hours=0.25,
+        rate_factor=0.7,
+        num_platters=1200,
+    )
+)
+
+
+def run_library(
+    profile: WorkloadProfile,
+    seed: int = 0,
+    skew=None,
+    **config_kwargs,
+):
+    """One simulator run of a profile at the configured scale."""
+    trace, start, end = SCALE.trace_for(profile, seed=seed, stream=30 + seed)
+    config_kwargs.setdefault("num_platters", SCALE.num_platters)
+    sim = LibrarySimulation(SimConfig(seed=seed, **config_kwargs))
+    sim.assign_trace(trace, start, end, skew=skew)
+    return sim.run()
+
+
+def hours(seconds: float) -> float:
+    return seconds / 3600.0
+
+
+def print_series(title: str, header: str, rows) -> None:
+    """Uniform figure/table output format."""
+    print(f"\n=== {title} ===")
+    print(header)
+    for row in rows:
+        print(row)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked experiment exactly once (sims are expensive)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,48 @@
+"""Ablation: elevator read ordering within a platter batch.
+
+Section 4.1: "We could optimize the read order to minimize seek latency,
+but seek latency is one of the lowest overheads in the system." This bench
+quantifies that: sorting a mounted platter's batch by track position
+(elevator order) strictly reduces total seek time, but the tail completion
+moves only marginally because seeks are a small slice of the read path.
+"""
+
+import pytest
+
+from repro.workload.profiles import IOPS
+
+from conftest import hours, print_series, run_library
+
+
+def test_elevator_read_order(once):
+    def experiment():
+        common = dict(seed=14, num_platters=150)  # dense per-platter queues
+        fifo = run_library(IOPS, sort_batch_by_track=False, **common)
+        sorted_order = run_library(IOPS, sort_batch_by_track=True, **common)
+        return fifo, sorted_order
+
+    fifo, sorted_order = once(experiment)
+
+    def seek_total(report):
+        return sum(d.read_seconds for d in report.per_drive_utilization)
+
+    fifo_seeks = fifo.seek_seconds
+    sorted_seeks = sorted_order.seek_seconds
+    rows = [
+        f"FIFO batch order    : tail {hours(fifo.completions.tail):6.3f} h   "
+        f"total seek {fifo_seeks:8.1f} s",
+        f"elevator batch order: tail {hours(sorted_order.completions.tail):6.3f} h   "
+        f"total seek {sorted_seeks:8.1f} s",
+        f"seek time saved: {(1 - sorted_seeks / fifo_seeks) * 100:.1f}%  "
+        f"tail moved: {abs(sorted_order.completions.tail - fifo.completions.tail) / fifo.completions.tail * 100:.1f}%",
+    ]
+    print_series("Ablation: batch read order", "scheduler", rows)
+    # Sorting reduces seek time...
+    assert sorted_seeks < fifo_seeks
+    # ...but barely moves the tail: seek latency is one of the lowest
+    # overheads (the paper's justification for not optimizing it).
+    relative_shift = (
+        abs(sorted_order.completions.tail - fifo.completions.tail)
+        / fifo.completions.tail
+    )
+    assert relative_shift < 0.25

@@ -1,0 +1,103 @@
+"""Figure 1: cloud archival workload characteristics.
+
+(a) writes over reads per month (count and bytes);
+(b) read size histogram (% of reads / % of bytes per size bucket);
+(c) tail-over-median hourly read throughput across data centers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    SIZE_BUCKET_LABELS,
+    WorkloadGenerator,
+    read_size_histogram,
+    tail_over_median_rates,
+    writes_over_reads,
+)
+
+from conftest import FULL_SCALE, print_series
+
+
+DAYS = 180 if FULL_SCALE else 120
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return WorkloadGenerator(seed=42)
+
+
+def test_fig1a_writes_over_reads(generator, once):
+    """Paper: on average 47 MB written per MB read, 174 write ops per read
+    op; writes dominate by over an order of magnitude every month."""
+
+    def experiment():
+        ingress = generator.ingress_series(DAYS)
+        reads = generator.characterization_reads(DAYS)
+        return writes_over_reads(ingress, reads)
+
+    ratios = once(experiment)
+    rows = [
+        f"month {m + 1}: count ratio {ratios.count_ratio[m]:8.1f}   "
+        f"byte ratio {ratios.byte_ratio[m]:6.1f}"
+        for m in range(ratios.months)
+    ]
+    rows.append(
+        f"mean    : count ratio {ratios.mean_count_ratio:8.1f}   "
+        f"byte ratio {ratios.mean_byte_ratio:6.1f}   (paper: 174 / 47)"
+    )
+    print_series("Figure 1(a): writes over reads per month", "month: ops, bytes", rows)
+    assert ratios.mean_count_ratio == pytest.approx(174, rel=0.4)
+    assert ratios.mean_byte_ratio == pytest.approx(47, rel=0.4)
+    assert (ratios.count_ratio > 10).all()
+
+
+def test_fig1b_read_size_histogram(generator, once):
+    """Paper: 58.7% of reads <= 4 MiB carrying 1.2% of bytes; > 256 MiB is
+    ~85% of bytes on < 2% of requests; ~10 orders of magnitude of sizes."""
+
+    def experiment():
+        reads = generator.characterization_reads(DAYS)
+        return read_size_histogram(reads)
+
+    histogram = once(experiment)
+    rows = [
+        f"{label:18s} count {histogram.count_percent[i]:6.2f}%   "
+        f"bytes {histogram.bytes_percent[i]:6.2f}%"
+        for i, label in enumerate(SIZE_BUCKET_LABELS)
+    ]
+    rows.append(
+        f"<=4MiB: {histogram.count_percent[0]:.1f}% of reads, "
+        f"{histogram.bytes_percent[0]:.2f}% of bytes (paper: 58.7% / 1.2%)"
+    )
+    rows.append(
+        f">256MiB: {histogram.count_above(3):.2f}% of reads, "
+        f"{histogram.bytes_above(3):.1f}% of bytes (paper: <2% / ~85%)"
+    )
+    print_series(
+        "Figure 1(b): reads and bytes vs file size", "bucket: count%, bytes%", rows
+    )
+    assert histogram.count_percent[0] == pytest.approx(58.7, abs=2.5)
+    assert histogram.bytes_above(3) == pytest.approx(85.0, abs=6.0)
+    assert histogram.count_above(3) < 2.5
+
+
+def test_fig1c_tail_over_median(generator, once):
+    """Paper: up to ~7 orders of magnitude between median and p99.9 hourly
+    read rate, with large variability across the 30 most active DCs."""
+
+    def experiment():
+        rates = generator.datacenter_hourly_rates(30, 24 * DAYS)
+        return tail_over_median_rates(rates)
+
+    ratios = once(experiment)
+    rows = [
+        f"dc rank {i + 1:2d}: tail/median = {ratio:12.1f}"
+        for i, ratio in enumerate(ratios[::3])
+    ]
+    rows.append(f"span: {ratios[-1]:.1e} .. {ratios[0]:.1e} (paper: up to 1e7)")
+    print_series(
+        "Figure 1(c): tail over median read throughput", "ranked data centers", rows
+    )
+    assert ratios[0] > 1e6
+    assert ratios[0] / ratios[-1] > 1e4

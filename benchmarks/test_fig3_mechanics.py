@@ -1,0 +1,90 @@
+"""Figure 3: mechanical benchmarks from the library prototype.
+
+(a) horizontal shuttle motion (trapezoidal + ~0.5 s fine tuning);
+(b) vertical motion (crabbing): 86% <= 3 s, max 3.02 s, 88 ms spread;
+(c) picking ~170 ms slower than placing;
+(d) random seeks: median 0.6 s, max 2 s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.library.motion import CrabbingModel, HorizontalMotionModel, PickPlaceModel
+from repro.media.read_drive import SeekModel
+
+from conftest import print_series
+
+
+SAMPLES = 20_000
+
+
+def test_fig3a_horizontal_motion(once):
+    def experiment():
+        model = HorizontalMotionModel()
+        rng = np.random.default_rng(0)
+        distances = np.array([0.25, 0.5, 1, 2, 4, 8, 12])
+        predicted = [model.travel_time(d) for d in distances]
+        observed = [
+            np.mean([model.sample(d, rng) for _ in range(300)]) for d in distances
+        ]
+        return distances, predicted, observed
+
+    distances, predicted, observed = once(experiment)
+    rows = [
+        f"{d:5.2f} m: model {p:5.2f} s   observed {o:5.2f} s"
+        for d, p, o in zip(distances, predicted, observed)
+    ]
+    print_series("Figure 3(a): horizontal motion", "distance: model vs observed", rows)
+    for p, o in zip(predicted, observed):
+        assert o == pytest.approx(p, abs=0.1)
+
+
+def test_fig3b_crabbing(once):
+    def experiment():
+        rng = np.random.default_rng(1)
+        model = CrabbingModel()
+        return np.array([model.sample(rng) for _ in range(SAMPLES)])
+
+    samples = once(experiment)
+    rows = [
+        f"min    {samples.min():6.3f} s (paper spread: 88 ms)",
+        f"median {np.median(samples):6.3f} s",
+        f"p86    {np.percentile(samples, 86):6.3f} s (paper: 86% within 3 s)",
+        f"max    {samples.max():6.3f} s (paper max: 3.02 s)",
+    ]
+    print_series("Figure 3(b): vertical motion (crabbing)", "distribution", rows)
+    assert samples.max() <= 3.020 + 1e-9
+    assert samples.max() - samples.min() <= 0.088 + 1e-9
+    assert 0.80 <= (samples <= 3.0).mean() <= 0.92
+
+
+def test_fig3c_pick_place(once):
+    def experiment():
+        rng = np.random.default_rng(2)
+        model = PickPlaceModel()
+        picks = np.array([model.sample_pick(rng) for _ in range(SAMPLES)])
+        places = np.array([model.sample_place(rng) for _ in range(SAMPLES)])
+        return picks, places
+
+    picks, places = once(experiment)
+    rows = [
+        f"place mean {places.mean():5.3f} s   pick mean {picks.mean():5.3f} s",
+        f"pick - place = {(picks.mean() - places.mean()) * 1000:5.1f} ms (paper: 170 ms)",
+    ]
+    print_series("Figure 3(c): picking and placing", "operation latencies", rows)
+    assert picks.mean() - places.mean() == pytest.approx(0.170, abs=0.01)
+
+
+def test_fig3d_random_seeks(once):
+    def experiment():
+        rng = np.random.default_rng(3)
+        return SeekModel().sample(rng, SAMPLES)
+
+    seeks = once(experiment)
+    rows = [
+        f"median {np.median(seeks):5.2f} s (paper: 0.6 s)",
+        f"max    {seeks.max():5.2f} s (paper: 2 s)",
+    ]
+    print_series("Figure 3(d): random seeks", "distribution", rows)
+    assert np.median(seeks) == pytest.approx(0.6, abs=0.05)
+    assert seeks.max() <= 2.0

@@ -1,0 +1,166 @@
+"""Figure 5: component requirements — per-drive throughput and shuttle count.
+
+(a) IOPS workload, tail completion vs per-drive throughput (30..210 MB/s):
+    NS plateaus in minutes; Silica plateaus around a few hours; both within
+    the 15 h SLO even at 30 MB/s.
+(b) Volume workload, same sweep: tail drops with throughput, improvements
+    tail off past 60-120 MB/s (drive mechanics become the bottleneck).
+(c) IOPS, tail completion vs shuttles (8..40, 60 MB/s drives): Silica drops
+    steeply (paper: 10 h at 8 -> 1h20 at 40, diminishing past 20); SP is
+    worse at matched provisioning (paper: 5 h vs 2.8 h at 20); NS constant.
+(d) Volume, same sweep: >= 12 shuttles meets SLO, diminishing past 20.
+"""
+
+import pytest
+
+from repro.core.metrics import SLO_SECONDS
+from repro.workload.profiles import IOPS, VOLUME
+
+from conftest import FULL_SCALE, hours, print_series, run_library
+
+
+THROUGHPUTS = (30, 60, 90, 120, 150, 180, 210) if FULL_SCALE else (30, 60, 120, 210)
+SHUTTLES = (8, 12, 16, 20, 28, 40) if FULL_SCALE else (8, 12, 20, 40)
+
+
+def _throughput_sweep(profile, policy, seed):
+    results = {}
+    for mbps in THROUGHPUTS:
+        report = run_library(
+            profile,
+            seed=seed,
+            drive_throughput_mbps=float(mbps),
+            num_drives=20,
+            num_shuttles=20,
+            policy=policy,
+        )
+        results[mbps] = report
+    return results
+
+
+def test_fig5a_iops_throughput(once):
+    def experiment():
+        return {
+            "silica": _throughput_sweep(IOPS, "silica", seed=1),
+            "ns": _throughput_sweep(IOPS, "ns", seed=1),
+        }
+
+    results = once(experiment)
+    rows = []
+    for mbps in THROUGHPUTS:
+        silica = results["silica"][mbps].completions
+        ns = results["ns"][mbps].completions
+        rows.append(
+            f"{mbps:3d} MB/s: Silica tail {hours(silica.tail):6.2f} h   "
+            f"NS tail {hours(ns.tail):6.2f} h"
+        )
+    print_series("Figure 5(a): IOPS, per-drive throughput", "drive MB/s", rows)
+    # Every provisioning point is within SLO, even 30 MB/s drives.
+    for mbps in THROUGHPUTS:
+        assert results["silica"][mbps].completions.tail < SLO_SECONDS
+    # NS is far faster than Silica (mechanics dominate), and high
+    # throughput yields diminishing returns for IOPS.
+    assert results["ns"][60].completions.tail < results["silica"][60].completions.tail
+    gain_low = results["silica"][30].completions.tail - results["silica"][60].completions.tail
+    gain_high = results["silica"][120].completions.tail - results["silica"][210].completions.tail
+    assert gain_high < max(gain_low, 600.0)
+
+
+def test_fig5b_volume_throughput(once):
+    def experiment():
+        return {
+            "silica": _throughput_sweep(VOLUME, "silica", seed=2),
+            "ns": _throughput_sweep(VOLUME, "ns", seed=2),
+        }
+
+    results = once(experiment)
+    rows = []
+    for mbps in THROUGHPUTS:
+        silica = results["silica"][mbps].completions
+        ns = results["ns"][mbps].completions
+        rows.append(
+            f"{mbps:3d} MB/s: Silica tail {hours(silica.tail):6.2f} h   "
+            f"NS tail {hours(ns.tail):6.2f} h"
+        )
+    print_series("Figure 5(b): Volume, per-drive throughput", "drive MB/s", rows)
+    tails = [results["silica"][m].completions.tail for m in THROUGHPUTS]
+    # Volume is bandwidth-sensitive: 30 MB/s is the worst point...
+    assert tails[0] >= max(tails[1:]) * 0.9
+    # ...but still within SLO (the headline claim).
+    assert tails[0] < SLO_SECONDS
+    # Improvements tail off at high throughput: drive mechanics dominate.
+    assert tails[-2] - tails[-1] < tails[0] - tails[1] + 600
+
+
+def _shuttle_sweep(profile, policy, seed):
+    results = {}
+    for shuttles in SHUTTLES:
+        results[shuttles] = run_library(
+            profile,
+            seed=seed,
+            drive_throughput_mbps=60.0,
+            num_drives=20,
+            num_shuttles=shuttles,
+            policy=policy,
+        )
+    return results
+
+
+def test_fig5c_iops_shuttles(once):
+    def experiment():
+        return {
+            "silica": _shuttle_sweep(IOPS, "silica", seed=3),
+            "sp": _shuttle_sweep(IOPS, "sp", seed=3),
+            "ns": run_library(
+                IOPS, seed=3, drive_throughput_mbps=60.0, num_drives=20,
+                num_shuttles=20, policy="ns",
+            ),
+        }
+
+    results = once(experiment)
+    rows = []
+    for shuttles in SHUTTLES:
+        silica = results["silica"][shuttles].completions
+        sp = results["sp"][shuttles].completions
+        rows.append(
+            f"{shuttles:2d} shuttles: Silica {hours(silica.tail):6.2f} h   "
+            f"SP {hours(sp.tail):6.2f} h"
+        )
+    rows.append(f"NS (no shuttles): {hours(results['ns'].completions.tail):6.2f} h")
+    print_series("Figure 5(c): IOPS, number of shuttles", "shuttles", rows)
+    silica_tails = [results["silica"][s].completions.tail for s in SHUTTLES]
+    # Monotone improvement with shuttles, diminishing past 20.
+    assert silica_tails[0] > silica_tails[-1]
+    assert all(results["silica"][s].completions.tail < SLO_SECONDS for s in SHUTTLES)
+    assert all(results["sp"][s].completions.tail < SLO_SECONDS for s in SHUTTLES)
+    # At 20 shuttles Silica beats the unpartitioned SP baseline.
+    assert (
+        results["silica"][20].completions.tail < results["sp"][20].completions.tail
+    )
+
+
+def test_fig5d_volume_shuttles(once):
+    def experiment():
+        return {
+            "silica": _shuttle_sweep(VOLUME, "silica", seed=4),
+            "ns": run_library(
+                VOLUME, seed=4, drive_throughput_mbps=60.0, num_drives=20,
+                num_shuttles=20, policy="ns",
+            ),
+        }
+
+    results = once(experiment)
+    rows = []
+    for shuttles in SHUTTLES:
+        report = results["silica"][shuttles].completions
+        rows.append(f"{shuttles:2d} shuttles: Silica {hours(report.tail):6.2f} h")
+    rows.append(f"NS (no shuttles): {hours(results['ns'].completions.tail):6.2f} h")
+    print_series("Figure 5(d): Volume, number of shuttles", "shuttles", rows)
+    # 12+ shuttles within SLO; diminishing returns from 20 on.
+    for shuttles in SHUTTLES:
+        if shuttles >= 12:
+            assert results["silica"][shuttles].completions.tail < SLO_SECONDS
+    t20 = results["silica"][20].completions.tail
+    t40 = results["silica"][40].completions.tail
+    t8 = results["silica"][8].completions.tail
+    assert t8 - t20 > (t20 - t40) - 600

@@ -1,0 +1,78 @@
+"""Figure 6: read drive utilization with fast switching.
+
+Paper: average drive utilization above 96% for all workloads; drives spend
+most time on verification; IOPS spends more drive time on reads than Volume
+(31% vs 26%, due to more frequent mounting); Typical is ~6% reads / ~91%
+verifies. An ablation shows what fast switching buys.
+"""
+
+import pytest
+
+from repro.workload.profiles import ALL_PROFILES, IOPS, TYPICAL, VOLUME
+
+from conftest import FULL_SCALE, print_series, run_library
+
+
+def test_fig6_drive_utilization(once):
+    def experiment():
+        return {
+            profile.name: run_library(
+                profile,
+                seed=6,
+                num_drives=20,
+                num_shuttles=20,
+                fast_switching=True,
+            )
+            for profile in ALL_PROFILES
+        }
+
+    results = once(experiment)
+    rows = []
+    for name, report in results.items():
+        util = report.drive_utilization
+        rows.append(
+            f"{name:8s}: utilization {util.utilization * 100:5.1f}%   "
+            f"reads {util.read_fraction * 100:5.1f}%   "
+            f"verify {util.verify_fraction * 100:5.1f}%   "
+            f"switch {util.switch_fraction * 100:4.2f}%"
+        )
+    print_series("Figure 6: read drive utilization", "per workload", rows)
+    # The paper's >96% emerges from deep queues amortizing many requests
+    # per mount at full scale; the reduced-scale default has shallower
+    # queues and proportionally more switching, so the bound is relaxed.
+    threshold = 0.96 if FULL_SCALE else 0.90
+    for name, report in results.items():
+        util = report.drive_utilization
+        assert util.utilization > threshold, name
+        # Verification dominates drive time everywhere.
+        assert util.verify_fraction > util.read_fraction, name
+    # IOPS and Volume spend comparable drive time on reads (paper: 31% vs
+    # 26% — IOPS pays in mounts, Volume in scan time).
+    ratio = (
+        results["IOPS"].drive_utilization.read_fraction
+        / results["Volume"].drive_utilization.read_fraction
+    )
+    assert 0.4 < ratio < 2.5
+    # Typical is verify-dominated the hardest (paper: 6% reads, 91% verify).
+    assert results["Typical"].drive_utilization.verify_fraction > 0.8
+
+
+def test_fig6_fast_switching_ablation(once):
+    """Without fast switching every customer service pays a full
+    unmount+remount of the verification platter: utilization drops."""
+
+    def experiment():
+        fast = run_library(IOPS, seed=7, fast_switching=True)
+        slow = run_library(IOPS, seed=7, fast_switching=False)
+        return fast, slow
+
+    fast, slow = once(experiment)
+    rows = [
+        f"fast switching : util {fast.drive_utilization.utilization * 100:5.2f}%   "
+        f"switch {fast.drive_utilization.switch_fraction * 100:4.2f}%",
+        f"no fast switch : util {slow.drive_utilization.utilization * 100:5.2f}%   "
+        f"switch {slow.drive_utilization.switch_fraction * 100:4.2f}%",
+    ]
+    print_series("Figure 6 ablation: fast switching", "drive accounting", rows)
+    assert slow.drive_utilization.switch_fraction > fast.drive_utilization.switch_fraction
+    assert slow.drive_utilization.utilization < fast.drive_utilization.utilization

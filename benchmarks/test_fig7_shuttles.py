@@ -1,0 +1,100 @@
+"""Figure 7: shuttle management — congestion, power, load balancing.
+
+(a) congestion overhead per travel: SP grows with the number of shuttles
+    (more free-roaming conflicts); Silica stays within ~10% at any count.
+(b) power per platter operation: Silica saves 20-90% vs SP, improving with
+    more shuttles (shorter partition trips, fewer stop/start cycles).
+(c) Zipf-skewed request placement (Volume): without load balancing the SLO
+    is missed; work stealing restores it at the cost of longer tail travel
+    (paper: 29.4 s -> 76 s); NS remains the lower bound.
+"""
+
+import pytest
+
+from repro.core.metrics import SLO_SECONDS
+from repro.workload.profiles import IOPS, VOLUME
+
+from conftest import FULL_SCALE, hours, print_series, run_library
+
+
+SHUTTLES = (8, 12, 16, 20, 28, 40) if FULL_SCALE else (8, 16, 28, 40)
+
+
+def _sweep(policy, seed):
+    return {
+        shuttles: run_library(
+            IOPS, seed=seed, num_shuttles=shuttles, policy=policy
+        )
+        for shuttles in SHUTTLES
+    }
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {"silica": _sweep("silica", seed=8), "sp": _sweep("sp", seed=8)}
+
+
+def test_fig7a_congestion(once, sweeps):
+    results = once(lambda: sweeps)
+    rows = []
+    for shuttles in SHUTTLES:
+        silica = results["silica"][shuttles].shuttles.congestion_overhead
+        sp = results["sp"][shuttles].shuttles.congestion_overhead
+        rows.append(
+            f"{shuttles:2d} shuttles: Silica {silica * 100:5.1f}%   SP {sp * 100:5.1f}%"
+        )
+    print_series("Figure 7(a): congestion overhead per travel", "shuttles", rows)
+    for shuttles in SHUTTLES:
+        assert results["silica"][shuttles].shuttles.congestion_overhead < 0.10
+    sp_curve = [results["sp"][s].shuttles.congestion_overhead for s in SHUTTLES]
+    assert sp_curve[-1] > sp_curve[0]  # grows with shuttle count
+    assert sp_curve[-1] > 0.2  # far above Silica
+
+
+def test_fig7b_power(once, sweeps):
+    results = once(lambda: sweeps)
+    rows = []
+    savings = {}
+    for shuttles in SHUTTLES:
+        silica = results["silica"][shuttles].shuttles.energy_per_platter_op
+        sp = results["sp"][shuttles].shuttles.energy_per_platter_op
+        savings[shuttles] = 1 - silica / sp
+        rows.append(
+            f"{shuttles:2d} shuttles: Silica {silica:6.1f} J/op   SP {sp:6.1f} J/op   "
+            f"saving {savings[shuttles] * 100:4.1f}%"
+        )
+    print_series("Figure 7(b): power per platter operation", "shuttles", rows)
+    # 20-90% savings at every point (paper's range).
+    for shuttles in SHUTTLES:
+        assert 0.15 < savings[shuttles] < 0.95
+    # Savings improve as shuttles increase.
+    assert savings[SHUTTLES[-1]] > savings[SHUTTLES[0]]
+
+
+def test_fig7c_skewed_requests(once):
+    def experiment():
+        common = dict(seed=9, num_shuttles=20, num_drives=20)
+        return {
+            "no-lb": run_library(VOLUME, skew=2.0, work_stealing=False, **common),
+            "stealing": run_library(VOLUME, skew=2.0, work_stealing=True, **common),
+            "ns": run_library(VOLUME, skew=2.0, policy="ns", **common),
+        }
+
+    results = once(experiment)
+    rows = []
+    for name, report in results.items():
+        rows.append(
+            f"{name:9s}: tail completion {hours(report.completions.tail):6.2f} h   "
+            f"tail travel {report.shuttles.tail_travel_seconds():5.1f} s   "
+            f"steals {report.shuttles.steals}"
+        )
+    print_series("Figure 7(c): Zipf-skewed request distribution", "policy", rows)
+    # Ordering: NS <= stealing < no-LB (paper: 7.5 h / 11.5 h / >21 h).
+    assert results["ns"].completions.tail <= results["stealing"].completions.tail
+    assert results["stealing"].completions.tail < results["no-lb"].completions.tail
+    # Stealing pays with longer tail travel (paper: 29.4 s -> 76 s).
+    assert (
+        results["stealing"].shuttles.tail_travel_seconds()
+        > results["no-lb"].shuttles.tail_travel_seconds()
+    )
+    assert results["stealing"].shuttles.steals > 0

@@ -1,0 +1,75 @@
+"""Figure 9: performance of a full library.
+
+Synthetic steady-rate Poisson trace over a fully populated library, ~100 MB
+files (the measured average file size), uniform placement. Paper: the mean
+read rate of the simulated early deployment is 0.3 reads/s; projecting
+deletions and cool-down 9 age-folds out gives ~1.6 reads/s, which 60 MB/s
+drives serve with a tail around 8 hours; higher-throughput drives (or more
+read racks) buy headroom for harder futures.
+"""
+
+import pytest
+
+from repro.core.metrics import SLO_SECONDS
+from repro.core.simulation import LibrarySimulation, SimConfig
+from repro.library.layout import LibraryConfig
+from repro.workload.generator import WorkloadGenerator
+
+from conftest import FULL_SCALE, hours, print_series
+
+
+# The paper derives 1.6 reads/s from 0.3 reads/s early-deployment mean with
+# 5% deletion and 10% cool-down over 9 age-folds; repro.workload.lifecycle
+# reproduces that arithmetic (LifecycleModel().projected_rate(9) ~ 1.64).
+RATE_READS_PER_SEC = 1.6
+FILE_BYTES = 100_000_000
+THROUGHPUTS = (30, 60, 120)
+WINDOW_HOURS = 6.0 if FULL_SCALE else 1.5
+
+
+def _run_full_library(mbps, seed=12):
+    library = LibraryConfig()
+    capacity = library.storage_capacity
+    generator = WorkloadGenerator(seed=seed)
+    trace, start, end = generator.interval_trace(
+        RATE_READS_PER_SEC,
+        interval_hours=WINDOW_HOURS,
+        warmup_hours=0.5,
+        cooldown_hours=0.5,
+        fixed_size=FILE_BYTES,
+        stream=60,
+    )
+    sim = LibrarySimulation(
+        SimConfig(
+            drive_throughput_mbps=float(mbps),
+            num_platters=capacity,  # fully populated
+            seed=seed,
+            library=library,
+        )
+    )
+    sim.assign_trace(trace, start, end)
+    return sim.run()
+
+
+def test_fig9_full_library(once):
+    def experiment():
+        return {mbps: _run_full_library(mbps) for mbps in THROUGHPUTS}
+
+    results = once(experiment)
+    rows = []
+    for mbps, report in results.items():
+        rows.append(
+            f"{mbps:3d} MB/s drives: tail {hours(report.completions.tail):6.2f} h   "
+            f"median {report.completions.median / 60:5.1f} min   "
+            f"({report.completions.count} requests)"
+        )
+    rows.append(
+        f"future-projected rate {RATE_READS_PER_SEC} reads/s over a full "
+        f"library of ~100 MB files (paper: ~8 h tail at 60 MB/s)"
+    )
+    print_series("Figure 9: full library", "per-drive throughput", rows)
+    # 60 MB/s drives keep the future full-library workload within SLO.
+    assert results[60].completions.tail < SLO_SECONDS
+    # Higher throughput helps monotonically for this 100 MB-file workload.
+    assert results[30].completions.tail >= results[60].completions.tail
+    assert results[60].completions.tail >= results[120].completions.tail * 0.8

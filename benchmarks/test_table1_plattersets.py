@@ -1,0 +1,34 @@
+"""Table 1: write-time redundancy overhead and minimum storage racks.
+
+    I+R    overhead   racks
+    12+3   25 %       6
+    16+3   18.8 %     7
+    24+3   12.5 %     10
+"""
+
+import pytest
+
+from repro.layout.platter_sets import recovery_effort_tracks, table1
+
+from conftest import print_series
+
+
+def test_table1(once):
+    rows_data = once(table1)
+    rows = [
+        f"{r.label:>5s}   {r.write_overhead * 100:5.1f} %   {r.storage_racks:2d} racks   "
+        f"(recovery: {recovery_effort_tracks(r.information)} tracks)"
+        for r in rows_data
+    ]
+    print_series(
+        "Table 1: platter-set configurations",
+        "  I+R   overhead   racks",
+        rows,
+    )
+    by_label = {r.label: r for r in rows_data}
+    assert by_label["12+3"].write_overhead == pytest.approx(0.25)
+    assert by_label["12+3"].storage_racks == 6
+    assert by_label["16+3"].write_overhead == pytest.approx(0.1875)
+    assert by_label["16+3"].storage_racks == 7
+    assert by_label["24+3"].write_overhead == pytest.approx(0.125)
+    assert by_label["24+3"].storage_racks == 10

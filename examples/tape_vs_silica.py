@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Silica against the incumbent: a tape library on the same cloud trace.
+
+Sections 1-2 of the paper argue that tape was designed for disaster
+recovery (few, huge reads) while the actual cloud archival workload is
+dominated by many small reads — so tape pays minutes of mechanics
+(robot exchange, leader threading, kilometre-scale spool seeks, rewind)
+per mount while delivering throughput nobody needs. This script runs the
+same IOPS-dominated trace through both simulators at matched drive counts.
+
+Run:  python examples/tape_vs_silica.py
+"""
+
+from repro.core.simulation import LibrarySimulation, SimConfig
+from repro.core.tape_baseline import TapeConfig, TapeLibrarySimulation
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import IOPS
+
+
+def main() -> None:
+    generator = WorkloadGenerator(seed=8)
+    trace, start, end = generator.interval_trace(
+        IOPS.mean_rate_per_second * 0.7,
+        interval_hours=1.0,
+        warmup_hours=0.15,
+        cooldown_hours=0.15,
+        size_model=IOPS.size_model,
+        burstiness=0.5,
+        stream=44,
+    )
+    print(f"workload: {len(trace)} reads over ~1 h (IOPS profile)\n")
+
+    silica = LibrarySimulation(
+        SimConfig(num_drives=20, num_shuttles=20, num_platters=1200, seed=8)
+    )
+    silica.assign_trace(trace, start, end)
+    silica_report = silica.run()
+    print("Silica  (20 drives @  60 MB/s):")
+    print(f"  tail {silica_report.completions.tail_hours:6.2f} h   "
+          f"median {silica_report.completions.median / 60:6.1f} min")
+
+    for drives, robots in ((8, 2), (20, 4), (40, 6)):
+        tape = TapeLibrarySimulation(
+            TapeConfig(num_drives=drives, num_robots=robots, seed=8)
+        )
+        tape.assign_trace(trace, start, end)
+        report = tape.run()
+        mechanics = (
+            report.drive_busy_seconds + report.robot_busy_seconds
+        ) / max(1, report.mounts)
+        print(f"tape    ({drives:2d} drives @ 360 MB/s):")
+        print(
+            f"  tail {report.completions.tail_hours:6.2f} h   "
+            f"median {report.completions.median / 60:6.1f} min   "
+            f"(~{mechanics:.0f} s of mechanics per mount)"
+        )
+
+    print(
+        "\nthe 6x per-drive throughput advantage buys tape nothing here:"
+        "\nthe workload is mechanics-bound, and tape pays minutes per mount"
+        "\nwhere Silica pays seconds — Sections 1-2 in one experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` / ``python setup.py develop`` work in offline
+environments that lack the ``wheel`` package (modern editable installs build
+a wheel; the legacy develop path does not). All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``workload``
+    Print the Section 2 workload characterization (Figures 1-2 statistics).
+``simulate``
+    Run the digital twin on a named profile and print the report.
+``table1``
+    Print the platter-set trade-off table.
+``table2``
+    Print the tape-vs-Silica cost comparison and the crossover year.
+``durability``
+    Print the coding design points (LDPC + network coding).
+``archive``
+    Round-trip a payload through the full put/verify/get data path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .workload import (
+        WorkloadGenerator,
+        peak_over_mean_curve,
+        read_size_histogram,
+        writes_over_reads,
+    )
+
+    generator = WorkloadGenerator(seed=args.seed)
+    ingress = generator.ingress_series(args.days)
+    reads = generator.characterization_reads(args.days)
+    ratios = writes_over_reads(ingress, reads)
+    histogram = read_size_histogram(reads)
+    windows, pom = peak_over_mean_curve(ingress, [1, 7, 30])
+    print(f"reads analyzed        : {len(reads)}")
+    print(f"write/read ops ratio  : {ratios.mean_count_ratio:.0f} (paper: 174)")
+    print(f"write/read byte ratio : {ratios.mean_byte_ratio:.0f} (paper: 47)")
+    print(
+        f"reads <= 4 MiB        : {histogram.count_percent[0]:.1f}% of ops, "
+        f"{histogram.bytes_percent[0]:.2f}% of bytes"
+    )
+    print(f"peak/mean ingress     : {pom[0]:.1f}x @1d, {pom[2]:.2f}x @30d")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core import LibrarySimulation, SimConfig
+    from .workload import WorkloadGenerator, profile_by_name
+
+    profile = profile_by_name(args.profile)
+    generator = WorkloadGenerator(seed=args.seed)
+    trace, start, end = generator.interval_trace(
+        profile.mean_rate_per_second * args.rate_factor,
+        interval_hours=args.hours,
+        warmup_hours=args.hours / 6,
+        cooldown_hours=args.hours / 6,
+        size_model=profile.size_model,
+        burstiness=profile.burstiness,
+    )
+    config = SimConfig(
+        drive_throughput_mbps=args.mbps,
+        num_drives=args.drives,
+        num_shuttles=args.shuttles,
+        policy=args.policy,
+        num_platters=args.platters,
+        unavailable_fraction=args.unavailable,
+        seed=args.seed,
+    )
+    simulation = LibrarySimulation(config)
+    simulation.assign_trace(trace, start, end)
+    report = simulation.run()
+    print(f"profile   : {profile.name} ({len(trace)} requests)")
+    print(f"policy    : {args.policy}, {args.drives} drives @ {args.mbps} MB/s, "
+          f"{args.shuttles} shuttles")
+    print(f"result    : {report.summary()}")
+    print(
+        f"tail      : {report.completions.tail_hours:.2f} h "
+        f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .layout.platter_sets import table1
+
+    print("  I+R   overhead   racks")
+    for row in table1():
+        print(
+            f"{row.label:>5s}   {row.write_overhead * 100:5.1f} %   {row.storage_racks:4d}"
+        )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .costs import crossover_year, table2
+
+    for aspect, tape, silica in table2():
+        print(f"{aspect:45s} tape: {tape.value}   silica: {silica.value}")
+    print(f"\nlifetime-cost crossover: silica wins from year {crossover_year()}")
+    return 0
+
+
+def _cmd_durability(args: argparse.Namespace) -> int:
+    from .ecc.durability import log10_track_decode_failure, overhead_tradeoff
+
+    print("within-track NC at sector failure probability 1e-3:")
+    for point in overhead_tradeoff(200, [8, 12, 16, 20]):
+        print(
+            f"  {point.overhead * 100:4.1f}% overhead -> "
+            f"track failure 1e{point.log10_failure:.0f}"
+        )
+    design = log10_track_decode_failure()
+    print(f"paper design point (~8%): 1e{design:.0f} (< 1e-24)")
+    return 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from .service import ArchiveService
+
+    service = ArchiveService()
+    payload = args.payload.encode()
+    service.put("cli/demo", payload)
+    recovered = service.get("cli/demo")
+    report = service.verifier.reports[-1]
+    print(f"stored {len(payload)} bytes, verified "
+          f"{report.sectors_checked} sectors ({report.sectors_failed} failed)")
+    print(f"read back: {recovered.decode()!r}")
+    print("roundtrip OK" if recovered == payload else "ROUNDTRIP FAILED")
+    return 0 if recovered == payload else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Project Silica reproduction: glass archival storage.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    workload = commands.add_parser("workload", help="workload characterization")
+    workload.add_argument("--days", type=int, default=120)
+    workload.set_defaults(func=_cmd_workload)
+
+    simulate = commands.add_parser("simulate", help="run the digital twin")
+    simulate.add_argument("--profile", default="IOPS", choices=["Typical", "IOPS", "Volume"])
+    simulate.add_argument("--policy", default="silica", choices=["silica", "sp", "ns"])
+    simulate.add_argument("--drives", type=int, default=20)
+    simulate.add_argument("--shuttles", type=int, default=20)
+    simulate.add_argument("--mbps", type=float, default=60.0)
+    simulate.add_argument("--platters", type=int, default=1200)
+    simulate.add_argument("--hours", type=float, default=1.0)
+    simulate.add_argument("--rate-factor", type=float, default=0.7)
+    simulate.add_argument("--unavailable", type=float, default=0.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    commands.add_parser("table1", help="platter-set trade-off").set_defaults(
+        func=_cmd_table1
+    )
+    commands.add_parser("table2", help="tape vs silica costs").set_defaults(
+        func=_cmd_table2
+    )
+    commands.add_parser("durability", help="coding design points").set_defaults(
+        func=_cmd_durability
+    )
+
+    archive = commands.add_parser("archive", help="put/get round trip")
+    archive.add_argument("--payload", default="hello, glass")
+    archive.set_defaults(func=_cmd_archive)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Metrics collection: completion times, utilization, congestion, power.
+
+The paper's primary metric is the 99.9th-percentile ("tail") completion
+time of a read request — the delay between reception and last byte out of
+the library — against a 15-hour SLO (Section 7.2). Figure 6 adds drive
+utilization (read / verify / switching split); Figure 7 adds congestion
+overhead per travel and power per platter operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: The archival SLO used throughout Section 7.
+SLO_SECONDS = 15 * 3600.0
+
+
+@dataclass
+class CompletionStats:
+    """Distribution summary of request completion times (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    p999: float
+    max: float
+
+    @classmethod
+    def from_times(cls, times: Sequence[float]) -> "CompletionStats":
+        if not len(times):
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(times, dtype=np.float64)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            median=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+            p999=float(np.percentile(arr, 99.9)),
+            max=float(arr.max()),
+        )
+
+    @property
+    def tail(self) -> float:
+        """The paper's headline number: 99.9th percentile."""
+        return self.p999
+
+    def within_slo(self, slo_seconds: float = SLO_SECONDS) -> bool:
+        return self.p999 <= slo_seconds
+
+    @property
+    def tail_hours(self) -> float:
+        return self.p999 / 3600.0
+
+
+@dataclass
+class DriveUtilization:
+    """Figure 6 accounting for one drive or an aggregate."""
+
+    read_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    switch_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """(read + verify) / total — fast switching excluded (§7.4)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return (self.read_seconds + self.verify_seconds) / self.total_seconds
+
+    @property
+    def read_fraction(self) -> float:
+        return self.read_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def verify_fraction(self) -> float:
+        return self.verify_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def switch_fraction(self) -> float:
+        return self.switch_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def __add__(self, other: "DriveUtilization") -> "DriveUtilization":
+        return DriveUtilization(
+            self.read_seconds + other.read_seconds,
+            self.verify_seconds + other.verify_seconds,
+            self.switch_seconds + other.switch_seconds,
+            self.total_seconds + other.total_seconds,
+        )
+
+
+@dataclass
+class ShuttleMetrics:
+    """Figure 7 aggregates across a library's shuttles."""
+
+    congestion_overhead: float = 0.0  # congestion time / unobstructed travel time
+    energy_per_platter_op: float = 0.0  # joules
+    travel_times: List[float] = field(default_factory=list)
+    total_conflicts: int = 0
+    steals: int = 0
+
+    def tail_travel_seconds(self, percentile: float = 99.9) -> float:
+        if not self.travel_times:
+            return 0.0
+        return float(np.percentile(self.travel_times, percentile))
+
+
+@dataclass
+class SimulationReport:
+    """Everything a single simulator run produces."""
+
+    completions: CompletionStats
+    drive_utilization: DriveUtilization
+    per_drive_utilization: List[DriveUtilization]
+    shuttles: ShuttleMetrics
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    bytes_read: float = 0.0
+    bytes_verified: float = 0.0
+    seek_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+
+    def summary(self) -> str:
+        c = self.completions
+        u = self.drive_utilization
+        return (
+            f"requests={self.requests_completed}/{self.requests_submitted} "
+            f"tail={c.tail_hours:.2f}h median={c.median / 60:.1f}min "
+            f"util={u.utilization * 100:.1f}% "
+            f"(read {u.read_fraction * 100:.1f}% / verify {u.verify_fraction * 100:.1f}%) "
+            f"congestion={self.shuttles.congestion_overhead * 100:.1f}% "
+            f"energy/op={self.shuttles.energy_per_platter_op:.1f}J"
+        )

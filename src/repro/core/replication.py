@@ -1,0 +1,101 @@
+"""Multi-seed replication: mean and confidence intervals for sweeps.
+
+A single digital-twin run samples one realization of every mechanical
+duration and placement decision; experiment conclusions (Figures 5-9)
+should rest on replicated runs. :func:`replicate` runs the same experiment
+across seeds and summarizes any scalar metric with a mean and a
+t-distribution confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..workload.profiles import WorkloadProfile
+from ..workload.generator import WorkloadGenerator
+from .metrics import SimulationReport
+from .simulation import LibrarySimulation, SimConfig
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Summary of one scalar across replicated runs."""
+
+    values: tuple
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the t confidence interval around the mean."""
+        if self.n < 2:
+            return 0.0
+        t = scipy_stats.t.ppf(0.5 + self.confidence / 2, df=self.n - 1)
+        return float(t * self.std / np.sqrt(self.n))
+
+    @property
+    def interval(self) -> tuple:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def replicate(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicatedMetric:
+    """Run ``run(seed)`` for each seed; summarize the returned scalar."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = tuple(float(run(seed)) for seed in seeds)
+    return ReplicatedMetric(values, confidence)
+
+
+def replicate_tail_hours(
+    profile: WorkloadProfile,
+    seeds: Sequence[int],
+    rate_factor: float = 0.7,
+    interval_hours: float = 1.0,
+    confidence: float = 0.95,
+    **config_kwargs,
+) -> ReplicatedMetric:
+    """Replicated tail completion time (hours) for a profile + config."""
+
+    def run(seed: int) -> float:
+        generator = WorkloadGenerator(seed=seed)
+        trace, start, end = generator.interval_trace(
+            profile.mean_rate_per_second * rate_factor,
+            interval_hours=interval_hours,
+            warmup_hours=interval_hours / 6,
+            cooldown_hours=interval_hours / 6,
+            size_model=profile.size_model,
+            burstiness=profile.burstiness,
+            stream=30 + seed,
+        )
+        settings = dict(config_kwargs)
+        settings["seed"] = seed
+        simulation = LibrarySimulation(SimConfig(**settings))
+        simulation.assign_trace(trace, start, end)
+        report = simulation.run()
+        return report.completions.tail / 3600.0
+
+    return replicate(run, seeds, confidence)

@@ -1,0 +1,103 @@
+"""Simulation-side request state.
+
+A :class:`SimRequest` tracks one user read through the library: arrival,
+target platter/track(s), and completion. When the target platter is
+unavailable (Section 7.6), the request *fans out* into sub-reads of the
+matching tracks on the other platters of its platter-set (cross-platter
+network coding recovery) and completes when the last sub-read finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..workload.traces import ReadRequest
+
+
+@dataclass
+class SimRequest:
+    """One read request inside the simulator."""
+
+    request_id: int
+    arrival: float
+    platter_id: str
+    size_bytes: int
+    num_tracks: int = 1
+    track_start: int = 0  # first track of the file on its platter
+    measured: bool = True  # inside the measured interval (§7.2)?
+    completion: Optional[float] = None
+    parent: Optional["SimRequest"] = None
+    pending_subreads: int = 0
+    children: List["SimRequest"] = field(default_factory=list)
+
+    @classmethod
+    def from_trace(
+        cls, request_id: int, request: ReadRequest, measured: bool
+    ) -> "SimRequest":
+        if request.platter_id is None:
+            raise ValueError(f"request {request.file_id} has no platter placement")
+        return cls(
+            request_id=request_id,
+            arrival=request.time,
+            platter_id=request.platter_id,
+            size_bytes=request.size_bytes,
+            num_tracks=max(1, request.num_tracks),
+            measured=measured,
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.completion is not None
+
+    @property
+    def completion_time(self) -> float:
+        """Delay from arrival to last byte out of the library (§7.2)."""
+        if self.completion is None:
+            raise ValueError(f"request {self.request_id} not complete")
+        return self.completion - self.arrival
+
+    def complete(self, now: float) -> Optional["SimRequest"]:
+        """Mark done; propagate completion up the sub-read hierarchy.
+
+        Sub-reads can nest (a sharded file whose shard needed cross-platter
+        recovery is parent -> shard -> recovery reads), so completion walks
+        upward: each finished level decrements its parent. Returns the
+        topmost request this completion finished, or None.
+        """
+        self.completion = now
+        finished: Optional[SimRequest] = None
+        node = self.parent
+        while node is not None:
+            node.pending_subreads -= 1
+            if node.pending_subreads > 0 or node.completion is not None:
+                break
+            node.completion = now
+            finished = node
+            node = node.parent
+        return finished
+
+    def fan_out(self, recovery_platters: List[str], request_ids: List[int]) -> List["SimRequest"]:
+        """Expand into cross-platter recovery sub-reads (one per platter).
+
+        Each sub-read reads the matching tracks on one surviving platter of
+        the platter-set; the parent completes when all do (the 16x read
+        amplification of Figure 8).
+        """
+        if len(request_ids) != len(recovery_platters):
+            raise ValueError("need one request id per recovery platter")
+        subs = []
+        for rid, platter in zip(request_ids, recovery_platters):
+            sub = SimRequest(
+                request_id=rid,
+                arrival=self.arrival,
+                platter_id=platter,
+                size_bytes=self.size_bytes,
+                num_tracks=self.num_tracks,
+                measured=False,  # the parent carries the measurement
+                parent=self,
+            )
+            subs.append(sub)
+        self.pending_subreads = len(subs)
+        self.children = subs
+        return subs

@@ -1,0 +1,156 @@
+"""The library request scheduler (Section 4.1).
+
+"The scheduler maintains a queue ordered on request arrival time and
+maintains a separate structure that groups all requests for the same
+platter. By default, once a platter is inserted into a read drive all the
+requests for that platter are serviced since the fetch time dominates. ...
+Platter fetch selection is based on work-conserving fairness. The platter
+selected has the earliest queued read among the platters that are
+accessible."
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .requests import SimRequest
+
+
+class RequestScheduler:
+    """Arrival-ordered queue with per-platter grouping.
+
+    ``select_platter`` implements work-conserving fairness: among platters
+    that are accessible (per the caller's predicate — e.g. within a
+    shuttle's partition, not obscured, not already being fetched), pick the
+    one whose earliest queued request is oldest.
+    """
+
+    def __init__(self, amortize_batch: bool = True):
+        #: platter id -> queued requests (arrival order).
+        self._by_platter: Dict[str, List[SimRequest]] = {}
+        #: platter id -> earliest queued arrival, as a heap for fast scans.
+        self._earliest: Dict[str, float] = {}
+        #: platters currently assigned to a fetch or mounted in a drive.
+        self._in_service: Set[str] = set()
+        self.amortize_batch = amortize_batch
+        self.total_enqueued = 0
+
+    # ------------------------------------------------------------------ #
+    # Queue maintenance
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, request: SimRequest) -> bool:
+        """Add a request; returns True if its platter was not pending before.
+
+        The transition empty -> pending is what callers use to maintain
+        their fetch-candidate indexes (heaps) incrementally.
+        """
+        queue = self._by_platter.setdefault(request.platter_id, [])
+        newly_pending = not queue
+        queue.append(request)
+        first = self._earliest.get(request.platter_id)
+        if first is None or request.arrival < first:
+            self._earliest[request.platter_id] = request.arrival
+        self.total_enqueued += 1
+        return newly_pending
+
+    def earliest_for(self, platter_id: str) -> Optional[float]:
+        """Earliest queued arrival for a platter, or None if not pending."""
+        return self._earliest.get(platter_id)
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(len(q) for q in self._by_platter.values())
+
+    @property
+    def pending_platters(self) -> int:
+        return len(self._by_platter)
+
+    def pending_bytes_by_platter(self) -> Dict[str, int]:
+        return {
+            platter: sum(r.size_bytes for r in queue)
+            for platter, queue in self._by_platter.items()
+        }
+
+    def has_work(self, platter_id: str) -> bool:
+        return platter_id in self._by_platter
+
+    def queued_for(self, platter_id: str) -> List[SimRequest]:
+        return list(self._by_platter.get(platter_id, []))
+
+    # ------------------------------------------------------------------ #
+    # Fetch selection
+    # ------------------------------------------------------------------ #
+
+    def select_platter(
+        self, accessible: Callable[[str], bool]
+    ) -> Optional[str]:
+        """Earliest-queued-read platter among accessible, unassigned ones.
+
+        Work conservation: a platter whose earliest request is oldest but
+        which is currently inaccessible (obscured / being fetched) is
+        skipped; it will be selected as soon as its resources free up.
+        """
+        best: Optional[str] = None
+        best_arrival = float("inf")
+        for platter, earliest in self._earliest.items():
+            if earliest >= best_arrival:
+                continue
+            if platter in self._in_service:
+                continue
+            if not accessible(platter):
+                continue
+            best = platter
+            best_arrival = earliest
+        return best
+
+    def begin_service(self, platter_id: str) -> None:
+        """Mark the platter assigned (fetch dispatched)."""
+        if platter_id in self._in_service:
+            raise ValueError(f"platter {platter_id} already in service")
+        self._in_service.add(platter_id)
+
+    def take_batch(self, platter_id: str) -> List[SimRequest]:
+        """All queued requests for a mounted platter (fetch amortization).
+
+        With ``amortize_batch`` False, only the earliest request is taken
+        (ablation of the paper's default policy).
+        """
+        queue = self._by_platter.get(platter_id, [])
+        if not queue:
+            return []
+        if self.amortize_batch:
+            batch = queue
+            del self._by_platter[platter_id]
+            del self._earliest[platter_id]
+        else:
+            batch = [queue.pop(0)]
+            if queue:
+                self._earliest[platter_id] = queue[0].arrival
+            else:
+                del self._by_platter[platter_id]
+                del self._earliest[platter_id]
+        return batch
+
+    def end_service(self, platter_id: str) -> None:
+        """Platter returned to its shelf; it may be selected again."""
+        self._in_service.discard(platter_id)
+
+    def remove_pending(self, platter_id: str) -> List[SimRequest]:
+        """Withdraw and return a platter's queued requests.
+
+        Used when a platter becomes unavailable (failure blast zone): its
+        queue is re-routed through cross-platter recovery. Refuses platters
+        currently in service (they are mounted, hence accessible).
+        """
+        if platter_id in self._in_service:
+            raise ValueError(f"platter {platter_id} is in service")
+        queue = self._by_platter.pop(platter_id, [])
+        self._earliest.pop(platter_id, None)
+        return queue
+
+    def in_service(self, platter_id: str) -> bool:
+        return platter_id in self._in_service

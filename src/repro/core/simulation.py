@@ -1,0 +1,1050 @@
+"""Full-system discrete event simulation of a Silica library.
+
+This is the "digital twin" of Section 7: a library (racks, read drives,
+shuttles) driven by a read trace, with mechanical durations sampled from the
+prototype-calibrated models of :mod:`repro.library.motion`, the scheduler
+and traffic-management policies of Section 4.1, verification-in-the-gaps of
+Section 3.1, and cross-platter recovery reads of Section 7.6.
+
+The lifecycle of one read request:
+
+1. arrival -> enqueued in the :class:`~repro.core.scheduler.RequestScheduler`
+   (grouped by platter);
+2. a free shuttle is assigned by the traffic policy, travels to the shelf,
+   picks the platter, delivers it to a read drive with a free customer slot;
+3. the drive fast-switches away from its verification platter, mounts the
+   customer platter, and services *all* queued requests for it (seek + scan
+   per request; a track is the minimum read unit);
+4. the drive unmounts, switches back to verification, and a shuttle returns
+   the platter to its fixed home slot (Section 6);
+5. completion time = last byte out minus arrival (Section 7.2).
+
+Baselines: ``policy="sp"`` (free-roaming shortest paths) and ``policy="ns"``
+(no shuttles — platters teleport; the lower bound on shuttle overhead).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..library.layout import LibraryConfig, LibraryLayout, Position, SlotId
+from ..library.shuttle import Shuttle
+from ..media.read_drive import ReadDriveConfig, ReadDriveModel
+from ..workload.traces import ReadRequest, ReadTrace
+from .events import Simulation
+from .metrics import (
+    CompletionStats,
+    DriveUtilization,
+    ShuttleMetrics,
+    SimulationReport,
+)
+from .requests import SimRequest
+from .scheduler import RequestScheduler
+from .traffic import PartitionedPolicy, ShortestPathsPolicy, TrafficPolicy
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Configuration of one library simulation run."""
+
+    drive_throughput_mbps: float = 60.0
+    num_drives: int = 20
+    num_shuttles: int = 20
+    policy: str = "silica"  # "silica" | "sp" | "ns"
+    work_stealing: bool = True
+    amortize_batch: bool = True
+    fast_switching: bool = True
+    track_payload_bytes: float = 20e6  # 200 layers x 100 kB sectors
+    nc_read_overhead: float = 0.10  # within-track NC + framing read inflation
+    num_platters: int = 3000
+    platter_set_information: int = 16
+    platter_set_redundancy: int = 3
+    unavailable_fraction: float = 0.0
+    shard_tracks_limit: int = 50  # large files shard across platters (§6)
+    platter_tracks: int = 100_000  # tracks per platter (seek distances)
+    sort_batch_by_track: bool = False  # elevator read order (§4.1 ablation)
+    battery_management: bool = True  # controller monitors battery (§4.1)
+    battery_capacity_joules: float = 400_000.0
+    battery_low_threshold: float = 0.15
+    recharge_seconds: float = 900.0
+    seed: int = 0
+    library: LibraryConfig = field(default_factory=LibraryConfig)
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("silica", "sp", "ns"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.num_shuttles > self.library.max_shuttles:
+            raise ValueError(
+                f"{self.num_shuttles} shuttles exceed the panel cap of "
+                f"{self.library.max_shuttles} (2x read drives)"
+            )
+        if not 0 <= self.unavailable_fraction < 1:
+            raise ValueError("unavailable_fraction must be in [0, 1)")
+
+    @property
+    def track_read_bytes(self) -> float:
+        """Raw bytes scanned per track (payload + NC/framing overhead)."""
+        return self.track_payload_bytes * (1 + self.nc_read_overhead)
+
+
+class _DriveSim:
+    """State machine of one read drive inside the simulation."""
+
+    def __init__(self, drive_id: int, model: ReadDriveModel, position: Position):
+        self.drive_id = drive_id
+        self.model = model
+        self.position = position
+        self.slot_reserved = False  # customer slot claimed by a fetch in flight
+        self.customer_platter: Optional[str] = None
+        self.serving = False
+        self.awaiting_return: Optional[str] = None
+        self.return_assigned = False
+        self.read_seconds = 0.0
+        self.switch_seconds = 0.0
+        self.seek_seconds = 0.0
+        self.head_track = 0
+        self.failed = False
+
+    @property
+    def customer_slot_free(self) -> bool:
+        return (
+            not self.slot_reserved
+            and self.customer_platter is None
+            and self.awaiting_return is None
+            and not self.failed
+        )
+
+
+class _ShuttleSim:
+    """Wrapper pairing a Shuttle with its simulation busy flag."""
+
+    def __init__(self, shuttle: Shuttle):
+        self.shuttle = shuttle
+        self.busy = False
+
+    @property
+    def idle(self) -> bool:
+        return not self.busy and not self.shuttle.failed
+
+
+class LibrarySimulation:
+    """One library, one trace, one report."""
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig()
+        cfg = self.config
+        self.sim = Simulation()
+        self.rng = np.random.default_rng(cfg.seed)
+        lib_cfg = cfg.library
+        if cfg.num_drives != lib_cfg.num_read_drives:
+            per_rack = -(-cfg.num_drives // 2)  # ceil split over two racks
+            per_rack = min(10, max(2, per_rack))
+            lib_cfg = replace(lib_cfg, drives_per_read_rack=per_rack)
+        self.layout = LibraryLayout(lib_cfg)
+        drive_cfg = ReadDriveConfig(throughput_mbps=cfg.drive_throughput_mbps)
+        self.drives: List[_DriveSim] = []
+        for bay in self.layout.drives[: cfg.num_drives]:
+            model = ReadDriveModel(config=drive_cfg, seed=cfg.seed * 1000 + bay.drive_id)
+            self.drives.append(_DriveSim(bay.drive_id, model, bay.position))
+        raw_shuttles = [
+            Shuttle(
+                i,
+                home=Position(0.0, 0),
+                battery_capacity_joules=cfg.battery_capacity_joules,
+            )
+            for i in range(cfg.num_shuttles)
+        ]
+        if cfg.policy == "silica":
+            self.policy: Optional[TrafficPolicy] = PartitionedPolicy(
+                self.layout, raw_shuttles, self.rng, work_stealing=cfg.work_stealing
+            )
+        elif cfg.policy == "sp":
+            self.policy = ShortestPathsPolicy(self.layout, raw_shuttles, self.rng)
+        else:  # ns
+            self.policy = None
+        self.shuttles = [_ShuttleSim(s) for s in raw_shuttles]
+        self.scheduler = RequestScheduler(amortize_batch=cfg.amortize_batch)
+        # Platter population and placement.
+        self.platters: List[str] = [f"P{i:05d}" for i in range(cfg.num_platters)]
+        self._platter_index = {p: i for i, p in enumerate(self.platters)}
+        self._home_slot: Dict[str, SlotId] = {}
+        self._place_platters()
+        # Fetch-candidate indexes: per-partition heaps (Silica) and a global
+        # heap (SP/NS), holding (earliest arrival, platter) with lazy
+        # invalidation.
+        self._platter_partition: Dict[str, int] = {}
+        self._partition_heaps: Dict[int, List[Tuple[float, str]]] = {}
+        self._partition_load: Dict[int, float] = {}
+        if isinstance(self.policy, PartitionedPolicy):
+            for platter, slot in self._home_slot.items():
+                pid = self.policy.partition_of_slot(slot)
+                self._platter_partition[platter] = pid
+            for p in self.policy.partitions:
+                self._partition_heaps[p.index] = []
+                self._partition_load[p.index] = 0.0
+        self._global_heap: List[Tuple[float, str]] = []
+        self.unavailable: set = set()
+        if cfg.unavailable_fraction > 0:
+            self._sample_unavailable()
+        # Bookkeeping.
+        self.all_requests: List[SimRequest] = []
+        self._next_request_id = 0
+        self.bytes_read = 0.0
+        self._travel_times: List[float] = []
+        self._dispatch_scheduled = False
+        self.recharges = 0
+        # Fluid verification queue (Section 3.1): freshly written platters
+        # queue for full read-back; the drives' idle (verify) time drains
+        # the queue at aggregate throughput. Tracked as a fluid integrator
+        # updated at every drive state change.
+        self._verifying_drives = len(self.drives)
+        self._verify_rate_per_drive = cfg.drive_throughput_mbps * 1e6
+        self._last_verify_update = 0.0
+        self._verify_drained = 0.0
+        self._verify_queue: List[Tuple[float, float, float]] = []  # (arrival, bytes, cum_end)
+        self._verify_cum_demand = 0.0
+        self.verify_latencies: List[float] = []
+        # Failure-injection state: which shuttle covers each partition
+        # (self-coverage initially) and per-partition drive re-routing.
+        self._partition_cover: Dict[int, int] = {}
+        if isinstance(self.policy, PartitionedPolicy):
+            for p in self.policy.partitions:
+                self._partition_cover[p.index] = p.index
+        self._drive_override: Dict[int, int] = {}
+        self.failures_injected = 0
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def _place_platters(self) -> None:
+        slots = list(self.layout.all_slots())
+        if len(slots) < len(self.platters):
+            raise ValueError(
+                f"{len(self.platters)} platters exceed capacity {len(slots)}"
+            )
+        order = self.rng.permutation(len(slots))
+        for platter, idx in zip(self.platters, order):
+            slot = slots[int(idx)]
+            self.layout.store(platter, slot)
+            self._home_slot[platter] = slot
+
+    def _sample_unavailable(self) -> None:
+        """Uniformly random unavailable platters, capped at R per platter-set.
+
+        The blast-zone placement invariant (Section 6) guarantees a single
+        failure removes at most R platters of any set; we keep the sampled
+        pattern consistent with that invariant so recovery is always
+        possible.
+        """
+        cfg = self.config
+        group = cfg.platter_set_information + cfg.platter_set_redundancy
+        target = int(round(cfg.unavailable_fraction * len(self.platters)))
+        per_set: Dict[int, int] = {}
+        order = self.rng.permutation(len(self.platters))
+        for idx in order:
+            if len(self.unavailable) >= target:
+                break
+            set_id = int(idx) // group
+            if per_set.get(set_id, 0) >= cfg.platter_set_redundancy:
+                continue
+            per_set[set_id] = per_set.get(set_id, 0) + 1
+            self.unavailable.add(self.platters[int(idx)])
+
+    def platter_set_of(self, platter_id: str) -> List[str]:
+        cfg = self.config
+        group = cfg.platter_set_information + cfg.platter_set_redundancy
+        index = self._platter_index[platter_id]
+        start = (index // group) * group
+        return self.platters[start : start + group]
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+
+    def assign_trace(
+        self,
+        trace: ReadTrace,
+        measure_start: float,
+        measure_end: float,
+        skew: Optional[float] = None,
+    ) -> None:
+        """Map trace requests onto platters and schedule their arrivals.
+
+        ``skew`` enables a Zipf distribution over platters (Section 7.5's
+        skewed-request experiment); None means uniform (the default
+        methodology: "we distribute the read requests to platters stored in
+        the library uniformly").
+        """
+        n = len(self.platters)
+        weights = None
+        platter_order = None
+        if skew is not None:
+            ranks = np.arange(1, n + 1, dtype=np.float64)
+            weights = ranks**-skew
+            weights /= weights.sum()
+            platter_order = self.rng.permutation(n)
+        for request in trace:
+            if weights is None:
+                platter = self.platters[int(self.rng.integers(0, n))]
+            else:
+                rank = int(self.rng.choice(n, p=weights))
+                platter = self.platters[int(platter_order[rank])]
+            measured = measure_start <= request.time < measure_end
+            self._submit(request, platter, measured)
+
+    def _submit(self, request: ReadRequest, platter: str, measured: bool) -> None:
+        cfg = self.config
+        total_tracks = max(1, int(math.ceil(request.size_bytes / cfg.track_payload_bytes)))
+        # Large files are sharded across platters to parallelize their reads
+        # (Section 6); each shard is an independent sub-read.
+        if total_tracks > cfg.shard_tracks_limit:
+            parent = SimRequest(
+                request_id=self._new_id(),
+                arrival=request.time,
+                platter_id=platter,
+                size_bytes=request.size_bytes,
+                num_tracks=total_tracks,
+                measured=measured,
+            )
+            self.all_requests.append(parent)
+            num_shards = -(-total_tracks // cfg.shard_tracks_limit)
+            shard_platters = self._distinct_platters(num_shards)
+            shards = []
+            tracks_left = total_tracks
+            for p in shard_platters:
+                tracks = min(cfg.shard_tracks_limit, tracks_left)
+                tracks_left -= tracks
+                shards.append(
+                    SimRequest(
+                        request_id=self._new_id(),
+                        arrival=request.time,
+                        platter_id=p,
+                        size_bytes=int(tracks * cfg.track_payload_bytes),
+                        num_tracks=tracks,
+                        track_start=self._random_track_start(tracks),
+                        measured=False,
+                        parent=parent,
+                    )
+                )
+                if tracks_left <= 0:
+                    break
+            parent.pending_subreads = len(shards)
+            parent.children = shards
+            for shard in shards:
+                self.all_requests.append(shard)
+                self._ingest(shard)
+            return
+        sim_request = SimRequest(
+            request_id=self._new_id(),
+            arrival=request.time,
+            platter_id=platter,
+            size_bytes=request.size_bytes,
+            num_tracks=total_tracks,
+            track_start=self._random_track_start(total_tracks),
+            measured=measured,
+        )
+        self.all_requests.append(sim_request)
+        self._ingest(sim_request)
+
+    def _ingest(self, sim_request: SimRequest) -> None:
+        """Route one (sub-)request: direct read, or cross-platter recovery.
+
+        Availability is re-checked when the arrival event fires (see
+        :meth:`_schedule_arrival`), so requests routed before a dynamic
+        failure still recover correctly.
+        """
+        if sim_request.platter_id in self.unavailable:
+            self._fan_out_recovery(sim_request)
+            return
+        self._schedule_arrival(sim_request)
+
+    def _fan_out_recovery(self, sim_request: SimRequest) -> None:
+        """Cross-platter NC: read the matching tracks on I_p available
+        platters of the set (Section 7.6's 16x read amplification). If
+        dynamic failures left fewer than I_p peers available, recovery
+        proceeds degraded with what remains (real deployments prevent this
+        via blast-zone-aware placement; the simulator places uniformly)."""
+        cfg = self.config
+        peers = [
+            p
+            for p in self.platter_set_of(sim_request.platter_id)
+            if p != sim_request.platter_id and p not in self.unavailable
+        ]
+        recovery = peers[: cfg.platter_set_information]
+        subs = sim_request.fan_out(recovery, [self._new_id() for _ in recovery])
+        for sub in subs:
+            self.all_requests.append(sub)
+            self._schedule_arrival(sub)
+
+    def _schedule_arrival(self, sim_request: SimRequest) -> None:
+        def arrive() -> None:
+            # A failure may have struck between routing and arrival.
+            if sim_request.platter_id in self.unavailable:
+                self._fan_out_recovery(sim_request)
+            else:
+                self._enqueue(sim_request)
+            self._request_dispatch()
+
+        # Re-ingested requests (failure re-routing) arrive "now"; their
+        # original arrival stamp is kept for completion-time accounting.
+        at = max(sim_request.arrival, self.sim.now)
+        self.sim.schedule_at(at, arrive, label="arrival")
+
+    def _enqueue(self, sim_request: SimRequest) -> None:
+        newly_pending = self.scheduler.enqueue(sim_request)
+        platter = sim_request.platter_id
+        pid = self._platter_partition.get(platter)
+        if pid is not None:
+            self._partition_load[pid] += sim_request.size_bytes
+        if newly_pending:
+            self._push_candidate(platter, sim_request.arrival)
+
+    def _push_candidate(self, platter: str, earliest: float) -> None:
+        entry = (earliest, platter)
+        heapq.heappush(self._global_heap, entry)
+        pid = self._platter_partition.get(platter)
+        if pid is not None:
+            heapq.heappush(self._partition_heaps[pid], entry)
+
+    def _pop_candidate(self, heap: List[Tuple[float, str]]) -> Optional[str]:
+        """Earliest valid pending platter from a heap (lazy invalidation).
+
+        Entries for platters that were serviced, are currently in service,
+        or are unreachable are discarded; in-service platters with new
+        pending work are re-pushed when their service ends.
+        """
+        while heap:
+            _arrival, platter = heap[0]
+            if (
+                not self.scheduler.has_work(platter)
+                or self.scheduler.in_service(platter)
+                or platter in self.unavailable
+                or self.layout.locate(platter) is None
+            ):
+                heapq.heappop(heap)
+                continue
+            heapq.heappop(heap)
+            return platter
+        return None
+
+    def _distinct_platters(self, count: int) -> List[str]:
+        """Distinct shard platters. Placement is failure-oblivious: shards
+        were written long before any failure, so unavailable platters are
+        legitimate targets — their shards get recovered via cross-platter
+        NC like any other read (see :meth:`_ingest`)."""
+        if count >= len(self.platters):
+            return list(self.platters)
+        picks = self.rng.choice(len(self.platters), size=count, replace=False)
+        return [self.platters[int(i)] for i in picks]
+
+    def _new_id(self) -> int:
+        self._next_request_id += 1
+        return self._next_request_id
+
+    def _random_track_start(self, num_tracks: int) -> int:
+        """Uniform file location on the platter (seek distances, Fig. 3d)."""
+        upper = max(1, self.config.platter_tracks - num_tracks)
+        return int(self.rng.integers(0, upper))
+
+    def _seek_seconds(self, drive: "_DriveSim", target_track: int) -> float:
+        """Distance-dependent XY seek, calibrated so uniformly random
+        seeks reproduce the Figure 3(d) distribution (median ~0.6 s,
+        maximum 2 s)."""
+        distance = abs(drive.head_track - target_track) / max(1, self.config.platter_tracks)
+        base = 0.05 + 1.95 * min(1.0, distance)
+        jitter = float(self.rng.uniform(0.92, 1.08))
+        return min(2.0, base * jitter)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch loop
+    # ------------------------------------------------------------------ #
+
+    def _request_dispatch(self) -> None:
+        """Coalesce dispatch work onto a single zero-delay event."""
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+
+        def run() -> None:
+            self._dispatch_scheduled = False
+            self._dispatch()
+
+        self.sim.schedule(0.0, run, label="dispatch")
+
+    def _dispatch(self) -> None:
+        if self.config.policy == "ns":
+            self._dispatch_ns()
+        elif self.config.policy == "silica":
+            self._dispatch_returns()
+            self._dispatch_silica()
+        else:
+            self._dispatch_returns()
+            self._dispatch_sp()
+
+    # -- returns -------------------------------------------------------- #
+
+    def _dispatch_returns(self) -> None:
+        for drive in self.drives:
+            if drive.awaiting_return is None or drive.return_assigned:
+                continue
+            shuttle = self._shuttle_for_return(drive)
+            if shuttle is None:
+                continue
+            drive.return_assigned = True
+            self._start_return(shuttle, drive)
+
+    def _shuttle_for_return(self, drive: _DriveSim) -> Optional[_ShuttleSim]:
+        platter = drive.awaiting_return
+        if isinstance(self.policy, PartitionedPolicy):
+            partition = self._platter_partition[platter]
+            cover = self._partition_cover.get(partition, partition)
+            for s in self.shuttles:
+                if s.idle and s.shuttle.partition == cover:
+                    return s
+            return None
+        idle = [s for s in self.shuttles if s.idle]
+        if not idle:
+            return None
+        return min(idle, key=lambda s: abs(s.shuttle.position.x - drive.position.x))
+
+    def _start_return(self, shuttle_sim: _ShuttleSim, drive: _DriveSim) -> None:
+        shuttle = shuttle_sim.shuttle
+        shuttle_sim.busy = True
+        platter = drive.awaiting_return
+        home = self._home_slot[platter]
+        home_pos = self.layout.slot_position(home)
+
+        def at_drive() -> None:
+            pick_dur = shuttle.pick(platter, self.rng)
+
+            def picked() -> None:
+                # Platter leaves the drive: customer slot frees up.
+                drive.awaiting_return = None
+                drive.return_assigned = False
+                self._request_dispatch()
+                self._move(shuttle, home_pos, at_home)
+
+            self.sim.schedule(pick_dur, picked, label="return-pick")
+
+        def at_home() -> None:
+            place_dur = shuttle.place(self.rng)
+
+            def placed() -> None:
+                self.layout.store(platter, home)
+                self._end_service(platter)
+                shuttle_sim.busy = False
+                self._request_dispatch()
+
+            self.sim.schedule(place_dur, placed, label="return-place")
+
+        self._move(shuttle, drive.position, at_drive)
+
+    def _end_service(self, platter: str) -> None:
+        """Platter is back on its shelf: re-arm fetch candidacy."""
+        self.scheduler.end_service(platter)
+        earliest = self.scheduler.earliest_for(platter)
+        if earliest is not None:
+            self._push_candidate(platter, earliest)
+
+    def _maybe_recharge(self, shuttle_sim: _ShuttleSim) -> bool:
+        """Send a low-battery shuttle to charge (controller duty, §4.1).
+
+        The shuttle is unavailable for the recharge duration; its partition
+        is uncovered meanwhile, which is why the threshold is conservative.
+        Returns True if a recharge was started.
+        """
+        cfg = self.config
+        if not cfg.battery_management:
+            return False
+        shuttle = shuttle_sim.shuttle
+        if shuttle.battery_fraction >= cfg.battery_low_threshold:
+            return False
+        shuttle_sim.busy = True
+        self.recharges += 1
+
+        def charged() -> None:
+            shuttle.recharge()
+            shuttle_sim.busy = False
+            self._request_dispatch()
+
+        self.sim.schedule(cfg.recharge_seconds, charged, label="recharge")
+        return True
+
+    # -- fetches: Silica partitioned policy ------------------------------ #
+
+    def _dispatch_silica(self) -> None:
+        policy = self.policy
+        assert isinstance(policy, PartitionedPolicy)
+        for shuttle_sim in self.shuttles:
+            if not shuttle_sim.idle:
+                continue
+            if self._maybe_recharge(shuttle_sim):
+                continue
+            shuttle = shuttle_sim.shuttle
+            for pid in self._covered_partitions(shuttle.partition):
+                drive = self._partition_drive(pid)
+                if drive is None or not drive.customer_slot_free:
+                    continue
+                platter = self._pop_candidate(self._partition_heaps[pid])
+                stolen = False
+                if platter is None and policy.work_stealing:
+                    for donor in policy.steal_candidates(self._partition_load):
+                        if donor == pid:
+                            continue
+                        platter = self._pop_candidate(self._partition_heaps[donor])
+                        if platter is not None:
+                            stolen = True
+                            break
+                if platter is None:
+                    continue
+                if stolen:
+                    policy.steals += 1
+                self._start_fetch(shuttle_sim, platter, drive)
+                break  # this shuttle is busy now
+
+    def _covered_partitions(self, own_partition: int) -> List[int]:
+        """Partitions this shuttle serves: its own plus any adopted from
+        failed shuttles (controller reassignment)."""
+        return [
+            pid
+            for pid, cover in self._partition_cover.items()
+            if cover == own_partition
+        ]
+
+    def _partition_drive(self, pid: int) -> Optional["_DriveSim"]:
+        """The partition's drive, honouring failure re-routing."""
+        assert isinstance(self.policy, PartitionedPolicy)
+        drive_id = self._drive_override.get(
+            pid, self.policy.partitions[pid].drive_id
+        )
+        if drive_id >= len(self.drives):
+            return None
+        drive = self.drives[drive_id]
+        return None if drive.failed else drive
+
+    # -- fetches: SP baseline -------------------------------------------- #
+
+    def _dispatch_sp(self) -> None:
+        for shuttle_sim in self.shuttles:
+            if shuttle_sim.idle:
+                self._maybe_recharge(shuttle_sim)
+        while True:
+            idle = [s for s in self.shuttles if s.idle]
+            if not idle:
+                return
+            if not any(d.customer_slot_free for d in self.drives):
+                return
+            platter = self._pop_candidate(self._global_heap)
+            if platter is None:
+                return
+            slot = self.layout.locate(platter)
+            slot_pos = self.layout.slot_position(slot)
+            shuttle_sim = min(
+                idle,
+                key=lambda s: abs(s.shuttle.position.x - slot_pos.x)
+                + 0.5 * abs(s.shuttle.position.level - slot_pos.level),
+            )
+            drive = self._drive_for(shuttle_sim.shuttle, slot)
+            if drive is None:
+                # No free drive after all; put the candidate back.
+                self._push_candidate(platter, self.scheduler.earliest_for(platter) or 0.0)
+                return
+            self._start_fetch(shuttle_sim, platter, drive)
+
+    def _drive_for(self, shuttle: Shuttle, slot: SlotId) -> Optional[_DriveSim]:
+        def free(drive_id: int) -> bool:
+            return drive_id < len(self.drives) and self.drives[drive_id].customer_slot_free
+
+        drive_id = self.policy.drive_for(shuttle, slot, free)
+        if drive_id is None:
+            return None
+        return self.drives[drive_id]
+
+    # -- the fetch trip --------------------------------------------------- #
+
+    def _start_fetch(self, shuttle_sim: _ShuttleSim, platter: str, drive: _DriveSim) -> None:
+        shuttle = shuttle_sim.shuttle
+        shuttle_sim.busy = True
+        drive.slot_reserved = True
+        self.scheduler.begin_service(platter)
+        slot = self.layout.locate(platter)
+        slot_pos = self.layout.slot_position(slot)
+
+        def at_shelf() -> None:
+            pick_dur = shuttle.pick(platter, self.rng)
+
+            def picked() -> None:
+                self.layout.remove(platter)
+                self._move(shuttle, drive.position, at_drive)
+
+            self.sim.schedule(pick_dur, picked, label="fetch-pick")
+
+        def at_drive() -> None:
+            place_dur = shuttle.place(self.rng)
+
+            def placed() -> None:
+                shuttle_sim.busy = False
+                drive.slot_reserved = False
+                self._on_customer_arrival(drive, platter)
+                self._request_dispatch()
+
+            self.sim.schedule(place_dur, placed, label="fetch-place")
+
+        self._move(shuttle, slot_pos, at_shelf)
+
+    def _move(self, shuttle: Shuttle, target: Position, then: Callable[[], None]) -> None:
+        plan = self.policy.plan_move(shuttle, target, self.sim.now)
+        self._travel_times.append(plan.total_seconds)
+
+        def arrived() -> None:
+            shuttle.complete_move(
+                target,
+                plan.base_seconds,
+                congestion_seconds=plan.congestion_seconds,
+                stop_start_cycles=plan.stop_start_cycles,
+            )
+            then()
+
+        self.sim.schedule(plan.total_seconds, arrived, label="move")
+
+    # ------------------------------------------------------------------ #
+    # Drive service
+    # ------------------------------------------------------------------ #
+
+    def _on_customer_arrival(self, drive: _DriveSim, platter: str) -> None:
+        self._drive_stops_verifying()
+        drive.customer_platter = platter
+        drive.serving = True
+        drive.head_track = int(self.rng.integers(0, max(1, self.config.platter_tracks)))
+        switch = (
+            drive.model.config.fast_switch_seconds
+            if self.config.fast_switching
+            else drive.model.config.unmount_seconds + drive.model.config.mount_seconds
+        )
+        drive.switch_seconds += switch
+        mount = drive.model.config.mount_seconds
+        drive.read_seconds += mount
+
+        def mounted() -> None:
+            self._serve_batch(drive, platter)
+
+        self.sim.schedule(switch + mount, mounted, label="mount")
+
+    def _serve_batch(self, drive: _DriveSim, platter: str) -> None:
+        batch = self.scheduler.take_batch(platter)
+        if not batch:
+            self._finish_service(drive, platter)
+            return
+        pid = self._platter_partition.get(platter)
+        if pid is not None:
+            self._partition_load[pid] = max(
+                0.0, self._partition_load[pid] - sum(r.size_bytes for r in batch)
+            )
+        if self.config.sort_batch_by_track:
+            batch = sorted(batch, key=lambda r: r.track_start)
+        self._serve_requests(drive, platter, batch, 0)
+
+    def _serve_requests(
+        self, drive: _DriveSim, platter: str, batch: List[SimRequest], index: int
+    ) -> None:
+        if index >= len(batch):
+            if not self.config.amortize_batch:
+                # Ablation mode: one request per mount — unmount and return
+                # the platter even if more requests are queued for it.
+                self._finish_service(drive, platter)
+                return
+            # Re-check for arrivals that queued during this batch.
+            self._serve_batch(drive, platter)
+            return
+        request = batch[index]
+        seek = self._seek_seconds(drive, request.track_start)
+        drive.head_track = request.track_start + request.num_tracks
+        scan = drive.model.seconds_to_scan(
+            request.num_tracks * self.config.track_read_bytes
+        )
+        duration = seek + scan
+        drive.read_seconds += duration
+        drive.seek_seconds += seek
+        self.bytes_read += request.num_tracks * self.config.track_read_bytes
+
+        def done() -> None:
+            request.complete(self.sim.now)
+            self._serve_requests(drive, platter, batch, index + 1)
+
+        self.sim.schedule(duration, done, label="read")
+
+    def _finish_service(self, drive: _DriveSim, platter: str) -> None:
+        unmount = drive.model.config.unmount_seconds
+        switch = (
+            drive.model.config.fast_switch_seconds
+            if self.config.fast_switching
+            else drive.model.config.unmount_seconds + drive.model.config.mount_seconds
+        )
+        drive.read_seconds += unmount
+        drive.switch_seconds += switch
+
+        def done() -> None:
+            self._drive_resumes_verifying()
+            drive.customer_platter = None
+            drive.serving = False
+            if self.config.policy == "ns":
+                # Platters teleport back: slot frees instantly.
+                self._end_service(platter)
+            else:
+                drive.awaiting_return = platter
+            self._request_dispatch()
+
+        self.sim.schedule(unmount + switch, done, label="unmount")
+
+    # ------------------------------------------------------------------ #
+    # NS baseline dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_ns(self) -> None:
+        while True:
+            free_drives = [d for d in self.drives if d.customer_slot_free]
+            if not free_drives:
+                return
+            platter = self._pop_candidate(self._global_heap)
+            if platter is None:
+                return
+            drive = free_drives[0]
+            self.scheduler.begin_service(platter)
+            self._on_customer_arrival(drive, platter)
+
+    # ------------------------------------------------------------------ #
+    # Verification queue (Section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def submit_verification(self, platter_bytes: float, time: Optional[float] = None) -> None:
+        """A freshly written platter joins the verification queue.
+
+        Its full capacity must be read back by the read drives' idle time;
+        the completion latency lands in :attr:`verify_latencies`.
+        """
+
+        def arrive() -> None:
+            self._update_verify_fluid()
+            self._verify_cum_demand += platter_bytes
+            self._verify_queue.append(
+                (self.sim.now, platter_bytes, self._verify_cum_demand)
+            )
+
+        if time is None or time <= self.sim.now:
+            arrive()
+        else:
+            self.sim.schedule_at(time, arrive, label="verify-arrival")
+
+    @property
+    def verify_backlog_bytes(self) -> float:
+        return max(0.0, self._verify_cum_demand - self._verify_drained)
+
+    def _update_verify_fluid(self) -> None:
+        """Advance the fluid drain to `now` and pop completed platters."""
+        now = self.sim.now
+        dt = now - self._last_verify_update
+        if dt > 0 and self._verifying_drives > 0:
+            rate = self._verifying_drives * self._verify_rate_per_drive
+            before = self._verify_drained
+            self._verify_drained += rate * dt
+            while self._verify_queue and self._verify_queue[0][2] <= self._verify_drained:
+                arrival, _bytes, cum_end = self._verify_queue.pop(0)
+                # Interpolate the exact completion instant within [last, now].
+                completed_at = self._last_verify_update + (cum_end - before) / rate
+                self.verify_latencies.append(max(0.0, completed_at - arrival))
+        self._last_verify_update = now
+
+    def _drive_stops_verifying(self) -> None:
+        self._update_verify_fluid()
+        self._verifying_drives = max(0, self._verifying_drives - 1)
+
+    def _drive_resumes_verifying(self) -> None:
+        self._update_verify_fluid()
+        self._verifying_drives = min(len(self.drives), self._verifying_drives + 1)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection (Section 4/6: failures minimize impact)
+    # ------------------------------------------------------------------ #
+
+    def schedule_shuttle_failure(self, time: float, shuttle_id: int) -> None:
+        """Fail a shuttle at (or shortly after) ``time``.
+
+        Fail-stop at an operation boundary: if the shuttle is mid-trip, the
+        failure fires when it next goes idle, keeping every in-flight
+        platter protocol consistent. Consequences:
+
+        * the shelf the shuttle died on becomes a blast zone — its platters
+          turn unavailable and their queued reads re-route through
+          cross-platter recovery;
+        * the controller reassigns the shuttle's partitions to the nearest
+          alive shuttle (detection is reliable, Section 6).
+        """
+        if not 0 <= shuttle_id < len(self.shuttles):
+            raise IndexError(f"no shuttle {shuttle_id}")
+
+        def fire() -> None:
+            shuttle_sim = self.shuttles[shuttle_id]
+            if shuttle_sim.busy:
+                self.sim.schedule(5.0, fire, label="failure-retry")
+                return
+            self._fail_shuttle(shuttle_id)
+
+        self.sim.schedule_at(time, fire, label="shuttle-failure")
+
+    def schedule_drive_failure(self, time: float, drive_id: int) -> None:
+        """Fail a read drive at (or shortly after) ``time``."""
+        if not 0 <= drive_id < len(self.drives):
+            raise IndexError(f"no drive {drive_id}")
+
+        def fire() -> None:
+            drive = self.drives[drive_id]
+            if drive.serving or drive.awaiting_return or drive.slot_reserved:
+                self.sim.schedule(5.0, fire, label="failure-retry")
+                return
+            self._fail_drive(drive_id)
+
+        self.sim.schedule_at(time, fire, label="drive-failure")
+
+    def _fail_shuttle(self, shuttle_id: int) -> None:
+        shuttle_sim = self.shuttles[shuttle_id]
+        shuttle = shuttle_sim.shuttle
+        shuttle.fail()
+        self.failures_injected += 1
+        # Blast zone: one shelf of one rack at the death position.
+        width = self.layout.config.rack_width_m
+        rack = int(shuttle.position.x // width)
+        level = shuttle.position.level
+        for platter, slot in list(self._home_slot.items()):
+            if slot.rack == rack and slot.level == level:
+                if self.layout.locate(platter) is not None:
+                    self._make_platter_unavailable(platter)
+        # Controller reassigns coverage of this shuttle's partitions.
+        if isinstance(self.policy, PartitionedPolicy):
+            orphaned = [
+                pid
+                for pid, cover in self._partition_cover.items()
+                if cover == shuttle.partition
+            ]
+            replacement = self._nearest_alive_partition(shuttle.partition)
+            for pid in orphaned:
+                self._partition_cover[pid] = replacement
+        self._request_dispatch()
+
+    def _fail_drive(self, drive_id: int) -> None:
+        drive = self.drives[drive_id]
+        drive.failed = True
+        self.failures_injected += 1
+        self._drive_stops_verifying()  # failure gate ensures it was idle
+        if isinstance(self.policy, PartitionedPolicy):
+            for partition in self.policy.partitions:
+                current = self._drive_override.get(partition.index, partition.drive_id)
+                if current == drive_id:
+                    alive = [d for d in self.drives if not d.failed]
+                    if alive:
+                        nearest = min(
+                            alive,
+                            key=lambda d: abs(
+                                d.position.x - partition.home.x
+                            ),
+                        )
+                        self._drive_override[partition.index] = nearest.drive_id
+        self._request_dispatch()
+
+    def _nearest_alive_partition(self, failed_partition: int) -> int:
+        """Partition index of the nearest alive shuttle (by home x/level)."""
+        assert isinstance(self.policy, PartitionedPolicy)
+        failed_home = self.policy.partitions[failed_partition].home
+        alive = [
+            s.shuttle
+            for s in self.shuttles
+            if not s.shuttle.failed and s.shuttle.partition is not None
+        ]
+        if not alive:
+            return failed_partition
+        nearest = min(
+            alive,
+            key=lambda sh: abs(self.policy.partitions[sh.partition].home.x - failed_home.x)
+            + 0.5 * abs(self.policy.partitions[sh.partition].home.level - failed_home.level),
+        )
+        return nearest.partition
+
+    def _make_platter_unavailable(self, platter: str) -> None:
+        """Mark a platter unreachable and re-route its queued reads."""
+        if platter in self.unavailable:
+            return
+        if self.scheduler.in_service(platter):
+            # Mounted or being fetched: it escaped the blast zone.
+            return
+        self.unavailable.add(platter)
+        pending = self.scheduler.remove_pending(platter)
+        pid = self._platter_partition.get(platter)
+        if pid is not None and pending:
+            self._partition_load[pid] = max(
+                0.0,
+                self._partition_load[pid] - sum(r.size_bytes for r in pending),
+            )
+        for request in pending:
+            self._ingest(request)
+
+    # ------------------------------------------------------------------ #
+    # Run + report
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> SimulationReport:
+        self.sim.run(until=until, max_events=max_events)
+        return self.report()
+
+    def report(self) -> SimulationReport:
+        self._update_verify_fluid()
+        total = self.sim.now
+        per_drive = []
+        agg = DriveUtilization()
+        bytes_verified = 0.0
+        for drive in self.drives:
+            verify = max(0.0, total - drive.read_seconds - drive.switch_seconds)
+            util = DriveUtilization(
+                read_seconds=drive.read_seconds,
+                verify_seconds=verify,
+                switch_seconds=drive.switch_seconds,
+                total_seconds=total,
+            )
+            per_drive.append(util)
+            agg = agg + util
+            bytes_verified += verify * drive.model.config.throughput_mbps * 1e6
+        congestion_total = sum(s.shuttle.stats.congestion_seconds for s in self.shuttles)
+        travel_total = sum(s.shuttle.stats.travel_seconds for s in self.shuttles)
+        unobstructed = travel_total - congestion_total
+        energy = sum(s.shuttle.stats.energy_joules for s in self.shuttles)
+        platter_ops = sum(s.shuttle.stats.platter_operations for s in self.shuttles)
+        shuttle_metrics = ShuttleMetrics(
+            congestion_overhead=congestion_total / unobstructed if unobstructed > 0 else 0.0,
+            energy_per_platter_op=energy / platter_ops if platter_ops else 0.0,
+            travel_times=self._travel_times,
+            total_conflicts=self.policy.total_conflicts if self.policy else 0,
+            steals=getattr(self.policy, "steals", 0),
+        )
+        measured = [
+            r.completion_time
+            for r in self.all_requests
+            if r.measured and r.done and r.parent is None
+        ]
+        completed_all = sum(1 for r in self.all_requests if r.done and r.parent is None)
+        submitted_all = sum(1 for r in self.all_requests if r.parent is None)
+        return SimulationReport(
+            completions=CompletionStats.from_times(measured),
+            drive_utilization=agg,
+            per_drive_utilization=per_drive,
+            shuttles=shuttle_metrics,
+            requests_submitted=submitted_all,
+            requests_completed=completed_all,
+            bytes_read=self.bytes_read,
+            bytes_verified=bytes_verified,
+            seek_seconds=sum(d.seek_seconds for d in self.drives),
+            simulated_seconds=total,
+        )

@@ -1,0 +1,290 @@
+"""A tape-library baseline simulator (the incumbent of Sections 1-2).
+
+The paper motivates Silica against the system tape was designed to be:
+"a modern tape is over 1 km long, spooling takes over a minute, and read
+drives provide high throughput (~360 MB/s). Tape library robots are prone
+to failures leading to media unavailability and are designed to perform
+tape load/unload operations assuming minutes of IO per tape."
+
+:class:`TapeLibrarySimulation` runs the same read traces through a
+gantry-robot tape library: a small number of high-throughput drives, a
+couple of serializing robot accessors, long load/thread/spool cycles, and
+rewind-before-unload. The same per-tape request amortization is applied
+(both systems batch), so the comparison isolates the *mechanics*: tape's
+per-mount minutes against Silica's per-mount seconds. On the paper's
+IOPS-dominated cloud archival workload, that difference is the whole story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..workload.traces import ReadRequest, ReadTrace
+from .events import Simulation
+from .metrics import CompletionStats
+from .requests import SimRequest
+from .scheduler import RequestScheduler
+
+
+@dataclass(frozen=True)
+class TapeConfig:
+    """Tape library parameters (LTO-class, Section 1's description)."""
+
+    num_drives: int = 8
+    num_robots: int = 2
+    drive_throughput_mbps: float = 360.0
+    robot_exchange_seconds: float = 15.0  # gantry travel + grip, each way
+    load_thread_seconds: float = 20.0  # insert + thread the leader pin
+    spool_seek_mean_seconds: float = 45.0  # locate a file on >1 km of tape
+    spool_seek_max_seconds: float = 120.0
+    rewind_factor: float = 0.8  # rewind before unload, relative to seek
+    unload_seconds: float = 20.0
+    num_tapes: int = 3000
+    tape_capacity_bytes: float = 12e12  # LTO-8 native
+    seed: int = 0
+
+
+@dataclass
+class TapeReport:
+    """Results of one tape-library run."""
+
+    completions: CompletionStats
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    drive_busy_seconds: float = 0.0
+    robot_busy_seconds: float = 0.0
+    mounts: int = 0
+    simulated_seconds: float = 0.0
+
+    def summary(self) -> str:
+        c = self.completions
+        return (
+            f"requests={self.requests_completed}/{self.requests_submitted} "
+            f"tail={c.tail_hours:.2f}h median={c.median / 60:.1f}min "
+            f"mounts={self.mounts}"
+        )
+
+
+class _TapeDrive:
+    def __init__(self, drive_id: int):
+        self.drive_id = drive_id
+        self.busy = False
+        self.mounted_tape: Optional[str] = None
+
+
+class TapeLibrarySimulation:
+    """One tape library, one read trace, one report.
+
+    The request scheduler is identical to Silica's (arrival-ordered,
+    per-tape grouping, full batch amortization per mount); only the
+    mechanics differ. A mount cycle is:
+
+        robot exchange -> load + thread -> [per request: spool seek + read]
+        -> rewind -> unload -> robot exchange back
+    """
+
+    def __init__(self, config: Optional[TapeConfig] = None):
+        self.config = config or TapeConfig()
+        cfg = self.config
+        self.sim = Simulation()
+        self.rng = np.random.default_rng(cfg.seed)
+        self.scheduler = RequestScheduler(amortize_batch=True)
+        self.tapes = [f"T{i:05d}" for i in range(cfg.num_tapes)]
+        self.drives = [_TapeDrive(i) for i in range(cfg.num_drives)]
+        self._free_robots = cfg.num_robots
+        self._robot_waiters: List[Callable[[], None]] = []
+        self.all_requests: List[SimRequest] = []
+        self._next_id = 0
+        self._candidates: List[Tuple[float, str]] = []
+        self._dispatch_scheduled = False
+        self.drive_busy_seconds = 0.0
+        self.robot_busy_seconds = 0.0
+        self.mounts = 0
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+
+    def assign_trace(self, trace: ReadTrace, measure_start: float, measure_end: float) -> None:
+        """Uniformly map requests onto tapes and schedule arrivals."""
+        import heapq
+
+        for request in trace:
+            tape = self.tapes[int(self.rng.integers(0, len(self.tapes)))]
+            self._next_id += 1
+            sim_request = SimRequest(
+                request_id=self._next_id,
+                arrival=request.time,
+                platter_id=tape,
+                size_bytes=request.size_bytes,
+                measured=measure_start <= request.time < measure_end,
+            )
+            self.all_requests.append(sim_request)
+
+            def arrive(r=sim_request) -> None:
+                if self.scheduler.enqueue(r):
+                    heapq.heappush(self._candidates, (r.arrival, r.platter_id))
+                self._request_dispatch()
+
+            self.sim.schedule_at(request.time, arrive, label="arrival")
+
+    # ------------------------------------------------------------------ #
+    # Robots (serializing accessors)
+    # ------------------------------------------------------------------ #
+
+    def _acquire_robot(self, callback: Callable[[], None]) -> None:
+        if self._free_robots > 0:
+            self._free_robots -= 1
+            self.sim.schedule(0.0, callback, label="robot-grant")
+        else:
+            self._robot_waiters.append(callback)
+
+    def _release_robot(self) -> None:
+        if self._robot_waiters:
+            callback = self._robot_waiters.pop(0)
+            self.sim.schedule(0.0, callback, label="robot-grant")
+        else:
+            self._free_robots += 1
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _request_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+
+        def run() -> None:
+            self._dispatch_scheduled = False
+            self._dispatch()
+
+        self.sim.schedule(0.0, run, label="dispatch")
+
+    def _pop_candidate(self) -> Optional[str]:
+        import heapq
+
+        while self._candidates:
+            _arrival, tape = self._candidates[0]
+            if not self.scheduler.has_work(tape) or self.scheduler.in_service(tape):
+                heapq.heappop(self._candidates)
+                continue
+            heapq.heappop(self._candidates)
+            return tape
+        return None
+
+    def _dispatch(self) -> None:
+        for drive in self.drives:
+            if drive.busy:
+                continue
+            tape = self._pop_candidate()
+            if tape is None:
+                return
+            self._start_mount(drive, tape)
+
+    def _start_mount(self, drive: _TapeDrive, tape: str) -> None:
+        cfg = self.config
+        drive.busy = True
+        self.scheduler.begin_service(tape)
+        self.mounts += 1
+
+        def robot_has_tape() -> None:
+            exchange = cfg.robot_exchange_seconds
+            self.robot_busy_seconds += exchange
+
+            def delivered() -> None:
+                self._release_robot()
+                load = cfg.load_thread_seconds
+                self.drive_busy_seconds += load
+                self.sim.schedule(load, lambda: self._serve(drive, tape), label="load")
+
+            self.sim.schedule(exchange, delivered, label="robot-carry")
+
+        self._acquire_robot(robot_has_tape)
+
+    def _sample_seek(self) -> float:
+        cfg = self.config
+        mu = math.log(cfg.spool_seek_mean_seconds) - 0.125
+        value = float(self.rng.lognormal(mu, 0.5))
+        return min(value, cfg.spool_seek_max_seconds)
+
+    def _serve(self, drive: _TapeDrive, tape: str) -> None:
+        drive.mounted_tape = tape
+        batch = self.scheduler.take_batch(tape)
+        if not batch:
+            self._finish(drive, tape)
+            return
+        self._serve_requests(drive, tape, batch, 0)
+
+    def _serve_requests(self, drive: _TapeDrive, tape: str, batch: List[SimRequest], index: int) -> None:
+        if index >= len(batch):
+            self._serve(drive, tape)  # late arrivals for the mounted tape
+            return
+        cfg = self.config
+        request = batch[index]
+        seek = self._sample_seek()
+        read = request.size_bytes / (cfg.drive_throughput_mbps * 1e6)
+        duration = seek + read
+        self.drive_busy_seconds += duration
+
+        def done() -> None:
+            request.complete(self.sim.now)
+            self._serve_requests(drive, tape, batch, index + 1)
+
+        self.sim.schedule(duration, done, label="tape-read")
+
+    def _finish(self, drive: _TapeDrive, tape: str) -> None:
+        cfg = self.config
+        rewind = self._sample_seek() * cfg.rewind_factor
+        unload = cfg.unload_seconds
+        self.drive_busy_seconds += rewind + unload
+
+        def unloaded() -> None:
+            def robot_returns() -> None:
+                exchange = cfg.robot_exchange_seconds
+                self.robot_busy_seconds += exchange
+
+                def shelved() -> None:
+                    self._release_robot()
+                    drive.busy = False
+                    drive.mounted_tape = None
+                    self.scheduler.end_service(tape)
+                    if self.scheduler.has_work(tape):
+                        import heapq
+
+                        heapq.heappush(
+                            self._candidates,
+                            (self.scheduler.earliest_for(tape), tape),
+                        )
+                    self._request_dispatch()
+
+                self.sim.schedule(exchange, shelved, label="robot-return")
+
+            self._acquire_robot(robot_returns)
+
+        self.sim.schedule(rewind + unload, unloaded, label="rewind-unload")
+
+    # ------------------------------------------------------------------ #
+    # Run + report
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> TapeReport:
+        self.sim.run()
+        measured = [
+            r.completion_time
+            for r in self.all_requests
+            if r.measured and r.done
+        ]
+        return TapeReport(
+            completions=CompletionStats.from_times(measured),
+            requests_submitted=len(self.all_requests),
+            requests_completed=sum(1 for r in self.all_requests if r.done),
+            drive_busy_seconds=self.drive_busy_seconds,
+            robot_busy_seconds=self.robot_busy_seconds,
+            mounts=self.mounts,
+            simulated_seconds=self.sim.now,
+        )

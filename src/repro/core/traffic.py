@@ -1,0 +1,358 @@
+"""Traffic management: partitioned (Silica), shortest-paths (SP), no-shuttles (NS).
+
+Section 4.1: the traffic manager ensures shuttle motions do not conflict on
+shared rails. Silica's policy "splits the storage racks and read drives in
+the panel into n logically partitioned rectangular segments, where n is the
+number of active shuttles ... Under normal operation, shuttles do not move
+outside of their logical partition, which eliminates congestion at the read
+drives. Congestion can occur at the boundaries between logical partitions
+and is resolved by a localized conflict resolution mechanism prioritizing
+the shuttle with the highest identifier." A work-stealing scheme lets
+shuttles from lightly loaded partitions fetch from overloaded ones when the
+load difference exceeds a threshold.
+
+The evaluation baselines (Section 7.2):
+
+* **SP (Shortest Paths)** — no partitioning; any shuttle moves anywhere via
+  shortest paths, so conflicts grow with the number of shuttles.
+* **NS (No Shuttles)** — infinitely fast platter delivery; a lower bound on
+  shuttle overhead (implemented in the simulator by skipping travel).
+
+Congestion is modeled with space-time reservations: each move reserves its
+swept box (x-interval x level-interval x time-interval) on the panel; a
+planned move that intersects another shuttle's reservation is a conflict,
+resolved by shuttle-id priority — the yielding shuttle stops to give way,
+paying a delay and a stop/start energy cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..library.layout import LibraryLayout, Position, SlotId
+from ..library.shuttle import Shuttle
+
+
+@dataclass
+class TripPlan:
+    """Outcome of planning one shuttle move."""
+
+    base_seconds: float  # unobstructed travel time (motion model sample)
+    congestion_seconds: float  # extra time stopped to give way
+    stop_start_cycles: int  # congestion-induced accel/decel cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.base_seconds + self.congestion_seconds
+
+
+@dataclass
+class _Reservation:
+    shuttle_id: int
+    t0: float
+    t1: float
+    x0: float
+    x1: float
+    lv0: int
+    lv1: int
+
+
+class ReservationTable:
+    """Space-time occupancy of the panel for conflict detection."""
+
+    #: Lateral clearance (m): shuttles closer than this on overlapping rails
+    #: during overlapping times conflict.
+    CLEARANCE_M = 0.25
+
+    def __init__(self) -> None:
+        self._reservations: List[_Reservation] = []
+
+    def conflicts(
+        self, shuttle_id: int, t0: float, t1: float, x0: float, x1: float, lv0: int, lv1: int
+    ) -> List[_Reservation]:
+        c = self.CLEARANCE_M
+        out = []
+        for r in self._reservations:
+            if r.shuttle_id == shuttle_id:
+                continue
+            if r.t1 <= t0 or r.t0 >= t1:
+                continue
+            if r.x1 + c <= x0 or r.x0 - c >= x1:
+                continue
+            if r.lv1 < lv0 or r.lv0 > lv1:
+                continue
+            out.append(r)
+        return out
+
+    def reserve(
+        self, shuttle_id: int, t0: float, t1: float, x0: float, x1: float, lv0: int, lv1: int
+    ) -> None:
+        self._reservations.append(_Reservation(shuttle_id, t0, t1, x0, x1, lv0, lv1))
+
+    def prune(self, now: float) -> None:
+        self._reservations = [r for r in self._reservations if r.t1 > now]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One logical rectangular segment of the panel.
+
+    A partition is a 2D tile: a band of shelf levels crossed with an
+    x-interval. Tiles at different levels use different rails, so shuttles
+    in different bands never conflict; same-level tiles only meet at their
+    x-boundaries (the "rare" boundary congestion of Section 4.1).
+    """
+
+    index: int
+    x_lo: float
+    x_hi: float
+    level_lo: int
+    level_hi: int  # inclusive
+    drive_id: int  # the read drive (slot) serving this partition
+    home: Position
+
+    def contains(self, x: float, level: int) -> bool:
+        return self.x_lo <= x < self.x_hi and self.level_lo <= level <= self.level_hi
+
+
+class TrafficPolicy:
+    """Base: shared congestion machinery; subclasses define access rules."""
+
+    name = "base"
+
+    def __init__(self, layout: LibraryLayout, shuttles: Sequence[Shuttle], rng: np.random.Generator):
+        self.layout = layout
+        self.shuttles = list(shuttles)
+        self.rng = rng
+        self.reservations = ReservationTable()
+        self.total_conflicts = 0
+        #: penalty per yield: decelerate, wait for the other shuttle to
+        #: clear, re-accelerate.
+        self.yield_penalty_range = (1.0, 3.0)
+
+    # -- access rules -------------------------------------------------- #
+
+    def shuttle_can_fetch(self, shuttle: Shuttle, slot: SlotId) -> bool:
+        raise NotImplementedError
+
+    def drive_for(self, shuttle: Shuttle, slot: SlotId, drive_free: Callable[[int], bool]) -> Optional[int]:
+        raise NotImplementedError
+
+    # -- movement ------------------------------------------------------ #
+
+    def plan_move(self, shuttle: Shuttle, target: Position, now: float) -> TripPlan:
+        """Plan a move: motion-model time plus congestion from conflicts."""
+        base = shuttle.plan_move(target, self.rng)
+        x0 = min(shuttle.position.x, target.x)
+        x1 = max(shuttle.position.x, target.x)
+        lv0 = min(shuttle.position.level, target.level)
+        lv1 = max(shuttle.position.level, target.level)
+        conflicts = self.reservations.conflicts(
+            shuttle.shuttle_id, now, now + base, x0, x1, lv0, lv1
+        )
+        congestion = 0.0
+        cycles = 0
+        for other in conflicts:
+            self.total_conflicts += 1
+            # Localized conflict resolution: highest shuttle id has priority.
+            if shuttle.shuttle_id < other.shuttle_id:
+                congestion += float(self.rng.uniform(*self.yield_penalty_range))
+                cycles += 1
+        total = base + congestion
+        self.reservations.reserve(
+            shuttle.shuttle_id, now, now + total, x0, x1, lv0, lv1
+        )
+        self.reservations.prune(now - 60.0)
+        return TripPlan(base, congestion, cycles)
+
+
+class PartitionedPolicy(TrafficPolicy):
+    """Silica's logical partitioning with optional work stealing."""
+
+    name = "silica"
+
+    def __init__(
+        self,
+        layout: LibraryLayout,
+        shuttles: Sequence[Shuttle],
+        rng: np.random.Generator,
+        work_stealing: bool = True,
+        steal_threshold_bytes: float = 512e6,
+    ):
+        super().__init__(layout, shuttles, rng)
+        self.work_stealing = work_stealing
+        self.steal_threshold_bytes = steal_threshold_bytes
+        self.steals = 0
+        self.partitions = self._build_partitions()
+        for shuttle, partition in zip(self.shuttles, self.partitions):
+            shuttle.partition = partition.index
+            shuttle.position = partition.home
+            shuttle.home = partition.home
+
+    def _build_partitions(self) -> List[Partition]:
+        """Tile the storage region into n (level-band x x-strip) rectangles.
+
+        Levels separate first (different shelf bands use different rails,
+        eliminating conflicts); bands split into x-strips once there are
+        more shuttles than bands. Each tile is assigned the read drive that
+        minimizes travel from its center, with drive sharing capped at
+        ceil(n / drives) — each partition must contain at least one read
+        drive *slot*, and a drive's two platter slots let two partitions
+        share it.
+        """
+        n = len(self.shuttles)
+        cfg = self.layout.config
+        storage_racks = self.layout.storage_rack_indices()
+        width = cfg.rack_width_m
+        x_lo = min(storage_racks) * width
+        x_hi = (max(storage_racks) + 1) * width
+        shelves = cfg.shelves_per_panel
+        rows = min(n, shelves)
+        # Distribute n tiles over `rows` level-bands as evenly as possible.
+        cols_per_row = [n // rows + (1 if i < n % rows else 0) for i in range(rows)]
+        # Distribute shelf levels over the bands.
+        levels_per_row = [
+            shelves // rows + (1 if i < shelves % rows else 0) for i in range(rows)
+        ]
+        drives = self.layout.drives
+        max_share = -(-n // max(1, len(drives)))  # ceil
+        share: Dict[int, int] = {d.drive_id: 0 for d in drives}
+        partitions: List[Partition] = []
+        level = 0
+        index = 0
+        for row in range(rows):
+            level_lo = level
+            level_hi = level + levels_per_row[row] - 1
+            level = level_hi + 1
+            cols = cols_per_row[row]
+            edges = np.linspace(x_lo, x_hi, cols + 1)
+            for col in range(cols):
+                center_x = (edges[col] + edges[col + 1]) / 2
+                center_level = (level_lo + level_hi) // 2
+                home = Position(float(center_x), center_level)
+                candidates = sorted(
+                    drives,
+                    key=lambda d: (
+                        abs(d.position.x - center_x)
+                        + width * abs(d.position.level - center_level)
+                    ),
+                )
+                chosen = None
+                for d in candidates:
+                    if share[d.drive_id] < max_share:
+                        chosen = d.drive_id
+                        break
+                if chosen is None:  # cannot happen given max_share, but be safe
+                    chosen = candidates[0].drive_id
+                share[chosen] += 1
+                partitions.append(
+                    Partition(
+                        index,
+                        float(edges[col]),
+                        float(edges[col + 1]),
+                        level_lo,
+                        level_hi,
+                        chosen,
+                        home,
+                    )
+                )
+                index += 1
+        return partitions
+
+    def partition_of_slot(self, slot: SlotId) -> int:
+        pos = self.layout.slot_position(slot)
+        for p in self.partitions:
+            if p.contains(pos.x, pos.level):
+                return p.index
+        # Edge slots (rightmost x) fall back to the last tile of their band.
+        in_band = [
+            p for p in self.partitions if p.level_lo <= pos.level <= p.level_hi
+        ]
+        if in_band:
+            return in_band[-1].index
+        return self.partitions[-1].index
+
+    def shuttle_can_fetch(self, shuttle: Shuttle, slot: SlotId) -> bool:
+        return self.partition_of_slot(slot) == shuttle.partition
+
+    def drive_for(self, shuttle: Shuttle, slot: SlotId, drive_free: Callable[[int], bool]) -> Optional[int]:
+        drive = self.partitions[shuttle.partition].drive_id
+        return drive if drive_free(drive) else None
+
+    def steal_allowed(
+        self, pending_bytes_by_partition: Dict[int, float]
+    ) -> Optional[int]:
+        """Partition to steal from, if imbalance exceeds the threshold.
+
+        Returns the most loaded partition index when (max - min) pending
+        bytes exceed the threshold; None otherwise.
+        """
+        candidates = self.steal_candidates(pending_bytes_by_partition)
+        return candidates[0] if candidates else None
+
+    def steal_candidates(
+        self, pending_bytes_by_partition: Dict[int, float]
+    ) -> List[int]:
+        """Overloaded partitions to steal from, most loaded first.
+
+        Empty unless the (max - min) pending-bytes imbalance exceeds the
+        threshold; then every partition more than a threshold above the
+        least loaded is a donor. Callers try donors in order because the
+        most loaded partition's work may be locked in an in-service
+        platter.
+        """
+        if not self.work_stealing or not pending_bytes_by_partition:
+            return []
+        loads = {
+            p.index: pending_bytes_by_partition.get(p.index, 0.0)
+            for p in self.partitions
+        }
+        least = min(loads.values())
+        donors = [
+            pid
+            for pid, load in loads.items()
+            if load - least > self.steal_threshold_bytes
+        ]
+        donors.sort(key=lambda pid: loads[pid], reverse=True)
+        return donors
+
+
+class ShortestPathsPolicy(TrafficPolicy):
+    """SP baseline: free-roaming shuttles, shortest paths, no partitions."""
+
+    name = "sp"
+
+    def __init__(self, layout: LibraryLayout, shuttles: Sequence[Shuttle], rng: np.random.Generator):
+        super().__init__(layout, shuttles, rng)
+        # Spread shuttles evenly as their initial/home positions.
+        storage_racks = layout.storage_rack_indices()
+        width = layout.config.rack_width_m
+        x_lo = min(storage_racks) * width
+        x_hi = (max(storage_racks) + 1) * width
+        n = len(self.shuttles)
+        for i, shuttle in enumerate(self.shuttles):
+            x = x_lo + (i + 0.5) * (x_hi - x_lo) / n
+            home = Position(float(x), layout.config.shelves_per_panel // 2)
+            shuttle.position = home
+            shuttle.home = home
+            shuttle.partition = None
+
+    def shuttle_can_fetch(self, shuttle: Shuttle, slot: SlotId) -> bool:
+        return True
+
+    def drive_for(self, shuttle: Shuttle, slot: SlotId, drive_free: Callable[[int], bool]) -> Optional[int]:
+        """Free drive minimizing travel from the slot (time-to-mount)."""
+        slot_pos = self.layout.slot_position(slot)
+        best, best_dist = None, float("inf")
+        for bay in self.layout.drives:
+            if not drive_free(bay.drive_id):
+                continue
+            dist = abs(bay.position.x - slot_pos.x) + 0.5 * abs(
+                bay.position.level - slot_pos.level
+            )
+            if dist < best_dist:
+                best, best_dist = bay.drive_id, dist
+        return best

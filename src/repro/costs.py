@@ -1,0 +1,126 @@
+"""Cost and sustainability comparison: tape vs Silica (Section 9, Table 2).
+
+Table 2 of the paper is qualitative (Low / Medium / High) across seven cost
+aspects. We reproduce it as data, and back it with a simple quantitative
+lifetime-cost model that captures the paper's core argument: magnetic media
+has a refresh cycle (~10-year tape lifetime -> periodic migration), needs
+scrubbing, and needs a tightly controlled environment, so the cost of
+storing archival data on it *grows with time*; glass needs none of these, so
+its lifetime cost is dominated by the one-time write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class Level(Enum):
+    LOW = "L"
+    MEDIUM = "M"
+    HIGH = "H"
+
+
+#: Table 2 rows: aspect -> (tape level, Silica level).
+TABLE2: Dict[str, Tuple[Level, Level]] = {
+    "media manufacturing financial cost": (Level.HIGH, Level.LOW),
+    "media manufacturing environmental impact": (Level.HIGH, Level.LOW),
+    "media maintenance scrubbing": (Level.MEDIUM, Level.LOW),
+    "media maintenance dc environmentals": (Level.HIGH, Level.LOW),
+    "drive operations read process": (Level.MEDIUM, Level.LOW),
+    "drive operations write process": (Level.MEDIUM, Level.HIGH),
+    "drive operations processing compute": (Level.MEDIUM, Level.LOW),
+}
+
+
+def table2() -> List[Tuple[str, Level, Level]]:
+    """The qualitative comparison as (aspect, tape, silica) rows."""
+    return [(aspect, tape, silica) for aspect, (tape, silica) in TABLE2.items()]
+
+
+@dataclass(frozen=True)
+class MediaCostModel:
+    """Per-TB lifetime cost drivers of one storage technology.
+
+    All money in relative $ units; energy folded into the money terms. The
+    point is the *structure* (which terms recur), not the absolute values.
+    """
+
+    name: str
+    media_cost_per_tb: float  # media manufacturing, amortized per TB
+    write_cost_per_tb: float  # drive time + energy to write once
+    media_lifetime_years: float  # refresh cycle period (inf = no refresh)
+    scrub_cost_per_tb_year: float  # integrity checking
+    environment_cost_per_tb_year: float  # climate control, special rooms
+    read_cost_per_tb: float = 0.05  # per user read, both techs cheap
+
+    def lifetime_cost_per_tb(self, years: float, reads_per_year: float = 0.1) -> float:
+        """Total cost of keeping 1 TB for ``years``.
+
+        Each media lifetime expiry forces a migration: a full read + write
+        onto fresh media (the refresh cycle the paper calls out).
+        """
+        cost = self.media_cost_per_tb + self.write_cost_per_tb
+        if self.media_lifetime_years != float("inf"):
+            migrations = int(years // self.media_lifetime_years)
+            cost += migrations * (
+                self.media_cost_per_tb + self.write_cost_per_tb + self.read_cost_per_tb
+            )
+        cost += years * (self.scrub_cost_per_tb_year + self.environment_cost_per_tb_year)
+        cost += years * reads_per_year * self.read_cost_per_tb
+        return cost
+
+
+#: Tape: cheap media, ~10-year lifetime, scrubbed, climate-controlled rooms.
+TAPE = MediaCostModel(
+    name="tape",
+    media_cost_per_tb=5.0,
+    write_cost_per_tb=0.5,
+    media_lifetime_years=10.0,
+    scrub_cost_per_tb_year=0.3,
+    environment_cost_per_tb_year=0.5,
+)
+
+#: Silica: write-dominated (femtosecond lasers), then data sits free:
+#: no bit rot -> no scrubbing, inert media -> standard DC environment,
+#: >1000-year lifetime -> no refresh cycle within any planning horizon.
+SILICA = MediaCostModel(
+    name="silica",
+    media_cost_per_tb=1.0,
+    write_cost_per_tb=8.0,
+    media_lifetime_years=float("inf"),
+    scrub_cost_per_tb_year=0.0,
+    environment_cost_per_tb_year=0.05,
+)
+
+
+def crossover_year(
+    a: MediaCostModel = TAPE,
+    b: MediaCostModel = SILICA,
+    horizon_years: int = 100,
+    reads_per_year: float = 0.1,
+) -> int:
+    """First year at which ``b`` becomes cheaper than ``a`` (or -1).
+
+    The paper's sustainability argument in one number: Silica's higher
+    write cost is repaid once tape's recurring costs (refresh, scrubbing,
+    environmentals) accumulate.
+    """
+    for year in range(1, horizon_years + 1):
+        if b.lifetime_cost_per_tb(year, reads_per_year) < a.lifetime_cost_per_tb(
+            year, reads_per_year
+        ):
+            return year
+    return -1
+
+
+def cost_curves(
+    years: int = 50, reads_per_year: float = 0.1
+) -> Tuple[List[float], List[float]]:
+    """(tape, silica) cumulative cost per TB over ``years``."""
+    tape = [TAPE.lifetime_cost_per_tb(y, reads_per_year) for y in range(1, years + 1)]
+    silica = [
+        SILICA.lifetime_cost_per_tb(y, reads_per_year) for y in range(1, years + 1)
+    ]
+    return tape, silica

@@ -1,0 +1,43 @@
+"""The disaggregated ML decode stack (Section 3.2).
+
+Synthetic sector imaging, a numpy voxel-classifier network producing the
+per-voxel symbol distributions the LDPC layer consumes, training against
+the traditional-DSP baseline, and the elastic SLO/price-aware decode
+pipeline scheduler.
+"""
+
+from .convnet import ConvVoxelNet, make_image_dataset
+from .images import SectorImager, SectorImageShape, make_dataset
+from .network import TrainStats, VoxelNet
+from .pipeline import (
+    ClusterConfig,
+    DecodeCluster,
+    DecodeJob,
+    ScheduledJob,
+    diurnal_price_curve,
+)
+from .training import (
+    DecoderComparison,
+    gaussian_baseline_decode,
+    posteriors_for_sector,
+    train_decoder,
+)
+
+__all__ = [
+    "ConvVoxelNet",
+    "make_image_dataset",
+    "SectorImager",
+    "SectorImageShape",
+    "make_dataset",
+    "TrainStats",
+    "VoxelNet",
+    "ClusterConfig",
+    "DecodeCluster",
+    "DecodeJob",
+    "ScheduledJob",
+    "diurnal_price_curve",
+    "DecoderComparison",
+    "gaussian_baseline_decode",
+    "posteriors_for_sector",
+    "train_decoder",
+]

@@ -1,0 +1,209 @@
+"""A fully-convolutional voxel decoder in numpy.
+
+Section 3.2: "Our decode stack evolved over the years from using a simple
+VGG-style network that decoded a single voxel at a time to a custom
+fully-convolutional U-Net network that decodes an entire sector at a time."
+
+:class:`ConvVoxelNet` is that evolution step for this reproduction: where
+:class:`~repro.decode.network.VoxelNet` classifies one voxel per forward
+pass from its patch, the conv net takes the whole sector image (rows, cols,
+2) and emits per-voxel symbol distributions for the entire sector in one
+pass — conv3x3 -> ReLU -> conv3x3 -> ReLU -> conv1x1 -> softmax, trained
+end to end with backprop through im2col convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def _im2col(images: np.ndarray, kernel: int) -> np.ndarray:
+    """(n, h, w, c) -> (n, h, w, kernel*kernel*c) patches, zero-padded."""
+    n, h, w, c = images.shape
+    pad = kernel // 2
+    padded = np.zeros((n, h + 2 * pad, w + 2 * pad, c), dtype=images.dtype)
+    padded[:, pad : pad + h, pad : pad + w, :] = images
+    columns = np.empty((n, h, w, kernel * kernel * c), dtype=images.dtype)
+    index = 0
+    for dy in range(kernel):
+        for dx in range(kernel):
+            columns[:, :, :, index * c : (index + 1) * c] = padded[
+                :, dy : dy + h, dx : dx + w, :
+            ]
+            index += 1
+    return columns
+
+
+def _col2im_grad(grad_cols: np.ndarray, kernel: int, channels: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter patch gradients back to pixels."""
+    n, h, w, _ = grad_cols.shape
+    pad = kernel // 2
+    out = np.zeros((n, h + 2 * pad, w + 2 * pad, channels))
+    index = 0
+    for dy in range(kernel):
+        for dx in range(kernel):
+            out[:, dy : dy + h, dx : dx + w, :] += grad_cols[
+                :, :, :, index * channels : (index + 1) * channels
+            ]
+            index += 1
+    return out[:, pad : pad + h, pad : pad + w, :]
+
+
+class _Conv:
+    """Same-padded 2D convolution with bias."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int, rng: np.random.Generator):
+        fan_in = kernel * kernel * in_channels
+        self.kernel = kernel
+        self.in_channels = in_channels
+        self.weight = rng.normal(0, np.sqrt(2.0 / fan_in), (fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self._cols: Optional[np.ndarray] = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cols = _im2col(x, self.kernel)
+        return self._cols @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cols = self._cols
+        n, h, w, _ = grad_out.shape
+        flat_cols = cols.reshape(-1, cols.shape[-1])
+        flat_grad = grad_out.reshape(-1, grad_out.shape[-1])
+        self.grad_weight = flat_cols.T @ flat_grad
+        self.grad_bias = flat_grad.sum(axis=0)
+        grad_cols = (flat_grad @ self.weight.T).reshape(
+            n, h, w, self.kernel * self.kernel * self.in_channels
+        )
+        return _col2im_grad(grad_cols, self.kernel, self.in_channels)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+@dataclass
+class ConvTrainStats:
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+class ConvVoxelNet:
+    """Whole-sector voxel classifier: image in, per-voxel posteriors out."""
+
+    def __init__(
+        self,
+        num_symbols: int = 4,
+        channels: Tuple[int, int] = (16, 16),
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        c1, c2 = channels
+        self.conv1 = _Conv(2, c1, 3, rng)
+        self.conv2 = _Conv(c1, c2, 3, rng)
+        self.head = _Conv(c2, num_symbols, 1, rng)
+        self.num_symbols = num_symbols
+        self._momentum = [
+            np.zeros_like(p) for layer in self._layers() for p, _ in layer.parameters()
+        ]
+
+    def _layers(self) -> List[_Conv]:
+        return [self.conv1, self.conv2, self.head]
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """(n, h, w, 2) images -> (n, h, w, S) posteriors."""
+        a1 = self.conv1.forward(images)
+        self._mask1 = a1 > 0
+        a1 = a1 * self._mask1
+        a2 = self.conv2.forward(a1)
+        self._mask2 = a2 > 0
+        a2 = a2 * self._mask2
+        logits = self.head.forward(a2)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        return self.forward(np.asarray(images, dtype=np.float64))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.predict_proba(images).argmax(axis=-1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(images) == labels).mean())
+
+    def _backward(self, probs: np.ndarray, labels: np.ndarray) -> None:
+        n, h, w, s = probs.shape
+        one_hot = np.zeros_like(probs)
+        grid = np.indices((n, h, w))
+        one_hot[grid[0], grid[1], grid[2], labels] = 1.0
+        grad = (probs - one_hot) / (n * h * w)
+        grad = self.head.backward(grad)
+        grad = grad * self._mask2
+        grad = self.conv2.backward(grad)
+        grad = grad * self._mask1
+        self.conv1.backward(grad)
+
+    def train(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 8,
+        learning_rate: float = 0.2,
+        momentum: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ConvTrainStats:
+        """Minibatch SGD with momentum on per-voxel cross-entropy."""
+        rng = rng or np.random.default_rng(0)
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        stats = ConvTrainStats()
+        n = len(images)
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            total_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                bx, by = images[idx], labels[idx]
+                probs = self.forward(bx)
+                picked = probs[
+                    np.indices(by.shape)[0],
+                    np.indices(by.shape)[1],
+                    np.indices(by.shape)[2],
+                    by,
+                ]
+                total_loss += float(-np.log(picked + 1e-12).mean())
+                batches += 1
+                self._backward(probs, by)
+                i = 0
+                for layer in self._layers():
+                    for param, grad in layer.parameters():
+                        self._momentum[i] *= momentum
+                        self._momentum[i] -= learning_rate * grad
+                        param += self._momentum[i]
+                        i += 1
+            stats.losses.append(total_loss / max(1, batches))
+            stats.accuracies.append(self.accuracy(images, labels))
+        return stats
+
+
+def make_image_dataset(
+    imager, num_sectors: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Whole-image dataset: (n, h, w, 2) images and (n, h, w) labels."""
+    images = []
+    labels = []
+    for _ in range(num_sectors):
+        symbols = imager.random_symbols(rng)
+        images.append(imager.render(symbols, rng))
+        labels.append(symbols)
+    return np.stack(images), np.stack(labels).astype(np.int64)

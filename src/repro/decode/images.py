@@ -1,0 +1,138 @@
+"""Synthetic sector image rendering.
+
+The read drive "does not decode these images internally, but generates a
+sequence of images of the voxels" (Section 3). Here we render a sector as a
+2D polarization-microscopy image: each voxel contributes a 2-channel
+birefringence measurement (cos 2θ, sin 2θ), corrupted by the 2D noise
+processes the paper lists — inter-symbol interference from the 4-neighbour
+voxels in the plane, scattered light from adjacent Z layers, per-image
+optical gain/offset variation, and sensor noise.
+
+This is the training-data generator for the numpy decoder network — the
+in-house-hardware equivalent of the paper's "essentially unlimited training
+data" advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..media.channel import ChannelModel
+from ..media.voxel import VoxelConstellation
+
+
+@dataclass(frozen=True)
+class SectorImageShape:
+    """Voxel grid dimensions of one sector image."""
+
+    rows: int = 24
+    cols: int = 32
+
+    @property
+    def num_voxels(self) -> int:
+        return self.rows * self.cols
+
+
+class SectorImager:
+    """Renders symbol grids into noisy 2-channel sector images."""
+
+    def __init__(
+        self,
+        shape: SectorImageShape = SectorImageShape(),
+        constellation: Optional[VoxelConstellation] = None,
+        model: Optional[ChannelModel] = None,
+    ):
+        self.shape = shape
+        self.constellation = constellation or VoxelConstellation()
+        self.model = model or ChannelModel()
+
+    def random_symbols(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random symbol grid (rows, cols)."""
+        return rng.integers(
+            0, self.constellation.num_symbols, (self.shape.rows, self.shape.cols)
+        ).astype(np.uint8)
+
+    def render(
+        self,
+        symbols: np.ndarray,
+        rng: np.random.Generator,
+        layer_above: Optional[np.ndarray] = None,
+        layer_below: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Image a symbol grid: returns (rows, cols, 2).
+
+        2D ISI mixes each voxel's ideal signal with its 4-neighbours';
+        adjacent-layer crosstalk adds attenuated signal from the sectors
+        above/below (decorrelated noise when layers are not provided).
+        """
+        m = self.model
+        ideal = self.constellation.ideal_observations(symbols.ravel()).reshape(
+            self.shape.rows, self.shape.cols, 2
+        )
+        image = ideal.copy()
+        if m.voxel_dropout_probability > 0:
+            dropped = rng.random(symbols.shape) < m.voxel_dropout_probability
+            image[dropped] = 0.0
+        if m.isi_fraction > 0:
+            mixed = np.zeros_like(ideal)
+            mixed[1:, :, :] += ideal[:-1, :, :]
+            mixed[:-1, :, :] += ideal[1:, :, :]
+            mixed[:, 1:, :] += ideal[:, :-1, :]
+            mixed[:, :-1, :] += ideal[:, 1:, :]
+            image = (1 - m.isi_fraction) * image + (m.isi_fraction / 4) * mixed
+        # Adjacent-layer scatter.
+        for neighbour in (layer_above, layer_below):
+            if neighbour is not None:
+                scatter = self.constellation.ideal_observations(
+                    neighbour.ravel()
+                ).reshape(self.shape.rows, self.shape.cols, 2)
+                image += (m.layer_crosstalk_sigma / 2) * scatter
+            else:
+                image += rng.normal(
+                    0, m.layer_crosstalk_sigma / 2, image.shape
+                )
+        gain = 1.0 + rng.normal(0, m.gain_sigma)
+        offset = rng.normal(0, m.offset_sigma, 2)
+        image = gain * image + offset
+        image += rng.normal(0, m.sensor_noise_sigma, image.shape)
+        return image
+
+    def patches(self, image: np.ndarray, radius: int = 1) -> np.ndarray:
+        """Per-voxel context patches: (num_voxels, (2r+1)^2 * 2) features.
+
+        Edge voxels are zero-padded. This is the decoder network's input —
+        the context window lets it learn and undo the ISI structure the
+        Gaussian baseline cannot see.
+        """
+        rows, cols, channels = image.shape
+        size = 2 * radius + 1
+        padded = np.zeros((rows + 2 * radius, cols + 2 * radius, channels))
+        padded[radius : radius + rows, radius : radius + cols] = image
+        out = np.empty((rows * cols, size * size * channels))
+        index = 0
+        for r in range(rows):
+            for c in range(cols):
+                patch = padded[r : r + size, c : c + size, :]
+                out[index] = patch.ravel()
+                index += 1
+        return out
+
+
+def make_dataset(
+    imager: SectorImager,
+    num_sectors: int,
+    rng: np.random.Generator,
+    radius: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Labeled (features, symbol) pairs from freshly rendered sectors."""
+    features = []
+    labels = []
+    for _ in range(num_sectors):
+        symbols = imager.random_symbols(rng)
+        image = imager.render(symbols, rng)
+        features.append(imager.patches(image, radius))
+        labels.append(symbols.ravel())
+    return np.concatenate(features), np.concatenate(labels)

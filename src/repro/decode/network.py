@@ -1,0 +1,145 @@
+"""A small numpy neural network for voxel classification.
+
+Substitute for the paper's U-Net decode stack (Section 3.2): "the network
+must classify every voxel into its most likely symbol value. For each
+sector, the network takes the set of images captured by the read drive as
+input, and outputs a 2D array of probability distributions over the encoded
+symbols for all voxels in the sector."
+
+We implement a two-hidden-layer MLP over per-voxel context patches (the
+fully-convolutional structure of the paper's network applied per voxel),
+trained with minibatch SGD + momentum on cross-entropy, entirely in numpy.
+The contract downstream is identical: per-voxel probability distributions
+feeding the LDPC soft decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+@dataclass
+class TrainStats:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+class VoxelNet:
+    """MLP voxel classifier: patch features -> symbol distribution."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_symbols: int = 4,
+        hidden: Tuple[int, int] = (64, 32),
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        h1, h2 = hidden
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / h1)
+        scale3 = np.sqrt(2.0 / h2)
+        self.w1 = rng.normal(0, scale1, (input_dim, h1))
+        self.b1 = np.zeros(h1)
+        self.w2 = rng.normal(0, scale2, (h1, h2))
+        self.b2 = np.zeros(h2)
+        self.w3 = rng.normal(0, scale3, (h2, num_symbols))
+        self.b3 = np.zeros(num_symbols)
+        self.num_symbols = num_symbols
+        self._momentum = [np.zeros_like(p) for p in self.parameters()]
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.w1, self.b1, self.w2, self.b2, self.w3, self.b3]
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple]:
+        a1 = _relu(x @ self.w1 + self.b1)
+        a2 = _relu(a1 @ self.w2 + self.b2)
+        logits = a2 @ self.w3 + self.b3
+        probs = _softmax(logits)
+        return probs, (x, a1, a2)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Per-voxel probability distributions over symbols."""
+        probs, _ = self.forward(np.asarray(x, dtype=np.float64))
+        return probs
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    def _backward(
+        self, probs: np.ndarray, cache: Tuple, y: np.ndarray
+    ) -> List[np.ndarray]:
+        x, a1, a2 = cache
+        n = len(y)
+        dlogits = probs.copy()
+        dlogits[np.arange(n), y] -= 1.0
+        dlogits /= n
+        dw3 = a2.T @ dlogits
+        db3 = dlogits.sum(axis=0)
+        da2 = dlogits @ self.w3.T
+        da2[a2 <= 0] = 0.0
+        dw2 = a1.T @ da2
+        db2 = da2.sum(axis=0)
+        da1 = da2 @ self.w2.T
+        da1[a1 <= 0] = 0.0
+        dw1 = x.T @ da1
+        db1 = da1.sum(axis=0)
+        return [dw1, db1, dw2, db2, dw3, db3]
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 256,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TrainStats:
+        """Minibatch SGD with momentum on cross-entropy."""
+        rng = rng or np.random.default_rng(0)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        stats = TrainStats()
+        n = len(y)
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                bx, by = x[idx], y[idx]
+                probs, cache = self.forward(bx)
+                loss = -np.log(probs[np.arange(len(by)), by] + 1e-12).mean()
+                epoch_loss += loss
+                batches += 1
+                grads = self._backward(probs, cache, by)
+                for p, g, m in zip(self.parameters(), grads, self._momentum):
+                    m *= momentum
+                    m -= learning_rate * g
+                    p += m
+            stats.losses.append(epoch_loss / max(1, batches))
+            stats.accuracies.append(self.accuracy(x, y))
+        return stats

@@ -1,0 +1,54 @@
+"""Error correction substrate: GF(256), CRC, LDPC, and network coding.
+
+Implements Section 5 of the paper: intra-sector LDPC with per-sector
+checksums, and the three-level network-coding erasure scheme (within-track,
+large-group, cross-platter).
+"""
+
+from .crc import append_checksum, crc32c, verify_checksum
+from .durability import (
+    binomial_tail,
+    log10_track_decode_failure,
+    track_decode_failure_probability,
+)
+from .gf256 import cauchy, gf_div, gf_inv, gf_matmul, gf_mul, gf_pow, solve, vandermonde
+from .ldpc import LdpcCode, LdpcResult, llr_from_bit_error_prob, llr_from_symbol_posteriors
+from .network_coding import (
+    LargeGroupCode,
+    LargeGroupConfig,
+    NetworkGroup,
+    PlatterSetCode,
+    PlatterSetConfig,
+    RecoveryError,
+    TrackCode,
+    TrackCodeConfig,
+)
+
+__all__ = [
+    "append_checksum",
+    "crc32c",
+    "verify_checksum",
+    "binomial_tail",
+    "log10_track_decode_failure",
+    "track_decode_failure_probability",
+    "cauchy",
+    "gf_div",
+    "gf_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_pow",
+    "solve",
+    "vandermonde",
+    "LdpcCode",
+    "LdpcResult",
+    "llr_from_bit_error_prob",
+    "llr_from_symbol_posteriors",
+    "LargeGroupCode",
+    "LargeGroupConfig",
+    "NetworkGroup",
+    "PlatterSetCode",
+    "PlatterSetConfig",
+    "RecoveryError",
+    "TrackCode",
+    "TrackCodeConfig",
+]

@@ -1,0 +1,171 @@
+"""Durability analysis for Silica's layered coding scheme.
+
+Section 6: "With a redundancy overhead of ~8%, and a sector (LDPC) failure
+probability of 1e-3 (which is what we observe in our prototype), the
+probability of failure to decode a track is less than 1e-24."
+
+A track of I_t + R_t sectors fails to decode when more than R_t sectors fail
+independently — a binomial tail. We compute these tails in log space so the
+1e-24 regime is representable, and expose the trade-off curves (overhead vs.
+failure probability vs. group size) used to pick the paper's parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+def _log_comb(n: int, k: int) -> float:
+    """log(n choose k) via lgamma, stable for large n."""
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def binomial_tail(n: int, k_min: int, p: float) -> float:
+    """P(X >= k_min) for X ~ Binomial(n, p), computed stably in log space.
+
+    Returns 0.0 for k_min > n and 1.0 for k_min <= 0.
+    """
+    if k_min <= 0:
+        return 1.0
+    if k_min > n:
+        return 0.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    # Sum terms from k_min to n; accumulate with log-sum-exp.
+    log_terms = [
+        _log_comb(n, k) + k * log_p + (n - k) * log_q for k in range(k_min, n + 1)
+    ]
+    peak = max(log_terms)
+    if peak == -math.inf:
+        return 0.0
+    return math.exp(peak) * sum(math.exp(t - peak) for t in log_terms)
+
+
+def log10_binomial_tail(n: int, k_min: int, p: float) -> float:
+    """log10 of :func:`binomial_tail`, returning -inf for a zero tail."""
+    if k_min <= 0:
+        return 0.0
+    if k_min > n or p <= 0.0:
+        return -math.inf
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    log_terms = [
+        _log_comb(n, k) + k * log_p + (n - k) * log_q for k in range(k_min, n + 1)
+    ]
+    peak = max(log_terms)
+    total = peak + math.log(sum(math.exp(t - peak) for t in log_terms))
+    return total / math.log(10)
+
+
+def track_decode_failure_probability(
+    information_sectors: int = 200,
+    redundancy_sectors: int = 16,
+    sector_failure_probability: float = 1e-3,
+) -> float:
+    """Probability that a track cannot be decoded from a single read.
+
+    The track's network group tolerates up to R_t erased sectors out of
+    I_t + R_t; failure requires >= R_t + 1 independent sector failures.
+    """
+    n = information_sectors + redundancy_sectors
+    return binomial_tail(n, redundancy_sectors + 1, sector_failure_probability)
+
+
+def log10_track_decode_failure(
+    information_sectors: int = 200,
+    redundancy_sectors: int = 16,
+    sector_failure_probability: float = 1e-3,
+) -> float:
+    """log10 of the track decode failure probability (representable at 1e-24)."""
+    n = information_sectors + redundancy_sectors
+    return log10_binomial_tail(n, redundancy_sectors + 1, sector_failure_probability)
+
+
+@dataclass(frozen=True)
+class DurabilityPoint:
+    """One point on the overhead/durability trade-off curve."""
+
+    information: int
+    redundancy: int
+    overhead: float
+    log10_failure: float
+
+
+def overhead_tradeoff(
+    information_sectors: int,
+    redundancy_range: Iterable[int],
+    sector_failure_probability: float = 1e-3,
+) -> List[DurabilityPoint]:
+    """Sweep redundancy levels; supports picking the ~8% design point."""
+    points = []
+    for r in redundancy_range:
+        points.append(
+            DurabilityPoint(
+                information=information_sectors,
+                redundancy=r,
+                overhead=r / information_sectors,
+                log10_failure=log10_binomial_tail(
+                    information_sectors + r, r + 1, sector_failure_probability
+                ),
+            )
+        )
+    return points
+
+
+def group_size_effect(
+    group_sizes: Iterable[int],
+    overhead: float,
+    sector_failure_probability: float = 1e-3,
+) -> List[DurabilityPoint]:
+    """At fixed overhead, larger groups fail less — "the probability of being
+    unable to recover a group falls rapidly with the size of the group"
+    (Section 5). Group size here is I + R with R = round(I * overhead)."""
+    points = []
+    for total in group_sizes:
+        i = int(round(total / (1 + overhead)))
+        r = total - i
+        points.append(
+            DurabilityPoint(
+                information=i,
+                redundancy=r,
+                overhead=r / i if i else math.inf,
+                log10_failure=log10_binomial_tail(
+                    total, r + 1, sector_failure_probability
+                ),
+            )
+        )
+    return points
+
+
+def ldpc_margin(observed_bit_error_rate: float, correctable_bit_error_rate: float) -> float:
+    """Available LDPC margin for a sector discovered during verification.
+
+    Section 5: "we know for every sector both whether it is recoverable, and
+    the available LDPC margin. Together with the expected read error rate
+    over time, we can determine whether to record a file as durably stored."
+    Margin > 1 means headroom; <= 1 means the sector is at or past the code's
+    correction capability and the file should stay in staging.
+    """
+    if observed_bit_error_rate <= 0:
+        return math.inf
+    return correctable_bit_error_rate / observed_bit_error_rate
+
+
+def durably_stored(
+    margin: float, expected_error_growth: float = 1.0, safety_factor: float = 2.0
+) -> bool:
+    """Decide whether to record a file as durably stored after verification.
+
+    ``expected_error_growth`` scales the error rate expected over the media
+    lifetime (glass exhibits no bit rot, so the default is 1.0 — read-side
+    noise does not grow); ``safety_factor`` is the extra margin required.
+    """
+    return margin >= expected_error_growth * safety_factor

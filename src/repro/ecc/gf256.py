@@ -1,0 +1,188 @@
+"""Arithmetic over GF(2^8).
+
+Silica's network coding (Section 5) encodes redundant sectors as linear
+combinations of information sectors. We implement the finite field
+GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B), using
+log/antilog tables for fast multiply, plus vectorized numpy kernels for
+coding whole sectors at once and Gaussian elimination for decoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_POLY = 0x11B
+_GENERATOR = 0x03  # 0x03 is a generator of GF(256)* under the AES polynomial
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        x ^= (x >> 8) * _POLY  # conditional reduce
+        x &= 0xFF
+        # multiply by generator 0x03 = x * 2 ^ x; redo properly below
+    # The loop above multiplies by 2; rebuild with generator 3 for a clean
+    # log table (2 is not a generator for 0x11B).
+    exp[:] = 0
+    log[:] = 0
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 = x*2 xor x
+        x2 = x << 1
+        if x2 & 0x100:
+            x2 ^= _POLY
+        x = (x2 ^ x) & 0xFF
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse. Raises ZeroDivisionError for 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(_EXP[255 - int(_LOG[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the integer power ``n`` (n >= 0)."""
+    if n == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) * n) % 255])
+
+
+def gf_mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Multiply a uint8 vector by a scalar, elementwise, vectorized."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    logs = _LOG[vec.astype(np.int32)]
+    out = _EXP[logs + int(_LOG[scalar])]
+    out = np.where(vec == 0, 0, out)
+    return out.astype(np.uint8)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256). ``a`` is (m, k), ``b`` is (k, n)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((m, n), dtype=np.uint8)
+    for i in range(k):
+        col = a[:, i]  # (m,)
+        row = b[i, :]  # (n,)
+        # outer product over GF(256), accumulated with xor
+        nz_col = col != 0
+        if not nz_col.any():
+            continue
+        log_col = _LOG[col.astype(np.int32)]
+        log_row = _LOG[row.astype(np.int32)]
+        prod = _EXP[log_col[:, None] + log_row[None, :]]
+        prod = np.where(nz_col[:, None] & (row != 0)[None, :], prod, 0)
+        out ^= prod.astype(np.uint8)
+    return out
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """A ``rows`` x ``cols`` Vandermonde matrix over GF(256).
+
+    Row i is [1, a_i, a_i^2, ...] with a_i = generator^i, giving any
+    ``cols`` x ``cols`` square submatrix full rank for rows + cols <= 256 —
+    the property Silica's MDS-style network coding groups need.
+    """
+    if rows + cols > 256:
+        raise ValueError("rows + cols must be <= 256 for MDS guarantee")
+    mat = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        a_i = gf_pow(_GENERATOR, i)
+        val = 1
+        for j in range(cols):
+            mat[i, j] = val
+            val = gf_mul(val, a_i)
+    return mat
+
+
+def cauchy(rows: int, cols: int) -> np.ndarray:
+    """A ``rows`` x ``cols`` Cauchy matrix over GF(256).
+
+    Element (i, j) is 1 / (x_i + y_j) with x_i = i and y_j = rows + j, all
+    distinct. Every square submatrix of a Cauchy matrix is invertible, so a
+    systematic code with generator [I | C^T] is MDS — the property Silica's
+    "any I of I+R sectors reconstructs the group" guarantee (Section 5)
+    requires. Needs rows + cols <= 256.
+    """
+    if rows + cols > 256:
+        raise ValueError("rows + cols must be <= 256 for distinct Cauchy points")
+    mat = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            mat[i, j] = gf_inv(i ^ (rows + j))
+    return mat
+
+
+def solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` over GF(256) by Gaussian elimination.
+
+    ``a`` is (n, n) and must be invertible; ``b`` is (n, width). Returns x
+    with shape (n, width). Raises np.linalg.LinAlgError if singular.
+    """
+    a = np.array(a, dtype=np.uint8)
+    b = np.array(b, dtype=np.uint8)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("a must be square")
+    if b.ndim == 1:
+        b = b[:, None]
+    for col in range(n):
+        pivot = None
+        for row in range(col, n):
+            if a[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            b[[col, pivot]] = b[[pivot, col]]
+        inv = gf_inv(int(a[col, col]))
+        a[col] = gf_mul_vec(inv, a[col])
+        b[col] = gf_mul_vec(inv, b[col])
+        for row in range(n):
+            if row != col and a[row, col] != 0:
+                factor = int(a[row, col])
+                a[row] ^= gf_mul_vec(factor, a[col])
+                b[row] ^= gf_mul_vec(factor, b[col])
+    return b

@@ -1,0 +1,294 @@
+"""Network-coding erasure protection across sectors, tracks, and platters.
+
+Section 5 defines a *network group* of I + R sectors — I information sectors
+and R redundant sectors — such that **any** I sectors of the group suffice to
+reconstruct any other sector. We realize this with a systematic MDS-style
+linear code over GF(2^8): redundant sectors are linear combinations of the
+information sectors with Vandermonde coefficients, so every I x I submatrix
+of the effective coefficient matrix is invertible.
+
+Three levels are layered exactly as in the paper:
+
+* **Within-track NC** (`TrackCode`): I_t = O(100) information sectors and
+  R_t = O(10) redundancy sectors per track, recovering independent sector
+  failures from a single track read at no extra read cost.
+* **Large-group NC** (`LargeGroupCode`): groups of I_l = O(100) information
+  tracks plus R_l = O(10) redundancy tracks within a platter, handling
+  correlated sector failures inside one track.
+* **Cross-platter NC** (`PlatterSetCode`): platter-sets of I_p information
+  and R_p redundancy platters; one track from each platter forms a network
+  group, so an unavailable platter inflates a track read to only the I_p
+  matching tracks in the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .gf256 import cauchy, gf_matmul, solve
+
+
+class RecoveryError(Exception):
+    """Raised when an erasure pattern exceeds the code's capability."""
+
+
+class NetworkGroup:
+    """A systematic (I + R, I) MDS group over GF(256).
+
+    Sectors are equal-length byte arrays. Sector indices 0..I-1 are
+    information sectors, I..I+R-1 are redundancy sectors.
+    """
+
+    def __init__(self, information: int, redundancy: int):
+        if information < 1 or redundancy < 0:
+            raise ValueError("need information >= 1 and redundancy >= 0")
+        if information + redundancy > 256:
+            raise ValueError("group size limited to 256 by GF(256) MDS construction")
+        self.information = information
+        self.redundancy = redundancy
+        # Coefficients of redundancy sectors w.r.t. information sectors.
+        self._coeffs = cauchy(redundancy, information)  # (R, I), Cauchy => MDS
+
+    @property
+    def size(self) -> int:
+        return self.information + self.redundancy
+
+    def coefficients_for(self, index: int) -> np.ndarray:
+        """Row of the effective (I+R, I) coefficient matrix for a sector.
+
+        Information sector i is the unit vector e_i; redundancy sector
+        I + j is the j-th Cauchy coefficient row.
+        """
+        if not 0 <= index < self.size:
+            raise IndexError(f"sector index {index} out of range for group of {self.size}")
+        if index < self.information:
+            row = np.zeros(self.information, dtype=np.uint8)
+            row[index] = 1
+            return row
+        return self._coeffs[index - self.information].copy()
+
+    def encode(self, info_sectors: Sequence[bytes]) -> List[bytes]:
+        """Compute the R redundancy sectors for I equal-length info sectors."""
+        if len(info_sectors) != self.information:
+            raise ValueError(
+                f"expected {self.information} information sectors, got {len(info_sectors)}"
+            )
+        if self.redundancy == 0:
+            return []
+        width = len(info_sectors[0])
+        if any(len(s) != width for s in info_sectors):
+            raise ValueError("all sectors in a group must have equal length")
+        data = np.frombuffer(b"".join(info_sectors), dtype=np.uint8).reshape(
+            self.information, width
+        )
+        parity = gf_matmul(self._coeffs, data)
+        return [parity[j].tobytes() for j in range(self.redundancy)]
+
+    def recover(
+        self, available: Dict[int, bytes], wanted: Optional[Iterable[int]] = None
+    ) -> Dict[int, bytes]:
+        """Reconstruct sectors from any >= I available ones.
+
+        ``available`` maps sector index -> bytes. ``wanted`` selects which
+        missing indices to reconstruct (default: all information sectors).
+        Returns a map index -> bytes for the wanted sectors (available ones
+        are passed through).
+
+        Raises :class:`RecoveryError` when fewer than I sectors are available.
+        """
+        if wanted is None:
+            wanted = range(self.information)
+        wanted = list(wanted)
+        have = {i for i in available if 0 <= i < self.size}
+        missing_wanted = [w for w in wanted if w not in have]
+        result = {w: available[w] for w in wanted if w in have}
+        if not missing_wanted:
+            return result
+        if len(have) < self.information:
+            raise RecoveryError(
+                f"need {self.information} sectors to recover, only {len(have)} available"
+            )
+        use = sorted(have)[: self.information]
+        width = len(available[use[0]])
+        matrix = np.stack([self.coefficients_for(i) for i in use])  # (I, I)
+        rhs = np.stack(
+            [np.frombuffer(available[i], dtype=np.uint8) for i in use]
+        )  # (I, width)
+        info = solve(matrix, rhs)  # (I, width) — the information sectors
+        for w in missing_wanted:
+            row = self.coefficients_for(w)[None, :]  # (1, I)
+            result[w] = gf_matmul(row, info)[0].tobytes()
+        return result
+
+    def can_recover(self, num_failures: int) -> bool:
+        """Whether ``num_failures`` erased sectors are always recoverable."""
+        return num_failures <= self.redundancy
+
+
+@dataclass(frozen=True)
+class TrackCodeConfig:
+    """Within-track NC parameters. Paper: I_t = O(100), R_t = O(10); ~8%
+    redundancy overhead yields track decode failure < 1e-24 at sector
+    failure probability 1e-3 (Section 6). The defaults (200 + 16, a track of
+    "hundreds of sectors") realize exactly that point: the binomial tail at
+    8% overhead and p = 1e-3 is ~1e-26."""
+
+    information_sectors: int = 200
+    redundancy_sectors: int = 16
+
+    @property
+    def sectors_per_track(self) -> int:
+        return self.information_sectors + self.redundancy_sectors
+
+    @property
+    def overhead(self) -> float:
+        return self.redundancy_sectors / self.information_sectors
+
+
+class TrackCode:
+    """Within-track network coding: the minimum read unit protects itself."""
+
+    def __init__(self, config: TrackCodeConfig = TrackCodeConfig()):
+        self.config = config
+        self.group = NetworkGroup(config.information_sectors, config.redundancy_sectors)
+
+    def encode_track(self, info_sectors: Sequence[bytes]) -> List[bytes]:
+        """Return the full track layout: info sectors followed by redundancy."""
+        return list(info_sectors) + self.group.encode(info_sectors)
+
+    def decode_track(self, sectors: Sequence[Optional[bytes]]) -> List[bytes]:
+        """Recover all information sectors; ``None`` marks an erased sector."""
+        available = {i: s for i, s in enumerate(sectors) if s is not None}
+        recovered = self.group.recover(available)
+        return [recovered[i] for i in range(self.config.information_sectors)]
+
+
+@dataclass(frozen=True)
+class LargeGroupConfig:
+    """Large-group NC across tracks in one platter. Paper: I_l = O(100)
+    information tracks, R_l = O(10) redundancy tracks, ~2% extra overhead."""
+
+    information_tracks: int = 100
+    redundancy_tracks: int = 2
+
+    @property
+    def overhead(self) -> float:
+        return self.redundancy_tracks / self.information_tracks
+
+
+class LargeGroupCode:
+    """Cross-track NC within a platter for correlated in-track failures.
+
+    Sector s of each redundancy track encodes sector s across the group's
+    information tracks (a network group per sector position).
+    """
+
+    def __init__(self, config: LargeGroupConfig = LargeGroupConfig()):
+        self.config = config
+        self.group = NetworkGroup(config.information_tracks, config.redundancy_tracks)
+
+    def encode_tracks(self, info_tracks: Sequence[Sequence[bytes]]) -> List[List[bytes]]:
+        """Compute redundancy tracks. ``info_tracks[t][s]`` = sector s of track t."""
+        if len(info_tracks) != self.config.information_tracks:
+            raise ValueError(
+                f"expected {self.config.information_tracks} tracks, got {len(info_tracks)}"
+            )
+        sectors_per_track = len(info_tracks[0])
+        redundancy: List[List[bytes]] = [[] for _ in range(self.config.redundancy_tracks)]
+        for s in range(sectors_per_track):
+            column = [track[s] for track in info_tracks]
+            parity = self.group.encode(column)
+            for j in range(self.config.redundancy_tracks):
+                redundancy[j].append(parity[j])
+        return redundancy
+
+    def recover_sector(
+        self, track_index: int, sector_index: int, available_tracks: Dict[int, Sequence[bytes]]
+    ) -> bytes:
+        """Recover one sector of one information track from surviving tracks.
+
+        ``available_tracks`` maps track index (0..I_l+R_l-1) to its sector
+        list; only ``sector_index`` of each is consumed.
+        """
+        column = {
+            t: tracks[sector_index] for t, tracks in available_tracks.items()
+        }
+        recovered = self.group.recover(column, wanted=[track_index])
+        return recovered[track_index]
+
+
+@dataclass(frozen=True)
+class PlatterSetConfig:
+    """Cross-platter NC. Paper Section 6 fixes R = 3 (so a library can serve
+    all reads while a worst-case failure — at most 3 platters of one set —
+    is being resolved) and picks I = 16 for the minimum deployment unit."""
+
+    information_platters: int = 16
+    redundancy_platters: int = 3
+
+    @property
+    def size(self) -> int:
+        return self.information_platters + self.redundancy_platters
+
+    @property
+    def write_overhead(self) -> float:
+        """Redundancy overhead at the write drive (Table 1)."""
+        return self.redundancy_platters / self.information_platters
+
+
+class PlatterSetCode:
+    """Cross-platter NC: one track from each platter forms a network group."""
+
+    def __init__(self, config: PlatterSetConfig = PlatterSetConfig()):
+        self.config = config
+        self.group = NetworkGroup(
+            config.information_platters, config.redundancy_platters
+        )
+
+    def encode_track_group(self, info_platter_tracks: Sequence[Sequence[bytes]]) -> List[List[bytes]]:
+        """Encode matching tracks across the set's information platters.
+
+        ``info_platter_tracks[p][s]`` = sector s of the chosen track on
+        information platter p. Returns the R_p redundancy tracks.
+        """
+        if len(info_platter_tracks) != self.config.information_platters:
+            raise ValueError(
+                f"expected {self.config.information_platters} platter tracks"
+            )
+        sectors = len(info_platter_tracks[0])
+        redundancy: List[List[bytes]] = [[] for _ in range(self.config.redundancy_platters)]
+        for s in range(sectors):
+            column = [track[s] for track in info_platter_tracks]
+            parity = self.group.encode(column)
+            for j in range(self.config.redundancy_platters):
+                redundancy[j].append(parity[j])
+        return redundancy
+
+    def recover_track(
+        self, platter_index: int, available: Dict[int, Sequence[bytes]]
+    ) -> List[bytes]:
+        """Recover a full track of an unavailable platter.
+
+        ``available`` maps platter index within the set (0..I_p+R_p-1) to the
+        matching track's sectors. Needs any I_p platters — this is the 16x
+        read amplification evaluated in Figure 8.
+        """
+        if len(available) < self.config.information_platters:
+            raise RecoveryError(
+                f"need {self.config.information_platters} platters, "
+                f"have {len(available)}"
+            )
+        sectors = len(next(iter(available.values())))
+        out: List[bytes] = []
+        for s in range(sectors):
+            column = {p: tracks[s] for p, tracks in available.items()}
+            recovered = self.group.recover(column, wanted=[platter_index])
+            out.append(recovered[platter_index])
+        return out
+
+    def read_amplification(self) -> int:
+        """Extra tracks read to serve one track of an unavailable platter."""
+        return self.config.information_platters

@@ -1,0 +1,64 @@
+"""Data layout and management (Section 6).
+
+Four levels of placement: files -> platters (packing), files within a
+platter (serpentine placement with uniform redundancy partitioning),
+platters -> platter-sets (Table 1 trade-off), and platter-sets -> physical
+slots (blast-zone-aware deployment placement). Plus the warm-tier metadata
+service with self-descriptive-platter fallback.
+"""
+
+from .deployment import DeploymentPlacer, PlacedPlatter, PlacementError
+from .metadata import (
+    FileLocation,
+    MetadataService,
+    MetadataUnavailable,
+    rebuild_from_platters,
+)
+from .packing import (
+    FilePacker,
+    FileShard,
+    PackingConfig,
+    PlatterPlan,
+    StagedFile,
+    read_together_score,
+)
+from .placement import PlacedFile, PlatterLayout, SectorRole
+from .platter_sets import (
+    EFFECTIVE_ZONES_PER_RACK,
+    MIN_STORAGE_RACKS,
+    PlatterSetTradeoff,
+    SetPartition,
+    minimum_storage_racks,
+    partition_platters,
+    recovery_effort_tracks,
+    table1,
+    write_overhead,
+)
+
+__all__ = [
+    "DeploymentPlacer",
+    "PlacedPlatter",
+    "PlacementError",
+    "FileLocation",
+    "MetadataService",
+    "MetadataUnavailable",
+    "rebuild_from_platters",
+    "FilePacker",
+    "FileShard",
+    "PackingConfig",
+    "PlatterPlan",
+    "StagedFile",
+    "read_together_score",
+    "PlacedFile",
+    "PlatterLayout",
+    "SectorRole",
+    "EFFECTIVE_ZONES_PER_RACK",
+    "MIN_STORAGE_RACKS",
+    "PlatterSetTradeoff",
+    "SetPartition",
+    "minimum_storage_racks",
+    "partition_platters",
+    "recovery_effort_tracks",
+    "table1",
+    "write_overhead",
+]

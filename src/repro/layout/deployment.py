@@ -1,0 +1,160 @@
+"""Placement of platters within a deployment (Section 6).
+
+"We place platters such that no two platters from the same platter set can
+be within a blast zone. ... While choosing a slot for the platter, we
+prioritize slots that are in areas of the deployment least occupied. ...
+When placing platters from the same platter-set in a multi-library
+deployment, we spread them out within and across libraries as much as
+possible, while maintaining the invariant that at most one of them is in
+any potential blast zone."
+
+Platter locations are fixed: after a read, a platter is returned to its
+initial location (the only exception — a failed home slot — is handled by
+``relocate_temporarily``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..library.failures import BlastZone
+from ..library.layout import LibraryLayout, SlotId
+
+
+@dataclass(frozen=True)
+class PlacedPlatter:
+    """Where one platter of a set lives."""
+
+    platter_id: str
+    library: int
+    slot: SlotId
+
+    @property
+    def blast_zone(self) -> Tuple[int, int, int]:
+        """(library, rack, shelf level) — the failure granularity."""
+        return (self.library, self.slot.rack, self.slot.level)
+
+
+class PlacementError(Exception):
+    """No valid slot satisfies the blast-zone invariant."""
+
+
+class DeploymentPlacer:
+    """Blast-zone-aware placement across one or more libraries."""
+
+    def __init__(self, libraries: Sequence[LibraryLayout]):
+        if not libraries:
+            raise ValueError("need at least one library (the MDU)")
+        self.libraries = list(libraries)
+        #: zone -> set ids present (invariant: one platter per set per zone)
+        self._zone_sets: Dict[Tuple[int, int, int], Set[str]] = {}
+        self._placements: Dict[str, PlacedPlatter] = {}
+        self._displaced: Dict[str, SlotId] = {}
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+
+    def place_set(self, set_id: str, platter_ids: Sequence[str]) -> List[PlacedPlatter]:
+        """Place all platters of one platter-set.
+
+        Spreads across libraries round-robin (maximum spread), and within a
+        library prefers the least-occupied rack whose zones don't already
+        hold a platter of this set.
+        """
+        placements = []
+        for i, platter_id in enumerate(platter_ids):
+            library_index = i % len(self.libraries)
+            placement = self._place_one(set_id, platter_id, library_index)
+            placements.append(placement)
+        return placements
+
+    def _place_one(self, set_id: str, platter_id: str, library_index: int) -> PlacedPlatter:
+        if platter_id in self._placements:
+            raise PlacementError(f"platter {platter_id} already placed")
+        # Try the preferred library first, then the others.
+        order = [library_index] + [
+            i for i in range(len(self.libraries)) if i != library_index
+        ]
+        for lib in order:
+            slot = self._find_slot(set_id, lib)
+            if slot is not None:
+                layout = self.libraries[lib]
+                layout.store(platter_id, slot)
+                placement = PlacedPlatter(platter_id, lib, slot)
+                self._placements[platter_id] = placement
+                self._zone_sets.setdefault(placement.blast_zone, set()).add(set_id)
+                return placement
+        raise PlacementError(
+            f"no blast-zone-disjoint slot available for set {set_id}"
+        )
+
+    def _find_slot(self, set_id: str, library_index: int) -> Optional[SlotId]:
+        layout = self.libraries[library_index]
+        occupancy = layout.occupancy_by_rack()
+        # Least-occupied racks first (the paper's tie-break).
+        racks = sorted(layout.storage_rack_indices(), key=lambda r: occupancy[r])
+        for rack in racks:
+            for level in range(layout.config.shelves_per_panel):
+                zone = (library_index, rack, level)
+                if set_id in self._zone_sets.get(zone, set()):
+                    continue
+                for column in range(layout.config.slots_per_shelf):
+                    slot = SlotId(rack, level, column)
+                    if layout.occupant(slot) is None:
+                        return slot
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def location_of(self, platter_id: str) -> Optional[PlacedPlatter]:
+        return self._placements.get(platter_id)
+
+    def verify_invariant(self, sets: Dict[str, Sequence[str]]) -> bool:
+        """Check: no two platters of one set share a blast zone."""
+        for set_id, platter_ids in sets.items():
+            zones = set()
+            for platter_id in platter_ids:
+                placement = self._placements.get(platter_id)
+                if placement is None:
+                    continue
+                if placement.blast_zone in zones:
+                    return False
+                zones.add(placement.blast_zone)
+        return True
+
+    def max_unavailable_on_failure(self, sets: Dict[str, Sequence[str]]) -> int:
+        """Worst case platters of one set lost to a single failure.
+
+        With the invariant holding: one in the blast zone shelf + up to two
+        trapped inside failed components = at most 3 (hence R = 3).
+        """
+        return 3 if self.verify_invariant(sets) else -1
+
+    # ------------------------------------------------------------------ #
+    # Fixed-location exception (Section 6)
+    # ------------------------------------------------------------------ #
+
+    def relocate_temporarily(self, platter_id: str, library_index: int) -> SlotId:
+        """Home slot unavailable after a read: park in a different slot."""
+        placement = self._placements.get(platter_id)
+        if placement is None:
+            raise KeyError(f"platter {platter_id} is not placed")
+        layout = self.libraries[library_index]
+        for slot in layout.free_slots():
+            layout.store(platter_id + ":tmp", slot)
+            self._displaced[platter_id] = slot
+            return slot
+        raise PlacementError("no free slot for temporary relocation")
+
+    def restore(self, platter_id: str) -> None:
+        """Failure resolved: move the platter back to its fixed location."""
+        slot = self._displaced.pop(platter_id, None)
+        if slot is None:
+            return
+        placement = self._placements[platter_id]
+        layout = self.libraries[placement.library]
+        layout.remove(platter_id + ":tmp")

@@ -1,0 +1,166 @@
+"""Metadata management (Sections 3 and 6).
+
+"The naming and indexing of files in the Silica service is similar to Azure
+Cloud storage. All mappings ... are stored as additional metadata per file
+in a separate, highly-available storage service, backed by warmer media such
+as HDDs. ... each platter is self-descriptive and its header contains the
+list of files on it. Therefore, a file can still be located within the
+service after a platter-level scan of libraries, should the metadata
+service be unavailable."
+
+Overwrites are logical (versioning); deletes are crypto-shredding — the key
+is destroyed and the pointers removed, the glass is untouched (Section 3).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..media.platter import Platter
+
+
+@dataclass(frozen=True)
+class FileLocation:
+    """Where (one version of) a file lives."""
+
+    file_id: str
+    version: int
+    library: int
+    platter_id: str
+    start_track: int
+    num_tracks: int
+    size_bytes: int
+
+
+@dataclass
+class _FileRecord:
+    versions: List[FileLocation] = field(default_factory=list)
+    encryption_key: Optional[bytes] = None
+    deleted: bool = False
+
+
+class MetadataUnavailable(Exception):
+    """Simulated outage of the metadata service."""
+
+
+class MetadataService:
+    """The warm-tier index over everything in the glass."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, _FileRecord] = {}
+        self._available = True
+
+    # ------------------------------------------------------------------ #
+    # Availability (for the platter-scan fallback path)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        self._available = available
+
+    def _check(self) -> None:
+        if not self._available:
+            raise MetadataUnavailable("metadata service is down")
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+
+    def record_write(self, location: FileLocation) -> None:
+        """Record a new file version. Overwrites are new versions — the
+        media is WORM, so old data stays in the glass but is unreachable."""
+        self._check()
+        record = self._files.setdefault(location.file_id, _FileRecord())
+        if record.encryption_key is None:
+            record.encryption_key = secrets.token_bytes(32)
+        expected = len(record.versions)
+        if location.version != expected:
+            raise ValueError(
+                f"version {location.version} out of order (expected {expected})"
+            )
+        record.versions.append(location)
+        record.deleted = False
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+
+    def locate(self, file_id: str, version: Optional[int] = None) -> FileLocation:
+        """Current (or specific) version's location."""
+        self._check()
+        record = self._files.get(file_id)
+        if record is None or not record.versions:
+            raise KeyError(f"unknown file {file_id}")
+        if record.deleted:
+            raise KeyError(f"file {file_id} was deleted (key shredded)")
+        if version is None:
+            return record.versions[-1]
+        return record.versions[version]
+
+    def encryption_key(self, file_id: str) -> bytes:
+        self._check()
+        record = self._files.get(file_id)
+        if record is None or record.deleted or record.encryption_key is None:
+            raise KeyError(f"no key for {file_id}")
+        return record.encryption_key
+
+    # ------------------------------------------------------------------ #
+    # Delete path: crypto-shredding
+    # ------------------------------------------------------------------ #
+
+    def delete(self, file_id: str) -> None:
+        """Destroy the key and drop pointers; the glass is untouched."""
+        self._check()
+        record = self._files.get(file_id)
+        if record is None:
+            raise KeyError(f"unknown file {file_id}")
+        record.encryption_key = None
+        record.deleted = True
+
+    def live_files(self) -> List[str]:
+        self._check()
+        return [f for f, r in self._files.items() if r.versions and not r.deleted]
+
+    def live_bytes_on(self, platter_id: str) -> int:
+        """Live data on a platter — zero means it can be recycled (§3)."""
+        self._check()
+        total = 0
+        for record in self._files.values():
+            if record.deleted or not record.versions:
+                continue
+            current = record.versions[-1]
+            if current.platter_id == platter_id:
+                total += current.size_bytes
+        return total
+
+
+def rebuild_from_platters(platters: Iterable[Tuple[int, Platter]]) -> MetadataService:
+    """Disaster path: reconstruct the index by scanning platter headers.
+
+    Each platter is self-descriptive; a platter-level scan of the libraries
+    recovers the file -> location mapping (without encryption keys, which
+    live only in the warm tier and in customer escrow).
+    """
+    service = MetadataService()
+    seen_versions: Dict[str, int] = {}
+    for library, platter in platters:
+        for extent in platter.header.extents:
+            version = seen_versions.get(extent.file_id, 0)
+            seen_versions[extent.file_id] = version + 1
+            service.record_write(
+                FileLocation(
+                    file_id=extent.file_id,
+                    version=version,
+                    library=library,
+                    platter_id=platter.platter_id,
+                    start_track=extent.start_track,
+                    num_tracks=max(1, extent.num_sectors // max(1, platter.geometry.layers)),
+                    size_bytes=extent.size_bytes,
+                )
+            )
+    return service

@@ -1,0 +1,183 @@
+"""Assignment of files to platters (Section 6).
+
+"Like other storage systems, we want to pack files that we expect to read
+together to the same platter. This minimizes the costs of platter travel,
+load, and unload. We can use the (opaque) customer account identifiers, file
+write times, and historical access trends to make informed decisions on
+which files should be packed together. To ensure time-efficient read of
+large files, we shard them into multiple platters to parallelize their
+reads."
+
+The packer consumes staged files (they sit in the staging tier for up to ~30
+days, Section 2/6, which is what gives it the freedom to group), clusters
+them by (account, write-epoch), and bin-packs clusters into platters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StagedFile:
+    """A file buffered in the staging tier, awaiting a platter."""
+
+    file_id: str
+    size_bytes: int
+    account: str
+    write_time: float  # seconds since epoch (staging arrival)
+    read_hint: float = 0.0  # historical access-trend score (higher = hotter)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class FileShard:
+    """One platter-sized piece of a (possibly sharded) file."""
+
+    file_id: str
+    shard_index: int
+    num_shards: int
+    size_bytes: int
+    account: str
+
+    @property
+    def shard_id(self) -> str:
+        if self.num_shards == 1:
+            return self.file_id
+        return f"{self.file_id}#{self.shard_index}"
+
+
+@dataclass
+class PlatterPlan:
+    """Planned contents of one information platter."""
+
+    platter_id: str
+    shards: List[FileShard] = field(default_factory=list)
+    capacity_bytes: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(s.size_bytes for s in self.shards)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class PackingConfig:
+    """Packing policy parameters.
+
+    ``shard_threshold_bytes``: files above this are sharded across platters
+    so their reads parallelize (the sim's default track budget of 50 tracks
+    x 20 MB = 1 GB per platter matches ``SimConfig.shard_tracks_limit``).
+    ``epoch_seconds`` buckets write times for locality clustering.
+    """
+
+    platter_capacity_bytes: int = 4_000_000_000_000  # multiple-TB platters (§3)
+    shard_threshold_bytes: int = 1_000_000_000
+    epoch_seconds: float = 86_400.0
+
+
+class FilePacker:
+    """Greedy locality-aware bin packing of staged files into platters."""
+
+    def __init__(self, config: Optional[PackingConfig] = None):
+        self.config = config or PackingConfig()
+        self._platter_counter = 0
+
+    def shard(self, staged: StagedFile) -> List[FileShard]:
+        """Split a file into platter-parallel shards (1 shard if small)."""
+        cfg = self.config
+        if staged.size_bytes <= cfg.shard_threshold_bytes:
+            return [FileShard(staged.file_id, 0, 1, staged.size_bytes, staged.account)]
+        num = math.ceil(staged.size_bytes / cfg.shard_threshold_bytes)
+        base = staged.size_bytes // num
+        shards = []
+        remaining = staged.size_bytes
+        for i in range(num):
+            size = base if i < num - 1 else remaining
+            remaining -= base
+            shards.append(FileShard(staged.file_id, i, num, size, staged.account))
+        return shards
+
+    def cluster_key(self, staged: StagedFile) -> Tuple[str, int]:
+        """Locality key: same account + same write epoch read together."""
+        return (staged.account, int(staged.write_time // self.config.epoch_seconds))
+
+    def pack(self, files: Sequence[StagedFile]) -> List[PlatterPlan]:
+        """Pack staged files into platter plans.
+
+        Files are clustered by locality key; clusters are kept contiguous so
+        a cluster usually lands on one platter (or adjacent fills). Shards
+        of one large file are spread across *different* platters so its
+        read parallelizes.
+        """
+        cfg = self.config
+        clusters: Dict[Tuple[str, int], List[StagedFile]] = {}
+        for staged in files:
+            clusters.setdefault(self.cluster_key(staged), []).append(staged)
+        plans: List[PlatterPlan] = []
+
+        def new_plan() -> PlatterPlan:
+            self._platter_counter += 1
+            return PlatterPlan(
+                platter_id=f"IP{self._platter_counter:06d}",
+                capacity_bytes=cfg.platter_capacity_bytes,
+            )
+
+        current = new_plan()
+        plans.append(current)
+        for key in sorted(clusters):
+            for staged in sorted(clusters[key], key=lambda f: f.write_time):
+                shards = self.shard(staged)
+                if len(shards) == 1:
+                    shard = shards[0]
+                    if shard.size_bytes > current.free_bytes:
+                        current = new_plan()
+                        plans.append(current)
+                    current.shards.append(shard)
+                    continue
+                # Spread shards over distinct platters: reuse existing plans
+                # with room, then allocate new ones.
+                targets: List[PlatterPlan] = []
+                for plan in plans:
+                    if len(targets) == len(shards):
+                        break
+                    if plan.free_bytes >= shards[0].size_bytes:
+                        targets.append(plan)
+                while len(targets) < len(shards):
+                    plan = new_plan()
+                    plans.append(plan)
+                    targets.append(plan)
+                for shard, plan in zip(shards, targets):
+                    plan.shards.append(shard)
+        return [p for p in plans if p.shards]
+
+
+def read_together_score(plan: PlatterPlan) -> float:
+    """Locality quality: fraction of shard pairs sharing an account.
+
+    1.0 means the platter holds a single account's files (ideal for
+    amortizing fetches); used by tests and the layout ablation bench.
+    """
+    n = len(plan.shards)
+    if n < 2:
+        return 1.0
+    accounts = [s.account for s in plan.shards]
+    same = sum(
+        1
+        for i in range(n)
+        for j in range(i + 1, n)
+        if accounts[i] == accounts[j]
+    )
+    return same / (n * (n - 1) / 2)

@@ -1,0 +1,205 @@
+"""Placement of files within a platter (Section 6).
+
+"The minimum read unit is a single track and the read drive can read
+adjacent tracks in serpentine sector-order without an additional seek. Thus,
+we want to locate a file, and co-locate groups of files that are likely to
+be read together, within a single or adjacent tracks. Additionally, from a
+single track, we want to obtain both the requested data and enough
+redundancy to recover that data in the common case of independent sector
+failures. ... we assume that every information platter in Silica has the
+same partitioning of information and redundancy sectors."
+
+:class:`PlatterLayout` computes, for a platter geometry and a within-track
+NC configuration, which sector positions are information vs redundancy, and
+lays a sequence of files into the information positions in serpentine order
+while emitting the redundancy sector positions per track group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..ecc.network_coding import LargeGroupConfig, TrackCodeConfig
+from ..media.geometry import PlatterGeometry, SectorAddress
+from .packing import FileShard
+
+
+@dataclass(frozen=True)
+class SectorRole:
+    """Role of one physical sector position."""
+
+    address: SectorAddress
+    is_information: bool
+    group_index: int  # within-track NC group ordinal inside the track
+
+
+@dataclass(frozen=True)
+class PlacedFile:
+    """Where a file shard landed inside a platter."""
+
+    shard_id: str
+    start: SectorAddress
+    sector_addresses: Tuple[SectorAddress, ...]
+    size_bytes: int
+
+    @property
+    def num_sectors(self) -> int:
+        return len(self.sector_addresses)
+
+    @property
+    def tracks_spanned(self) -> int:
+        return len({a.track for a in self.sector_addresses})
+
+
+class PlatterLayout:
+    """Uniform information/redundancy partitioning of a platter.
+
+    Within each track, the last ``R_t`` of every ``I_t + R_t`` consecutive
+    sector positions (in layer order) are redundancy. Every information
+    platter uses the same partitioning, so the group structure needs no
+    per-platter metadata (Section 6).
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[PlatterGeometry] = None,
+        track_code: Optional[TrackCodeConfig] = None,
+    ):
+        self.geometry = geometry or PlatterGeometry()
+        self.track_code = track_code or TrackCodeConfig(
+            information_sectors=min(
+                200, max(1, (self.geometry.layers * 12) // 13)
+            ),
+            redundancy_sectors=max(1, self.geometry.layers - (self.geometry.layers * 12) // 13),
+        )
+        group = self.track_code.sectors_per_track
+        if group > self.geometry.layers:
+            # One NC group spans multiple physical tracks' worth of layers;
+            # clamp the group to the track for the demo geometry.
+            raise ValueError(
+                f"track NC group of {group} sectors does not fit "
+                f"{self.geometry.layers} layers; shrink the code or grow layers"
+            )
+
+    def role_of(self, address: SectorAddress) -> SectorRole:
+        """Information or redundancy, by position only (uniform partition)."""
+        group = self.track_code.sectors_per_track
+        position = address.layer % group
+        return SectorRole(
+            address=address,
+            is_information=position < self.track_code.information_sectors,
+            group_index=address.layer // group,
+        )
+
+    def information_capacity_per_track(self) -> int:
+        """Information sectors per track under the uniform partition."""
+        group = self.track_code.sectors_per_track
+        full_groups = self.geometry.layers // group
+        tail = self.geometry.layers % group
+        return full_groups * self.track_code.information_sectors + min(
+            tail, self.track_code.information_sectors
+        )
+
+    @property
+    def redundancy_overhead(self) -> float:
+        info = self.information_capacity_per_track()
+        return (self.geometry.layers - info) / max(1, info)
+
+    def information_addresses(self, start_track: int = 0) -> Iterator[SectorAddress]:
+        """Serpentine walk over information sector positions only."""
+        for address in self.geometry.serpentine_order(start_track=start_track):
+            if self.role_of(address).is_information:
+                yield address
+
+    def place_files(
+        self, shards: Sequence[FileShard], sector_payload_bytes: Optional[int] = None
+    ) -> List[PlacedFile]:
+        """Lay shards into information sectors in order.
+
+        The input order is the packer's locality order, so related files end
+        up in the same or adjacent tracks. Raises ValueError if the platter
+        runs out of information sectors.
+        """
+        payload = sector_payload_bytes or self.geometry.sector_payload_bytes
+        walker = self.information_addresses()
+        placed: List[PlacedFile] = []
+        for shard in shards:
+            num_sectors = max(1, -(-shard.size_bytes // payload))
+            addresses = []
+            for _ in range(num_sectors):
+                try:
+                    addresses.append(next(walker))
+                except StopIteration:
+                    raise ValueError(
+                        f"platter full: shard {shard.shard_id} does not fit"
+                    )
+            placed.append(
+                PlacedFile(
+                    shard_id=shard.shard_id,
+                    start=addresses[0],
+                    sector_addresses=tuple(addresses),
+                    size_bytes=shard.size_bytes,
+                )
+            )
+        return placed
+
+    def track_group_plan(
+        self, large_group: Optional[LargeGroupConfig] = None
+    ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Partition the platter's tracks into large-group NC groups.
+
+        Section 6: large-group NC across tracks protects against correlated
+        sector failures within a track at ~2% extra overhead. Returns a
+        list of (information track ids, redundancy track ids) per group;
+        the trailing tracks of each group's span are its redundancy tracks,
+        so the layout stays uniform across platters (no per-platter group
+        metadata). A final partial group keeps the same info:redundancy
+        ratio where possible.
+        """
+        config = large_group or LargeGroupConfig()
+        span = config.information_tracks + config.redundancy_tracks
+        groups: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+        track = 0
+        total = self.geometry.tracks
+        while track < total:
+            remaining = total - track
+            if remaining >= span:
+                info = tuple(range(track, track + config.information_tracks))
+                redundancy = tuple(
+                    range(track + config.information_tracks, track + span)
+                )
+                track += span
+            else:
+                # Partial tail group: keep at least one redundancy track
+                # when more than one track remains.
+                redundancy_count = min(
+                    config.redundancy_tracks, max(0, remaining - 1)
+                )
+                info = tuple(range(track, track + remaining - redundancy_count))
+                redundancy = tuple(
+                    range(track + remaining - redundancy_count, total)
+                )
+                track = total
+            groups.append((info, redundancy))
+        return groups
+
+    def large_group_overhead(
+        self, large_group: Optional[LargeGroupConfig] = None
+    ) -> float:
+        """Realized fraction of tracks spent on large-group redundancy."""
+        groups = self.track_group_plan(large_group)
+        redundancy = sum(len(r) for _, r in groups)
+        return redundancy / self.geometry.tracks
+
+    def extra_tracks_penalty(self, placed: PlacedFile) -> int:
+        """How many tracks beyond the minimum the shard spans.
+
+        Section 6 accepts suboptimal packing: "sectors related to an
+        individual file may be spread across one more track than the
+        optimal. However, in that case, the extra track is adjacent so the
+        read cost is minimal."
+        """
+        per_track = self.information_capacity_per_track()
+        minimum = max(1, -(-placed.num_sectors // per_track))
+        return placed.tracks_spanned - minimum

@@ -1,0 +1,56 @@
+"""Physical library substrate: layout, shuttles, motion models, failures.
+
+Implements Section 4 (the glass library) and the mechanical benchmark models
+of Section 7.1 (Figure 3): rack/panel/shelf/slot geometry, free-roaming
+shuttle kinematics (horizontal trapezoidal motion, crabbing, pick/place),
+the shuttle power model, and the blast-zone failure analysis of Section 6.
+"""
+
+from .failures import (
+    BlastZone,
+    Failure,
+    FailureKind,
+    FailureState,
+    collision_blast_zone,
+    drive_blast_zone,
+    shuttle_blast_zone,
+)
+from .layout import (
+    DriveBay,
+    LibraryConfig,
+    LibraryLayout,
+    Position,
+    RackKind,
+    SlotId,
+)
+from .motion import (
+    CrabbingModel,
+    HorizontalMotionModel,
+    MotionSuite,
+    PickPlaceModel,
+)
+from .shuttle import Shuttle, ShuttlePowerModel, ShuttleState, ShuttleStats
+
+__all__ = [
+    "BlastZone",
+    "Failure",
+    "FailureKind",
+    "FailureState",
+    "collision_blast_zone",
+    "drive_blast_zone",
+    "shuttle_blast_zone",
+    "DriveBay",
+    "LibraryConfig",
+    "LibraryLayout",
+    "Position",
+    "RackKind",
+    "SlotId",
+    "CrabbingModel",
+    "HorizontalMotionModel",
+    "MotionSuite",
+    "PickPlaceModel",
+    "Shuttle",
+    "ShuttlePowerModel",
+    "ShuttleState",
+    "ShuttleStats",
+]

@@ -1,0 +1,158 @@
+"""Failure cases and blast zones.
+
+Section 6: "Each failure case in our analysis has a corresponding blast
+zone, which is the area of the library that is inaccessible due to the
+failure, specified at the granularity of one shelf of one rack. When a
+failure occurs, any platter stored in the blast zone will be temporarily
+unavailable. In addition, zero to two platters may be inaccessible within
+the failed components."
+
+Failure cases modeled: unresponsive shuttle, unresponsive read drive, and
+two-shuttle collision (considered for placement robustness even though the
+hardware measures make it unexpected). A single failure makes at most three
+platters from the same platter-set unavailable, which is why the paper fixes
+R = 3 per platter-set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from .layout import LibraryLayout, Position, SlotId
+
+
+class FailureKind(Enum):
+    SHUTTLE = "shuttle"
+    READ_DRIVE = "read_drive"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class BlastZone:
+    """One shelf of one rack: the inaccessibility granularity."""
+
+    rack: int
+    level: int
+
+    def covers(self, slot: SlotId) -> bool:
+        return slot.rack == self.rack and slot.level == self.level
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A concrete failure with its blast zones and trapped platters."""
+
+    kind: FailureKind
+    zones: FrozenSet[BlastZone]
+    trapped_platters: Tuple[str, ...] = ()  # inside failed components (0..2)
+
+    def makes_unavailable(self, slot: SlotId) -> bool:
+        return any(zone.covers(slot) for zone in self.zones)
+
+
+def shuttle_blast_zone(layout: LibraryLayout, position: Position) -> FrozenSet[BlastZone]:
+    """Zones blocked by a shuttle failed in place.
+
+    A dead shuttle obstructs the shelf between its two rails in the rack
+    where it stopped — one shelf of one rack.
+    """
+    rack = _rack_at(layout, position.x)
+    return frozenset({BlastZone(rack, position.level)})
+
+
+def collision_blast_zone(
+    layout: LibraryLayout, a: Position, b: Position
+) -> FrozenSet[BlastZone]:
+    """Zones blocked by two collided shuttles (adjacent positions)."""
+    return frozenset(
+        {BlastZone(_rack_at(layout, a.x), a.level), BlastZone(_rack_at(layout, b.x), b.level)}
+    )
+
+
+def drive_blast_zone(layout: LibraryLayout, drive_id: int) -> FrozenSet[BlastZone]:
+    """A failed read drive blocks its own bay (platters inside it)."""
+    pos = layout.drive_position(drive_id)
+    return frozenset({BlastZone(_rack_at(layout, pos.x), pos.level)})
+
+
+def _rack_at(layout: LibraryLayout, x: float) -> int:
+    width = layout.config.rack_width_m
+    rack = int(x // width)
+    return min(max(rack, 0), layout.config.total_racks - 1)
+
+
+class FailureState:
+    """Active failures in one library; answers availability queries."""
+
+    def __init__(self, layout: LibraryLayout):
+        self.layout = layout
+        self._failures: List[Failure] = []
+
+    @property
+    def failures(self) -> List[Failure]:
+        return list(self._failures)
+
+    def inject(self, failure: Failure) -> None:
+        self._failures.append(failure)
+
+    def resolve_all(self) -> None:
+        self._failures.clear()
+
+    def fail_shuttle(self, position: Position, carried_platter: Optional[str] = None) -> Failure:
+        trapped = (carried_platter,) if carried_platter else ()
+        failure = Failure(
+            FailureKind.SHUTTLE, shuttle_blast_zone(self.layout, position), trapped
+        )
+        self.inject(failure)
+        return failure
+
+    def fail_drive(self, drive_id: int, mounted_platter: Optional[str] = None) -> Failure:
+        trapped = (mounted_platter,) if mounted_platter else ()
+        failure = Failure(
+            FailureKind.READ_DRIVE, drive_blast_zone(self.layout, drive_id), trapped
+        )
+        self.inject(failure)
+        return failure
+
+    def fail_collision(
+        self,
+        a: Position,
+        b: Position,
+        carried: Tuple[Optional[str], Optional[str]] = (None, None),
+    ) -> Failure:
+        trapped = tuple(p for p in carried if p)
+        failure = Failure(
+            FailureKind.COLLISION, collision_blast_zone(self.layout, a, b), trapped
+        )
+        self.inject(failure)
+        return failure
+
+    def platter_available(self, platter_id: str) -> bool:
+        """Is the platter reachable right now?"""
+        for failure in self._failures:
+            if platter_id in failure.trapped_platters:
+                return False
+        slot = self.layout.locate(platter_id)
+        if slot is None:
+            # Not on a shelf (in transit or mounted): reachable unless trapped.
+            return True
+        return not any(f.makes_unavailable(slot) for f in self._failures)
+
+    def unavailable_platters(self) -> Set[str]:
+        out: Set[str] = set()
+        for failure in self._failures:
+            out.update(failure.trapped_platters)
+        for slot in list(self.layout.all_slots()):
+            platter = self.layout.occupant(slot)
+            if platter and any(f.makes_unavailable(slot) for f in self._failures):
+                out.add(platter)
+        return out
+
+    def max_platters_lost_single_failure(self) -> int:
+        """Worst-case platters unavailable from one failure: blast zone can
+        hold platters of at most one slot-shelf... the paper's bound is
+        'at most three platters from the same platter-set' given the
+        placement invariant (one per blast zone) plus up to two trapped."""
+        return 3

@@ -1,0 +1,242 @@
+"""Physical library layout: racks, panels, shelves, slots, drive bays.
+
+Section 4: "A Silica library is a sequence of contiguous write, read, and
+storage racks interconnected by a platter delivery system. ... From left to
+right, a default Silica library deployment has a write rack, then a read
+rack, and then sufficient storage racks to fit all the platters produced by
+the write drive over its lifetime. Finally, another read rack is placed at
+the end."
+
+Coordinates: the panel is a 2D surface — continuous ``x`` (meters, left
+edge = 0) by discrete shelf ``level`` (0 at the bottom; storage racks have
+10 shelves per panel, Section 7.1). Storage slots hold platters vertically
+like books; read drives occupy bays in read racks and expose two platter
+slots each (fast switching, Section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class RackKind(Enum):
+    WRITE = "write"
+    READ = "read"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class SlotId:
+    """Identity of one storage slot: (rack index, shelf level, slot column)."""
+
+    rack: int
+    level: int
+    column: int
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the panel."""
+
+    x: float
+    level: int
+
+
+@dataclass(frozen=True)
+class LibraryConfig:
+    """Dimensioning of one library (the minimum deployment unit).
+
+    Defaults follow Section 4/7.1: at least six storage racks (we default to
+    the 16+3 platter-set configuration's seven, Table 1), two read racks of
+    up to 10 drives each (>= 2 drives per rack for availability), 10 shelves
+    per panel, and a full-rack write drive on the far left.
+    """
+
+    storage_racks: int = 7
+    drives_per_read_rack: int = 10
+    shelves_per_panel: int = 10
+    slots_per_shelf: int = 110  # per storage rack
+    rack_width_m: float = 1.2
+    drive_slots_per_drive: int = 2
+
+    def __post_init__(self) -> None:
+        if self.storage_racks < 1:
+            raise ValueError("need at least one storage rack")
+        if self.drives_per_read_rack < 2:
+            raise ValueError("a read rack should have at least two drives (availability)")
+        if self.drives_per_read_rack > 10:
+            raise ValueError("a read rack fits up to 10 drives (Section 7.1)")
+
+    @property
+    def num_read_racks(self) -> int:
+        return 2  # one after the write rack, one at the far end (Section 4)
+
+    @property
+    def num_read_drives(self) -> int:
+        return self.num_read_racks * self.drives_per_read_rack
+
+    @property
+    def max_shuttles(self) -> int:
+        """Active shuttles per panel are capped at 2x the read drives."""
+        return 2 * self.num_read_drives
+
+    @property
+    def total_racks(self) -> int:
+        return 1 + self.num_read_racks + self.storage_racks  # + write rack
+
+    @property
+    def storage_capacity(self) -> int:
+        return self.storage_racks * self.shelves_per_panel * self.slots_per_shelf
+
+    @property
+    def library_width_m(self) -> float:
+        return self.total_racks * self.rack_width_m
+
+
+@dataclass(frozen=True)
+class DriveBay:
+    """Placement of one read drive on the panel."""
+
+    drive_id: int
+    position: Position
+
+
+class LibraryLayout:
+    """Geometry resolver for one library panel.
+
+    Rack order (left to right): write rack, read rack A, storage racks,
+    read rack B. Provides slot/drive coordinates and occupancy tracking for
+    storage slots (slot -> platter id).
+    """
+
+    def __init__(self, config: Optional[LibraryConfig] = None):
+        self.config = config or LibraryConfig()
+        cfg = self.config
+        # Rack index -> kind, left x edge.
+        self._racks: List[Tuple[RackKind, float]] = []
+        x = 0.0
+        self._racks.append((RackKind.WRITE, x))
+        x += cfg.rack_width_m
+        self._racks.append((RackKind.READ, x))
+        x += cfg.rack_width_m
+        self._storage_rack_indices: List[int] = []
+        for _ in range(cfg.storage_racks):
+            self._storage_rack_indices.append(len(self._racks))
+            self._racks.append((RackKind.STORAGE, x))
+            x += cfg.rack_width_m
+        self._racks.append((RackKind.READ, x))
+        # Read drives: stacked vertically within each read rack, one bay per
+        # shelf level (up to 10 per rack).
+        self._drives: List[DriveBay] = []
+        for rack_index, (kind, rack_x) in enumerate(self._racks):
+            if kind is not RackKind.READ:
+                continue
+            for i in range(cfg.drives_per_read_rack):
+                drive_id = len(self._drives)
+                level = i % cfg.shelves_per_panel
+                self._drives.append(
+                    DriveBay(drive_id, Position(rack_x + cfg.rack_width_m / 2, level))
+                )
+        # Storage occupancy.
+        self._occupancy: Dict[SlotId, str] = {}
+        self._platter_slot: Dict[str, SlotId] = {}
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def drives(self) -> List[DriveBay]:
+        return list(self._drives)
+
+    @property
+    def num_drives(self) -> int:
+        return len(self._drives)
+
+    @property
+    def width_m(self) -> float:
+        return self.config.library_width_m
+
+    def rack_kind(self, rack: int) -> RackKind:
+        return self._racks[rack][0]
+
+    def storage_rack_indices(self) -> List[int]:
+        return list(self._storage_rack_indices)
+
+    def write_rack_position(self) -> Position:
+        """Eject bay of the write drive (platter pickup point)."""
+        _, x = self._racks[0]
+        return Position(x + self.config.rack_width_m / 2, 0)
+
+    def slot_position(self, slot: SlotId) -> Position:
+        """Panel coordinates of a storage slot."""
+        kind, rack_x = self._racks[slot.rack]
+        if kind is not RackKind.STORAGE:
+            raise ValueError(f"rack {slot.rack} is not a storage rack")
+        if not 0 <= slot.level < self.config.shelves_per_panel:
+            raise ValueError(f"invalid shelf level {slot.level}")
+        if not 0 <= slot.column < self.config.slots_per_shelf:
+            raise ValueError(f"invalid slot column {slot.column}")
+        pitch = self.config.rack_width_m / self.config.slots_per_shelf
+        return Position(rack_x + (slot.column + 0.5) * pitch, slot.level)
+
+    def drive_position(self, drive_id: int) -> Position:
+        return self._drives[drive_id].position
+
+    def all_slots(self) -> Iterator[SlotId]:
+        cfg = self.config
+        for rack in self._storage_rack_indices:
+            for level in range(cfg.shelves_per_panel):
+                for column in range(cfg.slots_per_shelf):
+                    yield SlotId(rack, level, column)
+
+    def distance(self, a: Position, b: Position) -> Tuple[float, int]:
+        """(|dx| meters, |dlevels| crabs) between two panel positions."""
+        return abs(a.x - b.x), abs(a.level - b.level)
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+
+    def store(self, platter_id: str, slot: SlotId) -> None:
+        """Put a platter in a slot (gravity-held; no locking, Section 4)."""
+        self.slot_position(slot)  # validates
+        if slot in self._occupancy:
+            raise ValueError(f"slot {slot} already holds {self._occupancy[slot]}")
+        if platter_id in self._platter_slot:
+            raise ValueError(f"platter {platter_id} already stored")
+        self._occupancy[slot] = platter_id
+        self._platter_slot[platter_id] = slot
+
+    def remove(self, platter_id: str) -> SlotId:
+        """Take a platter off its shelf; returns the vacated slot."""
+        slot = self._platter_slot.pop(platter_id, None)
+        if slot is None:
+            raise KeyError(f"platter {platter_id} is not stored")
+        del self._occupancy[slot]
+        return slot
+
+    def locate(self, platter_id: str) -> Optional[SlotId]:
+        return self._platter_slot.get(platter_id)
+
+    def occupant(self, slot: SlotId) -> Optional[str]:
+        return self._occupancy.get(slot)
+
+    @property
+    def platters_stored(self) -> int:
+        return len(self._occupancy)
+
+    def free_slots(self) -> Iterator[SlotId]:
+        for slot in self.all_slots():
+            if slot not in self._occupancy:
+                yield slot
+
+    def occupancy_by_rack(self) -> Dict[int, int]:
+        """Platter count per storage rack (placement 'least occupied' rule)."""
+        counts = {rack: 0 for rack in self._storage_rack_indices}
+        for slot in self._occupancy:
+            counts[slot.rack] += 1
+        return counts

@@ -1,0 +1,70 @@
+"""Glass media substrate: platters, voxel modulation, drives, read channel.
+
+Implements Section 3 of the paper: WORM quartz-glass platters addressed as
+voxels/sectors/tracks, the femtosecond-laser write drive, the polarization
+microscopy read drive with two-slot fast switching, and the analog read
+channel whose noise the decode stack must undo.
+"""
+
+from .channel import ChannelModel, ReadChannel
+from .codec import SectorCodec, SectorDecodeResult
+from .density import (
+    OPTICAL_DISC,
+    TAPE_LTO8,
+    TAPE_LTO9,
+    GlassMediaSpec,
+    ReferenceMedia,
+    density_comparison,
+    glass_beats_tape,
+)
+from .geometry import PAPER_GEOMETRY, PlatterGeometry, SectorAddress
+from .platter import FileExtent, Platter, PlatterHeader, WormViolation
+from .read_drive import (
+    ALLOWED_THROUGHPUTS_MBPS,
+    ReadDriveConfig,
+    ReadDriveModel,
+    ReadStats,
+    SeekModel,
+)
+from .voxel import (
+    VoxelConstellation,
+    bits_to_symbols,
+    bytes_to_symbols,
+    symbols_to_bits,
+    symbols_to_bytes,
+)
+from .write_drive import WriteDrive, WriteDriveConfig, WriteStats
+
+__all__ = [
+    "ChannelModel",
+    "ReadChannel",
+    "SectorCodec",
+    "OPTICAL_DISC",
+    "TAPE_LTO8",
+    "TAPE_LTO9",
+    "GlassMediaSpec",
+    "ReferenceMedia",
+    "density_comparison",
+    "glass_beats_tape",
+    "SectorDecodeResult",
+    "PAPER_GEOMETRY",
+    "PlatterGeometry",
+    "SectorAddress",
+    "FileExtent",
+    "Platter",
+    "PlatterHeader",
+    "WormViolation",
+    "ALLOWED_THROUGHPUTS_MBPS",
+    "ReadDriveConfig",
+    "ReadDriveModel",
+    "ReadStats",
+    "SeekModel",
+    "VoxelConstellation",
+    "bits_to_symbols",
+    "bytes_to_symbols",
+    "symbols_to_bits",
+    "symbols_to_bytes",
+    "WriteDrive",
+    "WriteDriveConfig",
+    "WriteStats",
+]

@@ -1,0 +1,109 @@
+"""Volumetric density math (Sections 3 and 8).
+
+Section 8: "Glass can support very high densities and even in early
+generations the density per mm^3 will be higher than production tape."
+Optical-disc libraries lose to tape on volume ("the key challenge for them
+is the optical disc capacity, today around 500 GB, which is significantly
+below tape per unit of volume"); holographic storage "suffers from low
+volumetric densities" too.
+
+This module computes bits/mm^3 for a glass platter from its physical
+geometry (voxel pitch, layer pitch, platter dimensions) and compares
+against published figures for tape and optical media, reproducing the
+Section 8 ranking: glass > tape > optical disc per unit volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GlassMediaSpec:
+    """Physical dimensioning of a platter.
+
+    Defaults follow the paper's constants: a DVD-sized square platter (~120
+    mm side, 2 mm thick), voxels on a sub-micron XY pitch and ~6 um layer
+    pitch over 300 layers (100s of layers, Section 3), 4 bits per voxel,
+    with an ECC+framing efficiency factor turning raw voxel bits into user
+    bytes.
+    """
+
+    side_mm: float = 120.0
+    thickness_mm: float = 2.0
+    voxel_pitch_um: float = 0.8
+    layer_pitch_um: float = 6.0
+    layers: int = 300
+    bits_per_voxel: float = 4.0
+    coding_efficiency: float = 0.65  # LDPC rate x NC overhead x framing
+
+    @property
+    def platter_volume_mm3(self) -> float:
+        return self.side_mm * self.side_mm * self.thickness_mm
+
+    @property
+    def voxels_per_layer(self) -> float:
+        per_side = self.side_mm * 1000.0 / self.voxel_pitch_um
+        return per_side * per_side
+
+    @property
+    def raw_bits_per_platter(self) -> float:
+        return self.voxels_per_layer * self.layers * self.bits_per_voxel
+
+    @property
+    def user_bytes_per_platter(self) -> float:
+        return self.raw_bits_per_platter * self.coding_efficiency / 8.0
+
+    @property
+    def user_terabytes_per_platter(self) -> float:
+        return self.user_bytes_per_platter / 1e12
+
+    @property
+    def density_gb_per_mm3(self) -> float:
+        """User gigabytes per mm^3 of media."""
+        return self.user_bytes_per_platter / 1e9 / self.platter_volume_mm3
+
+
+@dataclass(frozen=True)
+class ReferenceMedia:
+    """Published capacity/volume of a competing medium."""
+
+    name: str
+    user_bytes: float
+    volume_mm3: float
+
+    @property
+    def density_gb_per_mm3(self) -> float:
+        return self.user_bytes / 1e9 / self.volume_mm3
+
+
+#: LTO-8 cartridge (production tape during Silica's design window): 12 TB
+#: native in a 102 x 105.4 x 21.5 mm cartridge.
+TAPE_LTO8 = ReferenceMedia("tape (LTO-8)", 12e12, 102.0 * 105.4 * 21.5)
+
+#: LTO-9 cartridge: 18 TB native, same form factor.
+TAPE_LTO9 = ReferenceMedia("tape (LTO-9)", 18e12, 102.0 * 105.4 * 21.5)
+
+#: Archival optical disc: 500 GB (Section 8's figure) on a 120 mm disc,
+#: 1.2 mm thick.
+OPTICAL_DISC = ReferenceMedia(
+    "optical disc", 500e9, 3.14159 * 60.0 * 60.0 * 1.2
+)
+
+
+def density_comparison(glass: GlassMediaSpec = GlassMediaSpec()) -> Dict[str, float]:
+    """GB/mm^3 for glass, tape, and optical disc (Section 8's ranking)."""
+    return {
+        "glass": glass.density_gb_per_mm3,
+        TAPE_LTO8.name: TAPE_LTO8.density_gb_per_mm3,
+        TAPE_LTO9.name: TAPE_LTO9.density_gb_per_mm3,
+        OPTICAL_DISC.name: OPTICAL_DISC.density_gb_per_mm3,
+    }
+
+
+def glass_beats_tape(glass: GlassMediaSpec = GlassMediaSpec()) -> bool:
+    """The Section 8 claim: early-generation glass beats production tape
+    per unit of media volume (production tape = LTO-8 during Silica's
+    design window)."""
+    return glass.density_gb_per_mm3 > TAPE_LTO8.density_gb_per_mm3

@@ -1,0 +1,166 @@
+"""Glass platter geometry: voxels, sectors, tracks, platters.
+
+Section 3 of the paper:
+
+* a *voxel* is a permanent femtosecond-laser modification encoding multiple
+  bits (on the order of 3 or 4) via polarization and pulse energy;
+* a *sector* is a rectangular 2D group of voxels in an XY plane that a read
+  drive images in one shot — over 100,000 voxels, upwards of 100 kB of data;
+* a *track* is the 3D stack of sectors through the platter's Z layers and is
+  the minimum read unit (read in a single fast Z scan);
+* a *platter* is a square roughly the size of a DVD holding 100s of layers
+  and multiple TB of user data.
+
+This module defines the addressing scheme and the dimensioning math; actual
+data storage lives in :mod:`repro.media.platter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SectorAddress:
+    """Physical address of a sector: (track, layer)."""
+
+    track: int
+    layer: int
+
+    def __post_init__(self) -> None:
+        if self.track < 0 or self.layer < 0:
+            raise ValueError(f"negative sector address: {self}")
+
+
+@dataclass(frozen=True)
+class PlatterGeometry:
+    """Dimensioning of a platter.
+
+    Defaults are scaled-down but proportionate: real sectors hold >100 kB
+    across >100k voxels and platters hold multiple TB; simulating that
+    bit-for-bit would be pointless, so the default geometry keeps the
+    paper's *ratios* (sector payload ~100 kB equivalents are represented by
+    ``sector_payload_bytes``, and capacity math uses the real constants).
+
+    Attributes
+    ----------
+    tracks:
+        Number of tracks across the XY plane.
+    layers:
+        Sectors per track (Z stack depth); the paper cites 100s of layers.
+    voxels_per_sector:
+        Voxel count per sector (paper: >100,000).
+    bits_per_voxel:
+        Bits encoded per voxel via polarization/energy modulation (paper:
+        3-4; we default to 2 — 4 polarization symbols — in the simulated
+        write/read path for decode-margin realism, while capacity math can
+        use any value).
+    sector_payload_bytes:
+        User-data payload per sector after LDPC overhead.
+    """
+
+    tracks: int = 1000
+    layers: int = 200
+    voxels_per_sector: int = 120_000
+    bits_per_voxel: int = 2
+    sector_payload_bytes: int = 100_000
+
+    def __post_init__(self) -> None:
+        if min(self.tracks, self.layers, self.voxels_per_sector, self.bits_per_voxel) < 1:
+            raise ValueError("all geometry dimensions must be >= 1")
+
+    @property
+    def sectors_per_track(self) -> int:
+        """A track is the Z stack of one sector per layer."""
+        return self.layers
+
+    @property
+    def total_sectors(self) -> int:
+        return self.tracks * self.layers
+
+    @property
+    def raw_sector_bits(self) -> int:
+        """Bits a sector's voxels can physically hold (pre-ECC)."""
+        return self.voxels_per_sector * self.bits_per_voxel
+
+    @property
+    def track_payload_bytes(self) -> int:
+        return self.sectors_per_track * self.sector_payload_bytes
+
+    @property
+    def platter_payload_bytes(self) -> int:
+        """User-visible capacity before cross-sector redundancy."""
+        return self.total_sectors * self.sector_payload_bytes
+
+    def sector_index(self, address: SectorAddress) -> int:
+        """Linear index of a sector (track-major)."""
+        self.validate(address)
+        return address.track * self.layers + address.layer
+
+    def address_of(self, index: int) -> SectorAddress:
+        """Inverse of :meth:`sector_index`."""
+        if not 0 <= index < self.total_sectors:
+            raise IndexError(f"sector index {index} out of range")
+        return SectorAddress(index // self.layers, index % self.layers)
+
+    def validate(self, address: SectorAddress) -> None:
+        if address.track >= self.tracks:
+            raise IndexError(f"track {address.track} >= {self.tracks}")
+        if address.layer >= self.layers:
+            raise IndexError(f"layer {address.layer} >= {self.layers}")
+
+    def serpentine_order(self, start_track: int = 0, num_tracks: int = -1):
+        """Yield sector addresses in serpentine order.
+
+        Section 6: "the read drive can read adjacent tracks in serpentine
+        sector-order without an additional seek". Even tracks scan layers
+        bottom-up (writing goes deepest-first, Section 3), odd tracks
+        top-down, so consecutive sectors are always physically adjacent.
+        """
+        if num_tracks < 0:
+            num_tracks = self.tracks - start_track
+        for offset in range(num_tracks):
+            track = start_track + offset
+            if track >= self.tracks:
+                return
+            layers = range(self.layers) if offset % 2 == 0 else range(self.layers - 1, -1, -1)
+            for layer in layers:
+                yield SectorAddress(track, layer)
+
+
+def extent_addresses(
+    geometry: "PlatterGeometry", start: SectorAddress, num_sectors: int
+):
+    """The ``num_sectors`` serpentine-consecutive addresses from ``start``.
+
+    This is the address sequence the write drive lays a file along and the
+    read path walks back (write, verify and service read must agree on it).
+    Raises ValueError when the run would fall off the platter.
+    """
+    geometry.validate(start)
+    addresses = []
+    for address in geometry.serpentine_order(start_track=start.track):
+        if not addresses and address.layer != start.layer:
+            continue
+        addresses.append(address)
+        if len(addresses) == num_sectors:
+            return addresses
+    raise ValueError(
+        f"extent of {num_sectors} sectors from {start} exceeds the platter"
+    )
+
+
+#: Real-platter constants from the paper, used by capacity/cost math.
+#: A track is one sector footprint on the XY plane stacked through all
+#: layers; a DVD-sized platter fits ~1e5 such footprints. 300k voxels at
+#: 4 bits each give 150 kB raw per sector, or ~100 kB of payload after the
+#: LDPC rate and checksum — the paper's "upwards of 100 kB of data" from
+#: "over 100,000 voxels". Total: 100k tracks x 200 layers x 100 kB = 2 TB
+#: of sector payload ("multiple TBs of user data" per platter).
+PAPER_GEOMETRY = PlatterGeometry(
+    tracks=100_000,
+    layers=200,
+    voxels_per_sector=300_000,
+    bits_per_voxel=4,
+    sector_payload_bytes=100_000,
+)

@@ -1,0 +1,160 @@
+"""The glass platter: a WORM store of voxel symbols.
+
+A platter enforces the physical properties Section 3 ascribes to fused
+silica:
+
+* **Write-once**: a sector's voxels, once created, are permanent. Writing an
+  already-written sector raises :class:`WormViolation`.
+* **No bit rot**: stored symbols never change. Read-time errors are a
+  property of the read channel, not the media, and are injected by
+  :mod:`repro.media.channel`.
+* **Air gap**: once the platter is sealed (written and ejected from the
+  write drive), no further writes are possible at all.
+* **Self-descriptive**: the platter carries a header listing its files
+  (Section 6), so data remains locatable even if the metadata service is
+  lost.
+
+Deletion is logical only — crypto-shredding at the service layer (Section 3);
+the platter object has no delete operation by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .geometry import PlatterGeometry, SectorAddress
+
+
+class WormViolation(Exception):
+    """An attempt to modify written glass."""
+
+
+@dataclass(frozen=True)
+class FileExtent:
+    """A contiguous run of sectors (serpentine order) holding file data."""
+
+    file_id: str
+    start_track: int
+    start_layer: int
+    num_sectors: int
+    size_bytes: int
+
+
+@dataclass
+class PlatterHeader:
+    """Self-descriptive header: the list of files on the platter."""
+
+    platter_id: str
+    extents: List[FileExtent] = field(default_factory=list)
+
+    def locate(self, file_id: str) -> Optional[FileExtent]:
+        """Find a file's extent, or None (platter-level scan fallback)."""
+        for extent in self.extents:
+            if extent.file_id == file_id:
+                return extent
+        return None
+
+
+class Platter:
+    """A single glass platter holding voxel symbols per sector.
+
+    Sectors are numpy uint8 arrays of symbol values (one entry per voxel).
+    """
+
+    def __init__(self, platter_id: str, geometry: Optional[PlatterGeometry] = None):
+        self.platter_id = platter_id
+        self.geometry = geometry or PlatterGeometry()
+        self.header = PlatterHeader(platter_id)
+        self._sectors: Dict[Tuple[int, int], np.ndarray] = {}
+        self._sealed = False
+
+    @property
+    def sealed(self) -> bool:
+        """True once the platter has left the write drive (air gap)."""
+        return self._sealed
+
+    @property
+    def written_sectors(self) -> int:
+        return len(self._sectors)
+
+    @property
+    def is_blank(self) -> bool:
+        return not self._sectors
+
+    def seal(self) -> None:
+        """Eject from the write drive: irreversibly disable writing."""
+        self._sealed = True
+
+    def write_sector(self, address: SectorAddress, symbols: np.ndarray) -> None:
+        """Create the voxels of one sector. Write-once; fails when sealed."""
+        if self._sealed:
+            raise WormViolation(
+                f"platter {self.platter_id} is sealed (air-gap): no writes possible"
+            )
+        self.geometry.validate(address)
+        key = (address.track, address.layer)
+        if key in self._sectors:
+            raise WormViolation(
+                f"sector {address} on platter {self.platter_id} already written"
+            )
+        symbols = np.asarray(symbols, dtype=np.uint8)
+        if symbols.size > self.geometry.voxels_per_sector:
+            raise ValueError(
+                f"{symbols.size} symbols exceed sector capacity "
+                f"{self.geometry.voxels_per_sector}"
+            )
+        if symbols.size and symbols.max() >= (1 << self.geometry.bits_per_voxel):
+            raise ValueError("symbol value exceeds the voxel constellation")
+        self._sectors[key] = symbols.copy()
+        self._sectors[key].flags.writeable = False
+
+    def read_sector(self, address: SectorAddress) -> Optional[np.ndarray]:
+        """The pristine symbols of a sector, or None if never written.
+
+        This is the *media truth*; real reads go through the channel model
+        which adds read-time noise on top of this.
+        """
+        self.geometry.validate(address)
+        return self._sectors.get((address.track, address.layer))
+
+    def read_track(self, track: int) -> List[Optional[np.ndarray]]:
+        """All sectors of a track (the minimum read unit), deepest first."""
+        if not 0 <= track < self.geometry.tracks:
+            raise IndexError(f"track {track} out of range")
+        return [
+            self._sectors.get((track, layer))
+            for layer in range(self.geometry.layers)
+        ]
+
+    def track_is_written(self, track: int) -> bool:
+        return any(
+            (track, layer) in self._sectors for layer in range(self.geometry.layers)
+        )
+
+    def written_tracks(self) -> Iterator[int]:
+        seen = set()
+        for track, _layer in self._sectors:
+            if track not in seen:
+                seen.add(track)
+                yield track
+
+    def register_file(self, extent: FileExtent) -> None:
+        """Record a file in the self-descriptive header (write path only)."""
+        if self._sealed:
+            raise WormViolation("cannot extend header of a sealed platter")
+        self.header.extents.append(extent)
+
+    def recycle(self) -> "Platter":
+        """Melt down and return fresh blank media (Section 3).
+
+        Only a platter with no live data should be recycled; the caller (the
+        service layer) is responsible for checking liveness. Returns a new
+        blank platter object; this object becomes unusable.
+        """
+        fresh = Platter(self.platter_id + ":recycled", self.geometry)
+        self._sectors = {}
+        self._sealed = True
+        return fresh

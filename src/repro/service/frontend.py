@@ -1,0 +1,215 @@
+"""The archival service front end: put / get / delete, end to end.
+
+Ties the whole stack together the way Sections 3-6 describe:
+
+* **put**: the file is encrypted (per-file key), staged, packed with its
+  locality cluster, written to glass through the real pipeline (CRC + LDPC
+  + voxel modulation), the platter is sealed (air gap) and fully verified
+  with the read technology before the staged copy is dropped and the file
+  is recorded in the metadata service;
+* **get**: metadata lookup -> image the platter's sectors through the read
+  channel -> decode (posterior -> LLR -> LDPC -> CRC) -> decrypt;
+* **delete**: crypto-shredding — the key is destroyed; the glass is WORM
+  and untouched. A platter with no live bytes can be recycled.
+
+This is the integration surface the examples and integration tests drive.
+It runs the *data* path for real; the *mechanical* path (shuttles, drives,
+latencies) is the discrete event simulator's concern.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..layout.metadata import FileLocation, MetadataService
+from ..layout.packing import FilePacker, PackingConfig, StagedFile
+from ..media.codec import SectorCodec
+from ..media.geometry import PlatterGeometry, SectorAddress, extent_addresses
+from ..media.platter import Platter
+from ..media.read_drive import ReadDriveModel
+from ..media.write_drive import WriteDrive, WriteDriveConfig
+from .staging import StagingTier
+from .verification import VerificationManager
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    """Deterministic keystream from a 32-byte key (SHA-256 in counter mode)."""
+    blocks = []
+    for counter in itertools.count():
+        if sum(len(b) for b in blocks) >= length:
+            break
+        blocks.append(hashlib.sha256(key + counter.to_bytes(8, "little")).digest())
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: bytes, data: bytes) -> bytes:
+    """XOR stream cipher (stand-in for AES-CTR; symmetric)."""
+    stream = _keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+decrypt = encrypt  # XOR stream cipher is its own inverse
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Front-end configuration (small-geometry defaults for fast runs)."""
+
+    geometry: PlatterGeometry = field(
+        default_factory=lambda: PlatterGeometry(
+            tracks=64, layers=8, voxels_per_sector=800, sector_payload_bytes=128
+        )
+    )
+    sector_payload_bytes: int = 128
+    ldpc_rate: float = 0.8
+    channel_seed: int = 11
+
+
+class ArchiveService:
+    """A single-library archival storage service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.codec = SectorCodec(
+            payload_bytes=cfg.sector_payload_bytes, ldpc_rate=cfg.ldpc_rate
+        )
+        self.write_drive = WriteDrive(codec=self.codec)
+        self.read_drive = ReadDriveModel(seed=cfg.channel_seed)
+        self.metadata = MetadataService()
+        self.staging = StagingTier()
+        self.verifier = VerificationManager(self.read_drive, self.codec)
+        self.packer = FilePacker(
+            PackingConfig(
+                platter_capacity_bytes=cfg.geometry.platter_payload_bytes,
+                shard_threshold_bytes=cfg.geometry.platter_payload_bytes // 2,
+            )
+        )
+        self._platters: Dict[str, Platter] = {}
+        self._platter_counter = 0
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------ #
+    # put
+    # ------------------------------------------------------------------ #
+
+    def put(self, file_id: str, data: bytes, account: str = "default") -> FileLocation:
+        """Store a file durably: stage -> write -> seal -> verify -> index.
+
+        For simplicity of the demo path each put drains immediately to one
+        platter; production batches a staging window through the packer.
+        """
+        self._clock += 1.0
+        staged = StagedFile(file_id, len(data), account, self._clock)
+        self.staging.stage(staged)
+        record = self.metadata._files.get(file_id)
+        version = len(record.versions) if record else 0
+        # Key management: register the (new version of the) file so a key
+        # exists, then encrypt with it.
+        platter = self._new_platter()
+        self.write_drive.load_blank(platter)
+        key = self._ensure_key(file_id)
+        ciphertext = encrypt(key, data)
+        extent = self.write_drive.write_file_sectors(
+            platter.platter_id, file_id, ciphertext, SectorAddress(0, 0)
+        )
+        sealed = self.write_drive.eject(platter.platter_id)
+        # Verify with the READ technology before dropping the staged copy.
+        self.verifier.submit(sealed)
+        report = self.verifier.verify_next()
+        if file_id in report.failed_files:
+            # Keep in staging; rewrite later on different media (§5).
+            raise RuntimeError(
+                f"verification failed for {file_id}; file remains staged"
+            )
+        self.staging.release(file_id)
+        location = FileLocation(
+            file_id=file_id,
+            version=version,
+            library=0,
+            platter_id=sealed.platter_id,
+            start_track=extent.start_track,
+            num_tracks=max(1, -(-extent.num_sectors // self.config.geometry.layers)),
+            size_bytes=len(data),
+        )
+        self.metadata.record_write(location)
+        return location
+
+    def _ensure_key(self, file_id: str) -> bytes:
+        from ..layout.metadata import _FileRecord
+        import secrets
+
+        record = self.metadata._files.setdefault(file_id, _FileRecord())
+        if record.encryption_key is None:
+            record.encryption_key = secrets.token_bytes(32)
+        return record.encryption_key
+
+    def _new_platter(self) -> Platter:
+        self._platter_counter += 1
+        platter = Platter(f"SRV{self._platter_counter:05d}", self.config.geometry)
+        self._platters[platter.platter_id] = platter
+        return platter
+
+    # ------------------------------------------------------------------ #
+    # get
+    # ------------------------------------------------------------------ #
+
+    def get(self, file_id: str, version: Optional[int] = None) -> bytes:
+        """Read a file back through the full decode path."""
+        location = self.metadata.locate(file_id, version)
+        key = self.metadata.encryption_key(file_id)
+        platter = self._platters[location.platter_id]
+        extent = platter.header.locate(file_id)
+        if extent is None:
+            raise KeyError(f"platter header lost track of {file_id}")
+        ciphertext = self._read_extent(platter, extent.start_track, extent.start_layer, extent.num_sectors)
+        ciphertext = ciphertext[: extent.size_bytes]
+        return decrypt(key, ciphertext)
+
+    def _read_extent(
+        self, platter: Platter, start_track: int, start_layer: int, num_sectors: int
+    ) -> bytes:
+        chunks: List[bytes] = []
+        addresses = extent_addresses(
+            platter.geometry, SectorAddress(start_track, start_layer), num_sectors
+        )
+        for address in addresses:
+            observations = self.read_drive.channel.observe(
+                platter.read_sector(address)
+            )
+            posteriors = self.read_drive.channel.symbol_posteriors(observations)
+            result = self.codec.decode(posteriors)
+            if not result.success:
+                raise IOError(
+                    f"sector {address} unrecoverable; escalate to network coding"
+                )
+            chunks.append(result.payload)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------ #
+    # delete / recycle
+    # ------------------------------------------------------------------ #
+
+    def delete(self, file_id: str) -> None:
+        """Crypto-shredding delete (Section 3)."""
+        self.metadata.delete(file_id)
+
+    def recyclable_platters(self) -> List[str]:
+        """Platters with no live data — candidates for melting down."""
+        return [
+            pid
+            for pid in self._platters
+            if self.metadata.live_bytes_on(pid) == 0
+        ]
+
+    def recycle(self, platter_id: str) -> Platter:
+        """Melt a dead platter back into blank media."""
+        if self.metadata.live_bytes_on(platter_id) > 0:
+            raise RuntimeError(f"platter {platter_id} still holds live data")
+        platter = self._platters.pop(platter_id)
+        return platter.recycle()

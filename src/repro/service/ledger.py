@@ -1,0 +1,186 @@
+"""Append-only ledger on WORM glass (Section 9.1 future work).
+
+"The Silica system is air-gap-by-design: once a platter is written it is no
+longer accessible by a write drive, and read drives cannot modify the
+platter, leading to a physically immutable storage medium. ... glass media
+provides a natural fit for append-only data structures such as blockchains.
+... the durability and immutability offered by the technology ensure and
+protect the integrity of data at a physical level."
+
+:class:`GlassLedger` is a hash-chained append-only log whose committed
+segments live on sealed platters. The interesting property is *where* the
+integrity comes from: tampering is impossible at the media level (WORM +
+air gap), so the hash chain only needs to protect the cross-platter
+ordering and the open (not yet sealed) segment — a strictly weaker job
+than a software-only ledger, exactly the system-level benefit the paper
+anticipates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..media.codec import SectorCodec
+from ..media.geometry import PlatterGeometry, SectorAddress
+from ..media.platter import Platter
+from ..media.read_drive import ReadDriveModel
+from ..media.write_drive import WriteDrive
+
+GENESIS = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One committed record."""
+
+    index: int
+    payload: bytes
+    previous_hash: bytes
+
+    @property
+    def entry_hash(self) -> bytes:
+        digest = hashlib.sha256()
+        digest.update(self.index.to_bytes(8, "little"))
+        digest.update(self.previous_hash)
+        digest.update(self.payload)
+        return digest.digest()
+
+    def to_bytes(self) -> bytes:
+        blob = {
+            "index": self.index,
+            "payload": self.payload.hex(),
+            "previous": self.previous_hash.hex(),
+        }
+        return json.dumps(blob, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "LedgerEntry":
+        blob = json.loads(raw.decode())
+        return cls(
+            index=blob["index"],
+            payload=bytes.fromhex(blob["payload"]),
+            previous_hash=bytes.fromhex(blob["previous"]),
+        )
+
+
+class LedgerIntegrityError(Exception):
+    """The chain does not verify (possible only in the unsealed segment)."""
+
+
+class GlassLedger:
+    """A hash-chained log committed to sealed glass platters.
+
+    Entries accumulate in an in-memory open segment; :meth:`commit_segment`
+    writes the segment through the full media pipeline onto a fresh platter
+    and seals it (after which the air gap makes it physically immutable).
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[PlatterGeometry] = None,
+        segment_entries: int = 16,
+    ):
+        self.geometry = geometry or PlatterGeometry(
+            tracks=64, layers=8, voxels_per_sector=3000, sector_payload_bytes=512
+        )
+        self.codec = SectorCodec(payload_bytes=self.geometry.sector_payload_bytes, ldpc_rate=0.8)
+        self.segment_entries = segment_entries
+        self.read_drive = ReadDriveModel(seed=17)
+        self._open_segment: List[LedgerEntry] = []
+        self._sealed_platters: List[Platter] = []
+        self._next_index = 0
+        self._tip_hash = GENESIS
+        self._platter_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Append path
+    # ------------------------------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        return self._next_index
+
+    @property
+    def tip_hash(self) -> bytes:
+        return self._tip_hash
+
+    def append(self, payload: bytes) -> LedgerEntry:
+        """Add one record; auto-commits a full segment to glass."""
+        if len(payload) > self.codec.payload_bytes - 128:
+            raise ValueError("payload too large for a ledger sector frame")
+        entry = LedgerEntry(self._next_index, payload, self._tip_hash)
+        self._open_segment.append(entry)
+        self._next_index += 1
+        self._tip_hash = entry.entry_hash
+        if len(self._open_segment) >= self.segment_entries:
+            self.commit_segment()
+        return entry
+
+    def commit_segment(self) -> Optional[str]:
+        """Write the open segment to a fresh platter and seal it."""
+        if not self._open_segment:
+            return None
+        self._platter_counter += 1
+        platter = Platter(f"LEDGER{self._platter_counter:04d}", self.geometry)
+        write_drive = WriteDrive(codec=self.codec)
+        write_drive.load_blank(platter)
+        order = self.geometry.serpentine_order()
+        for entry in self._open_segment:
+            address = next(order)
+            write_drive.write_raw_sector(platter.platter_id, address, entry.to_bytes())
+        sealed = write_drive.eject(platter.platter_id)  # air gap engages here
+        self._sealed_platters.append(sealed)
+        self._open_segment = []
+        return sealed.platter_id
+
+    # ------------------------------------------------------------------ #
+    # Read / verify path
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> Iterator[LedgerEntry]:
+        """All entries, committed segments first, through the decode path."""
+        for platter in self._sealed_platters:
+            order = platter.geometry.serpentine_order()
+            for address in order:
+                symbols = platter.read_sector(address)
+                if symbols is None:
+                    break
+                image = self.read_drive.channel.observe(symbols)
+                result = self.codec.decode(
+                    self.read_drive.channel.symbol_posteriors(image)
+                )
+                if not result.success:
+                    raise LedgerIntegrityError(
+                        f"unrecoverable ledger sector on {platter.platter_id}"
+                    )
+                payload = result.payload.rstrip(b"\x00")
+                yield LedgerEntry.from_bytes(payload)
+        yield from self._open_segment
+
+    def verify_chain(self) -> bool:
+        """Walk the chain; raises on any break."""
+        previous = GENESIS
+        expected_index = 0
+        for entry in self.entries():
+            if entry.index != expected_index:
+                raise LedgerIntegrityError(
+                    f"index gap: expected {expected_index}, found {entry.index}"
+                )
+            if entry.previous_hash != previous:
+                raise LedgerIntegrityError(f"hash chain broken at entry {entry.index}")
+            previous = entry.entry_hash
+            expected_index += 1
+        if previous != self._tip_hash:
+            raise LedgerIntegrityError("tip hash does not match chain head")
+        return True
+
+    @property
+    def committed_platters(self) -> List[str]:
+        return [p.platter_id for p in self._sealed_platters]
+
+    def physically_immutable_entries(self) -> int:
+        """Entries whose integrity is media-enforced (sealed platters)."""
+        return self._next_index - len(self._open_segment)

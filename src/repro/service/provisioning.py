@@ -1,0 +1,140 @@
+"""Deployment provisioning math (Sections 3.1 and 7.2).
+
+Two planning questions a deployment operator needs answered:
+
+* **How many libraries (MDUs)?** "We compute the ingress rate at trace time
+  and use the rate to determine the number of libraries (MDUs) to
+  provision" — each MDU brings one write drive's aggregate bandwidth.
+
+* **Does verification keep up?** Every written byte must be read back by
+  the read drives before the staged copy is dropped (Section 3.1), and the
+  verification workload runs in the read drives' idle time. Read bandwidth
+  is provisioned for peak *user* reads, which are bursty, so the average
+  idle capacity is large — :func:`verification_backlog` checks the claim
+  quantitatively for a given ingress series and drive fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..media.read_drive import ReadDriveConfig
+from ..media.write_drive import WriteDriveConfig
+from ..workload.traces import IngressSeries
+from .staging import provision_write_rate
+
+
+@dataclass(frozen=True)
+class MduPlan:
+    """Libraries required for a data center's ingress."""
+
+    libraries: int
+    smoothed_rate_bytes_per_day: float
+    write_bandwidth_per_library: float  # bytes/day
+    utilization: float  # smoothed rate / provisioned write bandwidth
+
+
+def libraries_needed(
+    ingress: IngressSeries,
+    write_drive: Optional[WriteDriveConfig] = None,
+    max_staging_days: float = 30.0,
+) -> MduPlan:
+    """MDUs needed to absorb a data center's (smoothed) ingress.
+
+    The staging tier smooths the burst; each library contributes its write
+    drive's aggregate throughput. Requires at least one library.
+    """
+    write_drive = write_drive or WriteDriveConfig()
+    smoothed = provision_write_rate(ingress, max_staging_days=max_staging_days)
+    per_library = (
+        write_drive.per_platter_write_mbps * write_drive.platter_slots * 1e6 * 86_400
+    )
+    libraries = max(1, math.ceil(smoothed / per_library))
+    return MduPlan(
+        libraries=libraries,
+        smoothed_rate_bytes_per_day=smoothed,
+        write_bandwidth_per_library=per_library,
+        utilization=smoothed / (libraries * per_library),
+    )
+
+
+@dataclass
+class VerificationPlan:
+    """Verification backlog trajectory for one library fleet."""
+
+    daily_backlog_bytes: np.ndarray
+    verify_capacity_bytes_per_day: float
+
+    @property
+    def keeps_up(self) -> bool:
+        """Backlog returns to ~zero instead of growing without bound."""
+        if len(self.daily_backlog_bytes) < 2:
+            return True
+        tail = self.daily_backlog_bytes[-7:]
+        return bool(tail.min() < self.verify_capacity_bytes_per_day)
+
+    @property
+    def max_backlog_days(self) -> float:
+        """Worst verification lag, expressed in days of verify capacity."""
+        if self.verify_capacity_bytes_per_day <= 0:
+            return float("inf")
+        return float(
+            self.daily_backlog_bytes.max() / self.verify_capacity_bytes_per_day
+        )
+
+
+def verification_backlog(
+    ingress: IngressSeries,
+    num_read_drives: int = 20,
+    read_drive: Optional[ReadDriveConfig] = None,
+    customer_read_fraction: float = 0.15,
+    libraries: int = 1,
+) -> VerificationPlan:
+    """Simulate the verification queue against idle read-drive capacity.
+
+    ``customer_read_fraction`` is the average share of drive time consumed
+    by customer reads (it is small: read bandwidth is provisioned for the
+    bursty peak, Section 3.1); the rest verifies. Every written byte joins
+    the verification queue the day it is written.
+    """
+    read_drive = read_drive or ReadDriveConfig()
+    idle_fraction = max(0.0, 1.0 - customer_read_fraction)
+    capacity = (
+        libraries
+        * num_read_drives
+        * read_drive.throughput_mbps
+        * 1e6
+        * 86_400
+        * idle_fraction
+    )
+    backlog = 0.0
+    trajectory = np.zeros(ingress.num_days)
+    for day in range(ingress.num_days):
+        backlog += ingress.daily_bytes[day]
+        backlog = max(0.0, backlog - capacity)
+        trajectory[day] = backlog
+    return VerificationPlan(trajectory, capacity)
+
+
+def read_drive_headroom(
+    num_read_drives: int,
+    read_drive: Optional[ReadDriveConfig] = None,
+    write_drive: Optional[WriteDriveConfig] = None,
+) -> float:
+    """Aggregate read bandwidth over aggregate write bandwidth.
+
+    Section 3.1's design consequence: while data is being written, every
+    byte is re-read for verification, so the read side needs at least 1x
+    the write bandwidth *on top of* customer reads. The default MDU has
+    20 x 60 MB/s = 1200 MB/s of read against 60 MB/s of write — 20x
+    headroom, which is why verification hides in idle time.
+    """
+    read_drive = read_drive or ReadDriveConfig()
+    write_drive = write_drive or WriteDriveConfig()
+    read_bandwidth = num_read_drives * read_drive.throughput_mbps
+    write_bandwidth = write_drive.per_platter_write_mbps * write_drive.platter_slots
+    return read_bandwidth / write_bandwidth

@@ -1,0 +1,139 @@
+"""Write staging and ingress smoothing (Sections 2 and 6).
+
+"In Silica, we smooth the write load over time with relatively small volume
+of staging prior to writing. This allows us to reduce costs by making the
+peak only a little higher than mean, so write utilization remains high."
+
+The staging tier is an online (warm) buffer: customer writes land here
+immediately and drain to the write drives at a provisioned rate close to the
+long-term mean ingress. :func:`provision_write_rate` computes the drain rate
+needed to bound staging occupancy, and :class:`StagingBuffer` simulates the
+buffer dynamics over a daily ingress series — reproducing the design claim
+that a ~30-day smoothing window drops the required write bandwidth from
+~16x mean (peak-provisioned) to ~2x mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workload.traces import IngressSeries
+from ..layout.packing import StagedFile
+
+
+@dataclass
+class StagingState:
+    """Occupancy trajectory of the staging buffer."""
+
+    daily_occupancy: np.ndarray  # bytes staged at end of each day
+    drained: np.ndarray  # bytes written to glass each day
+    drain_rate: float  # provisioned bytes/day
+
+    @property
+    def peak_occupancy(self) -> float:
+        return float(self.daily_occupancy.max()) if len(self.daily_occupancy) else 0.0
+
+    @property
+    def max_staging_days(self) -> float:
+        """Worst-case staging residency in days (occupancy / drain rate)."""
+        if self.drain_rate <= 0:
+            return float("inf")
+        return self.peak_occupancy / self.drain_rate
+
+    @property
+    def write_utilization(self) -> float:
+        """Fraction of provisioned write bandwidth actually used."""
+        if self.drain_rate <= 0 or len(self.drained) == 0:
+            return 0.0
+        return float(self.drained.mean() / self.drain_rate)
+
+
+def simulate_staging(ingress: IngressSeries, drain_rate: float) -> StagingState:
+    """Run the buffer: each day, ingress arrives and up to ``drain_rate``
+    bytes are written to glass."""
+    occupancy = 0.0
+    occ_series = np.zeros(ingress.num_days)
+    drained = np.zeros(ingress.num_days)
+    for day in range(ingress.num_days):
+        occupancy += ingress.daily_bytes[day]
+        out = min(occupancy, drain_rate)
+        occupancy -= out
+        drained[day] = out
+        occ_series[day] = occupancy
+    return StagingState(occ_series, drained, drain_rate)
+
+
+def provision_write_rate(
+    ingress: IngressSeries, max_staging_days: float = 30.0, headroom: float = 1.1
+) -> float:
+    """Smallest drain rate (bytes/day) keeping staging residency bounded.
+
+    Binary search over the drain rate; the result lands near the long-term
+    mean ingress (peak-over-mean ~2 at 30-day windows, Figure 2), versus
+    ~16x mean if the write path were provisioned for daily peaks.
+    """
+    mean = float(ingress.daily_bytes.mean())
+    lo, hi = mean, float(ingress.daily_bytes.max())
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        state = simulate_staging(ingress, mid)
+        if state.max_staging_days <= max_staging_days:
+            hi = mid
+        else:
+            lo = mid
+    return hi * headroom
+
+
+@dataclass
+class StagingTier:
+    """Operational staging front end: holds files until packed and written.
+
+    Files stay here through write *and verification* — "any staged write
+    data is deleted" only after the platter is fully verified (Section 3.1)
+    — so a verification failure can simply re-stage the file onto a
+    different platter (Section 5).
+    """
+
+    capacity_bytes: float = float("inf")
+    _files: Dict[str, StagedFile] = field(default_factory=dict)
+    _bytes: float = 0.0
+
+    @property
+    def occupancy_bytes(self) -> float:
+        return self._bytes
+
+    @property
+    def count(self) -> int:
+        return len(self._files)
+
+    def stage(self, staged: StagedFile) -> None:
+        if staged.file_id in self._files:
+            raise ValueError(f"file {staged.file_id} already staged")
+        if self._bytes + staged.size_bytes > self.capacity_bytes:
+            raise RuntimeError("staging tier full — increase drain rate")
+        self._files[staged.file_id] = staged
+        self._bytes += staged.size_bytes
+
+    def peek(self, file_id: str) -> StagedFile:
+        return self._files[file_id]
+
+    def ready_files(self, min_age_seconds: float, now: float) -> List[StagedFile]:
+        """Files staged at least ``min_age_seconds`` ago — the packing
+        window that gives the packer its locality freedom."""
+        return [
+            f
+            for f in self._files.values()
+            if now - f.write_time >= min_age_seconds
+        ]
+
+    def release(self, file_id: str) -> StagedFile:
+        """Verification succeeded: the staged copy can be dropped."""
+        staged = self._files.pop(file_id)
+        self._bytes -= staged.size_bytes
+        return staged
+
+    def contains(self, file_id: str) -> bool:
+        return file_id in self._files

@@ -1,0 +1,67 @@
+"""Cloud archival workload substrate (Section 2).
+
+Synthetic but statistically calibrated replacement for the paper's
+production traces: trace records, the workload generator, the evaluation
+profiles (Typical / IOPS / Volume), and the analysis functions behind
+Figures 1 and 2.
+"""
+
+from .analysis import (
+    SizeHistogram,
+    WriteReadRatios,
+    peak_over_mean_curve,
+    read_size_histogram,
+    tail_over_median_rates,
+    writes_over_reads,
+)
+from .generator import FileSizeModel, IngressModel, WorkloadGenerator, WorkloadModel
+from .intervals import EvaluationInterval, select_evaluation_intervals
+from .lifecycle import LifecycleModel
+from .io import load_ingress, load_trace, save_ingress, save_trace
+from .profiles import ALL_PROFILES, IOPS, TYPICAL, VOLUME, WorkloadProfile, profile_by_name
+from .traces import (
+    SIZE_BUCKET_EDGES,
+    SIZE_BUCKET_LABELS,
+    GiB,
+    IngressSeries,
+    MiB,
+    ReadRequest,
+    ReadTrace,
+    TiB,
+    bucket_of,
+)
+
+__all__ = [
+    "SizeHistogram",
+    "WriteReadRatios",
+    "peak_over_mean_curve",
+    "read_size_histogram",
+    "tail_over_median_rates",
+    "writes_over_reads",
+    "FileSizeModel",
+    "EvaluationInterval",
+    "LifecycleModel",
+    "select_evaluation_intervals",
+    "load_ingress",
+    "load_trace",
+    "save_ingress",
+    "save_trace",
+    "IngressModel",
+    "WorkloadGenerator",
+    "WorkloadModel",
+    "ALL_PROFILES",
+    "IOPS",
+    "TYPICAL",
+    "VOLUME",
+    "WorkloadProfile",
+    "profile_by_name",
+    "SIZE_BUCKET_EDGES",
+    "SIZE_BUCKET_LABELS",
+    "GiB",
+    "IngressSeries",
+    "MiB",
+    "ReadRequest",
+    "ReadTrace",
+    "TiB",
+    "bucket_of",
+]

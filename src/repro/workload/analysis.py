@@ -1,0 +1,113 @@
+"""Workload analysis: the statistics behind Figures 1 and 2.
+
+Each function maps a trace/series to exactly the quantity plotted in the
+paper's workload characterization, so the Figure 1/2 benchmarks are a thin
+loop over these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .traces import SIZE_BUCKET_EDGES, SIZE_BUCKET_LABELS, IngressSeries, ReadTrace, bucket_of
+
+
+@dataclass(frozen=True)
+class WriteReadRatios:
+    """Figure 1(a): monthly writes-over-reads by op count and by bytes."""
+
+    months: int
+    count_ratio: np.ndarray  # write ops / read ops, per month
+    byte_ratio: np.ndarray  # bytes written / bytes read, per month
+
+    @property
+    def mean_count_ratio(self) -> float:
+        return float(self.count_ratio.mean())
+
+    @property
+    def mean_byte_ratio(self) -> float:
+        return float(self.byte_ratio.mean())
+
+
+def writes_over_reads(
+    ingress: IngressSeries, reads: ReadTrace, days_per_month: int = 30
+) -> WriteReadRatios:
+    """Monthly write/read ratios (Figure 1a)."""
+    monthly_write_bytes = ingress.monthly_bytes(days_per_month)
+    monthly_write_ops = ingress.monthly_ops(days_per_month)
+    months = len(monthly_write_bytes)
+    read_bytes = np.zeros(months)
+    read_ops = np.zeros(months)
+    month_seconds = days_per_month * 86_400
+    for request in reads:
+        month = int(request.time // month_seconds)
+        if month < months:
+            read_bytes[month] += request.size_bytes
+            read_ops[month] += 1
+    read_bytes = np.maximum(read_bytes, 1.0)
+    read_ops = np.maximum(read_ops, 1.0)
+    return WriteReadRatios(
+        months=months,
+        count_ratio=monthly_write_ops / read_ops,
+        byte_ratio=monthly_write_bytes / read_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class SizeHistogram:
+    """Figure 1(b): per-bucket percentage of read ops and of bytes read."""
+
+    labels: Tuple[str, ...]
+    count_percent: np.ndarray
+    bytes_percent: np.ndarray
+
+    def count_at_most(self, bucket: int) -> float:
+        """Cumulative % of reads in buckets 0..bucket."""
+        return float(self.count_percent[: bucket + 1].sum())
+
+    def bytes_above(self, bucket: int) -> float:
+        """Cumulative % of bytes in buckets > bucket."""
+        return float(self.bytes_percent[bucket + 1 :].sum())
+
+    def count_above(self, bucket: int) -> float:
+        return float(self.count_percent[bucket + 1 :].sum())
+
+
+def read_size_histogram(trace: ReadTrace) -> SizeHistogram:
+    """Bucketed size histogram of a read trace (Figure 1b)."""
+    counts = np.zeros(len(SIZE_BUCKET_EDGES))
+    volumes = np.zeros(len(SIZE_BUCKET_EDGES))
+    for request in trace:
+        b = min(bucket_of(request.size_bytes), len(SIZE_BUCKET_EDGES) - 1)
+        counts[b] += 1
+        volumes[b] += request.size_bytes
+    total_count = max(counts.sum(), 1.0)
+    total_volume = max(volumes.sum(), 1.0)
+    return SizeHistogram(
+        labels=SIZE_BUCKET_LABELS,
+        count_percent=100 * counts / total_count,
+        bytes_percent=100 * volumes / total_volume,
+    )
+
+
+def tail_over_median_rates(hourly_rates: Sequence[np.ndarray], tail_percentile: float = 99.9) -> np.ndarray:
+    """Figure 1(c): per-DC p99.9-over-median hourly read rate, ranked
+    descending (the paper plots DCs ranked by normalized tail)."""
+    ratios = []
+    for rates in hourly_rates:
+        median = np.median(rates)
+        tail = np.percentile(rates, tail_percentile)
+        ratios.append(tail / max(median, 1e-12))
+    return np.sort(np.array(ratios))[::-1]
+
+
+def peak_over_mean_curve(
+    ingress: IngressSeries, window_days: Sequence[int] = tuple(range(1, 61))
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 2: peak-over-mean rolling ingress vs. aggregation window."""
+    windows = np.array([w for w in window_days if w <= ingress.num_days])
+    ratios = np.array([ingress.peak_over_mean(int(w)) for w in windows])
+    return windows, ratios

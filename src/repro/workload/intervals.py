@@ -1,0 +1,92 @@
+"""Evaluation-interval selection (Section 7.2 methodology).
+
+"To choose the read traces to simulate, we consider 12-hour rolling
+intervals across six months in the data center. We choose intervals with
+(i) the highest volume of data read (Volume), (ii) highest number of read
+requests (IOPS), and (iii) a Typical interval. For each of these three
+12-hour intervals, we create a workload trace which also includes previous
+(warm-up) and subsequent (cool-down) read requests."
+
+Given any long read trace, :func:`select_evaluation_intervals` scans the
+rolling windows and extracts exactly those three padded traces.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .traces import ReadRequest, ReadTrace
+
+
+@dataclass(frozen=True)
+class EvaluationInterval:
+    """One selected 12-hour interval, padded for warm-up/cool-down."""
+
+    name: str
+    trace: ReadTrace  # includes padding
+    measure_start: float
+    measure_end: float
+
+    @property
+    def measured_requests(self) -> int:
+        return len(self.trace.window(self.measure_start, self.measure_end))
+
+
+def _rolling_stats(
+    trace: ReadTrace, window_seconds: float, step_seconds: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(window starts, request counts, byte volumes) per rolling window."""
+    times = np.array([r.time for r in trace])
+    sizes = np.array([r.size_bytes for r in trace], dtype=np.float64)
+    if len(times) == 0:
+        return np.zeros(0), np.zeros(0), np.zeros(0)
+    span_start = times[0]
+    span_end = times[-1]
+    starts = np.arange(span_start, max(span_start + 1, span_end - window_seconds), step_seconds)
+    counts = np.zeros(len(starts))
+    volumes = np.zeros(len(starts))
+    for i, start in enumerate(starts):
+        lo = np.searchsorted(times, start, side="left")
+        hi = np.searchsorted(times, start + window_seconds, side="left")
+        counts[i] = hi - lo
+        volumes[i] = sizes[lo:hi].sum()
+    return starts, counts, volumes
+
+
+def select_evaluation_intervals(
+    trace: ReadTrace,
+    window_hours: float = 12.0,
+    step_hours: float = 1.0,
+    padding_hours: float = 2.0,
+) -> Dict[str, EvaluationInterval]:
+    """Pick the IOPS, Volume and Typical windows from a long trace.
+
+    IOPS is the window with the most requests, Volume the one with the most
+    bytes, Typical the window whose request count is the median over all
+    windows. Each comes padded by ``padding_hours`` on both sides.
+    """
+    window = window_hours * 3600.0
+    step = step_hours * 3600.0
+    padding = padding_hours * 3600.0
+    starts, counts, volumes = _rolling_stats(trace, window, step)
+    if len(starts) == 0:
+        raise ValueError("trace is empty")
+
+    def build(name: str, index: int) -> EvaluationInterval:
+        measure_start = float(starts[index])
+        measure_end = measure_start + window
+        padded = trace.window(measure_start - padding, measure_end + padding)
+        return EvaluationInterval(name, padded, measure_start, measure_end)
+
+    iops_index = int(np.argmax(counts))
+    volume_index = int(np.argmax(volumes))
+    typical_index = int(np.argsort(counts)[len(counts) // 2])
+    return {
+        "IOPS": build("IOPS", iops_index),
+        "Volume": build("Volume", volume_index),
+        "Typical": build("Typical", typical_index),
+    }

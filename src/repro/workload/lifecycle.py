@@ -1,0 +1,81 @@
+"""Library lifecycle projection (Section 7.7).
+
+"The mean read rate per Silica library in the early deployment that we
+simulate above is 0.3 reads/sec. Assuming a periodic deletion rate of 5%
+and a cool-down rate of 10%, we expect a mean rate of 1.6 reads/sec for a
+similar library 9-age-folds into the future."
+
+A cohort model reproduces that arithmetic exactly: each age-fold deposits a
+new cohort of data whose read rate starts at the early-deployment rate and
+then decays — 5% of it is deleted per fold and the surviving data cools by
+10% per fold. The library's total rate is the sum over surviving cohorts:
+
+    rate(n) = r0 * sum_{k=0..n} s^k,   s = (1 - deletion) * (1 - cooldown)
+
+With r0 = 0.3, deletion 5%, cooldown 10% and n = 9:
+rate = 0.3 * (1 - 0.855^10) / 0.145 = 1.64 ~ 1.6 reads/s — the Figure 9
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class LifecycleModel:
+    """Per-age-fold data dynamics of one library."""
+
+    initial_rate_per_second: float = 0.3  # early-deployment mean (§7.7)
+    deletion_rate: float = 0.05  # fraction of a cohort deleted per fold
+    cooldown_rate: float = 0.10  # access decay of surviving data per fold
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.deletion_rate < 1:
+            raise ValueError("deletion_rate must be in [0, 1)")
+        if not 0 <= self.cooldown_rate < 1:
+            raise ValueError("cooldown_rate must be in [0, 1)")
+
+    @property
+    def survival_factor(self) -> float:
+        """Read-rate retention of a cohort across one age-fold."""
+        return (1 - self.deletion_rate) * (1 - self.cooldown_rate)
+
+    def cohort_rates(self, age_folds: int) -> List[float]:
+        """Read rate contributed by each cohort at age ``age_folds``.
+
+        Cohort k (deposited k folds ago) contributes r0 * s^k.
+        """
+        if age_folds < 0:
+            raise ValueError("age_folds must be >= 0")
+        return [
+            self.initial_rate_per_second * self.survival_factor**k
+            for k in range(age_folds + 1)
+        ]
+
+    def projected_rate(self, age_folds: int) -> float:
+        """Total mean read rate ``age_folds`` into the future (Fig. 9)."""
+        return sum(self.cohort_rates(age_folds))
+
+    def steady_state_rate(self) -> float:
+        """The rate the library converges to as it fills (geometric limit)."""
+        s = self.survival_factor
+        if s >= 1:
+            return float("inf")
+        return self.initial_rate_per_second / (1 - s)
+
+    def folds_to_reach(self, target_rate: float) -> int:
+        """Smallest age at which the projected rate reaches ``target_rate``.
+
+        Raises ValueError if the steady state never reaches it.
+        """
+        if target_rate > self.steady_state_rate():
+            raise ValueError(
+                f"target {target_rate}/s exceeds the steady state "
+                f"{self.steady_state_rate():.2f}/s"
+            )
+        fold = 0
+        while self.projected_rate(fold) < target_rate:
+            fold += 1
+        return fold

@@ -1,0 +1,103 @@
+"""Evaluation workload profiles: Typical, IOPS, and Volume (Section 7.2).
+
+"To choose the read traces to simulate, we consider 12-hour rolling
+intervals across six months ... We choose intervals with (i) the highest
+volume of data read (Volume), (ii) highest number of read requests (IOPS),
+and (iii) a Typical interval. Compared to Typical, IOPS has approximately
+10x more reads per volume read, while Volume has a 25x higher volume read,
+but only 5x more reads by count."
+
+The profiles below encode these ratios. ``TYPICAL`` is anchored at the
+paper's early-deployment operating point (~0.3 reads/s per library mean);
+IOPS multiplies the request count by 10 at roughly constant volume (so the
+per-read size shrinks 10x); Volume multiplies count by 5 and volume by 25
+(per-read size grows 5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from .generator import FileSizeModel, WorkloadGenerator
+from .traces import MiB, ReadTrace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A named 12-hour evaluation interval."""
+
+    name: str
+    mean_rate_per_second: float
+    size_model: FileSizeModel
+    burstiness: float = 0.3
+    interval_hours: float = 12.0
+    warmup_hours: float = 2.0
+    cooldown_hours: float = 2.0
+
+    def trace(self, generator: WorkloadGenerator, stream: int = 20) -> Tuple[ReadTrace, float, float]:
+        return generator.interval_trace(
+            mean_rate_per_second=self.mean_rate_per_second,
+            interval_hours=self.interval_hours,
+            warmup_hours=self.warmup_hours,
+            cooldown_hours=self.cooldown_hours,
+            size_model=self.size_model,
+            burstiness=self.burstiness,
+            stream=stream,
+        )
+
+
+def _scaled_sizes(base: FileSizeModel, small_shift: float) -> FileSizeModel:
+    """Shift count mass toward small (shift > 0) or large (shift < 0) files.
+
+    ``small_shift`` is a log-scale tilt: bucket i's weight is multiplied by
+    exp(small_shift * position), position running +1 (smallest bucket) to
+    -1 (largest).
+    """
+    import math
+
+    weights = list(base.count_weights)
+    n = len(weights)
+    factors = [
+        math.exp(small_shift * (n / 2 - i) / (n / 2)) for i in range(n)
+    ]
+    shifted = [w * f for w, f in zip(weights, factors)]
+    total = sum(shifted)
+    return replace(base, count_weights=tuple(w / total for w in shifted))
+
+
+_BASE_SIZES = FileSizeModel()
+
+#: Typical interval: the paper's early-deployment mean of ~0.3 reads/s.
+TYPICAL = WorkloadProfile(
+    name="Typical",
+    mean_rate_per_second=0.3,
+    size_model=_BASE_SIZES,
+)
+
+#: IOPS interval: ~10x more reads per volume than Typical. We raise the
+#: request rate 10x and skew sizes small so volume stays roughly flat.
+IOPS = WorkloadProfile(
+    name="IOPS",
+    mean_rate_per_second=3.0,
+    size_model=_scaled_sizes(_BASE_SIZES, 4.6),
+    burstiness=0.5,
+)
+
+#: Volume interval: 25x the volume at only 5x the request count, i.e. the
+#: mean read size is ~5x Typical's.
+VOLUME = WorkloadProfile(
+    name="Volume",
+    mean_rate_per_second=1.5,
+    size_model=_scaled_sizes(_BASE_SIZES, -1.2),
+    burstiness=0.5,
+)
+
+ALL_PROFILES = (TYPICAL, IOPS, VOLUME)
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    for profile in ALL_PROFILES:
+        if profile.name.lower() == name.lower():
+            return profile
+    raise KeyError(f"unknown workload profile {name!r}")

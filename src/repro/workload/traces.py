@@ -1,0 +1,184 @@
+"""Workload trace records and containers.
+
+The unit of workload everywhere in the evaluation is the *read request*
+(writes are buffered, disaggregated, and never replayed — Section 7.2), so
+the central type is :class:`ReadRequest`. Write activity is represented as a
+daily ingress series (:class:`IngressSeries`), which is all Figures 1(a) and
+2 consume.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One user read of one file.
+
+    ``time`` is in seconds from trace start. ``file_id`` identifies the
+    file; ``platter_id`` is filled in once layout assigns files to platters.
+    """
+
+    time: float
+    file_id: str
+    size_bytes: int
+    account: str = ""
+    data_center: str = ""
+    platter_id: Optional[str] = None
+    track: int = 0
+    num_tracks: int = 1
+
+    def with_placement(self, platter_id: str, track: int, num_tracks: int = 1) -> "ReadRequest":
+        return replace(self, platter_id=platter_id, track=track, num_tracks=num_tracks)
+
+
+class ReadTrace:
+    """An ordered sequence of read requests with window slicing."""
+
+    def __init__(self, requests: Iterable[ReadRequest]):
+        self.requests: List[ReadRequest] = sorted(requests, key=lambda r: r.time)
+        self._times = [r.time for r in self.requests]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[ReadRequest]:
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self._times[-1] - self._times[0]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.requests)
+
+    def window(self, start: float, end: float) -> "ReadTrace":
+        """Requests with start <= time < end."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return ReadTrace(self.requests[lo:hi])
+
+    def request_rate(self) -> float:
+        """Mean requests/second over the trace span."""
+        if len(self.requests) < 2:
+            return 0.0
+        return len(self.requests) / self.duration
+
+    def hourly_rates_mbps(self, num_hours: Optional[int] = None) -> np.ndarray:
+        """Read throughput (MB/s) per hour bucket — Figure 1(c)'s statistic."""
+        if not self.requests:
+            return np.zeros(0)
+        start = self._times[0]
+        span = self.duration
+        hours = num_hours or max(1, int(np.ceil(span / 3600)) or 1)
+        volumes = np.zeros(hours)
+        for request in self.requests:
+            bucket = min(hours - 1, int((request.time - start) // 3600))
+            volumes[bucket] += request.size_bytes
+        return volumes / 3600 / 1e6
+
+    def sizes(self) -> np.ndarray:
+        return np.array([r.size_bytes for r in self.requests], dtype=np.int64)
+
+
+@dataclass
+class IngressSeries:
+    """Daily write ingress: bytes and operation counts per day.
+
+    This is the aggregate view Figures 1(a) and 2 are computed from; a
+    six-month production stream is tens of billions of operations, so the
+    write side is carried as per-day aggregates rather than per-op records.
+    """
+
+    daily_bytes: np.ndarray
+    daily_ops: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.daily_bytes = np.asarray(self.daily_bytes, dtype=np.float64)
+        self.daily_ops = np.asarray(self.daily_ops, dtype=np.float64)
+        if self.daily_bytes.shape != self.daily_ops.shape:
+            raise ValueError("daily_bytes and daily_ops must align")
+
+    @property
+    def num_days(self) -> int:
+        return len(self.daily_bytes)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.daily_bytes.sum())
+
+    @property
+    def total_ops(self) -> float:
+        return float(self.daily_ops.sum())
+
+    def monthly_bytes(self, days_per_month: int = 30) -> np.ndarray:
+        full = (self.num_days // days_per_month) * days_per_month
+        return self.daily_bytes[:full].reshape(-1, days_per_month).sum(axis=1)
+
+    def monthly_ops(self, days_per_month: int = 30) -> np.ndarray:
+        full = (self.num_days // days_per_month) * days_per_month
+        return self.daily_ops[:full].reshape(-1, days_per_month).sum(axis=1)
+
+    def rolling_mean_rate(self, window_days: int) -> np.ndarray:
+        """Average ingress rate (bytes/day) over every rolling window."""
+        if window_days < 1 or window_days > self.num_days:
+            raise ValueError("window_days out of range")
+        kernel = np.ones(window_days) / window_days
+        return np.convolve(self.daily_bytes, kernel, mode="valid")
+
+    def peak_over_mean(self, window_days: int) -> float:
+        """Peak over mean of the rolling average ingress rate (Figure 2)."""
+        rates = self.rolling_mean_rate(window_days)
+        mean = rates.mean()
+        if mean == 0:
+            return 0.0
+        return float(rates.max() / mean)
+
+
+#: Figure 1(b)'s file-size buckets (upper edges), from 4 MiB to 16 TiB.
+SIZE_BUCKET_EDGES: Tuple[int, ...] = (
+    4 * MiB,
+    16 * MiB,
+    64 * MiB,
+    256 * MiB,
+    1 * GiB,
+    4 * GiB,
+    16 * GiB,
+    64 * GiB,
+    256 * GiB,
+    1 * TiB,
+    4 * TiB,
+    16 * TiB,
+)
+
+SIZE_BUCKET_LABELS: Tuple[str, ...] = (
+    "(0MiB-4MiB]",
+    "(4MiB,16MiB]",
+    "(16MiB,64MiB]",
+    "(64MiB,256MiB]",
+    "(256MiB,1GiB]",
+    "(1GiB,4GiB]",
+    "(4GiB,16GiB]",
+    "(16GiB,64GiB]",
+    "(64GiB,256GiB]",
+    "(256GiB,1TiB]",
+    "(1TiB,4TiB]",
+    "(4TiB,16TiB]",
+)
+
+
+def bucket_of(size_bytes: int) -> int:
+    """Index of the Figure 1(b) bucket containing ``size_bytes``."""
+    return bisect.bisect_left(SIZE_BUCKET_EDGES, size_bytes)

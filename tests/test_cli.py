@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.profile == "IOPS"
+        assert args.policy == "silica"
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--profile", "Bursty"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "16+3" in out and "18.8" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_durability(self, capsys):
+        assert main(["durability"]) == 0
+        out = capsys.readouterr().out
+        assert "1e-2" in out or "1e-3" in out  # a large negative exponent
+
+    def test_archive_roundtrip(self, capsys):
+        assert main(["archive", "--payload", "cli test"]) == 0
+        out = capsys.readouterr().out
+        assert "roundtrip OK" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--days", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "write/read ops ratio" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--profile",
+                "Typical",
+                "--hours",
+                "0.2",
+                "--platters",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "within the 15 h SLO" in out

@@ -1,0 +1,135 @@
+"""Tests for the fully-convolutional voxel decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decode.convnet import (
+    ConvVoxelNet,
+    _Conv,
+    _col2im_grad,
+    _im2col,
+    make_image_dataset,
+)
+from repro.decode.images import SectorImager, SectorImageShape
+from repro.decode.training import HARD_CHANNEL, gaussian_baseline_decode
+
+
+class TestIm2Col:
+    def test_shape(self):
+        images = np.random.default_rng(0).normal(size=(2, 5, 6, 3))
+        cols = _im2col(images, 3)
+        assert cols.shape == (2, 5, 6, 27)
+
+    def test_center_of_patch_is_pixel(self):
+        images = np.random.default_rng(1).normal(size=(1, 4, 4, 2))
+        cols = _im2col(images, 3)
+        # Patch layout: dy-major; center (dy=1, dx=1) is index 4.
+        center = cols[:, :, :, 4 * 2 : 5 * 2]
+        assert np.allclose(center, images)
+
+    def test_kernel_one_is_identity(self):
+        images = np.random.default_rng(2).normal(size=(1, 3, 3, 4))
+        assert np.allclose(_im2col(images, 1), images)
+
+    def test_col2im_is_adjoint(self):
+        """<im2col(x), y> == <x, col2im_grad(y)> — the adjoint identity
+        that makes backprop through the convolution correct."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 5, 5, 3))
+        y = rng.normal(size=(2, 5, 5, 27))
+        lhs = float((_im2col(x, 3) * y).sum())
+        rhs = float((x * _col2im_grad(y, 3, 3)).sum())
+        assert lhs == pytest.approx(rhs)
+
+
+class TestConvLayer:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(4)
+        conv = _Conv(2, 8, 3, rng)
+        out = conv.forward(rng.normal(size=(3, 6, 7, 2)))
+        assert out.shape == (3, 6, 7, 8)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(5)
+        conv = _Conv(2, 3, 3, rng)
+        x = rng.normal(size=(1, 4, 4, 2))
+        target = rng.normal(size=(1, 4, 4, 3))
+
+        def loss():
+            return 0.5 * float(((conv.forward(x) - target) ** 2).sum())
+
+        base_out = conv.forward(x)
+        grad_out = base_out - target
+        grad_in = conv.backward(grad_out)
+        eps = 1e-6
+        # Weight gradient.
+        flat = conv.weight.ravel()
+        for idx in (0, flat.size // 2, flat.size - 1):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            up = loss()
+            flat[idx] = orig - eps
+            down = loss()
+            flat[idx] = orig
+            assert conv.grad_weight.ravel()[idx] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-4
+            )
+        # Input gradient.
+        flat_x = x.ravel()
+        for idx in (0, flat_x.size // 2):
+            orig = flat_x[idx]
+            flat_x[idx] = orig + eps
+            up = loss()
+            flat_x[idx] = orig - eps
+            down = loss()
+            flat_x[idx] = orig
+            assert grad_in.ravel()[idx] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-4
+            )
+
+
+class TestConvVoxelNet:
+    def test_posteriors_are_distributions(self):
+        net = ConvVoxelNet(seed=0)
+        images = np.random.default_rng(6).normal(size=(2, 8, 8, 2))
+        probs = net.predict_proba(images)
+        assert probs.shape == (2, 8, 8, 4)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_training_learns(self):
+        imager = SectorImager(SectorImageShape(12, 12))
+        rng = np.random.default_rng(7)
+        images, labels = make_image_dataset(imager, 16, rng)
+        net = ConvVoxelNet(seed=1)
+        stats = net.train(images, labels, epochs=6, rng=np.random.default_rng(8))
+        assert stats.losses[-1] < stats.losses[0]
+        assert stats.final_accuracy > 0.9
+
+    def test_beats_isi_blind_baseline_on_hard_channel(self):
+        """The whole-sector decoder sees context: it must beat the
+        per-voxel Gaussian baseline under heavy ISI (Section 3.2)."""
+        imager = SectorImager(SectorImageShape(16, 16), model=HARD_CHANNEL)
+        rng = np.random.default_rng(9)
+        train_x, train_y = make_image_dataset(imager, 30, rng)
+        test_x, test_y = make_image_dataset(imager, 8, rng)
+        net = ConvVoxelNet(seed=2)
+        net.train(train_x, train_y, epochs=10, rng=np.random.default_rng(10))
+        conv_error = 1.0 - net.accuracy(test_x, test_y)
+        errors = 0
+        total = 0
+        for i in range(len(test_x)):
+            decided = gaussian_baseline_decode(
+                test_x[i], imager.constellation, HARD_CHANNEL.sensor_noise_sigma
+            )
+            errors += int((decided != test_y[i].ravel()).sum())
+            total += test_y[i].size
+        baseline_error = errors / total
+        assert conv_error < baseline_error
+
+    def test_whole_sector_single_pass(self):
+        """One forward pass decodes the entire sector (the U-Net property
+        the stack evolved toward)."""
+        net = ConvVoxelNet(seed=3)
+        image = np.random.default_rng(11).normal(size=(1, 24, 32, 2))
+        posteriors = net.predict_proba(image)
+        assert posteriors.shape[1:3] == (24, 32)

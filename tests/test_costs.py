@@ -1,0 +1,74 @@
+"""Tests for the tape-vs-Silica cost model (Table 2 / Section 9)."""
+
+import pytest
+
+from repro.costs import (
+    SILICA,
+    TAPE,
+    Level,
+    MediaCostModel,
+    cost_curves,
+    crossover_year,
+    table2,
+)
+
+
+class TestTable2:
+    def test_has_all_seven_aspects(self):
+        assert len(table2()) == 7
+
+    def test_write_process_is_silicas_weakness(self):
+        """The one aspect where Silica is HIGH: femtosecond-laser writes."""
+        rows = dict((aspect, (t, s)) for aspect, t, s in table2())
+        tape, silica = rows["drive operations write process"]
+        assert silica is Level.HIGH
+        assert tape is Level.MEDIUM
+
+    def test_silica_low_everywhere_else(self):
+        for aspect, tape, silica in table2():
+            if aspect != "drive operations write process":
+                assert silica is Level.LOW
+
+    def test_tape_never_low(self):
+        assert all(tape is not Level.LOW for _, tape, _ in table2())
+
+
+class TestLifetimeCostModel:
+    def test_tape_cost_grows_stepwise_with_refresh(self):
+        """The refresh cycle: tape cost jumps every media lifetime."""
+        year9 = TAPE.lifetime_cost_per_tb(9)
+        year11 = TAPE.lifetime_cost_per_tb(11)
+        recurring = 2 * (TAPE.scrub_cost_per_tb_year + TAPE.environment_cost_per_tb_year)
+        assert year11 - year9 > recurring  # includes a migration
+
+    def test_silica_cost_nearly_flat(self):
+        """No refresh, no scrubbing: glass cost is write-dominated."""
+        year1 = SILICA.lifetime_cost_per_tb(1)
+        year50 = SILICA.lifetime_cost_per_tb(50)
+        assert (year50 - year1) / year1 < 0.5
+
+    def test_silica_starts_more_expensive(self):
+        assert SILICA.lifetime_cost_per_tb(1) > TAPE.lifetime_cost_per_tb(1)
+
+    def test_crossover_exists_and_is_early(self):
+        year = crossover_year()
+        assert 1 <= year <= 20
+
+    def test_silica_wins_long_term(self):
+        assert SILICA.lifetime_cost_per_tb(50) < TAPE.lifetime_cost_per_tb(50)
+
+    def test_cost_curves_shapes(self):
+        tape, silica = cost_curves(years=30)
+        assert len(tape) == len(silica) == 30
+        assert tape[-1] > tape[0]
+
+    def test_no_refresh_media_never_migrates(self):
+        eternal = MediaCostModel(
+            name="x",
+            media_cost_per_tb=1,
+            write_cost_per_tb=1,
+            media_lifetime_years=float("inf"),
+            scrub_cost_per_tb_year=0,
+            environment_cost_per_tb_year=0,
+        )
+        assert eternal.lifetime_cost_per_tb(100, reads_per_year=0) == pytest.approx(2.0)

@@ -1,0 +1,201 @@
+"""Tests for the decode stack: imaging, network, training, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.decode.images import SectorImager, SectorImageShape, make_dataset
+from repro.decode.network import VoxelNet
+from repro.decode.pipeline import (
+    ClusterConfig,
+    DecodeCluster,
+    DecodeJob,
+    diurnal_price_curve,
+)
+from repro.decode.training import (
+    HARD_CHANNEL,
+    gaussian_baseline_decode,
+    posteriors_for_sector,
+    train_decoder,
+)
+from repro.media.channel import ChannelModel
+
+
+class TestImaging:
+    def test_image_shape(self):
+        imager = SectorImager(SectorImageShape(rows=8, cols=10))
+        rng = np.random.default_rng(0)
+        image = imager.render(imager.random_symbols(rng), rng)
+        assert image.shape == (8, 10, 2)
+
+    def test_clean_channel_preserves_signal(self):
+        model = ChannelModel(
+            sensor_noise_sigma=0.0,
+            isi_fraction=0.0,
+            layer_crosstalk_sigma=0.0,
+            gain_sigma=0.0,
+            offset_sigma=0.0,
+            voxel_dropout_probability=0.0,
+        )
+        imager = SectorImager(SectorImageShape(4, 4), model=model)
+        rng = np.random.default_rng(1)
+        symbols = imager.random_symbols(rng)
+        image = imager.render(symbols, rng)
+        ideal = imager.constellation.ideal_observations(symbols.ravel()).reshape(4, 4, 2)
+        assert np.allclose(image, ideal)
+
+    def test_layer_crosstalk_uses_neighbour_content(self):
+        model = ChannelModel(
+            sensor_noise_sigma=0.0,
+            isi_fraction=0.0,
+            layer_crosstalk_sigma=0.2,
+            gain_sigma=0.0,
+            offset_sigma=0.0,
+            voxel_dropout_probability=0.0,
+        )
+        imager = SectorImager(SectorImageShape(4, 4), model=model)
+        rng = np.random.default_rng(2)
+        symbols = imager.random_symbols(rng)
+        neighbour = imager.random_symbols(rng)
+        with_layers = imager.render(
+            symbols, np.random.default_rng(3), layer_above=neighbour, layer_below=neighbour
+        )
+        ideal = imager.constellation.ideal_observations(symbols.ravel()).reshape(4, 4, 2)
+        assert not np.allclose(with_layers, ideal)
+
+    def test_patch_extraction_dimensions(self):
+        imager = SectorImager(SectorImageShape(6, 7))
+        rng = np.random.default_rng(4)
+        image = imager.render(imager.random_symbols(rng), rng)
+        patches = imager.patches(image, radius=1)
+        assert patches.shape == (42, 18)  # 3x3 window x 2 channels
+
+    def test_patch_center_matches_pixel(self):
+        imager = SectorImager(SectorImageShape(4, 4))
+        rng = np.random.default_rng(5)
+        image = imager.render(imager.random_symbols(rng), rng)
+        patches = imager.patches(image, radius=1)
+        center = patches[:, 8:10]  # middle of a 3x3x2 patch
+        assert np.allclose(center, image.reshape(-1, 2))
+
+    def test_dataset_generation(self):
+        imager = SectorImager(SectorImageShape(4, 4))
+        x, y = make_dataset(imager, 3, np.random.default_rng(6))
+        assert x.shape == (48, 18)
+        assert y.shape == (48,)
+        assert set(np.unique(y)) <= {0, 1, 2, 3}
+
+
+class TestVoxelNet:
+    def test_predict_proba_rows_sum_to_one(self):
+        net = VoxelNet(input_dim=18)
+        x = np.random.default_rng(0).normal(size=(10, 18))
+        probs = net.predict_proba(x)
+        assert probs.shape == (10, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_training_reduces_loss(self):
+        imager = SectorImager(SectorImageShape(8, 8))
+        x, y = make_dataset(imager, 20, np.random.default_rng(1))
+        net = VoxelNet(input_dim=x.shape[1], seed=1)
+        stats = net.train(x, y, epochs=5, rng=np.random.default_rng(2))
+        assert stats.losses[-1] < stats.losses[0]
+        assert stats.final_accuracy > 0.8
+
+    def test_gradient_check(self):
+        """Numerical gradient check on a tiny network.
+
+        Biases are nudged off zero first: with zero biases, fully-inactive
+        ReLU rows sit exactly on the kink where the numeric two-sided
+        difference disagrees with the (valid) subgradient.
+        """
+        net = VoxelNet(input_dim=4, num_symbols=4, hidden=(5, 4), seed=0)
+        rng = np.random.default_rng(3)
+        net.b1 += rng.normal(0, 0.1, net.b1.shape)
+        net.b2 += rng.normal(0, 0.1, net.b2.shape)
+        net.b3 += rng.normal(0, 0.1, net.b3.shape)
+        x = rng.normal(size=(6, 4))
+        y = rng.integers(0, 4, 6)
+        probs, cache = net.forward(x)
+        grads = net._backward(probs, cache, y)
+
+        def loss_at():
+            p, _ = net.forward(x)
+            return -np.log(p[np.arange(6), y] + 1e-12).mean()
+
+        epsilon = 1e-6
+        for param, grad in zip(net.parameters(), grads):
+            flat = param.ravel()
+            for idx in [0, flat.size // 2]:
+                original = flat[idx]
+                flat[idx] = original + epsilon
+                upper = loss_at()
+                flat[idx] = original - epsilon
+                lower = loss_at()
+                flat[idx] = original
+                numeric = (upper - lower) / (2 * epsilon)
+                assert grad.ravel()[idx] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestTrainedDecoder:
+    def test_ml_beats_isi_blind_baseline(self):
+        """The paper's motivation for the ML stack (Section 3.2)."""
+        _, comparison = train_decoder(train_sectors=25, test_sectors=8, epochs=10, seed=0)
+        assert comparison.ml_error_rate < comparison.baseline_error_rate
+
+    def test_posterior_contract(self):
+        net, _ = train_decoder(train_sectors=5, test_sectors=2, epochs=2, seed=1)
+        imager = SectorImager(model=HARD_CHANNEL)
+        rng = np.random.default_rng(2)
+        image = imager.render(imager.random_symbols(rng), rng)
+        posteriors = posteriors_for_sector(net, imager, image)
+        assert posteriors.shape == (imager.shape.num_voxels, 4)
+        assert np.allclose(posteriors.sum(axis=1), 1.0)
+
+
+class TestDecodePipeline:
+    def test_price_curve_shape(self):
+        prices = diurnal_price_curve(48)
+        assert len(prices) == 48
+        assert prices.min() < 1.0 < prices.max()
+
+    def test_tight_slo_runs_on_arrival(self):
+        cluster = DecodeCluster(diurnal_price_curve(24))
+        placed = cluster.schedule(DecodeJob(1, arrival_hour=5.4, work_units=10, slo_hours=0.01))
+        assert placed.start_hour == 5
+        assert placed.met_slo
+
+    def test_loose_slo_moves_to_cheap_hours(self):
+        prices = np.ones(24)
+        prices[20] = 0.1
+        cluster = DecodeCluster(prices)
+        placed = cluster.schedule(DecodeJob(1, arrival_hour=6.0, work_units=10, slo_hours=15.0))
+        assert placed.start_hour == 20
+        assert placed.met_slo
+
+    def test_capacity_forces_spill(self):
+        config = ClusterConfig(sectors_per_worker_hour=10, max_workers=1)
+        prices = np.ones(24)
+        prices[3] = 0.1
+        cluster = DecodeCluster(prices, config)
+        a = cluster.schedule(DecodeJob(1, 0.0, work_units=10, slo_hours=10.0))
+        b = cluster.schedule(DecodeJob(2, 0.0, work_units=10, slo_hours=10.0))
+        assert a.start_hour == 3
+        assert b.start_hour != 3  # hour 3 full, next cheapest chosen
+
+    def test_cost_saving_versus_immediate(self):
+        rng = np.random.default_rng(0)
+        cluster = DecodeCluster(diurnal_price_curve(48))
+        for i in range(100):
+            cluster.schedule(
+                DecodeJob(i, float(rng.uniform(0, 24)), float(rng.uniform(10, 100)), 15.0)
+            )
+        assert cluster.slo_violations() == 0
+        assert cluster.cost_saving_vs_immediate() > 0.1
+
+    def test_resource_proportionality(self):
+        """Worker-hours track offered load (Section 1/3.2)."""
+        cluster = DecodeCluster(np.ones(24))
+        cluster.schedule(DecodeJob(1, 0.0, work_units=4000, slo_hours=1.0))
+        workers = cluster.workers_by_hour()
+        assert workers[0] == 2
+        assert workers[1:].sum() == 0

@@ -1,0 +1,62 @@
+"""Tests for volumetric density math (Section 8)."""
+
+import pytest
+
+from repro.media.density import (
+    OPTICAL_DISC,
+    TAPE_LTO8,
+    TAPE_LTO9,
+    GlassMediaSpec,
+    density_comparison,
+    glass_beats_tape,
+)
+
+
+class TestGlassSpec:
+    def test_multiple_tb_per_platter(self):
+        """Section 3: 'multiple TBs of user data stored per platter'."""
+        assert GlassMediaSpec().user_terabytes_per_platter >= 2.0
+
+    def test_layers_fit_in_thickness(self):
+        spec = GlassMediaSpec()
+        stack_mm = spec.layers * spec.layer_pitch_um / 1000.0
+        assert stack_mm <= spec.thickness_mm
+
+    def test_density_scales_with_pitch(self):
+        coarse = GlassMediaSpec(voxel_pitch_um=1.6)
+        fine = GlassMediaSpec(voxel_pitch_um=0.8)
+        assert fine.density_gb_per_mm3 == pytest.approx(
+            4 * coarse.density_gb_per_mm3
+        )
+
+    def test_coding_efficiency_discounts_user_bytes(self):
+        raw = GlassMediaSpec(coding_efficiency=1.0)
+        coded = GlassMediaSpec(coding_efficiency=0.5)
+        assert coded.user_bytes_per_platter == pytest.approx(
+            raw.user_bytes_per_platter / 2
+        )
+
+
+class TestSection8Ranking:
+    def test_glass_beats_production_tape(self):
+        """'even in early generations the density per mm3 will be higher
+        than production tape' (Section 8)."""
+        assert glass_beats_tape()
+
+    def test_optical_disc_below_tape(self):
+        """'the optical disc capacity ... is significantly below tape per
+        unit of volume' (Section 8)."""
+        assert OPTICAL_DISC.density_gb_per_mm3 < TAPE_LTO8.density_gb_per_mm3
+
+    def test_comparison_contains_all_media(self):
+        ranking = density_comparison()
+        assert set(ranking) == {
+            "glass",
+            "tape (LTO-8)",
+            "tape (LTO-9)",
+            "optical disc",
+        }
+        assert ranking["glass"] > ranking["optical disc"]
+
+    def test_lto9_denser_than_lto8(self):
+        assert TAPE_LTO9.density_gb_per_mm3 > TAPE_LTO8.density_gb_per_mm3

@@ -1,0 +1,102 @@
+"""Tests for blast-zone-aware deployment placement (Section 6)."""
+
+import pytest
+
+from repro.layout.deployment import DeploymentPlacer, PlacementError
+from repro.library.layout import LibraryConfig, LibraryLayout
+
+
+def _libraries(n=1, **kwargs):
+    return [LibraryLayout(LibraryConfig(**kwargs)) for _ in range(n)]
+
+
+class TestSingleLibrary:
+    def test_places_all_platters(self):
+        placer = DeploymentPlacer(_libraries())
+        placements = placer.place_set("set0", [f"P{i}" for i in range(19)])
+        assert len(placements) == 19
+
+    def test_invariant_no_two_in_one_zone(self):
+        placer = DeploymentPlacer(_libraries())
+        platters = [f"P{i}" for i in range(19)]
+        placer.place_set("set0", platters)
+        zones = [placer.location_of(p).blast_zone for p in platters]
+        assert len(zones) == len(set(zones))
+        assert placer.verify_invariant({"set0": platters})
+
+    def test_multiple_sets_can_share_zones(self):
+        """The invariant is per set; different sets may share a shelf."""
+        placer = DeploymentPlacer(_libraries())
+        placer.place_set("set0", [f"A{i}" for i in range(10)])
+        placer.place_set("set1", [f"B{i}" for i in range(10)])
+        assert placer.verify_invariant(
+            {"set0": [f"A{i}" for i in range(10)], "set1": [f"B{i}" for i in range(10)]}
+        )
+
+    def test_max_unavailable_bound(self):
+        placer = DeploymentPlacer(_libraries())
+        platters = [f"P{i}" for i in range(19)]
+        placer.place_set("set0", platters)
+        assert placer.max_unavailable_on_failure({"set0": platters}) == 3
+
+    def test_double_placement_rejected(self):
+        placer = DeploymentPlacer(_libraries())
+        placer.place_set("set0", ["P0"])
+        with pytest.raises(PlacementError):
+            placer.place_set("set0", ["P0"])
+
+    def test_least_occupied_rack_preferred(self):
+        placer = DeploymentPlacer(_libraries())
+        layout = placer.libraries[0]
+        placer.place_set("set0", [f"P{i}" for i in range(19)])
+        counts = layout.occupancy_by_rack().values()
+        # Spread: no rack should hold wildly more than the others.
+        assert max(counts) - min(counts) <= 10
+
+    def test_exhaustion_raises(self):
+        # Tiny library: 1 rack x 10 shelves = 10 zones; a 12-platter set
+        # cannot satisfy one-per-zone.
+        placer = DeploymentPlacer(_libraries(storage_racks=1, slots_per_shelf=5))
+        with pytest.raises(PlacementError):
+            placer.place_set("set0", [f"P{i}" for i in range(12)])
+
+
+class TestMultiLibrary:
+    def test_spread_across_libraries(self):
+        """Platters of one set spread across libraries round-robin (§6)."""
+        placer = DeploymentPlacer(_libraries(3))
+        platters = [f"P{i}" for i in range(9)]
+        placer.place_set("set0", platters)
+        by_library = {}
+        for platter in platters:
+            lib = placer.location_of(platter).library
+            by_library[lib] = by_library.get(lib, 0) + 1
+        assert by_library == {0: 3, 1: 3, 2: 3}
+
+    def test_invariant_holds_across_libraries(self):
+        placer = DeploymentPlacer(_libraries(2))
+        platters = [f"P{i}" for i in range(19)]
+        placer.place_set("set0", platters)
+        assert placer.verify_invariant({"set0": platters})
+
+
+class TestFixedLocations:
+    def test_relocate_and_restore(self):
+        placer = DeploymentPlacer(_libraries())
+        placer.place_set("set0", ["P0"])
+        original = placer.location_of("P0")
+        temp_slot = placer.relocate_temporarily("P0", 0)
+        assert temp_slot != original.slot
+        placer.restore("P0")
+        # The fixed location is unchanged (Section 6: platters return to
+        # their initial location).
+        assert placer.location_of("P0") == original
+
+    def test_relocate_unknown_platter(self):
+        placer = DeploymentPlacer(_libraries())
+        with pytest.raises(KeyError):
+            placer.relocate_temporarily("ghost", 0)
+
+    def test_needs_at_least_one_library(self):
+        with pytest.raises(ValueError):
+            DeploymentPlacer([])

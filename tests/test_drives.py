@@ -1,0 +1,165 @@
+"""Tests for the write drive and read drive models."""
+
+import numpy as np
+import pytest
+
+from repro.media.codec import SectorCodec
+from repro.media.geometry import PlatterGeometry, SectorAddress
+from repro.media.platter import Platter, WormViolation
+from repro.media.read_drive import (
+    ALLOWED_THROUGHPUTS_MBPS,
+    ReadDriveConfig,
+    ReadDriveModel,
+    ReadStats,
+    SeekModel,
+)
+from repro.media.write_drive import WriteDrive, WriteDriveConfig
+
+
+@pytest.fixture
+def geometry():
+    return PlatterGeometry(
+        tracks=6, layers=4, voxels_per_sector=700, bits_per_voxel=2, sector_payload_bytes=96
+    )
+
+
+@pytest.fixture
+def write_drive():
+    return WriteDrive(codec=SectorCodec(payload_bytes=96, ldpc_rate=0.8))
+
+
+class TestWriteDrive:
+    def test_load_write_eject(self, geometry, write_drive):
+        platter = Platter("w1", geometry)
+        write_drive.load_blank(platter)
+        extent = write_drive.write_file_sectors(
+            "w1", "file-a", b"x" * 200, SectorAddress(0, 0)
+        )
+        assert extent.num_sectors == 3  # ceil(200 / 96)
+        sealed = write_drive.eject("w1")
+        assert sealed.sealed
+        assert write_drive.stats.platters_completed == 1
+
+    def test_air_gap_no_reinsertion(self, geometry, write_drive):
+        platter = Platter("w2", geometry)
+        write_drive.load_blank(platter)
+        write_drive.write_file_sectors("w2", "f", b"data", SectorAddress(0, 0))
+        sealed = write_drive.eject("w2")
+        with pytest.raises(WormViolation):
+            write_drive.load_blank(sealed)
+
+    def test_nonblank_platter_rejected(self, geometry, write_drive):
+        platter = Platter("w3", geometry)
+        platter.write_sector(SectorAddress(0, 0), np.zeros(10, dtype=np.uint8))
+        with pytest.raises(WormViolation):
+            write_drive.load_blank(platter)
+
+    def test_slot_capacity_enforced(self, geometry):
+        drive = WriteDrive(
+            WriteDriveConfig(platter_slots=1),
+            codec=SectorCodec(payload_bytes=96, ldpc_rate=0.8),
+        )
+        drive.load_blank(Platter("a", geometry))
+        with pytest.raises(RuntimeError):
+            drive.load_blank(Platter("b", geometry))
+
+    def test_unloaded_platter_rejected(self, write_drive):
+        with pytest.raises(KeyError):
+            write_drive.write_file_sectors("ghost", "f", b"x", SectorAddress(0, 0))
+
+    def test_file_does_not_fit(self, geometry, write_drive):
+        platter = Platter("w4", geometry)
+        write_drive.load_blank(platter)
+        huge = b"x" * (geometry.platter_payload_bytes + geometry.sector_payload_bytes)
+        with pytest.raises(ValueError):
+            write_drive.write_file_sectors("w4", "huge", huge, SectorAddress(0, 0))
+
+    def test_header_registered(self, geometry, write_drive):
+        platter = Platter("w5", geometry)
+        write_drive.load_blank(platter)
+        write_drive.write_file_sectors("w5", "f1", b"y" * 10, SectorAddress(0, 0))
+        assert platter.header.locate("f1") is not None
+
+    def test_throughput_and_energy_model(self):
+        config = WriteDriveConfig(platter_slots=4, per_platter_write_mbps=15.0)
+        drive = WriteDrive(config)
+        assert drive.aggregate_write_mbps == 60.0
+        assert drive.seconds_to_write(15e6) == pytest.approx(1.0)
+        assert drive.energy_to_write(15e6) == pytest.approx(
+            config.write_power_watts / 4
+        )
+
+    def test_stats_accumulate(self, geometry, write_drive):
+        platter = Platter("w6", geometry)
+        write_drive.load_blank(platter)
+        write_drive.write_file_sectors("w6", "f", b"z" * 100, SectorAddress(0, 0))
+        assert write_drive.stats.bytes_written == 100
+        assert write_drive.stats.sectors_written == 2
+
+
+class TestSeekModel:
+    def test_median_near_target(self):
+        rng = np.random.default_rng(0)
+        samples = SeekModel().sample(rng, 5000)
+        assert np.percentile(samples, 50) == pytest.approx(0.6, abs=0.05)
+
+    def test_hard_cap(self):
+        rng = np.random.default_rng(1)
+        samples = SeekModel().sample(rng, 5000)
+        assert samples.max() <= 2.0
+
+    def test_single_sample(self):
+        rng = np.random.default_rng(2)
+        value = SeekModel().sample(rng)
+        assert 0 < value <= 2.0
+
+
+class TestReadDriveConfig:
+    def test_throughput_must_be_multiple_of_30(self):
+        for ok in ALLOWED_THROUGHPUTS_MBPS:
+            ReadDriveConfig(throughput_mbps=ok)
+        with pytest.raises(ValueError):
+            ReadDriveConfig(throughput_mbps=45)
+
+    def test_needs_a_slot(self):
+        with pytest.raises(ValueError):
+            ReadDriveConfig(num_slots=0)
+
+    def test_two_slots_default(self):
+        assert ReadDriveConfig().num_slots == 2  # fast switching (§3.1)
+
+
+class TestReadDriveModel:
+    def test_scan_time(self):
+        drive = ReadDriveModel(ReadDriveConfig(throughput_mbps=60))
+        assert drive.seconds_to_scan(60e6) == pytest.approx(1.0)
+
+    def test_read_operation_composition(self):
+        drive = ReadDriveModel(ReadDriveConfig(throughput_mbps=30), seed=3)
+        total = drive.read_operation_seconds(30e6, needs_mount=True, needs_seek=False)
+        assert total == pytest.approx(1.0 + 1.0)  # mount + scan
+
+    def test_imaging_written_track(self, geometry):
+        codec = SectorCodec(payload_bytes=96, ldpc_rate=0.8)
+        platter = Platter("r1", geometry)
+        wd = WriteDrive(codec=codec)
+        wd.load_blank(platter)
+        wd.write_file_sectors("r1", "f", b"q" * 300, SectorAddress(0, 0))
+        drive = ReadDriveModel(seed=4)
+        images = drive.image_track(platter, 0)
+        assert len(images) == geometry.layers
+        written = [i for i in images if i is not None]
+        assert len(written) == 4  # ceil(300/96) = 4 sectors
+        assert written[0].shape == (codec.symbols_per_sector, 2)
+
+    def test_imaging_blank_sector_returns_none(self, geometry):
+        drive = ReadDriveModel(seed=5)
+        platter = Platter("r2", geometry)
+        assert drive.image_sector(platter, 0, 0) is None
+
+    def test_utilization_definition(self):
+        stats = ReadStats(
+            read_seconds=30, verify_seconds=60, switch_seconds=10, idle_seconds=0
+        )
+        # Switching excluded from utilization (§7.4).
+        assert stats.utilization(100) == pytest.approx(0.9)

@@ -1,0 +1,97 @@
+"""Tests for the durability math (Section 5/6 design points)."""
+
+import math
+
+import pytest
+
+from repro.ecc.durability import (
+    DurabilityPoint,
+    binomial_tail,
+    durably_stored,
+    group_size_effect,
+    ldpc_margin,
+    log10_binomial_tail,
+    log10_track_decode_failure,
+    overhead_tradeoff,
+    track_decode_failure_probability,
+)
+
+
+class TestBinomialTail:
+    def test_edge_cases(self):
+        assert binomial_tail(10, 0, 0.5) == 1.0
+        assert binomial_tail(10, 11, 0.5) == 0.0
+        assert binomial_tail(10, 5, 0.0) == 0.0
+        assert binomial_tail(10, 5, 1.0) == 1.0
+
+    def test_matches_direct_sum_small(self):
+        n, k, p = 12, 4, 0.2
+        direct = sum(
+            math.comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1)
+        )
+        assert abs(binomial_tail(n, k, p) - direct) < 1e-12
+
+    def test_monotone_in_p(self):
+        tails = [binomial_tail(50, 5, p) for p in (0.01, 0.05, 0.1, 0.3)]
+        assert tails == sorted(tails)
+
+    def test_log10_consistent_with_linear(self):
+        value = binomial_tail(30, 6, 0.05)
+        log_value = log10_binomial_tail(30, 6, 0.05)
+        assert abs(10**log_value - value) / value < 1e-9
+
+    def test_log10_handles_underflow_regime(self):
+        """The whole point: representable where the linear value underflows."""
+        log_value = log10_binomial_tail(216, 17, 1e-3)
+        assert -30 < log_value < -20
+
+
+class TestPaperDesignPoint:
+    def test_8pct_overhead_beats_1e24(self):
+        """Section 6: ~8% overhead, sector failure 1e-3 -> track failure
+        below 1e-24 (with the 'hundreds of sectors' track of the paper)."""
+        log_failure = log10_track_decode_failure(200, 16, 1e-3)
+        assert log_failure < -24
+
+    def test_linear_probability_underflow_safe(self):
+        assert track_decode_failure_probability(200, 16, 1e-3) < 1e-24
+
+    def test_smaller_track_group_is_weaker(self):
+        small = log10_track_decode_failure(100, 8, 1e-3)
+        large = log10_track_decode_failure(200, 16, 1e-3)
+        assert large < small < -10
+
+
+class TestTradeoffCurves:
+    def test_overhead_tradeoff_monotone(self):
+        points = overhead_tradeoff(100, range(2, 16, 2))
+        failures = [p.log10_failure for p in points]
+        assert failures == sorted(failures, reverse=True)
+
+    def test_group_size_effect(self):
+        """Bigger groups at fixed overhead fail less (Section 5)."""
+        points = group_size_effect([54, 108, 216], overhead=0.08)
+        failures = [p.log10_failure for p in points]
+        assert failures[0] > failures[1] > failures[2]
+
+    def test_points_expose_configuration(self):
+        (point,) = overhead_tradeoff(50, [5])
+        assert point.information == 50
+        assert point.redundancy == 5
+        assert abs(point.overhead - 0.1) < 1e-9
+
+
+class TestMargins:
+    def test_margin_ratio(self):
+        assert ldpc_margin(0.001, 0.004) == 4.0
+
+    def test_zero_error_rate_infinite_margin(self):
+        assert ldpc_margin(0.0, 0.004) == math.inf
+
+    def test_durably_stored_threshold(self):
+        assert durably_stored(margin=4.0, safety_factor=2.0)
+        assert not durably_stored(margin=1.5, safety_factor=2.0)
+
+    def test_glass_has_no_error_growth(self):
+        # Default growth is 1.0: read noise does not grow over media life.
+        assert durably_stored(margin=2.0)

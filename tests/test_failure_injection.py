@@ -1,0 +1,127 @@
+"""Tests for dynamic failure injection in the running simulation."""
+
+import pytest
+
+from repro.core.simulation import LibrarySimulation, SimConfig
+from repro.workload.generator import WorkloadGenerator
+
+
+def _sim(seed=40, rate=1.0, hours=0.5, num_platters=950, **kwargs):
+    generator = WorkloadGenerator(seed=seed)
+    trace, start, end = generator.interval_trace(
+        rate,
+        interval_hours=hours,
+        warmup_hours=0.1,
+        cooldown_hours=0.1,
+        fixed_size=20_000_000,
+    )
+    sim = LibrarySimulation(SimConfig(num_platters=num_platters, seed=seed, **kwargs))
+    sim.assign_trace(trace, start, end)
+    return sim
+
+
+class TestShuttleFailure:
+    def test_all_requests_still_complete(self):
+        sim = _sim()
+        sim.schedule_shuttle_failure(600.0, shuttle_id=5)
+        report = sim.run()
+        assert sim.failures_injected == 1
+        assert sim.shuttles[5].shuttle.failed
+        assert report.requests_completed == report.requests_submitted
+
+    def test_partition_coverage_reassigned(self):
+        sim = _sim()
+        failed_partition = sim.shuttles[5].shuttle.partition
+        sim.schedule_shuttle_failure(600.0, shuttle_id=5)
+        sim.run()
+        cover = sim._partition_cover[failed_partition]
+        assert cover != failed_partition
+        assert not sim.shuttles[cover].shuttle.failed
+
+    def test_blast_zone_platters_rerouted_through_recovery(self):
+        # Fail at t=0 while the shuttle sits at its storage-region home, so
+        # the blast zone is a storage shelf with platters on it. (A shuttle
+        # that dies parked at a read rack blocks no stored platters.)
+        sim = _sim()
+        sim.schedule_shuttle_failure(0.0, shuttle_id=3)
+        report = sim.run()
+        # Some platters went unavailable, and all their reads completed via
+        # cross-platter fan-out anyway.
+        assert len(sim.unavailable) > 0
+        assert report.requests_completed == report.requests_submitted
+        recovered = [
+            r
+            for r in sim.all_requests
+            if r.parent is None and r.children and r.platter_id in sim.unavailable
+        ]
+        for parent in recovered:
+            assert parent.done
+
+    def test_failure_degrades_but_does_not_break_tail(self):
+        healthy = _sim(seed=41)
+        healthy_report = healthy.run()
+        degraded = _sim(seed=41)
+        for shuttle_id in (2, 9):
+            degraded.schedule_shuttle_failure(300.0, shuttle_id)
+        degraded_report = degraded.run()
+        assert degraded.failures_injected == 2
+        assert (
+            degraded_report.requests_completed == degraded_report.requests_submitted
+        )
+        # Losing shuttles cannot make things faster.
+        assert (
+            degraded_report.completions.tail
+            >= healthy_report.completions.tail * 0.8
+        )
+
+    def test_invalid_shuttle_rejected(self):
+        sim = _sim()
+        with pytest.raises(IndexError):
+            sim.schedule_shuttle_failure(10.0, shuttle_id=99)
+
+
+class TestDriveFailure:
+    def test_requests_complete_around_dead_drive(self):
+        sim = _sim(seed=42)
+        sim.schedule_drive_failure(600.0, drive_id=0)
+        report = sim.run()
+        assert sim.drives[0].failed
+        assert report.requests_completed == report.requests_submitted
+
+    def test_partitions_rerouted_to_alive_drive(self):
+        sim = _sim(seed=43)
+        victims = [
+            p.index for p in sim.policy.partitions if p.drive_id == 0
+        ]
+        sim.schedule_drive_failure(600.0, drive_id=0)
+        sim.run()
+        for pid in victims:
+            override = sim._drive_override.get(pid)
+            assert override is not None and override != 0
+            assert not sim.drives[override].failed
+
+    def test_dead_drive_does_not_serve(self):
+        sim = _sim(seed=44)
+        sim.schedule_drive_failure(100.0, drive_id=1)
+        sim.run()
+        drive = sim.drives[1]
+        # Drive accounting stops accruing after failure: its read share is
+        # below the fleet average.
+        fleet_mean = sum(d.read_seconds for d in sim.drives) / len(sim.drives)
+        assert drive.read_seconds <= fleet_mean
+
+    def test_invalid_drive_rejected(self):
+        sim = _sim()
+        with pytest.raises(IndexError):
+            sim.schedule_drive_failure(10.0, drive_id=99)
+
+
+class TestCombinedFailures:
+    def test_shuttle_and_drive_failures_together(self):
+        sim = _sim(seed=45, rate=0.7)
+        sim.schedule_shuttle_failure(400.0, shuttle_id=7)
+        sim.schedule_drive_failure(500.0, drive_id=3)
+        report = sim.run()
+        assert sim.failures_injected == 2
+        assert report.requests_completed == report.requests_submitted
+        assert report.completions.within_slo()

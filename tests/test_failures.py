@@ -1,0 +1,107 @@
+"""Tests for failure cases and blast zones (Section 6)."""
+
+import pytest
+
+from repro.library.failures import (
+    BlastZone,
+    Failure,
+    FailureKind,
+    FailureState,
+    collision_blast_zone,
+    drive_blast_zone,
+    shuttle_blast_zone,
+)
+from repro.library.layout import LibraryLayout, Position, SlotId
+
+
+@pytest.fixture
+def layout():
+    return LibraryLayout()
+
+
+@pytest.fixture
+def state(layout):
+    return FailureState(layout)
+
+
+class TestBlastZones:
+    def test_zone_granularity_is_shelf_of_rack(self, layout):
+        zones = shuttle_blast_zone(layout, Position(3.0, 4))
+        assert len(zones) == 1
+        zone = next(iter(zones))
+        assert zone.level == 4
+        assert zone.rack == int(3.0 // layout.config.rack_width_m)
+
+    def test_zone_covers_matching_slots_only(self, layout):
+        zone = BlastZone(rack=3, level=2)
+        assert zone.covers(SlotId(3, 2, 50))
+        assert not zone.covers(SlotId(3, 3, 50))
+        assert not zone.covers(SlotId(4, 2, 50))
+
+    def test_collision_covers_both_positions(self, layout):
+        zones = collision_blast_zone(layout, Position(3.0, 4), Position(4.4, 4))
+        assert len(zones) == 2
+
+    def test_drive_zone_at_drive_bay(self, layout):
+        zones = drive_blast_zone(layout, 0)
+        zone = next(iter(zones))
+        bay = layout.drive_position(0)
+        assert zone.level == bay.level
+
+
+class TestFailureState:
+    def test_shuttle_failure_blocks_shelf(self, layout, state):
+        rack = layout.storage_rack_indices()[0]
+        slot = SlotId(rack, 5, 10)
+        layout.store("p1", slot)
+        pos = layout.slot_position(slot)
+        state.fail_shuttle(pos)
+        assert not state.platter_available("p1")
+
+    def test_other_shelves_unaffected(self, layout, state):
+        rack = layout.storage_rack_indices()[0]
+        layout.store("p1", SlotId(rack, 5, 10))
+        layout.store("p2", SlotId(rack, 6, 10))
+        state.fail_shuttle(layout.slot_position(SlotId(rack, 5, 10)))
+        assert not state.platter_available("p1")
+        assert state.platter_available("p2")
+
+    def test_trapped_platter_unavailable(self, layout, state):
+        state.fail_shuttle(Position(5.0, 3), carried_platter="carried")
+        assert not state.platter_available("carried")
+
+    def test_drive_failure_traps_mounted_platter(self, layout, state):
+        state.fail_drive(2, mounted_platter="mounted")
+        assert not state.platter_available("mounted")
+
+    def test_collision_traps_up_to_two(self, layout, state):
+        failure = state.fail_collision(
+            Position(4.0, 2), Position(4.3, 2), carried=("a", "b")
+        )
+        assert set(failure.trapped_platters) == {"a", "b"}
+        assert not state.platter_available("a")
+        assert not state.platter_available("b")
+
+    def test_resolution_restores_availability(self, layout, state):
+        rack = layout.storage_rack_indices()[0]
+        slot = SlotId(rack, 5, 10)
+        layout.store("p1", slot)
+        state.fail_shuttle(layout.slot_position(slot))
+        state.resolve_all()
+        assert state.platter_available("p1")
+
+    def test_unavailable_platters_enumeration(self, layout, state):
+        rack = layout.storage_rack_indices()[0]
+        layout.store("p1", SlotId(rack, 5, 10))
+        layout.store("p2", SlotId(rack, 5, 90))
+        state.fail_shuttle(layout.slot_position(SlotId(rack, 5, 10)), carried_platter="c")
+        unavailable = state.unavailable_platters()
+        assert unavailable == {"p1", "p2", "c"}
+
+    def test_single_failure_bound_is_three(self, state):
+        """Why R = 3: one failure takes out at most 3 platters of a set."""
+        assert state.max_platters_lost_single_failure() == 3
+
+    def test_in_transit_platter_available_unless_trapped(self, layout, state):
+        # Not stored anywhere, not trapped: reachable (being carried).
+        assert state.platter_available("in-transit")

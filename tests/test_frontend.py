@@ -1,0 +1,86 @@
+"""Integration tests for the archival service front end."""
+
+import numpy as np
+import pytest
+
+from repro.service.frontend import ArchiveService, decrypt, encrypt
+
+
+@pytest.fixture(scope="module")
+def service():
+    return ArchiveService()
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        data = b"the quick brown fox"
+        assert decrypt(key, encrypt(key, data)) == data
+
+    def test_different_keys_differ(self):
+        data = b"same plaintext"
+        assert encrypt(b"a" * 32, data) != encrypt(b"b" * 32, data)
+
+    def test_ciphertext_not_plaintext(self):
+        key = b"k" * 32
+        assert encrypt(key, b"secret bytes!") != b"secret bytes!"
+
+
+class TestPutGet:
+    def test_roundtrip_small_file(self, service):
+        data = b"hello archival world"
+        service.put("t/small", data)
+        assert service.get("t/small") == data
+
+    def test_roundtrip_binary(self, service):
+        data = np.random.default_rng(1).integers(0, 256, 700, dtype=np.uint8).tobytes()
+        service.put("t/binary", data)
+        assert service.get("t/binary") == data
+
+    def test_multiple_files(self, service):
+        for i in range(3):
+            service.put(f"t/multi{i}", f"file number {i}".encode())
+        for i in range(3):
+            assert service.get(f"t/multi{i}") == f"file number {i}".encode()
+
+    def test_overwrite_creates_version(self, service):
+        service.put("t/ver", b"version zero")
+        service.put("t/ver", b"version one")
+        assert service.get("t/ver") == b"version one"
+        assert service.get("t/ver", version=0) == b"version zero"
+
+    def test_unknown_file(self, service):
+        with pytest.raises(KeyError):
+            service.get("t/ghost")
+
+    def test_staging_released_after_verification(self, service):
+        service.put("t/staged", b"data")
+        assert not service.staging.contains("t/staged")
+
+    def test_platters_sealed_after_put(self, service):
+        service.put("t/sealed", b"data")
+        location = service.metadata.locate("t/sealed")
+        assert service._platters[location.platter_id].sealed
+
+
+class TestDeleteAndRecycle:
+    def test_delete_makes_unreadable(self, service):
+        service.put("t/doomed", b"to be shredded")
+        service.delete("t/doomed")
+        with pytest.raises(KeyError):
+            service.get("t/doomed")
+
+    def test_recycle_only_dead_platters(self, service):
+        service.put("t/alive", b"still live")
+        location = service.metadata.locate("t/alive")
+        with pytest.raises(RuntimeError):
+            service.recycle(location.platter_id)
+
+    def test_recycle_after_delete(self):
+        service = ArchiveService()
+        service.put("r/one", b"short lived")
+        location = service.metadata.locate("r/one")
+        service.delete("r/one")
+        assert location.platter_id in service.recyclable_platters()
+        fresh = service.recycle(location.platter_id)
+        assert fresh.is_blank

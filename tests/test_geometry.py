@@ -1,0 +1,108 @@
+"""Tests for platter geometry and addressing."""
+
+import pytest
+
+from repro.media.geometry import PAPER_GEOMETRY, PlatterGeometry, SectorAddress
+
+
+@pytest.fixture
+def geometry():
+    return PlatterGeometry(tracks=5, layers=4, voxels_per_sector=100, sector_payload_bytes=64)
+
+
+class TestDimensioning:
+    def test_paper_geometry_holds_multiple_tb_per_platter_area(self):
+        # 100k tracks x 200 layers x 100 kB = 2 TB of sector payload:
+        # "multiple TBs of user data" per platter (§3).
+        assert PAPER_GEOMETRY.platter_payload_bytes >= 2e12
+
+    def test_sector_holds_over_100kb(self):
+        assert PAPER_GEOMETRY.sector_payload_bytes >= 100_000
+
+    def test_sector_has_over_100k_voxels(self):
+        assert PAPER_GEOMETRY.voxels_per_sector > 100_000
+
+    def test_track_is_layer_stack(self, geometry):
+        assert geometry.sectors_per_track == geometry.layers
+
+    def test_totals(self, geometry):
+        assert geometry.total_sectors == 20
+        assert geometry.track_payload_bytes == 4 * 64
+        assert geometry.platter_payload_bytes == 20 * 64
+
+    def test_raw_bits(self, geometry):
+        assert geometry.raw_sector_bits == 100 * geometry.bits_per_voxel
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            PlatterGeometry(tracks=0)
+
+
+class TestAddressing:
+    def test_index_roundtrip(self, geometry):
+        for track in range(geometry.tracks):
+            for layer in range(geometry.layers):
+                address = SectorAddress(track, layer)
+                index = geometry.sector_index(address)
+                assert geometry.address_of(index) == address
+
+    def test_indexes_are_dense_and_unique(self, geometry):
+        indexes = {
+            geometry.sector_index(SectorAddress(t, l))
+            for t in range(geometry.tracks)
+            for l in range(geometry.layers)
+        }
+        assert indexes == set(range(geometry.total_sectors))
+
+    def test_out_of_range_track(self, geometry):
+        with pytest.raises(IndexError):
+            geometry.validate(SectorAddress(5, 0))
+
+    def test_out_of_range_layer(self, geometry):
+        with pytest.raises(IndexError):
+            geometry.validate(SectorAddress(0, 4))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            SectorAddress(-1, 0)
+
+    def test_address_of_out_of_range(self, geometry):
+        with pytest.raises(IndexError):
+            geometry.address_of(geometry.total_sectors)
+
+
+class TestSerpentine:
+    def test_covers_every_sector_once(self, geometry):
+        order = list(geometry.serpentine_order())
+        assert len(order) == geometry.total_sectors
+        assert len(set(order)) == geometry.total_sectors
+
+    def test_adjacent_sectors_are_physically_adjacent(self, geometry):
+        """The property that makes adjacent-track reads seek-free (§6)."""
+        order = list(geometry.serpentine_order())
+        for previous, current in zip(order, order[1:]):
+            same_track_step = (
+                previous.track == current.track
+                and abs(previous.layer - current.layer) == 1
+            )
+            track_boundary = (
+                current.track == previous.track + 1
+                and current.layer == previous.layer
+            )
+            assert same_track_step or track_boundary
+
+    def test_even_tracks_ascend_odd_descend(self, geometry):
+        order = list(geometry.serpentine_order())
+        track0 = [a.layer for a in order if a.track == 0]
+        track1 = [a.layer for a in order if a.track == 1]
+        assert track0 == sorted(track0)
+        assert track1 == sorted(track1, reverse=True)
+
+    def test_start_track_offset(self, geometry):
+        order = list(geometry.serpentine_order(start_track=3))
+        assert order[0].track == 3
+        assert {a.track for a in order} == {3, 4}
+
+    def test_num_tracks_limit(self, geometry):
+        order = list(geometry.serpentine_order(start_track=1, num_tracks=2))
+        assert {a.track for a in order} == {1, 2}

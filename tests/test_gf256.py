@@ -1,0 +1,150 @@
+"""Tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import gf256
+
+
+class TestFieldAxioms:
+    def test_multiplicative_identity(self):
+        for a in [1, 2, 77, 255]:
+            assert gf256.gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in [0, 1, 128, 255]:
+            assert gf256.gf_mul(a, 0) == 0
+            assert gf256.gf_mul(0, a) == 0
+
+    def test_commutativity(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            assert gf256.gf_mul(a, b) == gf256.gf_mul(b, a)
+
+    def test_associativity(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            left = gf256.gf_mul(gf256.gf_mul(a, b), c)
+            right = gf256.gf_mul(a, gf256.gf_mul(b, c))
+            assert left == right
+
+    def test_distributivity_over_xor(self):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            left = gf256.gf_mul(a, b ^ c)
+            right = gf256.gf_mul(a, b) ^ gf256.gf_mul(a, c)
+            assert left == right
+
+    def test_every_nonzero_element_has_inverse(self):
+        for a in range(1, 256):
+            assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_inv(0)
+
+    def test_division(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(1, 256))
+            q = gf256.gf_div(a, b)
+            assert gf256.gf_mul(q, b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_div(5, 0)
+
+    def test_pow_matches_repeated_multiplication(self):
+        for a in [2, 3, 29]:
+            acc = 1
+            for n in range(8):
+                assert gf256.gf_pow(a, n) == acc
+                acc = gf256.gf_mul(acc, a)
+
+    def test_pow_edge_cases(self):
+        assert gf256.gf_pow(0, 0) == 1
+        assert gf256.gf_pow(0, 5) == 0
+        assert gf256.gf_pow(7, 0) == 1
+
+
+class TestVectorKernels:
+    def test_mul_vec_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        vec = rng.integers(0, 256, 64, dtype=np.uint8)
+        for scalar in [0, 1, 2, 113, 255]:
+            out = gf256.gf_mul_vec(scalar, vec)
+            expected = [gf256.gf_mul(scalar, int(v)) for v in vec]
+            assert out.tolist() == expected
+
+    def test_matmul_matches_naive(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, (4, 5), dtype=np.uint8)
+        b = rng.integers(0, 256, (5, 3), dtype=np.uint8)
+        out = gf256.gf_matmul(a, b)
+        for i in range(4):
+            for j in range(3):
+                acc = 0
+                for k in range(5):
+                    acc ^= gf256.gf_mul(int(a[i, k]), int(b[k, j]))
+                assert out[i, j] == acc
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf256.gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((4, 2), np.uint8))
+
+
+class TestStructuredMatrices:
+    def test_vandermonde_shape(self):
+        m = gf256.vandermonde(4, 6)
+        assert m.shape == (4, 6)
+        assert (m[:, 0] == 1).all()
+
+    def test_vandermonde_size_limit(self):
+        with pytest.raises(ValueError):
+            gf256.vandermonde(200, 100)
+
+    def test_cauchy_every_square_submatrix_invertible(self):
+        """The MDS-enabling property: any square Cauchy submatrix solves."""
+        rng = np.random.default_rng(6)
+        mat = gf256.cauchy(6, 10)
+        for _ in range(30):
+            k = int(rng.integers(1, 6))
+            rows = rng.choice(6, k, replace=False)
+            cols = rng.choice(10, k, replace=False)
+            sub = mat[np.ix_(rows, cols)]
+            rhs = rng.integers(0, 256, (k, 2), dtype=np.uint8)
+            x = gf256.solve(sub, rhs)  # raises if singular
+            assert (gf256.gf_matmul(sub, x) == rhs).all()
+
+    def test_cauchy_size_limit(self):
+        with pytest.raises(ValueError):
+            gf256.cauchy(200, 100)
+
+
+class TestSolve:
+    def test_solve_roundtrip(self):
+        rng = np.random.default_rng(7)
+        a = gf256.cauchy(5, 5)
+        x = rng.integers(0, 256, (5, 8), dtype=np.uint8)
+        b = gf256.gf_matmul(a, x)
+        recovered = gf256.solve(a, b)
+        assert (recovered == x).all()
+
+    def test_solve_singular_raises(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        singular[0, 0] = 1
+        with pytest.raises(np.linalg.LinAlgError):
+            gf256.solve(singular, np.zeros((3, 1), dtype=np.uint8))
+
+    def test_solve_identity(self):
+        eye = np.eye(4, dtype=np.uint8)
+        b = np.arange(4, dtype=np.uint8)[:, None]
+        assert (gf256.solve(eye, b) == b).all()
+
+    def test_solve_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            gf256.solve(np.zeros((2, 3), np.uint8), np.zeros((2, 1), np.uint8))

@@ -1,0 +1,75 @@
+"""Tests for evaluation-interval selection (Section 7.2 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.intervals import select_evaluation_intervals
+from repro.workload.traces import ReadRequest, ReadTrace
+
+
+@pytest.fixture(scope="module")
+def long_trace():
+    return WorkloadGenerator(seed=21).characterization_reads(num_days=30)
+
+
+class TestSelection:
+    def test_returns_three_named_intervals(self, long_trace):
+        intervals = select_evaluation_intervals(long_trace)
+        assert set(intervals) == {"IOPS", "Volume", "Typical"}
+
+    def test_iops_window_has_max_requests(self, long_trace):
+        intervals = select_evaluation_intervals(long_trace)
+        iops = intervals["IOPS"]
+        typical = intervals["Typical"]
+        assert iops.measured_requests >= typical.measured_requests
+
+    def test_volume_window_has_max_bytes(self, long_trace):
+        intervals = select_evaluation_intervals(long_trace)
+
+        def measured_bytes(interval):
+            window = interval.trace.window(
+                interval.measure_start, interval.measure_end
+            )
+            return window.total_bytes
+
+        assert measured_bytes(intervals["Volume"]) >= measured_bytes(
+            intervals["Typical"]
+        )
+
+    def test_windows_are_twelve_hours(self, long_trace):
+        intervals = select_evaluation_intervals(long_trace)
+        for interval in intervals.values():
+            assert interval.measure_end - interval.measure_start == pytest.approx(
+                12 * 3600
+            )
+
+    def test_padding_included(self, long_trace):
+        intervals = select_evaluation_intervals(long_trace, padding_hours=2.0)
+        interval = intervals["IOPS"]
+        before = [
+            r for r in interval.trace if r.time < interval.measure_start
+        ]
+        # Warm-up requests are present (unless the window is at the very
+        # start of the trace).
+        if interval.measure_start > interval.trace.requests[0].time:
+            assert before
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            select_evaluation_intervals(ReadTrace([]))
+
+    def test_synthetic_burst_found_by_iops(self):
+        """Plant a dense burst: the IOPS selector must find it."""
+        background = [
+            ReadRequest(float(t), f"bg{t}", 1_000_000)
+            for t in range(0, 40 * 3600, 600)
+        ]
+        burst = [
+            ReadRequest(20 * 3600 + i * 5.0, f"burst{i}", 1_000)
+            for i in range(2000)
+        ]
+        trace = ReadTrace(background + burst)
+        intervals = select_evaluation_intervals(trace, step_hours=1.0)
+        iops = intervals["IOPS"]
+        assert iops.measure_start <= 20 * 3600 <= iops.measure_end

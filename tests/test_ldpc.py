@@ -1,0 +1,176 @@
+"""Tests for the LDPC encoder and belief-propagation decoder."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc import (
+    LdpcCode,
+    llr_from_bit_error_prob,
+    llr_from_symbol_posteriors,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode(n=512, rate=0.8, seed=3)
+
+
+class TestConstruction:
+    def test_rate_close_to_target(self, code):
+        assert abs(code.actual_rate - 0.8) < 0.05
+
+    def test_dimensions_consistent(self, code):
+        assert code.k + code.m == code.n
+
+    def test_same_seed_same_code(self):
+        a = LdpcCode(n=256, rate=0.75, seed=9)
+        b = LdpcCode(n=256, rate=0.75, seed=9)
+        assert (a.h == b.h).all()
+
+    def test_different_seed_different_code(self):
+        a = LdpcCode(n=256, rate=0.75, seed=1)
+        b = LdpcCode(n=256, rate=0.75, seed=2)
+        assert not (a.h == b.h).all()
+
+    def test_h_is_sparse(self, code):
+        # Gallager column weight 3: the decoding matrix must stay sparse.
+        density = code.h.mean()
+        assert density < 0.05
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LdpcCode(n=128, rate=1.5)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LdpcCode(n=128, column_weight=1)
+
+
+class TestEncoding:
+    def test_codeword_satisfies_all_checks(self, code):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            data = rng.integers(0, 2, code.k).astype(np.uint8)
+            assert code.is_codeword(code.encode(data))
+
+    def test_systematic_data_recoverable(self, code):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        assert (code.extract_data(codeword) == data).all()
+
+    def test_zero_data_gives_zero_codeword(self, code):
+        codeword = code.encode(np.zeros(code.k, dtype=np.uint8))
+        assert not codeword.any()
+
+    def test_linearity(self, code):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert (code.encode(a ^ b) == (code.encode(a) ^ code.encode(b))).all()
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+
+class TestSoftDecoding:
+    def test_clean_channel_zero_iterations(self, code):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        result = code.decode(llr_from_bit_error_prob(codeword, 1e-4))
+        assert result.success
+        assert result.iterations == 0
+
+    def test_corrects_errors_at_design_point(self, code):
+        rng = np.random.default_rng(4)
+        successes = 0
+        for _ in range(20):
+            data = rng.integers(0, 2, code.k).astype(np.uint8)
+            codeword = code.encode(data)
+            noisy = codeword.copy()
+            flips = rng.choice(code.n, 4, replace=False)
+            noisy[flips] ^= 1
+            result = code.decode(llr_from_bit_error_prob(noisy, 4 / code.n))
+            if result.success and (code.extract_data(result.bits) == data).all():
+                successes += 1
+        assert successes >= 18  # ~1e-3 residual failure territory
+
+    def test_reports_failure_beyond_capability(self, code):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        noisy = codeword.copy()
+        flips = rng.choice(code.n, code.n // 3, replace=False)
+        noisy[flips] ^= 1
+        result = code.decode(llr_from_bit_error_prob(noisy, 0.33), max_iterations=10)
+        # Either it fails (erasure for the NC layer) or — astronomically
+        # unlikely — it lands on a wrong codeword; it must not "succeed"
+        # silently onto the right data by luck at this error rate.
+        if result.success:
+            assert not (code.extract_data(result.bits) == data).all()
+
+    def test_wrong_llr_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n - 1))
+
+
+class TestHardDecoding:
+    def test_bit_flipping_corrects_single_error(self, code):
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        noisy = codeword.copy()
+        noisy[17] ^= 1
+        result = code.decode_hard(noisy)
+        assert result.success
+        assert (code.extract_data(result.bits) == data).all()
+
+    def test_clean_word_passes_immediately(self, code):
+        data = np.zeros(code.k, dtype=np.uint8)
+        result = code.decode_hard(code.encode(data))
+        assert result.success
+        assert result.iterations == 0
+
+
+class TestLlrHelpers:
+    def test_bsc_llr_signs(self):
+        llrs = llr_from_bit_error_prob(np.array([0, 1, 0]), 0.01)
+        assert llrs[0] > 0 and llrs[1] < 0 and llrs[2] > 0
+
+    def test_bsc_llr_magnitude_grows_with_confidence(self):
+        weak = abs(llr_from_bit_error_prob(np.array([0]), 0.3)[0])
+        strong = abs(llr_from_bit_error_prob(np.array([0]), 0.001)[0])
+        assert strong > weak
+
+    def test_posterior_llr_shapes(self):
+        posteriors = np.full((6, 4), 0.25)
+        llrs = llr_from_symbol_posteriors(posteriors, bits_per_symbol=2)
+        assert llrs.shape == (12,)
+        assert np.allclose(llrs, 0.0, atol=1e-9)
+
+    def test_posterior_llr_confident_symbol(self):
+        # Symbol 2 = bits (1, 0): first bit LLR negative, second positive.
+        posteriors = np.zeros((1, 4))
+        posteriors[0, 2] = 1.0
+        llrs = llr_from_symbol_posteriors(posteriors, bits_per_symbol=2)
+        assert llrs[0] < 0 < llrs[1]
+
+    def test_posterior_llr_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            llr_from_symbol_posteriors(np.zeros((3, 3)), bits_per_symbol=2)
+
+    def test_end_to_end_symbol_path(self, code):
+        """Posterior -> LLR -> decode roundtrip over a 2-bit symbol channel."""
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2, code.k).astype(np.uint8)
+        codeword = code.encode(data)
+        padded = np.concatenate([codeword, np.zeros((-len(codeword)) % 2, np.uint8)])
+        symbols = padded.reshape(-1, 2) @ np.array([2, 1])
+        posteriors = np.full((len(symbols), 4), 0.01)
+        posteriors[np.arange(len(symbols)), symbols] = 0.97
+        llrs = llr_from_symbol_posteriors(posteriors, 2)[: code.n]
+        result = code.decode(llrs)
+        assert result.success
+        assert (code.extract_data(result.bits) == data).all()

@@ -1,0 +1,105 @@
+"""Tests for the append-only glass ledger (Section 9.1 future work)."""
+
+import pytest
+
+from repro.media.geometry import PlatterGeometry
+from repro.media.platter import WormViolation
+from repro.service.ledger import (
+    GENESIS,
+    GlassLedger,
+    LedgerEntry,
+    LedgerIntegrityError,
+)
+
+
+@pytest.fixture
+def ledger():
+    geometry = PlatterGeometry(
+        tracks=16, layers=4, voxels_per_sector=3000, sector_payload_bytes=512
+    )
+    return GlassLedger(geometry=geometry, segment_entries=4)
+
+
+class TestEntries:
+    def test_hash_chain_links(self):
+        a = LedgerEntry(0, b"first", GENESIS)
+        b = LedgerEntry(1, b"second", a.entry_hash)
+        assert b.previous_hash == a.entry_hash
+        assert a.entry_hash != b.entry_hash
+
+    def test_serialization_roundtrip(self):
+        entry = LedgerEntry(7, b"\x01\x02payload", b"\xaa" * 32)
+        assert LedgerEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_hash_covers_everything(self):
+        base = LedgerEntry(0, b"x", GENESIS)
+        assert LedgerEntry(1, b"x", GENESIS).entry_hash != base.entry_hash
+        assert LedgerEntry(0, b"y", GENESIS).entry_hash != base.entry_hash
+        assert LedgerEntry(0, b"x", b"\x01" * 32).entry_hash != base.entry_hash
+
+
+class TestAppendCommit:
+    def test_append_advances_tip(self, ledger):
+        first = ledger.append(b"tx-1")
+        assert ledger.length == 1
+        assert ledger.tip_hash == first.entry_hash
+
+    def test_segment_autocommits_to_glass(self, ledger):
+        for i in range(4):
+            ledger.append(f"tx-{i}".encode())
+        assert len(ledger.committed_platters) == 1
+        assert ledger.physically_immutable_entries() == 4
+
+    def test_committed_platters_are_sealed(self, ledger):
+        for i in range(4):
+            ledger.append(f"tx-{i}".encode())
+        platter = ledger._sealed_platters[0]
+        assert platter.sealed
+        with pytest.raises(WormViolation):
+            platter.write_sector(
+                next(platter.geometry.serpentine_order(start_track=10)),
+                __import__("numpy").zeros(5, dtype="uint8"),
+            )
+
+    def test_manual_commit(self, ledger):
+        ledger.append(b"only one")
+        platter_id = ledger.commit_segment()
+        assert platter_id is not None
+        assert ledger.physically_immutable_entries() == 1
+
+    def test_commit_empty_is_noop(self, ledger):
+        assert ledger.commit_segment() is None
+
+    def test_oversized_payload_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.append(b"x" * 1000)
+
+
+class TestVerification:
+    def test_chain_verifies_through_decode_path(self, ledger):
+        for i in range(10):
+            ledger.append(f"record {i}".encode())
+        assert ledger.verify_chain()
+        entries = list(ledger.entries())
+        assert [e.payload for e in entries] == [f"record {i}".encode() for i in range(10)]
+
+    def test_open_segment_tamper_detected(self, ledger):
+        ledger.append(b"honest")
+        ledger.append(b"also honest")
+        # Tamper with the (in-memory, not yet media-protected) open segment.
+        ledger._open_segment[1] = LedgerEntry(1, b"forged", b"\x99" * 32)
+        with pytest.raises(LedgerIntegrityError):
+            ledger.verify_chain()
+
+    def test_index_gap_detected(self, ledger):
+        ledger.append(b"a")
+        ledger._open_segment.append(LedgerEntry(5, b"skip", ledger.tip_hash))
+        with pytest.raises(LedgerIntegrityError):
+            ledger.verify_chain()
+
+    def test_committed_entries_survive_many_reads(self, ledger):
+        """Reading cannot corrupt the glass: verify repeatedly."""
+        for i in range(4):
+            ledger.append(f"tx-{i}".encode())
+        for _ in range(3):
+            assert ledger.verify_chain()

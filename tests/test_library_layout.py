@@ -1,0 +1,134 @@
+"""Tests for the library layout (racks, shelves, slots, drives)."""
+
+import pytest
+
+from repro.library.layout import (
+    LibraryConfig,
+    LibraryLayout,
+    Position,
+    RackKind,
+    SlotId,
+)
+
+
+@pytest.fixture
+def layout():
+    return LibraryLayout()
+
+
+class TestConfig:
+    def test_defaults_match_mdu(self):
+        config = LibraryConfig()
+        assert config.num_read_racks == 2  # §4: one after write, one at end
+        assert config.num_read_drives == 20
+        assert config.shelves_per_panel == 10  # §7.1
+        assert config.max_shuttles == 40  # 2x read drives
+
+    def test_minimum_drives_for_availability(self):
+        with pytest.raises(ValueError):
+            LibraryConfig(drives_per_read_rack=1)
+
+    def test_maximum_drives_per_rack(self):
+        with pytest.raises(ValueError):
+            LibraryConfig(drives_per_read_rack=11)
+
+    def test_storage_capacity(self):
+        config = LibraryConfig(storage_racks=7, slots_per_shelf=110)
+        assert config.storage_capacity == 7 * 10 * 110
+
+
+class TestRackOrder:
+    def test_write_rack_first_read_rack_last(self, layout):
+        kinds = [layout.rack_kind(r) for r in range(layout.config.total_racks)]
+        assert kinds[0] is RackKind.WRITE
+        assert kinds[1] is RackKind.READ
+        assert kinds[-1] is RackKind.READ
+        assert all(k is RackKind.STORAGE for k in kinds[2:-1])
+
+    def test_storage_rack_indices_contiguous(self, layout):
+        indices = layout.storage_rack_indices()
+        assert indices == list(range(2, 2 + layout.config.storage_racks))
+
+    def test_drives_split_between_read_racks(self, layout):
+        xs = {bay.position.x for bay in layout.drives}
+        assert len(xs) == 2  # two distinct rack locations
+        assert layout.num_drives == 20
+
+
+class TestSlotGeometry:
+    def test_all_slots_count(self, layout):
+        assert len(list(layout.all_slots())) == layout.config.storage_capacity
+
+    def test_slot_positions_inside_their_rack(self, layout):
+        width = layout.config.rack_width_m
+        for slot in list(layout.all_slots())[:200]:
+            pos = layout.slot_position(slot)
+            assert slot.rack * width <= pos.x < (slot.rack + 1) * width
+            assert pos.level == slot.level
+
+    def test_slot_on_non_storage_rack_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.slot_position(SlotId(0, 0, 0))  # write rack
+
+    def test_invalid_level_rejected(self, layout):
+        rack = layout.storage_rack_indices()[0]
+        with pytest.raises(ValueError):
+            layout.slot_position(SlotId(rack, 10, 0))
+
+    def test_invalid_column_rejected(self, layout):
+        rack = layout.storage_rack_indices()[0]
+        with pytest.raises(ValueError):
+            layout.slot_position(SlotId(rack, 0, 999))
+
+    def test_distance_metric(self, layout):
+        a = Position(1.0, 2)
+        b = Position(4.0, 7)
+        dx, dl = layout.distance(a, b)
+        assert dx == 3.0 and dl == 5
+
+
+class TestOccupancy:
+    def test_store_locate_remove(self, layout):
+        slot = SlotId(layout.storage_rack_indices()[0], 0, 0)
+        layout.store("p1", slot)
+        assert layout.locate("p1") == slot
+        assert layout.occupant(slot) == "p1"
+        vacated = layout.remove("p1")
+        assert vacated == slot
+        assert layout.locate("p1") is None
+
+    def test_double_store_same_slot_rejected(self, layout):
+        slot = SlotId(layout.storage_rack_indices()[0], 1, 1)
+        layout.store("p1", slot)
+        with pytest.raises(ValueError):
+            layout.store("p2", slot)
+
+    def test_platter_in_two_slots_rejected(self, layout):
+        rack = layout.storage_rack_indices()[0]
+        layout.store("p1", SlotId(rack, 0, 0))
+        with pytest.raises(ValueError):
+            layout.store("p1", SlotId(rack, 0, 1))
+
+    def test_remove_missing_raises(self, layout):
+        with pytest.raises(KeyError):
+            layout.remove("ghost")
+
+    def test_free_slots_excludes_occupied(self, layout):
+        rack = layout.storage_rack_indices()[0]
+        slot = SlotId(rack, 0, 0)
+        layout.store("p1", slot)
+        assert slot not in set(layout.free_slots())
+
+    def test_occupancy_by_rack(self, layout):
+        racks = layout.storage_rack_indices()
+        layout.store("p1", SlotId(racks[0], 0, 0))
+        layout.store("p2", SlotId(racks[0], 0, 1))
+        layout.store("p3", SlotId(racks[1], 0, 0))
+        counts = layout.occupancy_by_rack()
+        assert counts[racks[0]] == 2
+        assert counts[racks[1]] == 1
+
+    def test_platters_stored_counter(self, layout):
+        assert layout.platters_stored == 0
+        layout.store("p1", SlotId(layout.storage_rack_indices()[0], 0, 0))
+        assert layout.platters_stored == 1

@@ -1,0 +1,67 @@
+"""Tests for the library lifecycle projection (Section 7.7)."""
+
+import pytest
+
+from repro.workload.lifecycle import LifecycleModel
+
+
+class TestPaperArithmetic:
+    def test_nine_age_folds_give_1_6_reads_per_second(self):
+        """The exact Section 7.7 projection: 0.3 -> ~1.6 reads/s."""
+        model = LifecycleModel()
+        assert model.projected_rate(9) == pytest.approx(1.6, abs=0.06)
+
+    def test_fold_zero_is_initial_rate(self):
+        assert LifecycleModel().projected_rate(0) == pytest.approx(0.3)
+
+    def test_survival_factor_composition(self):
+        model = LifecycleModel()
+        assert model.survival_factor == pytest.approx(0.95 * 0.90)
+
+
+class TestModelProperties:
+    def test_rate_monotone_in_age(self):
+        model = LifecycleModel()
+        rates = [model.projected_rate(n) for n in range(12)]
+        assert rates == sorted(rates)
+
+    def test_converges_to_steady_state(self):
+        model = LifecycleModel()
+        assert model.projected_rate(100) == pytest.approx(
+            model.steady_state_rate(), rel=1e-4
+        )
+
+    def test_steady_state_formula(self):
+        model = LifecycleModel()
+        expected = 0.3 / (1 - 0.855)
+        assert model.steady_state_rate() == pytest.approx(expected)
+
+    def test_cohort_rates_decay_geometrically(self):
+        model = LifecycleModel()
+        cohorts = model.cohort_rates(5)
+        for older, newer in zip(cohorts[1:], cohorts):
+            assert older == pytest.approx(newer * model.survival_factor)
+
+    def test_folds_to_reach(self):
+        model = LifecycleModel()
+        fold = model.folds_to_reach(1.6)
+        assert model.projected_rate(fold) >= 1.6
+        assert model.projected_rate(fold - 1) < 1.6
+
+    def test_unreachable_target_rejected(self):
+        model = LifecycleModel()
+        with pytest.raises(ValueError):
+            model.folds_to_reach(10.0)
+
+    def test_no_deletion_no_cooldown_grows_linearly(self):
+        eternal = LifecycleModel(deletion_rate=0.0, cooldown_rate=0.0)
+        assert eternal.projected_rate(9) == pytest.approx(0.3 * 10)
+        assert eternal.steady_state_rate() == float("inf")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LifecycleModel(deletion_rate=1.0)
+        with pytest.raises(ValueError):
+            LifecycleModel(cooldown_rate=-0.1)
+        with pytest.raises(ValueError):
+            LifecycleModel().projected_rate(-1)

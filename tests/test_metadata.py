@@ -1,0 +1,120 @@
+"""Tests for the metadata service (versioning, crypto-shredding, fallback)."""
+
+import pytest
+
+from repro.layout.metadata import (
+    FileLocation,
+    MetadataService,
+    MetadataUnavailable,
+    rebuild_from_platters,
+)
+from repro.media.geometry import PlatterGeometry
+from repro.media.platter import FileExtent, Platter
+
+
+def _location(file_id, version=0, platter="P1", size=100):
+    return FileLocation(
+        file_id=file_id,
+        version=version,
+        library=0,
+        platter_id=platter,
+        start_track=0,
+        num_tracks=1,
+        size_bytes=size,
+    )
+
+
+@pytest.fixture
+def service():
+    return MetadataService()
+
+
+class TestWriteAndLocate:
+    def test_roundtrip(self, service):
+        service.record_write(_location("f1"))
+        assert service.locate("f1").platter_id == "P1"
+
+    def test_unknown_file(self, service):
+        with pytest.raises(KeyError):
+            service.locate("nope")
+
+    def test_versioning_overwrites_logically(self, service):
+        """Overwrites are new versions; the WORM glass keeps old bytes but
+        metadata points at the latest (Section 3)."""
+        service.record_write(_location("f1", version=0, platter="P1"))
+        service.record_write(_location("f1", version=1, platter="P2"))
+        assert service.locate("f1").platter_id == "P2"
+        assert service.locate("f1", version=0).platter_id == "P1"
+
+    def test_version_order_enforced(self, service):
+        service.record_write(_location("f1", version=0))
+        with pytest.raises(ValueError):
+            service.record_write(_location("f1", version=5))
+
+    def test_key_created_on_first_write(self, service):
+        service.record_write(_location("f1"))
+        assert len(service.encryption_key("f1")) == 32
+
+
+class TestCryptoShredding:
+    def test_delete_destroys_key(self, service):
+        service.record_write(_location("f1"))
+        service.delete("f1")
+        with pytest.raises(KeyError):
+            service.encryption_key("f1")
+        with pytest.raises(KeyError):
+            service.locate("f1")
+
+    def test_delete_unknown_raises(self, service):
+        with pytest.raises(KeyError):
+            service.delete("nope")
+
+    def test_live_files_excludes_deleted(self, service):
+        service.record_write(_location("f1"))
+        service.record_write(_location("f2"))
+        service.delete("f1")
+        assert service.live_files() == ["f2"]
+
+    def test_live_bytes_on_platter(self, service):
+        service.record_write(_location("f1", platter="P1", size=100))
+        service.record_write(_location("f2", platter="P1", size=50))
+        service.record_write(_location("f3", platter="P2", size=70))
+        assert service.live_bytes_on("P1") == 150
+        service.delete("f1")
+        assert service.live_bytes_on("P1") == 50
+
+    def test_recyclable_when_zero_live_bytes(self, service):
+        service.record_write(_location("f1", platter="P1"))
+        service.delete("f1")
+        assert service.live_bytes_on("P1") == 0  # melt it down (§3)
+
+
+class TestAvailability:
+    def test_outage_raises(self, service):
+        service.record_write(_location("f1"))
+        service.set_available(False)
+        with pytest.raises(MetadataUnavailable):
+            service.locate("f1")
+        service.set_available(True)
+        assert service.locate("f1")
+
+
+class TestPlatterScanFallback:
+    def test_rebuild_from_headers(self):
+        """Self-descriptive platters let the index be rebuilt (§6)."""
+        geometry = PlatterGeometry(tracks=4, layers=4, sector_payload_bytes=10)
+        platter = Platter("P9", geometry)
+        platter.register_file(FileExtent("f1", 0, 0, 2, 20))
+        platter.register_file(FileExtent("f2", 1, 0, 4, 40))
+        rebuilt = rebuild_from_platters([(0, platter)])
+        assert rebuilt.locate("f1").platter_id == "P9"
+        assert rebuilt.locate("f2").size_bytes == 40
+
+    def test_rebuild_respects_write_order_as_versions(self):
+        geometry = PlatterGeometry(tracks=4, layers=4, sector_payload_bytes=10)
+        a = Platter("PA", geometry)
+        a.register_file(FileExtent("f1", 0, 0, 1, 10))
+        b = Platter("PB", geometry)
+        b.register_file(FileExtent("f1", 0, 0, 1, 10))
+        rebuilt = rebuild_from_platters([(0, a), (0, b)])
+        assert rebuilt.locate("f1").platter_id == "PB"  # latest wins

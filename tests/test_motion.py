@@ -1,0 +1,103 @@
+"""Tests for the mechanical motion models (Figure 3 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.library.motion import (
+    CrabbingModel,
+    HorizontalMotionModel,
+    MotionSuite,
+    PickPlaceModel,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestHorizontalMotion:
+    def test_zero_distance_zero_time(self):
+        assert HorizontalMotionModel().travel_time(0.0) == 0.0
+
+    def test_fine_tuning_constant_included(self):
+        model = HorizontalMotionModel()
+        # Any nonzero move pays the ~0.5 s alignment (Figure 3a).
+        assert model.travel_time(0.01) > model.fine_tuning_seconds
+
+    def test_monotone_in_distance(self):
+        model = HorizontalMotionModel()
+        times = [model.travel_time(d) for d in (0.5, 1, 2, 5, 10)]
+        assert times == sorted(times)
+
+    def test_trapezoidal_profile_transition(self):
+        model = HorizontalMotionModel(top_speed=1.0, acceleration=1.0)
+        ramp_distance = 1.0  # v^2/a
+        # Below the ramp distance: time = 2*sqrt(d/a) + alignment.
+        short = model.travel_time(0.25)
+        assert short == pytest.approx(2 * 0.5 + 0.5)
+        # Far beyond: slope approaches 1/top_speed.
+        long_a = model.travel_time(10)
+        long_b = model.travel_time(11)
+        assert long_b - long_a == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_speed_caps_at_top_speed(self):
+        model = HorizontalMotionModel(top_speed=1.5, acceleration=0.5)
+        assert model.peak_speed(100.0) == 1.5
+        assert model.peak_speed(0.25) == pytest.approx(np.sqrt(0.5 * 0.25))
+
+    def test_samples_scatter_around_model(self, rng):
+        model = HorizontalMotionModel()
+        samples = [model.sample(3.0, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(model.travel_time(3.0), abs=0.05)
+
+    def test_symmetric_in_direction(self):
+        model = HorizontalMotionModel()
+        assert model.travel_time(-4.0) == model.travel_time(4.0)
+
+
+class TestCrabbing:
+    def test_figure3b_calibration(self, rng):
+        """86% of crabs within 3 s, max 3.02 s, spread 88 ms (Fig. 3b)."""
+        model = CrabbingModel()
+        samples = np.array([model.sample(rng) for _ in range(4000)])
+        assert samples.max() <= 3.020 + 1e-9
+        assert samples.min() >= 2.932 - 1e-9
+        within_3s = (samples <= 3.0).mean()
+        assert 0.80 <= within_3s <= 0.92
+
+    def test_multi_level_crab_sums(self, rng):
+        model = CrabbingModel()
+        triple = model.sample(rng, levels=3)
+        assert 3 * model.min_seconds <= triple <= 3 * model.max_seconds
+
+    def test_zero_levels_zero_time(self, rng):
+        assert CrabbingModel().sample(rng, levels=0) == 0.0
+
+
+class TestPickPlace:
+    def test_pick_slower_than_place_by_170ms(self, rng):
+        """Picking averages 170 ms slower than placing (Fig. 3c)."""
+        model = PickPlaceModel()
+        picks = np.mean([model.sample_pick(rng) for _ in range(2000)])
+        places = np.mean([model.sample_place(rng) for _ in range(2000)])
+        assert picks - places == pytest.approx(0.170, abs=0.01)
+
+    def test_floor_respected(self, rng):
+        model = PickPlaceModel(place_mean=0.3, place_sigma=0.5, floor_seconds=0.35)
+        samples = [model.sample_place(rng) for _ in range(200)]
+        assert min(samples) >= 0.35
+
+
+class TestMotionSuite:
+    def test_trip_combines_components(self, rng):
+        suite = MotionSuite()
+        horizontal_only = suite.trip_time(5.0, 0, rng)
+        vertical_only = suite.trip_time(0.0, 2, rng)
+        combined = suite.trip_time(5.0, 2, rng)
+        assert horizontal_only > 0
+        assert vertical_only >= 2 * suite.crabbing.min_seconds
+        assert combined > max(horizontal_only, vertical_only) * 0.9
+
+    def test_null_trip_is_free(self, rng):
+        assert MotionSuite().trip_time(0.0, 0, rng) == 0.0

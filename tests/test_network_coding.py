@@ -1,0 +1,195 @@
+"""Tests for the three-level network coding scheme."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.network_coding import (
+    LargeGroupCode,
+    LargeGroupConfig,
+    NetworkGroup,
+    PlatterSetCode,
+    PlatterSetConfig,
+    RecoveryError,
+    TrackCode,
+    TrackCodeConfig,
+)
+
+
+def _sectors(rng, count, width=48):
+    return [rng.integers(0, 256, width, dtype=np.uint8).tobytes() for _ in range(count)]
+
+
+class TestNetworkGroup:
+    def test_any_i_of_n_reconstructs_everything(self):
+        """The defining MDS property of a network group (Section 5)."""
+        rng = np.random.default_rng(0)
+        group = NetworkGroup(6, 3)
+        info = _sectors(rng, 6)
+        parity = group.encode(info)
+        everything = {i: s for i, s in enumerate(info)}
+        everything.update({6 + j: p for j, p in enumerate(parity)})
+        for trial in range(15):
+            keep = rng.choice(9, 6, replace=False)
+            available = {int(i): everything[int(i)] for i in keep}
+            recovered = group.recover(available, wanted=range(9))
+            for index in range(9):
+                assert recovered[index] == everything[index], (trial, index)
+
+    def test_too_few_sectors_raises(self):
+        rng = np.random.default_rng(1)
+        group = NetworkGroup(4, 2)
+        info = _sectors(rng, 4)
+        available = {0: info[0], 1: info[1], 2: info[2]}
+        with pytest.raises(RecoveryError):
+            group.recover(available, wanted=[3])
+
+    def test_no_missing_sectors_is_passthrough(self):
+        rng = np.random.default_rng(2)
+        group = NetworkGroup(4, 2)
+        info = _sectors(rng, 4)
+        available = {i: s for i, s in enumerate(info)}
+        recovered = group.recover(available)
+        assert recovered == available
+
+    def test_zero_redundancy_encodes_nothing(self):
+        group = NetworkGroup(4, 0)
+        assert group.encode(_sectors(np.random.default_rng(3), 4)) == []
+
+    def test_mismatched_sector_lengths_rejected(self):
+        group = NetworkGroup(2, 1)
+        with pytest.raises(ValueError):
+            group.encode([b"abc", b"defg"])
+
+    def test_wrong_sector_count_rejected(self):
+        group = NetworkGroup(3, 1)
+        with pytest.raises(ValueError):
+            group.encode([b"ab", b"cd"])
+
+    def test_group_size_limit(self):
+        with pytest.raises(ValueError):
+            NetworkGroup(250, 10)
+
+    def test_can_recover_bound(self):
+        group = NetworkGroup(10, 3)
+        assert group.can_recover(3)
+        assert not group.can_recover(4)
+
+    def test_coefficients_information_is_identity(self):
+        group = NetworkGroup(4, 2)
+        for i in range(4):
+            row = group.coefficients_for(i)
+            assert row[i] == 1 and row.sum() == 1
+
+    def test_coefficients_out_of_range(self):
+        group = NetworkGroup(4, 2)
+        with pytest.raises(IndexError):
+            group.coefficients_for(6)
+
+    def test_deterministic_encoding(self):
+        rng = np.random.default_rng(4)
+        info = _sectors(rng, 5)
+        a = NetworkGroup(5, 2).encode(info)
+        b = NetworkGroup(5, 2).encode(info)
+        assert a == b
+
+
+class TestTrackCode:
+    def test_defaults_hit_paper_overhead(self):
+        config = TrackCodeConfig()
+        assert abs(config.overhead - 0.08) < 0.001  # ~8% (Section 6)
+
+    def test_track_roundtrip_with_erasures(self):
+        rng = np.random.default_rng(5)
+        config = TrackCodeConfig(information_sectors=20, redundancy_sectors=4)
+        track_code = TrackCode(config)
+        info = _sectors(rng, 20)
+        track = track_code.encode_track(info)
+        assert len(track) == 24
+        # Erase up to R_t sectors anywhere in the track.
+        damaged = list(track)
+        for index in [0, 7, 21, 23]:
+            damaged[index] = None
+        recovered = track_code.decode_track(damaged)
+        assert recovered == info
+
+    def test_track_beyond_tolerance_fails(self):
+        rng = np.random.default_rng(6)
+        config = TrackCodeConfig(information_sectors=10, redundancy_sectors=2)
+        track_code = TrackCode(config)
+        track = track_code.encode_track(_sectors(rng, 10))
+        damaged = [None, None, None] + list(track[3:])
+        with pytest.raises(RecoveryError):
+            track_code.decode_track(damaged)
+
+
+class TestLargeGroupCode:
+    def test_recovers_correlated_in_track_failures(self):
+        """A whole track's sector can die; cross-track groups recover it."""
+        rng = np.random.default_rng(7)
+        config = LargeGroupConfig(information_tracks=8, redundancy_tracks=2)
+        code = LargeGroupCode(config)
+        tracks = [_sectors(rng, 5) for _ in range(8)]
+        redundancy = code.encode_tracks(tracks)
+        assert len(redundancy) == 2
+        assert len(redundancy[0]) == 5
+        available = {t: tracks[t] for t in range(8) if t not in (2, 5)}
+        available[8] = redundancy[0]
+        available[9] = redundancy[1]
+        for sector in range(5):
+            assert code.recover_sector(2, sector, available) == tracks[2][sector]
+            assert code.recover_sector(5, sector, available) == tracks[5][sector]
+
+    def test_wrong_track_count_rejected(self):
+        code = LargeGroupCode(LargeGroupConfig(information_tracks=4, redundancy_tracks=1))
+        with pytest.raises(ValueError):
+            code.encode_tracks([_sectors(np.random.default_rng(8), 3)] * 3)
+
+    def test_default_overhead_about_two_percent(self):
+        assert abs(LargeGroupConfig().overhead - 0.02) < 0.001
+
+
+class TestPlatterSetCode:
+    def test_paper_configuration(self):
+        config = PlatterSetConfig()
+        assert config.information_platters == 16
+        assert config.redundancy_platters == 3
+        assert abs(config.write_overhead - 3 / 16) < 1e-9  # 18.8% (Table 1)
+
+    def test_recover_track_of_unavailable_platter(self):
+        rng = np.random.default_rng(9)
+        config = PlatterSetConfig(information_platters=6, redundancy_platters=2)
+        code = PlatterSetCode(config)
+        platter_tracks = [_sectors(rng, 4) for _ in range(6)]
+        redundancy = code.encode_track_group(platter_tracks)
+        # Platter 3 becomes unavailable; any 6 of the remaining 7 recover it.
+        available = {p: platter_tracks[p] for p in range(6) if p != 3}
+        available[6] = redundancy[0]
+        recovered = code.recover_track(3, available)
+        assert recovered == platter_tracks[3]
+
+    def test_read_amplification_is_i(self):
+        code = PlatterSetCode(PlatterSetConfig(information_platters=16, redundancy_platters=3))
+        assert code.read_amplification() == 16
+
+    def test_insufficient_platters_raises(self):
+        rng = np.random.default_rng(10)
+        config = PlatterSetConfig(information_platters=5, redundancy_platters=1)
+        code = PlatterSetCode(config)
+        tracks = [_sectors(rng, 2) for _ in range(5)]
+        code.encode_track_group(tracks)
+        with pytest.raises(RecoveryError):
+            code.recover_track(0, {1: tracks[1], 2: tracks[2]})
+
+    def test_tolerates_r_unavailable_platters(self):
+        """Up to R platters of a set can vanish and every track survives."""
+        rng = np.random.default_rng(11)
+        config = PlatterSetConfig(information_platters=5, redundancy_platters=2)
+        code = PlatterSetCode(config)
+        tracks = [_sectors(rng, 3) for _ in range(5)]
+        redundancy = code.encode_track_group(tracks)
+        # Lose platters 0 and 4 (two information platters).
+        available = {p: tracks[p] for p in (1, 2, 3)}
+        available[5] = redundancy[0]
+        available[6] = redundancy[1]
+        assert code.recover_track(0, available) == tracks[0]
+        assert code.recover_track(4, available) == tracks[4]

@@ -1,0 +1,107 @@
+"""Tests for file-to-platter packing (Section 6)."""
+
+import pytest
+
+from repro.layout.packing import (
+    FilePacker,
+    FileShard,
+    PackingConfig,
+    PlatterPlan,
+    StagedFile,
+    read_together_score,
+)
+
+
+@pytest.fixture
+def packer():
+    return FilePacker(
+        PackingConfig(
+            platter_capacity_bytes=1000, shard_threshold_bytes=400, epoch_seconds=100
+        )
+    )
+
+
+def _file(file_id, size, account="a", when=0.0):
+    return StagedFile(file_id, size, account, when)
+
+
+class TestSharding:
+    def test_small_file_single_shard(self, packer):
+        shards = packer.shard(_file("f", 100))
+        assert len(shards) == 1
+        assert shards[0].shard_id == "f"
+
+    def test_large_file_sharded(self, packer):
+        shards = packer.shard(_file("f", 1000))
+        assert len(shards) == 3
+        assert sum(s.size_bytes for s in shards) == 1000
+        assert {s.shard_id for s in shards} == {"f#0", "f#1", "f#2"}
+
+    def test_shard_metadata(self, packer):
+        shards = packer.shard(_file("f", 900))
+        for i, shard in enumerate(shards):
+            assert shard.shard_index == i
+            assert shard.num_shards == len(shards)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StagedFile("f", -1, "a", 0.0)
+
+
+class TestPacking:
+    def test_files_fit_capacity(self, packer):
+        files = [_file(f"f{i}", 300) for i in range(7)]
+        plans = packer.pack(files)
+        for plan in plans:
+            assert plan.used_bytes <= plan.capacity_bytes
+
+    def test_all_files_packed_exactly_once(self, packer):
+        files = [_file(f"f{i}", 250) for i in range(10)]
+        plans = packer.pack(files)
+        packed = [s.shard_id for plan in plans for s in plan.shards]
+        assert sorted(packed) == sorted(f"f{i}" for i in range(10))
+
+    def test_same_account_files_cluster(self, packer):
+        """Files read together (same account/epoch) pack onto the same
+        platter (Section 6)."""
+        files = [_file(f"a{i}", 200, account="acme", when=10) for i in range(4)]
+        files += [_file(f"b{i}", 200, account="bravo", when=10) for i in range(4)]
+        plans = packer.pack(files)
+        scores = [read_together_score(plan) for plan in plans if len(plan.shards) > 1]
+        assert scores and min(scores) > 0.5
+
+    def test_shards_of_large_file_on_distinct_platters(self, packer):
+        """Sharding parallelizes reads: shards must not share a platter."""
+        files = [_file("big", 1200)]
+        plans = packer.pack(files)
+        holders = [plan.platter_id for plan in plans for s in plan.shards if s.file_id == "big"]
+        assert len(holders) == len(set(holders)) == 3
+
+    def test_epochs_stay_contiguous(self, packer):
+        """Clusters are packed contiguously: a platter may hold the tail of
+        one epoch and the head of the next, but never an interleaving."""
+        early = [_file(f"e{i}", 200, when=0) for i in range(4)]
+        late = [_file(f"l{i}", 200, when=500) for i in range(4)]
+        plans = packer.pack(early + late)
+        for plan in plans:
+            prefixes = [s.file_id[0] for s in plan.shards]
+            # Once we switch from 'e' to 'l' we must never switch back.
+            switched = False
+            for p in prefixes:
+                if p == "l":
+                    switched = True
+                elif switched:
+                    pytest.fail(f"interleaved epochs: {prefixes}")
+
+    def test_empty_input(self, packer):
+        assert packer.pack([]) == []
+
+    def test_fill_fraction(self):
+        plan = PlatterPlan("p", [FileShard("f", 0, 1, 400, "a")], capacity_bytes=1000)
+        assert plan.fill_fraction == pytest.approx(0.4)
+        assert plan.free_bytes == 600
+
+    def test_unique_platter_ids(self, packer):
+        plans = packer.pack([_file(f"f{i}", 600) for i in range(5)])
+        ids = [p.platter_id for p in plans]
+        assert len(ids) == len(set(ids))

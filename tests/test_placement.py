@@ -1,0 +1,130 @@
+"""Tests for within-platter placement (Section 6)."""
+
+import pytest
+
+from repro.ecc.network_coding import TrackCodeConfig
+from repro.layout.packing import FileShard
+from repro.layout.placement import PlatterLayout
+from repro.media.geometry import PlatterGeometry, SectorAddress
+
+
+@pytest.fixture
+def layout():
+    geometry = PlatterGeometry(
+        tracks=10, layers=12, voxels_per_sector=100, sector_payload_bytes=100
+    )
+    code = TrackCodeConfig(information_sectors=10, redundancy_sectors=2)
+    return PlatterLayout(geometry, code)
+
+
+def _shard(shard_id, size, account="a"):
+    return FileShard(shard_id, 0, 1, size, account)
+
+
+class TestUniformPartitioning:
+    def test_roles_depend_only_on_position(self, layout):
+        """Every information platter shares the same partitioning (§6)."""
+        for track in (0, 3, 9):
+            for layer in range(12):
+                role = layout.role_of(SectorAddress(track, layer))
+                assert role.is_information == (layer % 12 < 10)
+
+    def test_information_capacity(self, layout):
+        assert layout.information_capacity_per_track() == 10
+
+    def test_redundancy_overhead(self, layout):
+        assert layout.redundancy_overhead == pytest.approx(0.2)
+
+    def test_group_too_large_rejected(self):
+        geometry = PlatterGeometry(tracks=2, layers=4, sector_payload_bytes=10)
+        with pytest.raises(ValueError):
+            PlatterLayout(geometry, TrackCodeConfig(10, 2))
+
+    def test_default_code_fits_default_geometry(self):
+        layout = PlatterLayout()
+        assert layout.track_code.sectors_per_track <= layout.geometry.layers
+
+
+class TestInformationWalk:
+    def test_walk_skips_redundancy_positions(self, layout):
+        addresses = list(layout.information_addresses())
+        assert all(layout.role_of(a).is_information for a in addresses)
+        assert len(addresses) == 10 * 10  # tracks x info per track
+
+    def test_walk_is_serpentine(self, layout):
+        addresses = list(layout.information_addresses())
+        track0 = [a.layer for a in addresses if a.track == 0]
+        assert track0 == sorted(track0)
+
+
+class TestFilePlacement:
+    def test_related_files_adjacent(self, layout):
+        placed = layout.place_files([_shard("a", 250), _shard("b", 250)])
+        end_of_a = placed[0].sector_addresses[-1]
+        start_of_b = placed[1].sector_addresses[0]
+        # b starts right where a ended (same or adjacent track).
+        assert abs(start_of_b.track - end_of_a.track) <= 1
+
+    def test_small_file_fits_single_track(self, layout):
+        """Most reads are small: data + its in-track redundancy come from
+        one track read (Section 6)."""
+        placed = layout.place_files([_shard("small", 500)])
+        assert placed[0].tracks_spanned == 1
+
+    def test_sector_count(self, layout):
+        placed = layout.place_files([_shard("f", 1000)])
+        assert placed[0].num_sectors == 10
+
+    def test_file_spans_at_most_one_extra_track(self, layout):
+        shards = [_shard(f"f{i}", 350) for i in range(10)]
+        for placed in layout.place_files(shards):
+            assert layout.extra_tracks_penalty(placed) <= 1
+
+    def test_platter_full_raises(self, layout):
+        with pytest.raises(ValueError):
+            layout.place_files([_shard("huge", 100 * 100 + 1)])
+
+    def test_zero_byte_file_takes_one_sector(self, layout):
+        placed = layout.place_files([_shard("empty", 0)])
+        assert placed[0].num_sectors == 1
+
+
+class TestTrackGroupPlan:
+    def test_groups_cover_all_tracks_once(self, layout):
+        from repro.ecc.network_coding import LargeGroupConfig
+
+        groups = layout.track_group_plan(LargeGroupConfig(4, 1))
+        seen = [t for info, red in groups for t in (*info, *red)]
+        assert sorted(seen) == list(range(layout.geometry.tracks))
+
+    def test_full_groups_have_configured_shape(self, layout):
+        from repro.ecc.network_coding import LargeGroupConfig
+
+        groups = layout.track_group_plan(LargeGroupConfig(4, 1))
+        for info, red in groups[:-1]:
+            assert len(info) == 4 and len(red) == 1
+
+    def test_partial_tail_keeps_redundancy(self):
+        from repro.ecc.network_coding import LargeGroupConfig, TrackCodeConfig
+        from repro.media.geometry import PlatterGeometry
+
+        geometry = PlatterGeometry(tracks=7, layers=12, sector_payload_bytes=100)
+        layout = PlatterLayout(geometry, TrackCodeConfig(10, 2))
+        groups = layout.track_group_plan(LargeGroupConfig(4, 1))
+        info, red = groups[-1]
+        assert len(red) >= 1  # the 2-track tail still carries redundancy
+
+    def test_overhead_near_config_ratio(self, layout):
+        from repro.ecc.network_coding import LargeGroupConfig
+
+        overhead = layout.large_group_overhead(LargeGroupConfig(4, 1))
+        assert overhead == pytest.approx(0.2, abs=0.05)
+
+    def test_default_paper_overhead_two_percent(self):
+        """Section 6: large-group NC costs ~2% extra."""
+        from repro.ecc.network_coding import LargeGroupConfig, TrackCodeConfig
+        from repro.media.geometry import PlatterGeometry
+
+        geometry = PlatterGeometry(tracks=1020, layers=12, sector_payload_bytes=100)
+        layout = PlatterLayout(geometry, TrackCodeConfig(10, 2))
+        assert layout.large_group_overhead() == pytest.approx(0.02, abs=0.002)

@@ -1,0 +1,126 @@
+"""Tests for the WORM platter model."""
+
+import numpy as np
+import pytest
+
+from repro.media.geometry import PlatterGeometry, SectorAddress
+from repro.media.platter import FileExtent, Platter, WormViolation
+
+
+@pytest.fixture
+def platter():
+    geometry = PlatterGeometry(
+        tracks=4, layers=3, voxels_per_sector=50, bits_per_voxel=2, sector_payload_bytes=8
+    )
+    return Platter("p-test", geometry)
+
+
+def _symbols(n=50, value=1):
+    return np.full(n, value, dtype=np.uint8)
+
+
+class TestWormSemantics:
+    def test_write_then_read(self, platter):
+        symbols = _symbols()
+        platter.write_sector(SectorAddress(1, 2), symbols)
+        read = platter.read_sector(SectorAddress(1, 2))
+        assert (read == symbols).all()
+
+    def test_unwritten_sector_reads_none(self, platter):
+        assert platter.read_sector(SectorAddress(0, 0)) is None
+
+    def test_double_write_rejected(self, platter):
+        platter.write_sector(SectorAddress(0, 0), _symbols())
+        with pytest.raises(WormViolation):
+            platter.write_sector(SectorAddress(0, 0), _symbols(value=2))
+
+    def test_sealed_platter_rejects_writes(self, platter):
+        platter.seal()
+        with pytest.raises(WormViolation):
+            platter.write_sector(SectorAddress(0, 0), _symbols())
+
+    def test_stored_symbols_are_immutable(self, platter):
+        platter.write_sector(SectorAddress(0, 0), _symbols())
+        stored = platter.read_sector(SectorAddress(0, 0))
+        with pytest.raises(ValueError):
+            stored[0] = 3
+
+    def test_writer_cannot_mutate_after_write(self, platter):
+        symbols = _symbols()
+        platter.write_sector(SectorAddress(0, 0), symbols)
+        symbols[0] = 3  # mutating the caller's array must not affect glass
+        assert platter.read_sector(SectorAddress(0, 0))[0] == 1
+
+    def test_oversized_sector_rejected(self, platter):
+        with pytest.raises(ValueError):
+            platter.write_sector(SectorAddress(0, 0), _symbols(51))
+
+    def test_symbol_out_of_constellation_rejected(self, platter):
+        with pytest.raises(ValueError):
+            platter.write_sector(SectorAddress(0, 0), _symbols(value=4))
+
+    def test_no_delete_operation_exists(self, platter):
+        """Deletes are crypto-shredding at the service layer only (§3)."""
+        assert not hasattr(platter, "delete")
+        assert not hasattr(platter, "erase")
+
+
+class TestTracks:
+    def test_read_track_layout(self, platter):
+        platter.write_sector(SectorAddress(2, 0), _symbols(value=1))
+        platter.write_sector(SectorAddress(2, 2), _symbols(value=2))
+        track = platter.read_track(2)
+        assert track[0] is not None
+        assert track[1] is None
+        assert track[2] is not None
+
+    def test_read_track_out_of_range(self, platter):
+        with pytest.raises(IndexError):
+            platter.read_track(4)
+
+    def test_track_is_written(self, platter):
+        assert not platter.track_is_written(1)
+        platter.write_sector(SectorAddress(1, 1), _symbols())
+        assert platter.track_is_written(1)
+
+    def test_written_tracks_enumeration(self, platter):
+        platter.write_sector(SectorAddress(0, 0), _symbols())
+        platter.write_sector(SectorAddress(3, 1), _symbols())
+        assert sorted(platter.written_tracks()) == [0, 3]
+
+
+class TestHeader:
+    def test_register_and_locate(self, platter):
+        extent = FileExtent("f1", 0, 0, 2, 12)
+        platter.register_file(extent)
+        assert platter.header.locate("f1") == extent
+
+    def test_locate_missing_returns_none(self, platter):
+        assert platter.header.locate("nope") is None
+
+    def test_sealed_header_frozen(self, platter):
+        platter.seal()
+        with pytest.raises(WormViolation):
+            platter.register_file(FileExtent("f1", 0, 0, 1, 4))
+
+
+class TestLifecycle:
+    def test_blank_state(self, platter):
+        assert platter.is_blank
+        assert platter.written_sectors == 0
+
+    def test_written_sector_count(self, platter):
+        platter.write_sector(SectorAddress(0, 0), _symbols())
+        platter.write_sector(SectorAddress(0, 1), _symbols())
+        assert platter.written_sectors == 2
+        assert not platter.is_blank
+
+    def test_recycle_produces_blank_media(self, platter):
+        platter.write_sector(SectorAddress(0, 0), _symbols())
+        platter.seal()
+        fresh = platter.recycle()
+        assert fresh.is_blank
+        assert not fresh.sealed
+        # The old object is dead.
+        assert platter.sealed
+        assert platter.is_blank

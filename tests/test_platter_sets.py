@@ -1,0 +1,101 @@
+"""Tests for platter-set partitioning and Table 1."""
+
+import pytest
+
+from repro.ecc.network_coding import PlatterSetConfig
+from repro.layout.platter_sets import (
+    minimum_storage_racks,
+    partition_platters,
+    recovery_effort_tracks,
+    table1,
+    write_overhead,
+)
+
+
+class TestTable1:
+    """The exact rows of Table 1."""
+
+    def test_12_3(self):
+        rows = {r.label: r for r in table1()}
+        assert rows["12+3"].write_overhead == pytest.approx(0.25)
+        assert rows["12+3"].storage_racks == 6
+
+    def test_16_3(self):
+        rows = {r.label: r for r in table1()}
+        assert rows["16+3"].write_overhead == pytest.approx(0.188, abs=0.001)
+        assert rows["16+3"].storage_racks == 7
+
+    def test_24_3(self):
+        rows = {r.label: r for r in table1()}
+        assert rows["24+3"].write_overhead == pytest.approx(0.125)
+        assert rows["24+3"].storage_racks == 10
+
+    def test_overhead_decreases_with_i(self):
+        rows = table1()
+        overheads = [r.write_overhead for r in rows]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_racks_increase_with_i(self):
+        rows = table1()
+        racks = [r.storage_racks for r in rows]
+        assert racks == sorted(racks)
+
+
+class TestRackSolver:
+    def test_six_rack_floor(self):
+        """A library needs at least six storage racks by design (§6)."""
+        assert minimum_storage_racks(2, 1) == 6
+
+    def test_monotone_in_set_size(self):
+        racks = [minimum_storage_racks(i, 3) for i in (12, 16, 24, 32)]
+        assert racks == sorted(racks)
+
+    def test_invalid_information(self):
+        with pytest.raises(ValueError):
+            write_overhead(0, 3)
+
+
+class TestRecoveryEffort:
+    def test_effort_equals_i(self):
+        """Recovering one track needs the I matching tracks (§6)."""
+        assert recovery_effort_tracks(16) == 16
+
+
+class TestSetPartitioning:
+    def test_sets_have_configured_size(self):
+        platters = [f"P{i}" for i in range(32)]
+        affinity = {p: 0 for p in platters}
+        partition = partition_platters(
+            platters, affinity, PlatterSetConfig(information_platters=16)
+        )
+        assert len(partition.sets) == 2
+        assert all(len(group) == 16 for group in partition.sets)
+
+    def test_affinity_groups_stay_together(self):
+        """Platters read together go in the same set, streamlining
+        recovery travel (Section 6)."""
+        platters = [f"A{i}" for i in range(4)] + [f"B{i}" for i in range(4)]
+        affinity = {p: (0 if p.startswith("A") else 1) for p in platters}
+        partition = partition_platters(
+            platters, affinity, PlatterSetConfig(information_platters=4)
+        )
+        assert tuple(sorted(partition.sets[0])) == ("A0", "A1", "A2", "A3")
+        assert tuple(sorted(partition.sets[1])) == ("B0", "B1", "B2", "B3")
+
+    def test_set_of_lookup(self):
+        platters = [f"P{i}" for i in range(8)]
+        partition = partition_platters(
+            platters, {}, PlatterSetConfig(information_platters=4)
+        )
+        group = partition.set_of("P2")
+        assert "P2" in group
+        with pytest.raises(KeyError):
+            partition.set_of("nope")
+
+    def test_remainder_forms_partial_set(self):
+        platters = [f"P{i}" for i in range(10)]
+        partition = partition_platters(
+            platters, {}, PlatterSetConfig(information_platters=4)
+        )
+        sizes = sorted(len(g) for g in partition.sets)
+        assert sizes == [2, 4, 4]

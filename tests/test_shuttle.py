@@ -1,0 +1,122 @@
+"""Tests for shuttles: kinematics wrapper, picker, battery, power."""
+
+import numpy as np
+import pytest
+
+from repro.library.layout import Position
+from repro.library.shuttle import Shuttle, ShuttlePowerModel, ShuttleState
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def shuttle():
+    return Shuttle(3, home=Position(1.0, 2))
+
+
+class TestMovement:
+    def test_plan_does_not_change_state(self, shuttle, rng):
+        before = shuttle.position
+        shuttle.plan_move(Position(5.0, 4), rng)
+        assert shuttle.position == before
+
+    def test_complete_move_updates_position(self, shuttle, rng):
+        target = Position(5.0, 4)
+        duration = shuttle.plan_move(target, rng)
+        shuttle.complete_move(target, duration)
+        assert shuttle.position == target
+        assert shuttle.stats.trips == 1
+        assert shuttle.stats.distance_m == pytest.approx(4.0)
+        assert shuttle.stats.crabs == 2
+
+    def test_congestion_accounted(self, shuttle, rng):
+        target = Position(3.0, 2)
+        duration = shuttle.plan_move(target, rng)
+        shuttle.complete_move(target, duration, congestion_seconds=2.0, stop_start_cycles=1)
+        assert shuttle.stats.congestion_seconds == 2.0
+        assert shuttle.stats.stop_start_cycles == 1
+        assert shuttle.stats.travel_seconds == pytest.approx(duration + 2.0)
+
+    def test_congestion_fraction(self, shuttle, rng):
+        target = Position(3.0, 2)
+        shuttle.complete_move(target, 8.0, congestion_seconds=2.0)
+        assert shuttle.stats.congestion_fraction() == pytest.approx(2.0 / 8.0)
+
+
+class TestPicker:
+    def test_pick_then_place(self, shuttle, rng):
+        duration = shuttle.pick("platter-9", rng)
+        assert duration > 0
+        assert shuttle.carrying == "platter-9"
+        shuttle.place(rng)
+        assert shuttle.carrying is None
+        assert shuttle.stats.picks == 1
+        assert shuttle.stats.places == 1
+
+    def test_double_pick_rejected(self, shuttle, rng):
+        shuttle.pick("a", rng)
+        with pytest.raises(RuntimeError):
+            shuttle.pick("b", rng)
+
+    def test_place_empty_rejected(self, shuttle, rng):
+        with pytest.raises(RuntimeError):
+            shuttle.place(rng)
+
+    def test_platter_operations_count_picks(self, shuttle, rng):
+        shuttle.pick("a", rng)
+        shuttle.place(rng)
+        assert shuttle.stats.platter_operations == 1
+
+
+class TestPowerAndBattery:
+    def test_moves_drain_battery(self, shuttle, rng):
+        start = shuttle.battery_joules
+        target = Position(8.0, 5)
+        shuttle.complete_move(target, 10.0)
+        assert shuttle.battery_joules < start
+        assert shuttle.stats.energy_joules > 0
+
+    def test_carrying_costs_more(self, rng):
+        power = ShuttlePowerModel()
+        empty = power.move_energy(5.0, 1.5, carrying=False)
+        loaded = power.move_energy(5.0, 1.5, carrying=True)
+        assert loaded > empty
+
+    def test_stop_start_cycles_cost_kinetic_energy(self):
+        power = ShuttlePowerModel()
+        smooth = power.move_energy(5.0, 1.5, carrying=False, stop_start_cycles=0)
+        interrupted = power.move_energy(5.0, 1.5, carrying=False, stop_start_cycles=3)
+        kinetic = 0.5 * power.mass_kg * 1.5**2 / power.drivetrain_efficiency
+        assert interrupted - smooth == pytest.approx(3 * kinetic)
+
+    def test_crab_energy_linear_in_levels(self):
+        power = ShuttlePowerModel()
+        assert power.crab_energy(4, carrying=False) == pytest.approx(
+            4 * power.crab_energy_joules
+        )
+
+    def test_recharge(self, shuttle, rng):
+        shuttle.complete_move(Position(8.0, 5), 10.0)
+        shuttle.recharge()
+        assert shuttle.battery_fraction == 1.0
+
+    def test_battery_never_negative(self, shuttle):
+        shuttle.battery_joules = 1.0
+        shuttle.complete_move(Position(10.0, 9), 10.0)
+        assert shuttle.battery_joules == 0.0
+
+    def test_energy_per_platter_op(self, shuttle, rng):
+        shuttle.pick("a", rng)
+        shuttle.place(rng)
+        per_op = shuttle.stats.energy_per_platter_op()
+        assert per_op == pytest.approx(2 * shuttle.power.pick_energy_joules)
+
+
+class TestFailure:
+    def test_fail_in_place(self, shuttle):
+        shuttle.fail()
+        assert shuttle.failed
+        assert shuttle.state is ShuttleState.FAILED

@@ -1,0 +1,101 @@
+"""Tests for write staging and ingress smoothing (Sections 2/6)."""
+
+import numpy as np
+import pytest
+
+from repro.layout.packing import StagedFile
+from repro.service.staging import (
+    StagingTier,
+    provision_write_rate,
+    simulate_staging,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.traces import IngressSeries
+
+
+@pytest.fixture(scope="module")
+def ingress():
+    return WorkloadGenerator(seed=7).ingress_series(num_days=180)
+
+
+class TestBufferDynamics:
+    def test_constant_ingress_never_accumulates(self):
+        series = IngressSeries(np.full(30, 100.0), np.ones(30))
+        state = simulate_staging(series, drain_rate=100.0)
+        assert state.peak_occupancy == 0.0
+        assert state.write_utilization == pytest.approx(1.0)
+
+    def test_underprovisioned_drain_accumulates(self):
+        series = IngressSeries(np.full(30, 100.0), np.ones(30))
+        state = simulate_staging(series, drain_rate=50.0)
+        assert state.daily_occupancy[-1] == pytest.approx(30 * 50.0)
+
+    def test_burst_absorbed_then_drained(self):
+        volumes = np.full(20, 10.0)
+        volumes[5] = 500.0
+        series = IngressSeries(volumes, np.ones(20))
+        state = simulate_staging(series, drain_rate=60.0)
+        assert state.peak_occupancy > 0
+        assert state.daily_occupancy[-1] == 0.0
+
+    def test_drained_never_exceeds_rate(self, ingress):
+        state = simulate_staging(ingress, drain_rate=ingress.daily_bytes.mean() * 2)
+        assert (state.drained <= state.drain_rate + 1e-6).all()
+
+
+class TestProvisioning:
+    def test_smoothing_kills_the_peak_requirement(self, ingress):
+        """The headline claim (Sections 2/6): 30 days of staging drops the
+        write bandwidth requirement from ~16x mean (peak-provisioned) to
+        ~2x mean."""
+        rate = provision_write_rate(ingress, max_staging_days=30.0)
+        mean = ingress.daily_bytes.mean()
+        peak = ingress.daily_bytes.max()
+        assert peak / mean > 8  # the unsmoothed requirement (Fig. 2)
+        assert rate / mean < 3  # "only a little higher than mean"
+
+    def test_provisioned_rate_meets_residency_bound(self, ingress):
+        rate = provision_write_rate(ingress, max_staging_days=30.0)
+        state = simulate_staging(ingress, rate)
+        assert state.max_staging_days <= 33  # headroom factor included
+
+    def test_write_utilization_high(self, ingress):
+        """Section 2: 'write utilization remains high'."""
+        rate = provision_write_rate(ingress, max_staging_days=30.0)
+        state = simulate_staging(ingress, rate)
+        assert state.write_utilization > 0.4
+
+    def test_tighter_residency_needs_more_bandwidth(self, ingress):
+        tight = provision_write_rate(ingress, max_staging_days=5.0)
+        loose = provision_write_rate(ingress, max_staging_days=45.0)
+        assert tight > loose
+
+
+class TestStagingTier:
+    def test_stage_release_accounting(self):
+        tier = StagingTier()
+        tier.stage(StagedFile("f1", 100, "a", 0.0))
+        assert tier.occupancy_bytes == 100
+        assert tier.contains("f1")
+        tier.release("f1")
+        assert tier.occupancy_bytes == 0
+        assert not tier.contains("f1")
+
+    def test_double_stage_rejected(self):
+        tier = StagingTier()
+        tier.stage(StagedFile("f1", 100, "a", 0.0))
+        with pytest.raises(ValueError):
+            tier.stage(StagedFile("f1", 100, "a", 0.0))
+
+    def test_capacity_enforced(self):
+        tier = StagingTier(capacity_bytes=150)
+        tier.stage(StagedFile("f1", 100, "a", 0.0))
+        with pytest.raises(RuntimeError):
+            tier.stage(StagedFile("f2", 100, "a", 0.0))
+
+    def test_ready_files_by_age(self):
+        tier = StagingTier()
+        tier.stage(StagedFile("old", 1, "a", write_time=0.0))
+        tier.stage(StagedFile("new", 1, "a", write_time=90.0))
+        ready = tier.ready_files(min_age_seconds=50.0, now=100.0)
+        assert [f.file_id for f in ready] == ["old"]

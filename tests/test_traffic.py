@@ -1,0 +1,163 @@
+"""Tests for traffic management: partitioning, conflicts, work stealing."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic import (
+    PartitionedPolicy,
+    ReservationTable,
+    ShortestPathsPolicy,
+)
+from repro.library.layout import LibraryLayout, Position, SlotId
+from repro.library.shuttle import Shuttle
+
+
+def _make(policy_cls, num_shuttles, **kwargs):
+    layout = LibraryLayout()
+    shuttles = [Shuttle(i, home=Position(0.0, 0)) for i in range(num_shuttles)]
+    rng = np.random.default_rng(0)
+    return layout, policy_cls(layout, shuttles, rng, **kwargs), shuttles
+
+
+class TestPartitionConstruction:
+    @pytest.mark.parametrize("n", [1, 4, 8, 10, 20, 40])
+    def test_one_partition_per_shuttle(self, n):
+        _, policy, shuttles = _make(PartitionedPolicy, n)
+        assert len(policy.partitions) == n
+        assert {s.partition for s in shuttles} == set(range(n))
+
+    def test_every_slot_belongs_to_exactly_one_partition(self):
+        layout, policy, _ = _make(PartitionedPolicy, 20)
+        for slot in list(layout.all_slots())[::37]:
+            pid = policy.partition_of_slot(slot)
+            pos = layout.slot_position(slot)
+            partition = policy.partitions[pid]
+            assert partition.contains(pos.x, pos.level) or pos.x >= partition.x_hi - 1e-6
+
+    def test_partitions_level_disjoint_when_few_shuttles(self):
+        """n <= shelves: partitions are full-width level bands, which is
+        what makes normal operation conflict-free (different rails)."""
+        _, policy, _ = _make(PartitionedPolicy, 10)
+        for p in policy.partitions:
+            others = [q for q in policy.partitions if q.index != p.index]
+            for q in others:
+                assert p.level_hi < q.level_lo or q.level_hi < p.level_lo
+
+    def test_every_partition_has_a_drive(self):
+        _, policy, _ = _make(PartitionedPolicy, 40)
+        drive_share = {}
+        for p in policy.partitions:
+            drive_share[p.drive_id] = drive_share.get(p.drive_id, 0) + 1
+        # 40 partitions over 20 drives: each drive serves exactly 2 (its
+        # two platter slots).
+        assert all(count <= 2 for count in drive_share.values())
+
+    def test_shuttles_start_at_partition_homes(self):
+        _, policy, shuttles = _make(PartitionedPolicy, 8)
+        for shuttle, partition in zip(shuttles, policy.partitions):
+            assert shuttle.position == partition.home
+
+    def test_can_fetch_only_own_partition(self):
+        layout, policy, shuttles = _make(PartitionedPolicy, 10)
+        slot = next(iter(layout.all_slots()))
+        owner = policy.partition_of_slot(slot)
+        for shuttle in shuttles:
+            expected = shuttle.partition == owner
+            assert policy.shuttle_can_fetch(shuttle, slot) == expected
+
+
+class TestWorkStealing:
+    def test_triggers_on_imbalance(self):
+        _, policy, _ = _make(PartitionedPolicy, 4, steal_threshold_bytes=100.0)
+        loads = {0: 1000.0, 1: 0.0, 2: 50.0, 3: 10.0}
+        assert policy.steal_allowed(loads) == 0
+
+    def test_quiescent_below_threshold(self):
+        _, policy, _ = _make(PartitionedPolicy, 4, steal_threshold_bytes=10_000.0)
+        loads = {0: 1000.0, 1: 0.0, 2: 50.0, 3: 10.0}
+        assert policy.steal_allowed(loads) is None
+
+    def test_disabled_never_steals(self):
+        _, policy, _ = _make(
+            PartitionedPolicy, 4, work_stealing=False, steal_threshold_bytes=1.0
+        )
+        assert policy.steal_allowed({0: 1e9, 1: 0.0}) is None
+
+
+class TestShortestPaths:
+    def test_any_shuttle_any_slot(self):
+        layout, policy, shuttles = _make(ShortestPathsPolicy, 6)
+        slot = next(iter(layout.all_slots()))
+        assert all(policy.shuttle_can_fetch(s, slot) for s in shuttles)
+
+    def test_drive_for_picks_nearest_free(self):
+        layout, policy, shuttles = _make(ShortestPathsPolicy, 2)
+        # A slot in the leftmost storage rack: nearest drives are in the
+        # left read rack.
+        slot = SlotId(layout.storage_rack_indices()[0], 0, 0)
+        drive = policy.drive_for(shuttles[0], slot, lambda d: True)
+        left_rack_x = layout.drive_position(drive).x
+        assert left_rack_x < layout.width_m / 2
+
+    def test_drive_for_respects_freedom(self):
+        layout, policy, shuttles = _make(ShortestPathsPolicy, 2)
+        slot = SlotId(layout.storage_rack_indices()[0], 0, 0)
+        only = 7
+        drive = policy.drive_for(shuttles[0], slot, lambda d: d == only)
+        assert drive == only
+
+    def test_no_free_drive_returns_none(self):
+        layout, policy, shuttles = _make(ShortestPathsPolicy, 2)
+        slot = SlotId(layout.storage_rack_indices()[0], 0, 0)
+        assert policy.drive_for(shuttles[0], slot, lambda d: False) is None
+
+
+class TestReservations:
+    def test_no_self_conflict(self):
+        table = ReservationTable()
+        table.reserve(1, 0.0, 10.0, 0.0, 5.0, 0, 0)
+        assert table.conflicts(1, 2.0, 4.0, 1.0, 2.0, 0, 0) == []
+
+    def test_spatial_temporal_overlap_conflicts(self):
+        table = ReservationTable()
+        table.reserve(1, 0.0, 10.0, 0.0, 5.0, 2, 2)
+        assert len(table.conflicts(2, 5.0, 8.0, 3.0, 7.0, 2, 2)) == 1
+
+    def test_disjoint_time_no_conflict(self):
+        table = ReservationTable()
+        table.reserve(1, 0.0, 5.0, 0.0, 5.0, 2, 2)
+        assert table.conflicts(2, 6.0, 8.0, 0.0, 5.0, 2, 2) == []
+
+    def test_different_levels_no_conflict(self):
+        """Different shelf bands use different rails: no interaction."""
+        table = ReservationTable()
+        table.reserve(1, 0.0, 10.0, 0.0, 5.0, 2, 2)
+        assert table.conflicts(2, 0.0, 10.0, 0.0, 5.0, 5, 5) == []
+
+    def test_clearance_margin(self):
+        table = ReservationTable()
+        table.reserve(1, 0.0, 10.0, 0.0, 1.0, 0, 0)
+        near = table.conflicts(2, 0.0, 10.0, 1.1, 2.0, 0, 0)
+        far = table.conflicts(2, 0.0, 10.0, 2.0, 3.0, 0, 0)
+        assert len(near) == 1  # within the 0.25 m clearance
+        assert far == []
+
+    def test_prune_drops_expired(self):
+        table = ReservationTable()
+        table.reserve(1, 0.0, 5.0, 0.0, 1.0, 0, 0)
+        table.prune(10.0)
+        assert table.conflicts(2, 0.0, 100.0, 0.0, 1.0, 0, 0) == []
+
+
+class TestConflictResolution:
+    def test_highest_id_has_priority(self):
+        """Section 4.1: boundary conflicts resolved by highest shuttle id."""
+        layout, policy, shuttles = _make(ShortestPathsPolicy, 2)
+        target = Position(6.0, 5)
+        # Shuttle 1 (higher id) reserves first; shuttle 0 must yield.
+        plan_high = policy.plan_move(shuttles[1], target, now=0.0)
+        shuttles[0].position = shuttles[1].position
+        plan_low = policy.plan_move(shuttles[0], target, now=0.0)
+        assert plan_high.congestion_seconds == 0.0
+        assert plan_low.congestion_seconds > 0.0
+        assert plan_low.stop_start_cycles >= 1

@@ -1,0 +1,94 @@
+"""Tests for platter verification (Section 3.1 / 5)."""
+
+import numpy as np
+import pytest
+
+from repro.media.channel import ChannelModel, ReadChannel
+from repro.media.codec import SectorCodec
+from repro.media.geometry import PlatterGeometry, SectorAddress
+from repro.media.platter import Platter
+from repro.media.read_drive import ReadDriveModel
+from repro.media.write_drive import WriteDrive
+from repro.service.verification import VerificationManager
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return SectorCodec(payload_bytes=64, ldpc_rate=0.8)
+
+
+@pytest.fixture
+def geometry():
+    return PlatterGeometry(
+        tracks=4, layers=3, voxels_per_sector=600, sector_payload_bytes=64
+    )
+
+
+def _written_platter(geometry, codec, platter_id="v1", num_bytes=300):
+    platter = Platter(platter_id, geometry)
+    drive = WriteDrive(codec=codec)
+    drive.load_blank(platter)
+    payload = bytes(i % 256 for i in range(num_bytes))
+    drive.write_file_sectors(platter_id, "file-x", payload, SectorAddress(0, 0))
+    return drive.eject(platter_id)
+
+
+class TestQueue:
+    def test_unsealed_platter_rejected(self, geometry, codec):
+        manager = VerificationManager(ReadDriveModel(seed=1), codec)
+        with pytest.raises(ValueError):
+            manager.submit(Platter("raw", geometry))
+
+    def test_fifo_verification(self, geometry, codec):
+        manager = VerificationManager(ReadDriveModel(seed=1), codec)
+        manager.submit(_written_platter(geometry, codec, "a"))
+        manager.submit(_written_platter(geometry, codec, "b"))
+        assert manager.pending == 2
+        first = manager.verify_next()
+        assert first.platter_id == "a"
+        assert manager.pending == 1
+
+    def test_empty_queue(self, codec):
+        manager = VerificationManager(ReadDriveModel(seed=1), codec)
+        assert manager.verify_next() is None
+
+
+class TestVerification:
+    def test_healthy_platter_passes(self, geometry, codec):
+        manager = VerificationManager(ReadDriveModel(seed=2), codec)
+        report = manager.verify_platter(_written_platter(geometry, codec))
+        assert report.sectors_checked == 5  # ceil(300/64)
+        assert report.passed
+        assert report.sector_failure_rate == 0.0
+
+    def test_margins_recorded(self, geometry, codec):
+        manager = VerificationManager(ReadDriveModel(seed=3), codec)
+        report = manager.verify_platter(_written_platter(geometry, codec))
+        assert all(v.margin > 1 for v in report.verdicts)
+
+    def test_noisy_write_flags_files_for_restaging(self, geometry, codec):
+        """Unrecoverable sectors send their files back to staging (§5),
+        not the whole platter."""
+        hostile = ReadDriveModel(
+            channel=ReadChannel(
+                ChannelModel(sensor_noise_sigma=0.9, isi_fraction=0.3), seed=4
+            ),
+            seed=4,
+        )
+        manager = VerificationManager(hostile, codec)
+        report = manager.verify_platter(_written_platter(geometry, codec))
+        assert report.sectors_failed > 0
+        assert report.failed_files == ["file-x"]
+        assert not report.passed
+
+    def test_verification_time_scales_with_bytes(self, codec):
+        manager = VerificationManager(
+            ReadDriveModel(seed=5), codec
+        )
+        assert manager.verification_seconds(60e6) == pytest.approx(1.0)
+
+    def test_reports_accumulate(self, geometry, codec):
+        manager = VerificationManager(ReadDriveModel(seed=6), codec)
+        manager.verify_platter(_written_platter(geometry, codec, "r1"))
+        manager.verify_platter(_written_platter(geometry, codec, "r2"))
+        assert [r.platter_id for r in manager.reports] == ["r1", "r2"]

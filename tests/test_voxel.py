@@ -1,0 +1,94 @@
+"""Tests for voxel symbol modulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.media.voxel import (
+    VoxelConstellation,
+    bits_to_symbols,
+    bytes_to_symbols,
+    symbols_to_bits,
+    symbols_to_bytes,
+)
+
+
+class TestConstellation:
+    def test_symbol_count(self):
+        assert VoxelConstellation(bits_per_voxel=2).num_symbols == 4
+        assert VoxelConstellation(bits_per_voxel=3).num_symbols == 8
+
+    def test_bits_per_voxel_range(self):
+        with pytest.raises(ValueError):
+            VoxelConstellation(bits_per_voxel=0)
+        with pytest.raises(ValueError):
+            VoxelConstellation(bits_per_voxel=5)
+
+    def test_azimuths_evenly_spaced_over_pi(self):
+        c = VoxelConstellation(bits_per_voxel=2)
+        azimuths = [c.azimuth(s) for s in range(4)]
+        assert azimuths == pytest.approx([0, math.pi / 4, math.pi / 2, 3 * math.pi / 4])
+
+    def test_azimuth_out_of_range(self):
+        with pytest.raises(ValueError):
+            VoxelConstellation().azimuth(4)
+
+    def test_observations_on_doubled_angle_circle(self):
+        c = VoxelConstellation()
+        for s in range(c.num_symbols):
+            x, y = c.ideal_observation(s)
+            assert x**2 + y**2 == pytest.approx(c.retardance**2)
+
+    def test_constellation_points_distinct(self):
+        c = VoxelConstellation()
+        points = {c.ideal_observation(s) for s in range(c.num_symbols)}
+        assert len(points) == c.num_symbols
+
+    def test_vectorized_matches_scalar(self):
+        c = VoxelConstellation()
+        symbols = np.array([0, 1, 2, 3])
+        vec = c.ideal_observations(symbols)
+        for i, s in enumerate(symbols):
+            assert tuple(vec[i]) == pytest.approx(c.ideal_observation(int(s)))
+
+    def test_nearest_symbol_on_clean_points(self):
+        c = VoxelConstellation()
+        symbols = np.array([3, 0, 2, 1, 1])
+        obs = c.ideal_observations(symbols)
+        assert (c.nearest_symbol(obs) == symbols).all()
+
+    def test_nearest_symbol_with_small_noise(self):
+        c = VoxelConstellation()
+        rng = np.random.default_rng(0)
+        symbols = rng.integers(0, 4, 500)
+        obs = c.ideal_observations(symbols) + rng.normal(0, 0.05, (500, 2))
+        assert (c.nearest_symbol(obs) == symbols).mean() > 0.999
+
+
+class TestBitPacking:
+    def test_bits_to_symbols_msb_first(self):
+        symbols = bits_to_symbols(np.array([1, 0, 0, 1]), bits_per_voxel=2)
+        assert symbols.tolist() == [2, 1]
+
+    def test_pads_partial_group_with_zeros(self):
+        symbols = bits_to_symbols(np.array([1, 1, 1]), bits_per_voxel=2)
+        assert symbols.tolist() == [3, 2]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        for bpv in (1, 2, 3, 4):
+            symbols = bits_to_symbols(bits, bpv)
+            recovered = symbols_to_bits(symbols, bpv)[: len(bits)]
+            assert (recovered == bits).all()
+
+    def test_bytes_roundtrip(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 33, dtype=np.uint8).tobytes()
+        symbols = bytes_to_symbols(data, 2)
+        assert symbols_to_bytes(symbols, len(data), 2) == data
+
+    def test_symbols_to_bytes_insufficient_raises(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.array([1, 2]), num_bytes=10)

@@ -1,0 +1,196 @@
+"""Tests for the workload substrate: traces, generator calibration, analysis."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    IOPS,
+    TYPICAL,
+    VOLUME,
+    FileSizeModel,
+    IngressSeries,
+    MiB,
+    ReadRequest,
+    ReadTrace,
+    WorkloadGenerator,
+    bucket_of,
+    peak_over_mean_curve,
+    profile_by_name,
+    read_size_histogram,
+    tail_over_median_rates,
+    writes_over_reads,
+)
+from repro.workload.traces import SIZE_BUCKET_EDGES
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return WorkloadGenerator(seed=42)
+
+
+@pytest.fixture(scope="module")
+def reads(generator):
+    return generator.characterization_reads(num_days=120)
+
+
+@pytest.fixture(scope="module")
+def ingress(generator):
+    return generator.ingress_series(num_days=120)
+
+
+class TestTraceContainers:
+    def test_requests_sorted_by_time(self):
+        trace = ReadTrace(
+            [
+                ReadRequest(5.0, "b", 10),
+                ReadRequest(1.0, "a", 10),
+                ReadRequest(3.0, "c", 10),
+            ]
+        )
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_window_slicing(self):
+        trace = ReadTrace([ReadRequest(float(t), f"f{t}", 1) for t in range(10)])
+        window = trace.window(3.0, 7.0)
+        assert [r.time for r in window] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_total_bytes(self):
+        trace = ReadTrace([ReadRequest(0.0, "a", 5), ReadRequest(1.0, "b", 7)])
+        assert trace.total_bytes == 12
+
+    def test_with_placement(self):
+        request = ReadRequest(0.0, "a", 5)
+        placed = request.with_placement("P1", track=7, num_tracks=2)
+        assert placed.platter_id == "P1"
+        assert placed.track == 7
+        assert request.platter_id is None  # original untouched
+
+    def test_bucket_of(self):
+        assert bucket_of(1024) == 0
+        assert bucket_of(4 * MiB) == 0
+        assert bucket_of(4 * MiB + 1) == 1
+        assert bucket_of(SIZE_BUCKET_EDGES[-1]) == len(SIZE_BUCKET_EDGES) - 1
+
+    def test_ingress_series_validation(self):
+        with pytest.raises(ValueError):
+            IngressSeries(np.ones(5), np.ones(4))
+
+    def test_rolling_window_bounds(self):
+        series = IngressSeries(np.ones(10), np.ones(10))
+        with pytest.raises(ValueError):
+            series.rolling_mean_rate(11)
+
+    def test_uniform_series_peak_over_mean_is_one(self):
+        series = IngressSeries(np.ones(30), np.ones(30))
+        assert series.peak_over_mean(1) == pytest.approx(1.0)
+
+
+class TestSizeCalibration:
+    """The generator must reproduce Figure 1(b)'s numbers."""
+
+    def test_small_reads_dominate_count(self, reads):
+        hist = read_size_histogram(reads)
+        assert hist.count_percent[0] == pytest.approx(58.7, abs=2.0)
+
+    def test_small_reads_contribute_tiny_bytes(self, reads):
+        hist = read_size_histogram(reads)
+        assert hist.bytes_percent[0] == pytest.approx(1.2, abs=0.6)
+
+    def test_large_files_dominate_bytes(self, reads):
+        hist = read_size_histogram(reads)
+        assert hist.bytes_above(3) == pytest.approx(85.0, abs=5.0)  # >256 MiB
+
+    def test_large_files_rare_by_count(self, reads):
+        hist = read_size_histogram(reads)
+        assert hist.count_above(3) < 2.5
+
+    def test_mean_file_size_about_100mb(self, reads):
+        # Section 7.7: "each file is around 100 MB, which is the average
+        # file size obtained from our workload analysis".
+        assert reads.sizes().mean() == pytest.approx(100e6, rel=0.3)
+
+    def test_ten_orders_of_magnitude_spread(self, generator):
+        sizes = generator.model.file_sizes.sample(np.random.default_rng(0), 500_000)
+        assert sizes.max() / sizes.min() > 1e8  # long tail (~10 orders)
+
+    def test_weight_count_must_match_buckets(self):
+        with pytest.raises(ValueError):
+            FileSizeModel(count_weights=(0.5, 0.5))
+
+
+class TestWriteReadRatios:
+    def test_figure_1a_ratios(self, ingress, reads):
+        ratios = writes_over_reads(ingress, reads)
+        assert ratios.mean_count_ratio == pytest.approx(174, rel=0.35)
+        assert ratios.mean_byte_ratio == pytest.approx(47, rel=0.35)
+
+    def test_writes_always_dominate_by_an_order(self, ingress, reads):
+        ratios = writes_over_reads(ingress, reads)
+        assert (ratios.count_ratio > 10).all()
+        assert (ratios.byte_ratio > 10).all()
+
+
+class TestIngressBurstiness:
+    def test_figure2_shape(self, ingress):
+        windows, ratios = peak_over_mean_curve(ingress, range(1, 61))
+        assert ratios[0] > 8  # ~16x at one day
+        assert ratios[29] < 3  # ~2x at 30 days
+        assert ratios[0] > ratios[29] > ratios[-1] * 0.8  # decaying
+
+    def test_monotone_trend_overall(self, ingress):
+        windows, ratios = peak_over_mean_curve(ingress, [1, 7, 30, 60])
+        assert ratios[0] > ratios[1] > ratios[2] >= ratios[3] * 0.95
+
+
+class TestCrossDcHeterogeneity:
+    def test_figure_1c_span(self, generator):
+        rates = generator.datacenter_hourly_rates(30, 24 * 90)
+        ratios = tail_over_median_rates(rates)
+        assert len(ratios) == 30
+        assert ratios[0] > 1e6  # most bursty DC: ~7 orders
+        assert ratios[-1] > 10  # least bursty still variable
+        assert ratios[0] / ratios[-1] > 1e4  # large spread across DCs
+
+    def test_ranked_descending(self, generator):
+        rates = generator.datacenter_hourly_rates(10, 24 * 30)
+        ratios = tail_over_median_rates(rates)
+        assert (np.diff(ratios) <= 0).all()
+
+
+class TestProfiles:
+    def test_profile_lookup(self):
+        assert profile_by_name("iops") is IOPS
+        assert profile_by_name("Volume") is VOLUME
+        with pytest.raises(KeyError):
+            profile_by_name("nope")
+
+    def test_iops_has_10x_more_reads_per_volume(self, generator):
+        """IOPS ~10x reads-per-byte vs Typical; Volume ~25x bytes at ~5x
+        count (Section 7.2)."""
+        typical, t0, t1 = TYPICAL.trace(generator, stream=50)
+        iops, _, _ = IOPS.trace(generator, stream=51)
+        volume, _, _ = VOLUME.trace(generator, stream=52)
+        t_count, t_bytes = len(typical), typical.total_bytes
+        i_count, i_bytes = len(iops), iops.total_bytes
+        v_count, v_bytes = len(volume), volume.total_bytes
+        reads_per_byte_ratio = (i_count / i_bytes) / (t_count / t_bytes)
+        assert reads_per_byte_ratio == pytest.approx(10, rel=0.8)
+        assert v_bytes / t_bytes == pytest.approx(25, rel=0.8)
+        assert v_count / t_count == pytest.approx(5, rel=0.5)
+
+    def test_trace_measurement_window(self, generator):
+        trace, start, end = TYPICAL.trace(generator)
+        assert end - start == pytest.approx(12 * 3600)
+        assert start == pytest.approx(2 * 3600)
+
+    def test_interval_trace_fixed_size(self, generator):
+        trace, _, _ = generator.interval_trace(
+            0.5, interval_hours=1, warmup_hours=0, cooldown_hours=0, fixed_size=100_000_000
+        )
+        assert all(r.size_bytes == 100_000_000 for r in trace)
+
+    def test_interval_trace_deterministic(self, generator):
+        a, _, _ = generator.interval_trace(0.5, interval_hours=1, stream=99)
+        b, _, _ = generator.interval_trace(0.5, interval_hours=1, stream=99)
+        assert [r.time for r in a] == [r.time for r in b]

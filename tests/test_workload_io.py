@@ -1,0 +1,72 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.io import load_ingress, load_trace, save_ingress, save_trace
+from repro.workload.traces import IngressSeries, ReadRequest, ReadTrace
+
+
+class TestTraceRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        generator = WorkloadGenerator(seed=9)
+        trace, _, _ = generator.interval_trace(0.5, interval_hours=0.2)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored == original
+
+    def test_placement_fields_survive(self, tmp_path):
+        request = ReadRequest(
+            1.5, "f", 100, account="a", platter_id="P9", track=7, num_tracks=3
+        )
+        path = tmp_path / "placed.jsonl"
+        save_trace(ReadTrace([request]), path)
+        (restored,) = load_trace(path).requests
+        assert restored.platter_id == "P9"
+        assert restored.track == 7
+        assert restored.num_tracks == 3
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_trace(ReadTrace([]), path)
+        assert len(load_trace(path)) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_trace(ReadTrace([ReadRequest(1.0, "f", 10)]), path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_trace(path)) == 1
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "file_id": "f", "size_bytes": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(path)
+
+
+class TestIngressRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        series = WorkloadGenerator(seed=10).ingress_series(40)
+        path = tmp_path / "ingress.csv"
+        save_ingress(series, path)
+        loaded = load_ingress(path)
+        assert np.array_equal(loaded.daily_bytes, series.daily_bytes)
+        assert np.array_equal(loaded.daily_ops, series.daily_ops)
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_ingress(path)
+
+    def test_statistics_preserved(self, tmp_path):
+        series = WorkloadGenerator(seed=11).ingress_series(60)
+        path = tmp_path / "stats.csv"
+        save_ingress(series, path)
+        loaded = load_ingress(path)
+        assert loaded.peak_over_mean(30) == pytest.approx(series.peak_over_mean(30))
