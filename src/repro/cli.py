@@ -15,6 +15,10 @@ Commands
     Print the coding design points (LDPC + network coding).
 ``archive``
     Round-trip a payload through the full put/verify/get data path.
+``chaos``
+    Run the digital twin under a stochastic fault schedule (MTBF/MTTR
+    repair clocks, transient read errors, metadata outages) and print the
+    resilience report; ``--no-repair`` runs the same schedule fail-stop.
 """
 
 from __future__ import annotations
@@ -135,6 +139,61 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     return 0 if recovered == payload else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .core import LibrarySimulation, SimConfig
+    from .faults import ChaosConfig, FaultModel, FaultSchedule
+    from .workload import WorkloadGenerator, profile_by_name
+
+    profile = profile_by_name(args.profile)
+    generator = WorkloadGenerator(seed=args.seed)
+    trace, start, end = generator.interval_trace(
+        profile.mean_rate_per_second * args.rate_factor,
+        interval_hours=args.hours,
+        warmup_hours=args.hours / 6,
+        cooldown_hours=args.hours / 6,
+        size_model=profile.size_model,
+        burstiness=profile.burstiness,
+    )
+    config = SimConfig(
+        num_drives=args.drives,
+        num_shuttles=args.shuttles,
+        num_platters=args.platters,
+        transient_read_error_prob=args.read_error_prob,
+        seed=args.seed,
+    )
+    simulation = LibrarySimulation(config)
+    simulation.assign_trace(trace, start, end)
+    horizon = (args.hours + 2 * args.hours / 6) * 3600.0
+
+    def model(mtbf: float, mttr: float) -> "FaultModel":
+        return FaultModel(mtbf_seconds=mtbf, mttr_seconds=mttr)
+
+    chaos = ChaosConfig(
+        horizon_seconds=horizon,
+        shuttle=model(args.shuttle_mtbf, args.shuttle_mttr) if args.shuttle_mtbf else None,
+        drive=model(args.drive_mtbf, args.drive_mttr) if args.drive_mtbf else None,
+        metadata=model(args.metadata_mtbf, args.metadata_mttr) if args.metadata_mtbf else None,
+        seed=args.seed,
+    )
+    schedule = FaultSchedule.generate(chaos, args.shuttles, args.drives)
+    if args.no_repair:
+        schedule = schedule.without_repair()
+    simulation.apply_fault_schedule(schedule)
+    report = simulation.run()
+    resilience = report.resilience
+    counts = {k.value: v for k, v in schedule.faults_by_component().items()}
+    print(f"profile    : {profile.name} ({len(trace)} requests)")
+    print(f"faults     : {len(schedule)} scheduled {counts} "
+          f"(repair {'off' if args.no_repair else 'on'})")
+    print(f"result     : {report.summary()}")
+    print(f"resilience : {resilience.summary()}")
+    print(
+        f"tail       : {report.completions.tail_hours:.2f} h "
+        f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +231,30 @@ def build_parser() -> argparse.ArgumentParser:
     archive = commands.add_parser("archive", help="put/get round trip")
     archive.add_argument("--payload", default="hello, glass")
     archive.set_defaults(func=_cmd_archive)
+
+    chaos = commands.add_parser(
+        "chaos", help="run under a stochastic fault schedule with repair clocks"
+    )
+    chaos.add_argument("--profile", default="IOPS", choices=["Typical", "IOPS", "Volume"])
+    chaos.add_argument("--drives", type=int, default=20)
+    chaos.add_argument("--shuttles", type=int, default=20)
+    chaos.add_argument("--platters", type=int, default=1200)
+    chaos.add_argument("--hours", type=float, default=1.0)
+    chaos.add_argument("--rate-factor", type=float, default=0.7)
+    chaos.add_argument("--shuttle-mtbf", type=float, default=1800.0,
+                       help="shuttle MTBF seconds (0 disables shuttle faults)")
+    chaos.add_argument("--shuttle-mttr", type=float, default=300.0)
+    chaos.add_argument("--drive-mtbf", type=float, default=2400.0,
+                       help="read-drive MTBF seconds (0 disables drive faults)")
+    chaos.add_argument("--drive-mttr", type=float, default=600.0)
+    chaos.add_argument("--metadata-mtbf", type=float, default=0.0,
+                       help="metadata-service MTBF seconds (0 disables outages)")
+    chaos.add_argument("--metadata-mttr", type=float, default=120.0)
+    chaos.add_argument("--read-error-prob", type=float, default=0.0,
+                       help="per-attempt transient sector read error probability")
+    chaos.add_argument("--no-repair", action="store_true",
+                       help="same fault schedule, repair disabled (fail-stop)")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

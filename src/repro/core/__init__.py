@@ -10,6 +10,7 @@ from .metrics import (
     SLO_SECONDS,
     CompletionStats,
     DriveUtilization,
+    ResilienceMetrics,
     ShuttleMetrics,
     SimulationReport,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "SLO_SECONDS",
     "CompletionStats",
     "DriveUtilization",
+    "ResilienceMetrics",
     "ShuttleMetrics",
     "SimulationReport",
     "DeploymentConfig",

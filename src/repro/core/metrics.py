@@ -110,6 +110,51 @@ class ShuttleMetrics:
 
 
 @dataclass
+class ResilienceMetrics:
+    """Fault-lifecycle accounting: how the library rode through faults.
+
+    ``availability`` is component-time availability — the fraction of
+    (shuttle + drive + metadata) component-seconds spent in service. With
+    repair enabled each fault costs ~MTTR of downtime; with repair disabled
+    it costs the rest of the run, which is exactly the contrast the chaos
+    benchmark sweeps. ``recovery_read_amplification`` is raw bytes read by
+    cross-platter NC recovery over the user bytes they recovered (the
+    paper's ~16x for I_p = 16 plus framing overhead, Figure 8).
+    """
+
+    faults_injected: int = 0
+    faults_repaired: int = 0
+    availability: float = 1.0
+    mean_time_to_repair: float = 0.0
+    downtime_component_seconds: float = 0.0
+    reread_retries: int = 0
+    deep_decodes: int = 0
+    recovery_escalations: int = 0
+    recovery_bytes_read: float = 0.0
+    recovery_read_amplification: float = 0.0
+    metadata_retries: int = 0
+    requests_lost: int = 0
+    degraded_requests: int = 0
+    degraded_completions: CompletionStats = field(
+        default_factory=lambda: CompletionStats.from_times([])
+    )
+
+    def summary(self) -> str:
+        degraded_tail = self.degraded_completions.p999 / 3600.0
+        return (
+            f"faults={self.faults_injected} repaired={self.faults_repaired} "
+            f"availability={self.availability * 100:.3f}% "
+            f"mttr={self.mean_time_to_repair:.0f}s "
+            f"retries(reread/deep/nc)={self.reread_retries}/"
+            f"{self.deep_decodes}/{self.recovery_escalations} "
+            f"metadata_retries={self.metadata_retries} "
+            f"recovery_amp={self.recovery_read_amplification:.1f}x "
+            f"degraded={self.degraded_requests} "
+            f"(tail {degraded_tail:.2f}h) lost={self.requests_lost}"
+        )
+
+
+@dataclass
 class SimulationReport:
     """Everything a single simulator run produces."""
 
@@ -123,6 +168,7 @@ class SimulationReport:
     bytes_verified: float = 0.0
     seek_seconds: float = 0.0
     simulated_seconds: float = 0.0
+    resilience: Optional[ResilienceMetrics] = None
 
     def summary(self) -> str:
         c = self.completions

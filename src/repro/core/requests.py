@@ -30,6 +30,11 @@ class SimRequest:
     parent: Optional["SimRequest"] = None
     pending_subreads: int = 0
     children: List["SimRequest"] = field(default_factory=list)
+    # Transient-fault lifecycle bookkeeping (chaos harness):
+    retries: int = 0  # read-retry ladder rungs taken while serving
+    metadata_attempts: int = 0  # arrivals bounced off a metadata outage
+    degraded: bool = False  # touched any retry / recovery / outage path
+    is_recovery: bool = False  # a cross-platter NC recovery sub-read
 
     @classmethod
     def from_trace(
@@ -77,6 +82,16 @@ class SimRequest:
             node = node.parent
         return finished
 
+    def mark_degraded(self) -> None:
+        """Flag this request (and its ancestors) as served in degraded mode.
+
+        Degraded-mode tail completion (resilience metrics) is computed over
+        top-level requests carrying this flag."""
+        node: Optional[SimRequest] = self
+        while node is not None:
+            node.degraded = True
+            node = node.parent
+
     def fan_out(self, recovery_platters: List[str], request_ids: List[int]) -> List["SimRequest"]:
         """Expand into cross-platter recovery sub-reads (one per platter).
 
@@ -96,6 +111,7 @@ class SimRequest:
                 num_tracks=self.num_tracks,
                 measured=False,  # the parent carries the measurement
                 parent=self,
+                is_recovery=True,
             )
             subs.append(sub)
         self.pending_subreads = len(subs)

@@ -28,9 +28,12 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultSchedule
 
 from ..library.layout import LibraryConfig, LibraryLayout, Position, SlotId
 from ..library.shuttle import Shuttle
@@ -40,6 +43,7 @@ from .events import Simulation
 from .metrics import (
     CompletionStats,
     DriveUtilization,
+    ResilienceMetrics,
     ShuttleMetrics,
     SimulationReport,
 )
@@ -72,6 +76,18 @@ class SimConfig:
     battery_capacity_joules: float = 400_000.0
     battery_low_threshold: float = 0.15
     recharge_seconds: float = 900.0
+    # Transient-fault lifecycle (chaos harness): per-attempt probability of a
+    # transient sector read error, and the read-retry escalation ladder's
+    # costs — a re-read costs another seek+scan; the deeper LDPC iteration
+    # budget costs ``deep_decode_factor`` extra scans and leaves a residual
+    # error probability of ``prob * deep_decode_residual`` before the last
+    # rung (cross-platter NC recovery) is taken.
+    transient_read_error_prob: float = 0.0
+    deep_decode_factor: float = 2.0
+    deep_decode_residual: float = 0.1
+    # Capped exponential backoff for arrivals hitting a metadata outage.
+    metadata_backoff_base_seconds: float = 1.0
+    metadata_backoff_cap_seconds: float = 60.0
     seed: int = 0
     library: LibraryConfig = field(default_factory=LibraryConfig)
 
@@ -85,6 +101,10 @@ class SimConfig:
             )
         if not 0 <= self.unavailable_fraction < 1:
             raise ValueError("unavailable_fraction must be in [0, 1)")
+        if not 0 <= self.transient_read_error_prob < 1:
+            raise ValueError("transient_read_error_prob must be in [0, 1)")
+        if self.metadata_backoff_base_seconds <= 0:
+            raise ValueError("metadata_backoff_base_seconds must be positive")
 
     @property
     def track_read_bytes(self) -> float:
@@ -118,6 +138,11 @@ class _DriveSim:
             and self.awaiting_return is None
             and not self.failed
         )
+
+    @property
+    def occupied(self) -> bool:
+        """A fault must wait for an operation boundary on this drive."""
+        return bool(self.serving or self.awaiting_return or self.slot_reserved)
 
 
 class _ShuttleSim:
@@ -217,6 +242,26 @@ class LibrarySimulation:
                 self._partition_cover[p.index] = p.index
         self._drive_override: Dict[int, int] = {}
         self.failures_injected = 0
+        # Fault lifecycle (repair clocks, §4/§6 chaos harness): faults that
+        # struck a busy component wait here and fire from the dispatch hook
+        # at the next operation boundary — no polling.
+        self._pending_faults: List[Tuple[str, int, Optional[float]]] = []
+        self._metadata_waiters: List[Callable[[], None]] = []
+        self._active_fault_started: Dict[Tuple[str, int], float] = {}
+        self._fault_platters: Dict[Tuple[str, int], set] = {}
+        self._repair_durations: List[float] = []
+        self.faults_repaired = 0
+        self._downtime_seconds = 0.0
+        # Metadata service availability (arrivals need a metadata lookup).
+        self._metadata_available = True
+        self.metadata_retries = 0
+        # Read-retry escalation ladder counters.
+        self.reread_retries = 0
+        self.deep_decodes = 0
+        self.recovery_escalations = 0
+        self.recovery_bytes_read = 0.0
+        self._fanout_user_bytes = 0.0
+        self.requests_lost = 0
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -360,16 +405,29 @@ class LibrarySimulation:
         failure still recover correctly.
         """
         if sim_request.platter_id in self.unavailable:
-            self._fan_out_recovery(sim_request)
+            if not self._fan_out_recovery(sim_request):
+                self._abandon_request(sim_request)
             return
         self._schedule_arrival(sim_request)
 
-    def _fan_out_recovery(self, sim_request: SimRequest) -> None:
+    def _abandon_request(self, sim_request: SimRequest) -> None:
+        """No surviving recovery peer: the read is lost.
+
+        Only reachable when an entire platter-set is simultaneously
+        unavailable — far outside the blast-zone invariant — but the sim
+        must stay sound (and terminating) even there, so the request
+        completes immediately and is tallied as lost."""
+        self.requests_lost += 1
+        sim_request.mark_degraded()
+        sim_request.complete(self.sim.now)
+
+    def _fan_out_recovery(self, sim_request: SimRequest) -> List[SimRequest]:
         """Cross-platter NC: read the matching tracks on I_p available
         platters of the set (Section 7.6's 16x read amplification). If
         dynamic failures left fewer than I_p peers available, recovery
         proceeds degraded with what remains (real deployments prevent this
-        via blast-zone-aware placement; the simulator places uniformly)."""
+        via blast-zone-aware placement; the simulator places uniformly).
+        Returns the recovery sub-reads (empty when no peer survives)."""
         cfg = self.config
         peers = [
             p
@@ -378,18 +436,44 @@ class LibrarySimulation:
         ]
         recovery = peers[: cfg.platter_set_information]
         subs = sim_request.fan_out(recovery, [self._new_id() for _ in recovery])
+        if subs:
+            sim_request.mark_degraded()
+            self._fanout_user_bytes += sim_request.size_bytes
         for sub in subs:
             self.all_requests.append(sub)
             self._schedule_arrival(sub)
+        return subs
 
     def _schedule_arrival(self, sim_request: SimRequest) -> None:
+        cfg = self.config
+
         def arrive() -> None:
+            # Every arrival needs a metadata lookup; during an outage the
+            # request parks until the repair event fires, then re-arrives
+            # after its capped-exponential backoff (the client's next poll
+            # catches the failover). Event-driven: an outage that never
+            # repairs costs zero events instead of an unbounded retry storm.
+            if not self._metadata_available:
+                self.metadata_retries += 1
+                sim_request.metadata_attempts += 1
+                sim_request.mark_degraded()
+                self._metadata_waiters.append(retry_after_repair)
+                return
             # A failure may have struck between routing and arrival.
             if sim_request.platter_id in self.unavailable:
-                self._fan_out_recovery(sim_request)
+                if not self._fan_out_recovery(sim_request):
+                    self._abandon_request(sim_request)
             else:
                 self._enqueue(sim_request)
             self._request_dispatch()
+
+        def retry_after_repair() -> None:
+            exponent = min(sim_request.metadata_attempts - 1, 32)
+            delay = min(
+                cfg.metadata_backoff_base_seconds * (2.0 ** exponent),
+                cfg.metadata_backoff_cap_seconds,
+            )
+            self.sim.schedule(delay, arrive, label="metadata-retry")
 
         # Re-ingested requests (failure re-routing) arrive "now"; their
         # original arrival stamp is kept for completion-time accounting.
@@ -478,6 +562,10 @@ class LibrarySimulation:
         self.sim.schedule(0.0, run, label="dispatch")
 
     def _dispatch(self) -> None:
+        # Faults that found their component busy fire here, at the next
+        # operation boundary, *before* new work is assigned — the
+        # event-driven replacement for the old fixed-interval retry poll.
+        self._fire_pending_faults()
         if self.config.policy == "ns":
             self._dispatch_ns()
         elif self.config.policy == "silica":
@@ -486,6 +574,30 @@ class LibrarySimulation:
         else:
             self._dispatch_returns()
             self._dispatch_sp()
+
+    def _fire_pending_faults(self) -> None:
+        """Fire deferred faults whose component reached an idle boundary."""
+        if not self._pending_faults:
+            return
+        still_waiting: List[Tuple[str, int, Optional[float]]] = []
+        for kind, target, repair_after in self._pending_faults:
+            if kind == "shuttle":
+                shuttle_sim = self.shuttles[target]
+                if shuttle_sim.shuttle.failed:
+                    continue  # a duplicate fault; the first one won
+                if shuttle_sim.busy:
+                    still_waiting.append((kind, target, repair_after))
+                else:
+                    self._fail_shuttle(target, repair_after=repair_after)
+            else:
+                drive = self.drives[target]
+                if drive.failed:
+                    continue
+                if drive.occupied:
+                    still_waiting.append((kind, target, repair_after))
+                else:
+                    self._fail_drive(target, repair_after=repair_after)
+        self._pending_faults = still_waiting
 
     # -- returns -------------------------------------------------------- #
 
@@ -763,18 +875,54 @@ class LibrarySimulation:
             self._serve_batch(drive, platter)
             return
         request = batch[index]
+        cfg = self.config
         seek = self._seek_seconds(drive, request.track_start)
         drive.head_track = request.track_start + request.num_tracks
-        scan = drive.model.seconds_to_scan(
-            request.num_tracks * self.config.track_read_bytes
-        )
+        track_bytes = request.num_tracks * cfg.track_read_bytes
+        scan = drive.model.seconds_to_scan(track_bytes)
         duration = seek + scan
-        drive.read_seconds += duration
+        bytes_this_service = track_bytes
         drive.seek_seconds += seek
-        self.bytes_read += request.num_tracks * self.config.track_read_bytes
+        escalate = False
+        p = cfg.transient_read_error_prob
+        if p > 0.0 and float(self.rng.random()) < p:
+            # Read-retry escalation ladder. Rung 1: a transient sector
+            # error — re-read the tracks in place (another seek + scan).
+            self.reread_retries += 1
+            request.retries += 1
+            request.mark_degraded()
+            reread_seek = self._seek_seconds(drive, request.track_start)
+            duration += reread_seek + scan
+            drive.seek_seconds += reread_seek
+            bytes_this_service += track_bytes
+            if float(self.rng.random()) < p:
+                # Rung 2: spend a deeper LDPC iteration budget on the
+                # captured image (decode compute, no extra media read).
+                self.deep_decodes += 1
+                request.retries += 1
+                duration += scan * cfg.deep_decode_factor
+                if (
+                    not request.is_recovery
+                    and float(self.rng.random()) < p * cfg.deep_decode_residual
+                ):
+                    # Rung 3: the tracks are unrecoverable in place —
+                    # escalate to cross-platter NC recovery. Recovery
+                    # reads themselves never re-escalate (they already
+                    # carry the set's redundancy).
+                    escalate = True
+        drive.read_seconds += duration
+        self.bytes_read += bytes_this_service
+        if request.is_recovery:
+            self.recovery_bytes_read += bytes_this_service
 
         def done() -> None:
-            request.complete(self.sim.now)
+            if escalate:
+                if self._fan_out_recovery(request):
+                    self.recovery_escalations += 1
+                else:
+                    self._abandon_request(request)
+            else:
+                request.complete(self.sim.now)
             self._serve_requests(drive, platter, batch, index + 1)
 
         self.sim.schedule(duration, done, label="read")
@@ -872,89 +1020,237 @@ class LibrarySimulation:
     # Failure injection (Section 4/6: failures minimize impact)
     # ------------------------------------------------------------------ #
 
-    def schedule_shuttle_failure(self, time: float, shuttle_id: int) -> None:
+    def schedule_shuttle_failure(
+        self, time: float, shuttle_id: int, repair_after: Optional[float] = None
+    ) -> None:
         """Fail a shuttle at (or shortly after) ``time``.
 
         Fail-stop at an operation boundary: if the shuttle is mid-trip, the
-        failure fires when it next goes idle, keeping every in-flight
-        platter protocol consistent. Consequences:
+        failure is parked in the pending-fault set and fires from the
+        dispatch hook when the shuttle next goes idle (event-driven — no
+        polling), keeping every in-flight platter protocol consistent.
+        Consequences:
 
         * the shelf the shuttle died on becomes a blast zone — its platters
           turn unavailable and their queued reads re-route through
           cross-platter recovery;
         * the controller reassigns the shuttle's partitions to the nearest
           alive shuttle (detection is reliable, Section 6).
+
+        ``repair_after`` starts a repair clock: the shuttle returns to
+        service that many seconds after the failure actually fires
+        (transient fault); None means fail-stop forever (permanent).
         """
         if not 0 <= shuttle_id < len(self.shuttles):
             raise IndexError(f"no shuttle {shuttle_id}")
 
         def fire() -> None:
             shuttle_sim = self.shuttles[shuttle_id]
+            if shuttle_sim.shuttle.failed:
+                return  # overlapping fault; the active one wins
             if shuttle_sim.busy:
-                self.sim.schedule(5.0, fire, label="failure-retry")
+                self._pending_faults.append(("shuttle", shuttle_id, repair_after))
                 return
-            self._fail_shuttle(shuttle_id)
+            self._fail_shuttle(shuttle_id, repair_after=repair_after)
 
         self.sim.schedule_at(time, fire, label="shuttle-failure")
 
-    def schedule_drive_failure(self, time: float, drive_id: int) -> None:
-        """Fail a read drive at (or shortly after) ``time``."""
+    def schedule_drive_failure(
+        self, time: float, drive_id: int, repair_after: Optional[float] = None
+    ) -> None:
+        """Fail a read drive at (or shortly after) ``time``.
+
+        Same operation-boundary and repair-clock semantics as
+        :meth:`schedule_shuttle_failure`.
+        """
         if not 0 <= drive_id < len(self.drives):
             raise IndexError(f"no drive {drive_id}")
 
         def fire() -> None:
             drive = self.drives[drive_id]
-            if drive.serving or drive.awaiting_return or drive.slot_reserved:
-                self.sim.schedule(5.0, fire, label="failure-retry")
+            if drive.failed:
                 return
-            self._fail_drive(drive_id)
+            if drive.occupied:
+                self._pending_faults.append(("drive", drive_id, repair_after))
+                return
+            self._fail_drive(drive_id, repair_after=repair_after)
 
         self.sim.schedule_at(time, fire, label="drive-failure")
 
-    def _fail_shuttle(self, shuttle_id: int) -> None:
+    def schedule_metadata_outage(
+        self, time: float, duration: Optional[float] = None
+    ) -> None:
+        """Take the metadata service down at ``time``.
+
+        Arrivals during the outage back off (capped exponential) until the
+        service repairs ``duration`` seconds later; None means the outage
+        lasts to the end of the run.
+        """
+
+        def repair() -> None:
+            if self._metadata_available:
+                return
+            self._metadata_available = True
+            self._close_fault(("metadata", 0))
+            waiters, self._metadata_waiters = self._metadata_waiters, []
+            for retry in waiters:
+                retry()
+            self._request_dispatch()
+
+        def fire() -> None:
+            if not self._metadata_available:
+                return  # overlapping outage; the active one wins
+            self._metadata_available = False
+            self.failures_injected += 1
+            self._active_fault_started[("metadata", 0)] = self.sim.now
+            if duration is not None:
+                self.sim.schedule(duration, repair, label="metadata-repair")
+
+        self.sim.schedule_at(time, fire, label="metadata-outage")
+
+    @property
+    def metadata_available(self) -> bool:
+        return self._metadata_available
+
+    def apply_fault_schedule(self, schedule: "FaultSchedule") -> None:
+        """Arm every event of a :class:`repro.faults.FaultSchedule`.
+
+        Transient events carry their repair clock; permanent events never
+        return. Call before :meth:`run`.
+        """
+        from ..faults import ComponentKind
+
+        for event in schedule:
+            repair_after = event.duration if event.repairs else None
+            if event.component is ComponentKind.SHUTTLE:
+                self.schedule_shuttle_failure(
+                    event.start, event.target, repair_after=repair_after
+                )
+            elif event.component is ComponentKind.READ_DRIVE:
+                self.schedule_drive_failure(
+                    event.start, event.target, repair_after=repair_after
+                )
+            else:
+                self.schedule_metadata_outage(event.start, repair_after)
+
+    def _fail_shuttle(self, shuttle_id: int, repair_after: Optional[float] = None) -> None:
         shuttle_sim = self.shuttles[shuttle_id]
         shuttle = shuttle_sim.shuttle
         shuttle.fail()
         self.failures_injected += 1
+        key = ("shuttle", shuttle_id)
+        self._active_fault_started[key] = self.sim.now
         # Blast zone: one shelf of one rack at the death position.
         width = self.layout.config.rack_width_m
         rack = int(shuttle.position.x // width)
         level = shuttle.position.level
+        blocked = set()
         for platter, slot in list(self._home_slot.items()):
             if slot.rack == rack and slot.level == level:
                 if self.layout.locate(platter) is not None:
-                    self._make_platter_unavailable(platter)
+                    if self._make_platter_unavailable(platter):
+                        blocked.add(platter)
+        self._fault_platters[key] = blocked
         # Controller reassigns coverage of this shuttle's partitions.
-        if isinstance(self.policy, PartitionedPolicy):
-            orphaned = [
-                pid
-                for pid, cover in self._partition_cover.items()
-                if cover == shuttle.partition
-            ]
-            replacement = self._nearest_alive_partition(shuttle.partition)
-            for pid in orphaned:
-                self._partition_cover[pid] = replacement
+        self._recompute_partition_cover()
+        if repair_after is not None:
+            self.sim.schedule(
+                repair_after,
+                lambda: self._repair_shuttle(shuttle_id),
+                label="shuttle-repair",
+            )
         self._request_dispatch()
 
-    def _fail_drive(self, drive_id: int) -> None:
+    def _repair_shuttle(self, shuttle_id: int) -> None:
+        """Repair clock expired: the shuttle returns to service.
+
+        Its blast zone clears (unless another active failure still covers a
+        platter) and the controller hands its partitions back."""
+        shuttle_sim = self.shuttles[shuttle_id]
+        shuttle = shuttle_sim.shuttle
+        if not shuttle.failed:
+            return
+        key = ("shuttle", shuttle_id)
+        shuttle.repair()
+        self._close_fault(key)
+        blocked = self._fault_platters.pop(key, set())
+        still_blocked = set()
+        for platters in self._fault_platters.values():
+            still_blocked |= platters
+        for platter in blocked - still_blocked:
+            self.unavailable.discard(platter)
+        self._recompute_partition_cover()
+        self._request_dispatch()
+
+    def _fail_drive(self, drive_id: int, repair_after: Optional[float] = None) -> None:
         drive = self.drives[drive_id]
         drive.failed = True
         self.failures_injected += 1
+        self._active_fault_started[("drive", drive_id)] = self.sim.now
         self._drive_stops_verifying()  # failure gate ensures it was idle
-        if isinstance(self.policy, PartitionedPolicy):
-            for partition in self.policy.partitions:
-                current = self._drive_override.get(partition.index, partition.drive_id)
-                if current == drive_id:
-                    alive = [d for d in self.drives if not d.failed]
-                    if alive:
-                        nearest = min(
-                            alive,
-                            key=lambda d: abs(
-                                d.position.x - partition.home.x
-                            ),
-                        )
-                        self._drive_override[partition.index] = nearest.drive_id
+        self._recompute_drive_routing()
+        if repair_after is not None:
+            self.sim.schedule(
+                repair_after,
+                lambda: self._repair_drive(drive_id),
+                label="drive-repair",
+            )
         self._request_dispatch()
+
+    def _repair_drive(self, drive_id: int) -> None:
+        """Repair clock expired: the drive rejoins the fleet (and the
+        verification pool) and partitions route back to it."""
+        drive = self.drives[drive_id]
+        if not drive.failed:
+            return
+        drive.failed = False
+        self._close_fault(("drive", drive_id))
+        self._drive_resumes_verifying()
+        self._recompute_drive_routing()
+        self._request_dispatch()
+
+    def _close_fault(self, key: Tuple[str, int]) -> None:
+        """Account the downtime of a repaired fault."""
+        started = self._active_fault_started.pop(key, self.sim.now)
+        downtime = max(0.0, self.sim.now - started)
+        self._downtime_seconds += downtime
+        self._repair_durations.append(downtime)
+        self.faults_repaired += 1
+
+    def _recompute_partition_cover(self) -> None:
+        """Self-coverage for alive shuttles; orphaned partitions adopt the
+        nearest alive shuttle (controller reassignment, Section 6)."""
+        if not isinstance(self.policy, PartitionedPolicy):
+            return
+        owner: Dict[int, _ShuttleSim] = {}
+        for shuttle_sim in self.shuttles:
+            pid = shuttle_sim.shuttle.partition
+            if pid is not None:
+                owner[pid] = shuttle_sim
+        for pid in self._partition_cover:
+            own = owner.get(pid)
+            if own is not None and not own.shuttle.failed:
+                self._partition_cover[pid] = pid
+            else:
+                self._partition_cover[pid] = self._nearest_alive_partition(pid)
+
+    def _recompute_drive_routing(self) -> None:
+        """Partitions whose native drive is down route to the nearest alive
+        drive; routes return home when the native drive repairs."""
+        if not isinstance(self.policy, PartitionedPolicy):
+            return
+        alive = [d for d in self.drives if not d.failed]
+        for partition in self.policy.partitions:
+            native = partition.drive_id
+            if native >= len(self.drives):
+                continue  # bay not populated in this configuration
+            if not self.drives[native].failed:
+                self._drive_override.pop(partition.index, None)
+            elif alive:
+                nearest = min(
+                    alive, key=lambda d: abs(d.position.x - partition.home.x)
+                )
+                self._drive_override[partition.index] = nearest.drive_id
 
     def _nearest_alive_partition(self, failed_partition: int) -> int:
         """Partition index of the nearest alive shuttle (by home x/level)."""
@@ -974,13 +1270,16 @@ class LibrarySimulation:
         )
         return nearest.partition
 
-    def _make_platter_unavailable(self, platter: str) -> None:
-        """Mark a platter unreachable and re-route its queued reads."""
+    def _make_platter_unavailable(self, platter: str) -> bool:
+        """Mark a platter unreachable and re-route its queued reads.
+
+        Returns True if this call made the platter unavailable (so the
+        failure that caused it can restore it on repair)."""
         if platter in self.unavailable:
-            return
+            return False
         if self.scheduler.in_service(platter):
             # Mounted or being fetched: it escaped the blast zone.
-            return
+            return False
         self.unavailable.add(platter)
         pending = self.scheduler.remove_pending(platter)
         pid = self._platter_partition.get(platter)
@@ -991,6 +1290,7 @@ class LibrarySimulation:
             )
         for request in pending:
             self._ingest(request)
+        return True
 
     # ------------------------------------------------------------------ #
     # Run + report
@@ -1037,6 +1337,7 @@ class LibrarySimulation:
         completed_all = sum(1 for r in self.all_requests if r.done and r.parent is None)
         submitted_all = sum(1 for r in self.all_requests if r.parent is None)
         return SimulationReport(
+            resilience=self._resilience_metrics(total),
             completions=CompletionStats.from_times(measured),
             drive_utilization=agg,
             per_drive_utilization=per_drive,
@@ -1047,4 +1348,49 @@ class LibrarySimulation:
             bytes_verified=bytes_verified,
             seek_seconds=sum(d.seek_seconds for d in self.drives),
             simulated_seconds=total,
+        )
+
+    def _resilience_metrics(self, total_seconds: float) -> ResilienceMetrics:
+        """Fault-lifecycle accounting over the whole run."""
+        # Downtime of closed (repaired) faults plus the open tail of every
+        # fault still active at the end of the run.
+        downtime = self._downtime_seconds
+        for started in self._active_fault_started.values():
+            downtime += max(0.0, total_seconds - started)
+        num_components = len(self.shuttles) + len(self.drives) + 1  # + metadata
+        budget = num_components * total_seconds
+        availability = 1.0 - downtime / budget if budget > 0 else 1.0
+        mttr = (
+            sum(self._repair_durations) / len(self._repair_durations)
+            if self._repair_durations
+            else 0.0
+        )
+        degraded = [
+            r
+            for r in self.all_requests
+            if r.parent is None and r.degraded
+        ]
+        degraded_times = [
+            r.completion_time for r in degraded if r.measured and r.done
+        ]
+        amplification = (
+            self.recovery_bytes_read / self._fanout_user_bytes
+            if self._fanout_user_bytes > 0
+            else 0.0
+        )
+        return ResilienceMetrics(
+            faults_injected=self.failures_injected,
+            faults_repaired=self.faults_repaired,
+            availability=max(0.0, availability),
+            mean_time_to_repair=mttr,
+            downtime_component_seconds=downtime,
+            reread_retries=self.reread_retries,
+            deep_decodes=self.deep_decodes,
+            recovery_escalations=self.recovery_escalations,
+            recovery_bytes_read=self.recovery_bytes_read,
+            recovery_read_amplification=amplification,
+            metadata_retries=self.metadata_retries,
+            requests_lost=self.requests_lost,
+            degraded_requests=len(degraded),
+            degraded_completions=CompletionStats.from_times(degraded_times),
         )

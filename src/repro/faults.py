@@ -1,0 +1,245 @@
+"""Stochastic fault-lifecycle schedules: components fail *and return*.
+
+Section 4/6 of the paper argues the library "minimizes the impact of
+failures" through blast zones, partition reassignment and cross-platter
+recovery. The interesting regime for that claim is not a single fail-stop
+event but a *lifecycle*: components fail at some rate (MTBF), are repaired
+after some time (MTTR), and the service rides through the transient window
+in degraded mode. This module generates reproducible fault schedules for
+the digital twin:
+
+* per-component exponential up-times drawn from a seeded generator
+  (memoryless MTBF, the standard renewal model for mechanical failures);
+* repair times drawn from an exponential MTTR (field replacement of a
+  shuttle or read drive, metadata-service failover);
+* ``transient`` faults repair and return to service; ``permanent`` faults
+  never do (fail-stop until end of horizon) — the ratio is configurable
+  per component class;
+* :meth:`FaultSchedule.without_repair` converts any schedule into its
+  repair-disabled twin (same fault instants, infinite repair), which is
+  the ablation the chaos benchmark sweeps against.
+
+The schedule is pure data; :meth:`repro.core.simulation.LibrarySimulation.
+apply_fault_schedule` turns it into simulator events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class ComponentKind(Enum):
+    """Library components with an independent failure process."""
+
+    SHUTTLE = "shuttle"
+    READ_DRIVE = "read_drive"
+    METADATA = "metadata"
+
+
+class FaultKind(Enum):
+    TRANSIENT = "transient"  # repairs after its duration
+    PERMANENT = "permanent"  # fail-stop until the end of the horizon
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault of one component instance.
+
+    ``duration`` is the repair time in seconds; ``math.inf`` encodes a
+    permanent fault (no repair before the horizon).
+    """
+
+    component: ComponentKind
+    target: int  # shuttle / drive index; 0 for the metadata service
+    start: float
+    duration: float
+    kind: FaultKind
+
+    @property
+    def repairs(self) -> bool:
+        return math.isfinite(self.duration)
+
+    @property
+    def repair_time(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Failure/repair process of one component class."""
+
+    mtbf_seconds: float
+    mttr_seconds: float
+    transient_fraction: float = 1.0  # probability a fault is repairable
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+        if self.mttr_seconds < 0:
+            raise ValueError("mttr_seconds must be non-negative")
+        if not 0 <= self.transient_fraction <= 1:
+            raise ValueError("transient_fraction must be in [0, 1]")
+
+    @property
+    def steady_state_availability(self) -> float:
+        """The textbook MTBF / (MTBF + MTTR) bound for transient faults."""
+        return self.mtbf_seconds / (self.mtbf_seconds + self.mttr_seconds)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What to break, how often, and for how long."""
+
+    horizon_seconds: float
+    shuttle: Optional[FaultModel] = None
+    drive: Optional[FaultModel] = None
+    metadata: Optional[FaultModel] = None
+    repair: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+
+    def model_for(self, component: ComponentKind) -> Optional[FaultModel]:
+        return {
+            ComponentKind.SHUTTLE: self.shuttle,
+            ComponentKind.READ_DRIVE: self.drive,
+            ComponentKind.METADATA: self.metadata,
+        }[component]
+
+
+class FaultSchedule:
+    """An ordered, reproducible list of fault events over a horizon."""
+
+    def __init__(self, events: List[FaultEvent], horizon_seconds: float):
+        self.events = sorted(events, key=lambda e: (e.start, e.component.value, e.target))
+        self.horizon_seconds = horizon_seconds
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def generate(
+        cls,
+        config: ChaosConfig,
+        num_shuttles: int,
+        num_drives: int,
+    ) -> "FaultSchedule":
+        """Draw a schedule from per-component renewal processes.
+
+        Each component instance gets an independent substream (derived
+        deterministically from the seed and the component identity), so
+        adding shuttles does not perturb the drives' schedule.
+        """
+        events: List[FaultEvent] = []
+        population = [
+            (ComponentKind.SHUTTLE, num_shuttles),
+            (ComponentKind.READ_DRIVE, num_drives),
+            (ComponentKind.METADATA, 1),
+        ]
+        for component, count in population:
+            model = config.model_for(component)
+            if model is None:
+                continue
+            for target in range(count):
+                rng = np.random.default_rng(
+                    [config.seed, _COMPONENT_STREAM[component], target]
+                )
+                events.extend(
+                    cls._component_walk(
+                        rng, model, component, target, config.horizon_seconds, config.repair
+                    )
+                )
+        return cls(events, config.horizon_seconds)
+
+    @staticmethod
+    def _component_walk(
+        rng: np.random.Generator,
+        model: FaultModel,
+        component: ComponentKind,
+        target: int,
+        horizon: float,
+        repair: bool,
+    ) -> List[FaultEvent]:
+        """Alternating up/down renewal walk for one component instance."""
+        events: List[FaultEvent] = []
+        now = 0.0
+        while True:
+            up = float(rng.exponential(model.mtbf_seconds))
+            now += up
+            if now >= horizon:
+                break
+            transient = bool(rng.random() < model.transient_fraction)
+            down = float(rng.exponential(model.mttr_seconds)) if model.mttr_seconds else 0.0
+            if not (transient and repair):
+                events.append(
+                    FaultEvent(component, target, now, math.inf, FaultKind.PERMANENT)
+                )
+                break  # a dead component cannot fail again
+            events.append(
+                FaultEvent(component, target, now, down, FaultKind.TRANSIENT)
+            )
+            now += down
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Transformations and summaries
+    # ------------------------------------------------------------------ #
+
+    def without_repair(self) -> "FaultSchedule":
+        """The repair-disabled twin: same fault instants, nothing returns.
+
+        Because a dead component cannot fail again, only each component's
+        *first* fault survives the transformation.
+        """
+        first: Dict[Tuple[ComponentKind, int], FaultEvent] = {}
+        for event in self.events:
+            key = (event.component, event.target)
+            if key not in first:
+                first[key] = replace(
+                    event, duration=math.inf, kind=FaultKind.PERMANENT
+                )
+        return FaultSchedule(list(first.values()), self.horizon_seconds)
+
+    def downtime_seconds(self) -> float:
+        """Total component-downtime implied by the schedule (clipped to the
+        horizon), before any busy-component deferral by the simulator."""
+        total = 0.0
+        for event in self.events:
+            end = min(self.horizon_seconds, event.repair_time)
+            total += max(0.0, end - event.start)
+        return total
+
+    def scheduled_availability(self, num_components: int) -> float:
+        """Fraction of component-time up, as scheduled (an upper bound on
+        what the simulator observes, which defers faults on busy parts)."""
+        if num_components <= 0 or self.horizon_seconds <= 0:
+            return 1.0
+        budget = num_components * self.horizon_seconds
+        return max(0.0, 1.0 - self.downtime_seconds() / budget)
+
+    def faults_by_component(self) -> Dict[ComponentKind, int]:
+        out: Dict[ComponentKind, int] = {}
+        for event in self.events:
+            out[event.component] = out.get(event.component, 0) + 1
+        return out
+
+
+_COMPONENT_STREAM = {
+    ComponentKind.SHUTTLE: 1,
+    ComponentKind.READ_DRIVE: 2,
+    ComponentKind.METADATA: 3,
+}

@@ -51,6 +51,8 @@ class MetadataService:
     def __init__(self) -> None:
         self._files: Dict[str, _FileRecord] = {}
         self._available = True
+        self._heal_after: Optional[int] = None
+        self.failed_calls = 0
 
     # ------------------------------------------------------------------ #
     # Availability (for the platter-scan fallback path)
@@ -62,9 +64,28 @@ class MetadataService:
 
     def set_available(self, available: bool) -> None:
         self._available = available
+        if available:
+            self._heal_after = None
+
+    def fail_for(self, calls: int) -> None:
+        """Simulated *transient* outage: the service rejects the next
+        ``calls`` operations with :class:`MetadataUnavailable`, then heals
+        (failover completes). Lets callers exercise their retry/backoff
+        path deterministically."""
+        if calls < 1:
+            raise ValueError("calls must be >= 1")
+        self._available = False
+        self._heal_after = calls
 
     def _check(self) -> None:
         if not self._available:
+            self.failed_calls += 1
+            if self._heal_after is not None:
+                self._heal_after -= 1
+                if self._heal_after <= 0:
+                    # This call still observes the outage; the next succeeds.
+                    self._available = True
+                    self._heal_after = None
             raise MetadataUnavailable("metadata service is down")
 
     # ------------------------------------------------------------------ #

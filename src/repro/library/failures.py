@@ -16,7 +16,7 @@ R = 3 per platter-set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import FrozenSet, List, Optional, Set, Tuple
 
@@ -96,6 +96,18 @@ class FailureState:
 
     def inject(self, failure: Failure) -> None:
         self._failures.append(failure)
+
+    def resolve(self, failure: Failure) -> None:
+        """Resolve one failure (repair clock expiry); others stay active.
+
+        Platters covered only by this failure become reachable again;
+        platters inside another active blast zone stay unavailable.
+        Raises ``KeyError`` if the failure is not active.
+        """
+        try:
+            self._failures.remove(failure)
+        except ValueError:
+            raise KeyError(f"failure {failure!r} is not active") from None
 
     def resolve_all(self) -> None:
         self._failures.clear()

@@ -130,6 +130,16 @@ class Shuttle:
         """Mark the shuttle failed in place (it becomes a blast zone)."""
         self.state = ShuttleState.FAILED
 
+    def repair(self) -> None:
+        """Return a failed shuttle to service (field repair / replacement).
+
+        Repair includes a battery swap, so the shuttle comes back fully
+        charged. No-op if the shuttle is not failed.
+        """
+        if self.state is ShuttleState.FAILED:
+            self.state = ShuttleState.IDLE
+            self.battery_joules = self.battery_capacity
+
     def plan_move(self, target: Position, rng: np.random.Generator) -> float:
         """Sampled travel time to ``target`` (no state change)."""
         dx = abs(target.x - self.position.x)

@@ -6,7 +6,15 @@ verification manager that fully reads every written platter with the read
 technology before staged data is dropped, and the put/get/delete front end.
 """
 
-from .frontend import ArchiveService, ServiceConfig, decrypt, encrypt
+from .frontend import (
+    ArchiveService,
+    RequestDeadlineExceeded,
+    RetryPolicy,
+    ServiceConfig,
+    ServiceRetryStats,
+    decrypt,
+    encrypt,
+)
 from .ledger import GlassLedger, LedgerEntry, LedgerIntegrityError
 from .provisioning import (
     MduPlan,
@@ -37,7 +45,10 @@ __all__ = [
     "libraries_needed",
     "read_drive_headroom",
     "verification_backlog",
+    "RequestDeadlineExceeded",
+    "RetryPolicy",
     "ServiceConfig",
+    "ServiceRetryStats",
     "decrypt",
     "encrypt",
     "StagingState",

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..layout.metadata import FileLocation, MetadataService
+from ..layout.metadata import FileLocation, MetadataService, MetadataUnavailable
 from ..layout.packing import FilePacker, PackingConfig, StagedFile
 from ..media.codec import SectorCodec
 from ..media.geometry import PlatterGeometry, SectorAddress, extent_addresses
@@ -57,6 +57,57 @@ decrypt = encrypt  # XOR stream cipher is its own inverse
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Read-path retry escalation (Section 4/6 degraded-mode behaviour).
+
+    Metadata lookups retry on :class:`MetadataUnavailable` with capped
+    exponential backoff under a per-request deadline (the front end's twin
+    of the simulator's arrival backoff). Sector decodes climb a ladder:
+    re-read the sector (fresh imaging pass — transient channel noise often
+    clears), then spend a deeper LDPC iteration budget, then surrender to
+    cross-platter network coding (which this single-library front end
+    surfaces as an IOError).
+    """
+
+    max_attempts: int = 6
+    backoff_base_seconds: float = 0.5
+    backoff_cap_seconds: float = 8.0
+    deadline_seconds: float = 60.0
+    sector_rereads: int = 1
+    ldpc_iterations: int = 50
+    deep_ldpc_iterations: int = 250
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based): capped exponential."""
+        return min(
+            self.backoff_base_seconds * (2.0 ** (attempt - 1)),
+            self.backoff_cap_seconds,
+        )
+
+
+class RequestDeadlineExceeded(TimeoutError):
+    """A get() exhausted its retry deadline without completing."""
+
+
+@dataclass
+class ServiceRetryStats:
+    """How often the front end climbed each rung of the retry ladder."""
+
+    metadata_retries: int = 0
+    metadata_failures: int = 0  # deadline/attempts exhausted
+    sector_rereads: int = 0
+    deep_decodes: int = 0
+    unrecovered_sectors: int = 0
+    backoff_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Front-end configuration (small-geometry defaults for fast runs)."""
 
@@ -68,6 +119,7 @@ class ServiceConfig:
     sector_payload_bytes: int = 128
     ldpc_rate: float = 0.8
     channel_seed: int = 11
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 class ArchiveService:
@@ -93,6 +145,7 @@ class ArchiveService:
         self._platters: Dict[str, Platter] = {}
         self._platter_counter = 0
         self._clock = 0.0
+        self.retry_stats = ServiceRetryStats()
 
     # ------------------------------------------------------------------ #
     # put
@@ -160,9 +213,19 @@ class ArchiveService:
     # ------------------------------------------------------------------ #
 
     def get(self, file_id: str, version: Optional[int] = None) -> bytes:
-        """Read a file back through the full decode path."""
-        location = self.metadata.locate(file_id, version)
-        key = self.metadata.encryption_key(file_id)
+        """Read a file back through the full decode path.
+
+        Metadata lookups retry on transient outages (capped exponential
+        backoff) under the per-request deadline; sector decodes climb the
+        re-read -> deeper-LDPC escalation ladder.
+        """
+        deadline = self._clock + self.config.retry.deadline_seconds
+        location = self._metadata_call(
+            lambda: self.metadata.locate(file_id, version), deadline
+        )
+        key = self._metadata_call(
+            lambda: self.metadata.encryption_key(file_id), deadline
+        )
         platter = self._platters[location.platter_id]
         extent = platter.header.locate(file_id)
         if extent is None:
@@ -170,6 +233,32 @@ class ArchiveService:
         ciphertext = self._read_extent(platter, extent.start_track, extent.start_layer, extent.num_sectors)
         ciphertext = ciphertext[: extent.size_bytes]
         return decrypt(key, ciphertext)
+
+    def _metadata_call(self, operation, deadline: float):
+        """Run a metadata operation, retrying transient outages.
+
+        Capped exponential backoff between attempts; gives up (re-raising
+        :class:`MetadataUnavailable` wrapped in a deadline error) when the
+        next backoff would cross the per-request deadline or the attempt
+        budget is spent.
+        """
+        policy = self.config.retry
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except MetadataUnavailable:
+                attempt += 1
+                delay = policy.backoff(attempt)
+                if attempt >= policy.max_attempts or self._clock + delay > deadline:
+                    self.retry_stats.metadata_failures += 1
+                    raise RequestDeadlineExceeded(
+                        f"metadata unavailable after {attempt} attempts "
+                        f"({self._clock:.1f}s of {deadline:.1f}s deadline)"
+                    )
+                self.retry_stats.metadata_retries += 1
+                self.retry_stats.backoff_seconds += delay
+                self._clock += delay  # simulated wait; no wall-clock sleep
 
     def _read_extent(
         self, platter: Platter, start_track: int, start_layer: int, num_sectors: int
@@ -179,17 +268,43 @@ class ArchiveService:
             platter.geometry, SectorAddress(start_track, start_layer), num_sectors
         )
         for address in addresses:
-            observations = self.read_drive.channel.observe(
-                platter.read_sector(address)
-            )
-            posteriors = self.read_drive.channel.symbol_posteriors(observations)
-            result = self.codec.decode(posteriors)
-            if not result.success:
-                raise IOError(
-                    f"sector {address} unrecoverable; escalate to network coding"
-                )
-            chunks.append(result.payload)
+            chunks.append(self._decode_sector(platter, address))
         return b"".join(chunks)
+
+    def _decode_sector(self, platter: Platter, address: SectorAddress) -> bytes:
+        """One sector through the read-retry escalation ladder.
+
+        Rung 0: normal imaging pass + default LDPC budget. Rung 1: re-read
+        — a fresh exposure redraws the channel noise, which clears most
+        transient sector errors. Rung 2: deeper LDPC iteration budget on
+        the last capture. Past the ladder the sector is unrecoverable in
+        place and the caller must escalate to cross-platter network coding
+        (not available in this single-library front end).
+        """
+        policy = self.config.retry
+        symbols = platter.read_sector(address)
+        posteriors = None
+        for reread in range(policy.sector_rereads + 1):
+            observations = self.read_drive.channel.observe(symbols)
+            posteriors = self.read_drive.channel.symbol_posteriors(observations)
+            result = self.codec.decode(posteriors, max_iterations=policy.ldpc_iterations)
+            if result.success:
+                return result.payload
+            if reread < policy.sector_rereads:
+                self.retry_stats.sector_rereads += 1
+        # Deeper iteration budget on the final capture.
+        self.retry_stats.deep_decodes += 1
+        result = self.codec.decode(
+            posteriors, max_iterations=policy.deep_ldpc_iterations
+        )
+        if result.success:
+            return result.payload
+        self.retry_stats.unrecovered_sectors += 1
+        raise IOError(
+            f"sector {address} unrecoverable after "
+            f"{policy.sector_rereads} re-read(s) and deep decode; "
+            "escalate to network coding"
+        )
 
     # ------------------------------------------------------------------ #
     # delete / recycle

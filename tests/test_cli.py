@@ -65,3 +65,42 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "within the 15 h SLO" in out
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.shuttle_mtbf > 0 and args.drive_mtbf > 0
+        assert args.metadata_mtbf == 0.0  # outages off by default
+        assert not args.no_repair
+
+    def test_chaos_run_with_repair(self, capsys):
+        code = main(
+            [
+                "--seed", "3",
+                "chaos",
+                "--hours", "0.2",
+                "--platters", "950",
+                "--read-error-prob", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repair on" in out
+        assert "resilience" in out
+        assert "availability" in out
+
+    def test_chaos_run_without_repair(self, capsys):
+        code = main(
+            [
+                "--seed", "3",
+                "chaos",
+                "--hours", "0.2",
+                "--platters", "950",
+                "--no-repair",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repair off" in out
+        assert "repaired=0" in out

@@ -125,3 +125,118 @@ class TestCombinedFailures:
         assert sim.failures_injected == 2
         assert report.requests_completed == report.requests_submitted
         assert report.completions.within_slo()
+
+
+class TestRepairLifecycle:
+    def test_shuttle_repairs_and_returns_to_service(self):
+        sim = _sim(seed=46)
+        sim.schedule_shuttle_failure(300.0, shuttle_id=5, repair_after=200.0)
+        report = sim.run()
+        shuttle = sim.shuttles[5].shuttle
+        assert not shuttle.failed
+        assert sim.faults_repaired == 1
+        res = report.resilience
+        assert res is not None
+        assert res.faults_injected == 1 and res.faults_repaired == 1
+        assert 0.0 < res.mean_time_to_repair
+        assert res.availability < 1.0
+        assert report.requests_completed == report.requests_submitted
+
+    def test_repair_restores_partition_cover(self):
+        sim = _sim(seed=46)
+        pid = sim.shuttles[5].shuttle.partition
+        sim.schedule_shuttle_failure(300.0, shuttle_id=5, repair_after=200.0)
+        sim.run()
+        assert sim._partition_cover[pid] == pid
+
+    def test_repair_restores_blast_zone_platters(self):
+        sim = _sim(seed=46)
+        sim.schedule_shuttle_failure(0.0, shuttle_id=3, repair_after=300.0)
+        sim.run()
+        # Every platter the blast zone blocked is reachable again.
+        assert len(sim.unavailable) == 0
+
+    def test_drive_repairs_and_routing_restored(self):
+        sim = _sim(seed=47)
+        victims = [p.index for p in sim.policy.partitions if p.drive_id == 0]
+        sim.schedule_drive_failure(300.0, drive_id=0, repair_after=400.0)
+        report = sim.run()
+        assert not sim.drives[0].failed
+        assert sim.faults_repaired == 1
+        for pid in victims:
+            assert pid not in sim._drive_override
+        assert report.requests_completed == report.requests_submitted
+
+    def test_overlapping_faults_partial_repair(self):
+        """Repairing one shuttle must not free platters another still
+        blocks (the simulator twin of FailureState.resolve semantics)."""
+        sim = _sim(seed=48)
+        sim.schedule_shuttle_failure(0.0, shuttle_id=3, repair_after=100.0)
+        sim.schedule_shuttle_failure(0.0, shuttle_id=4, repair_after=5000.0)
+        sim.run()
+        assert sim.faults_repaired == 2
+        assert len(sim.unavailable) == 0
+
+    def test_repaired_run_beats_failstop_run(self):
+        failstop = _sim(seed=49)
+        for shuttle_id in (2, 7, 12):
+            failstop.schedule_shuttle_failure(300.0, shuttle_id)
+        failstop_report = failstop.run()
+        repaired = _sim(seed=49)
+        for shuttle_id in (2, 7, 12):
+            repaired.schedule_shuttle_failure(300.0, shuttle_id, repair_after=240.0)
+        repaired_report = repaired.run()
+        assert (
+            repaired_report.resilience.availability
+            > failstop_report.resilience.availability
+        )
+
+
+class TestMetadataOutage:
+    def test_requests_park_and_retry_through_outage(self):
+        sim = _sim(seed=50)
+        sim.schedule_metadata_outage(300.0, duration=400.0)
+        report = sim.run()
+        assert sim.metadata_available
+        assert sim.metadata_retries > 0
+        assert report.resilience.metadata_retries == sim.metadata_retries
+        assert report.requests_completed == report.requests_submitted
+
+    def test_unrepaired_outage_strands_requests_without_livelock(self):
+        sim = _sim(seed=50)
+        sim.schedule_metadata_outage(300.0, duration=None)
+        report = sim.run()
+        assert not sim.metadata_available
+        # Arrivals after the outage park forever; nothing completes late
+        # and the run still terminates (no retry storm).
+        assert report.requests_completed < report.requests_submitted
+        assert report.resilience.availability < 1.0
+
+    def test_outage_counts_toward_downtime(self):
+        quiet = _sim(seed=51)
+        quiet_report = quiet.run()
+        noisy = _sim(seed=51)
+        noisy.schedule_metadata_outage(100.0, duration=600.0)
+        noisy_report = noisy.run()
+        assert quiet_report.resilience.availability == 1.0
+        assert noisy_report.resilience.availability < 1.0
+
+
+class TestTransientReadErrors:
+    def test_retry_ladder_counters(self):
+        sim = _sim(seed=52, transient_read_error_prob=0.1)
+        report = sim.run()
+        res = report.resilience
+        assert res.reread_retries > 0
+        assert report.requests_completed == report.requests_submitted
+
+    def test_zero_probability_is_byte_identical_to_baseline(self):
+        """The ladder must not consume RNG draws when disabled."""
+        base = _sim(seed=53).run()
+        gated = _sim(seed=53, transient_read_error_prob=0.0).run()
+        assert gated.completions.tail == base.completions.tail
+        assert gated.completions.median == base.completions.median
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            _sim(transient_read_error_prob=1.5)

@@ -105,3 +105,81 @@ class TestFailureState:
     def test_in_transit_platter_available_unless_trapped(self, layout, state):
         # Not stored anywhere, not trapped: reachable (being carried).
         assert state.platter_available("in-transit")
+
+
+class TestBlastZoneEdgeCases:
+    def test_collision_spanning_two_racks(self, layout, state):
+        """Shuttles colliding at a rack boundary block a shelf in each."""
+        width = layout.config.rack_width_m
+        racks = layout.storage_rack_indices()[:2]
+        a = Position(racks[0] * width + 0.5 * width, 3)
+        b = Position(racks[1] * width + 0.5 * width, 3)
+        layout.store("left", SlotId(racks[0], 3, 10))
+        layout.store("right", SlotId(racks[1], 3, 10))
+        failure = state.fail_collision(a, b)
+        assert len(failure.zones) == 2
+        assert {z.rack for z in failure.zones} == set(racks)
+        assert not state.platter_available("left")
+        assert not state.platter_available("right")
+
+    def test_trapped_in_transit_platter_freed_on_resolve(self, layout, state):
+        """A platter on a shuttle that dies mid-transit is trapped inside
+        the failed component (not in any shelf zone) until repair."""
+        failure = state.fail_shuttle(Position(5.0, 3), carried_platter="cargo")
+        assert layout.locate("cargo") is None  # genuinely in transit
+        assert not state.platter_available("cargo")
+        state.resolve(failure)
+        assert state.platter_available("cargo")
+
+    def test_drive_failure_with_mounted_platter_blocks_bay_and_media(
+        self, layout, state
+    ):
+        bay = layout.drive_position(1)
+        rack = int(bay.x // layout.config.rack_width_m)
+        failure = state.fail_drive(1, mounted_platter="mounted")
+        # The blast zone is the drive's own bay shelf (a read rack, so no
+        # stored platters live there — only the mounted one is trapped).
+        assert failure.makes_unavailable(SlotId(rack, bay.level, 0))
+        assert "mounted" in failure.trapped_platters
+        assert not state.platter_available("mounted")
+        state.resolve(failure)
+        assert state.platter_available("mounted")
+
+
+class TestPartialResolve:
+    def test_resolve_restores_only_that_failures_platters(self, layout, state):
+        racks = layout.storage_rack_indices()[:2]
+        layout.store("p1", SlotId(racks[0], 5, 10))
+        layout.store("p2", SlotId(racks[1], 5, 10))
+        first = state.fail_shuttle(
+            layout.slot_position(SlotId(racks[0], 5, 10))
+        )
+        state.fail_shuttle(layout.slot_position(SlotId(racks[1], 5, 10)))
+        state.resolve(first)
+        assert state.platter_available("p1")
+        assert not state.platter_available("p2")
+
+    def test_overlapping_zones_keep_platter_unavailable(self, layout, state):
+        """Two failures over the same shelf: resolving one is not enough."""
+        rack = layout.storage_rack_indices()[0]
+        slot = SlotId(rack, 5, 10)
+        layout.store("p1", slot)
+        pos = layout.slot_position(slot)
+        shuttle = state.fail_shuttle(pos)
+        collision = state.fail_collision(pos, Position(pos.x + 0.1, pos.level))
+        state.resolve(shuttle)
+        assert not state.platter_available("p1")
+        state.resolve(collision)
+        assert state.platter_available("p1")
+
+    def test_resolve_unknown_failure_raises(self, layout, state):
+        ghost = state.fail_shuttle(Position(1.0, 1))
+        state.resolve(ghost)
+        with pytest.raises(KeyError):
+            state.resolve(ghost)
+
+    def test_resolved_failure_leaves_failures_list(self, layout, state):
+        a = state.fail_shuttle(Position(1.0, 1))
+        b = state.fail_drive(0)
+        state.resolve(a)
+        assert state.failures == [b]

@@ -1,0 +1,136 @@
+"""Tests for the stochastic fault-lifecycle schedules (``repro.faults``)."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    ChaosConfig,
+    ComponentKind,
+    FaultEvent,
+    FaultKind,
+    FaultModel,
+    FaultSchedule,
+)
+
+HORIZON = 4.0 * 3600.0
+
+
+def _config(**kwargs):
+    defaults = dict(
+        horizon_seconds=HORIZON,
+        shuttle=FaultModel(mtbf_seconds=3600.0, mttr_seconds=300.0),
+        drive=FaultModel(mtbf_seconds=5400.0, mttr_seconds=600.0),
+        metadata=FaultModel(mtbf_seconds=7200.0, mttr_seconds=120.0),
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return ChaosConfig(**defaults)
+
+
+class TestFaultModel:
+    def test_steady_state_availability(self):
+        model = FaultModel(mtbf_seconds=900.0, mttr_seconds=100.0)
+        assert model.steady_state_availability == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(mtbf_seconds=0.0, mttr_seconds=1.0)
+        with pytest.raises(ValueError):
+            FaultModel(mtbf_seconds=1.0, mttr_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultModel(mtbf_seconds=1.0, mttr_seconds=1.0, transient_fraction=1.5)
+
+    def test_chaos_config_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(horizon_seconds=0.0)
+
+
+class TestGeneration:
+    def test_deterministic_for_fixed_seed(self):
+        a = FaultSchedule.generate(_config(), num_shuttles=12, num_drives=12)
+        b = FaultSchedule.generate(_config(), num_shuttles=12, num_drives=12)
+        assert a.events == b.events
+
+    def test_different_seed_different_schedule(self):
+        a = FaultSchedule.generate(_config(), num_shuttles=12, num_drives=12)
+        b = FaultSchedule.generate(_config(seed=8), num_shuttles=12, num_drives=12)
+        assert a.events != b.events
+
+    def test_substreams_independent_of_population(self):
+        """Adding drives must not perturb the shuttles' schedule."""
+        small = FaultSchedule.generate(_config(), num_shuttles=8, num_drives=4)
+        large = FaultSchedule.generate(_config(), num_shuttles=8, num_drives=16)
+        shuttles = lambda s: [
+            e for e in s if e.component is ComponentKind.SHUTTLE
+        ]
+        assert shuttles(small) == shuttles(large)
+
+    def test_every_fault_within_horizon(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        assert len(schedule) > 0
+        for event in schedule:
+            assert 0.0 < event.start < HORIZON
+
+    def test_sorted_by_start(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        starts = [e.start for e in schedule]
+        assert starts == sorted(starts)
+
+    def test_all_transient_when_fraction_one(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        assert all(e.kind is FaultKind.TRANSIENT for e in schedule)
+        assert all(e.repairs for e in schedule)
+
+    def test_transient_fraction_zero_means_fail_stop(self):
+        config = _config(
+            shuttle=FaultModel(
+                mtbf_seconds=1800.0, mttr_seconds=300.0, transient_fraction=0.0
+            ),
+            drive=None,
+            metadata=None,
+        )
+        schedule = FaultSchedule.generate(config, num_shuttles=20, num_drives=20)
+        assert len(schedule) > 0
+        assert all(e.kind is FaultKind.PERMANENT for e in schedule)
+        # A dead component cannot fail again: at most one fault per shuttle.
+        targets = [e.target for e in schedule]
+        assert len(targets) == len(set(targets))
+
+    def test_disabled_component_classes_skipped(self):
+        config = _config(shuttle=None, drive=None)
+        schedule = FaultSchedule.generate(config, num_shuttles=20, num_drives=20)
+        assert all(e.component is ComponentKind.METADATA for e in schedule)
+
+
+class TestTransformations:
+    def test_without_repair_keeps_first_fault_per_component(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        failstop = schedule.without_repair()
+        keys = [(e.component, e.target) for e in failstop]
+        assert len(keys) == len(set(keys))
+        assert all(e.duration == math.inf for e in failstop)
+        assert all(e.kind is FaultKind.PERMANENT for e in failstop)
+        # Same first-fault instants as the source schedule.
+        firsts = {}
+        for event in schedule:
+            firsts.setdefault((event.component, event.target), event.start)
+        assert {(e.component, e.target): e.start for e in failstop} == firsts
+
+    def test_downtime_clipped_to_horizon(self):
+        event = FaultEvent(
+            ComponentKind.SHUTTLE, 0, HORIZON - 100.0, math.inf, FaultKind.PERMANENT
+        )
+        schedule = FaultSchedule([event], HORIZON)
+        assert schedule.downtime_seconds() == pytest.approx(100.0)
+
+    def test_scheduled_availability_bounds(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        availability = schedule.scheduled_availability(num_components=41)
+        assert 0.0 < availability < 1.0
+        assert schedule.without_repair().scheduled_availability(41) < availability
+
+    def test_faults_by_component_totals(self):
+        schedule = FaultSchedule.generate(_config(), num_shuttles=20, num_drives=20)
+        counts = schedule.faults_by_component()
+        assert sum(counts.values()) == len(schedule)

@@ -84,3 +84,112 @@ class TestDeleteAndRecycle:
         assert location.platter_id in service.recyclable_platters()
         fresh = service.recycle(location.platter_id)
         assert fresh.is_blank
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        from repro.service import RetryPolicy
+
+        policy = RetryPolicy(backoff_base_seconds=0.5, backoff_cap_seconds=8.0)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+        assert policy.backoff(10) == 8.0  # capped
+
+    def test_validation(self):
+        from repro.service import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_seconds=0.0)
+
+
+class TestMetadataRetry:
+    def test_get_rides_through_transient_outage(self):
+        service = ArchiveService()
+        service.put("m/file", b"survives failover")
+        service.metadata.fail_for(2)
+        assert service.get("m/file") == b"survives failover"
+        assert service.retry_stats.metadata_retries >= 2
+        assert service.retry_stats.backoff_seconds > 0.0
+        assert service.metadata.available
+
+    def test_simulated_waits_advance_service_clock(self):
+        service = ArchiveService()
+        service.put("m/clock", b"x")
+        before = service._clock
+        service.metadata.fail_for(1)
+        service.get("m/clock")
+        assert service._clock > before
+
+    def test_deadline_exhaustion_raises(self):
+        from repro.service import RequestDeadlineExceeded, RetryPolicy, ServiceConfig
+
+        config = ServiceConfig(
+            retry=RetryPolicy(max_attempts=3, deadline_seconds=60.0)
+        )
+        service = ArchiveService(config)
+        service.put("m/doomed", b"y")
+        service.metadata.set_available(False)  # no heal scheduled
+        with pytest.raises(RequestDeadlineExceeded):
+            service.get("m/doomed")
+        assert service.retry_stats.metadata_failures == 1
+
+    def test_tight_deadline_gives_up_before_attempt_budget(self):
+        from repro.service import RequestDeadlineExceeded, RetryPolicy, ServiceConfig
+
+        config = ServiceConfig(
+            retry=RetryPolicy(
+                max_attempts=100,
+                backoff_base_seconds=4.0,
+                backoff_cap_seconds=64.0,
+                deadline_seconds=10.0,
+            )
+        )
+        service = ArchiveService(config)
+        service.put("m/tight", b"z")
+        service.metadata.fail_for(1000)
+        with pytest.raises(RequestDeadlineExceeded):
+            service.get("m/tight")
+        # Far fewer than 100 attempts fit under a 10 s deadline.
+        assert service.retry_stats.metadata_retries < 10
+
+
+class TestDecodeLadder:
+    def test_clean_channel_never_climbs_ladder(self):
+        service = ArchiveService()
+        service.put("l/clean", b"no noise here")
+        service.get("l/clean")
+        assert service.retry_stats.sector_rereads == 0
+        assert service.retry_stats.deep_decodes == 0
+        assert service.retry_stats.unrecovered_sectors == 0
+
+    def test_noisy_channel_rereads_then_recovers(self):
+        from repro.media.channel import ChannelModel, ReadChannel
+        from repro.media.read_drive import ReadDriveModel
+
+        service = ArchiveService()
+        service.put("l/noisy", b"recoverable with retries" * 4)
+        # Degrade the channel after write: raise the noise until the first
+        # decode sometimes fails but a re-read or deep decode clears it.
+        noisy = ReadChannel(ChannelModel(sensor_noise_sigma=0.34), seed=7)
+        service.read_drive = ReadDriveModel(channel=noisy, seed=7)
+        data = service.get("l/noisy")
+        assert data == b"recoverable with retries" * 4
+        assert (
+            service.retry_stats.sector_rereads > 0
+            or service.retry_stats.deep_decodes > 0
+        )
+
+    def test_destroyed_channel_escalates_to_network_coding(self):
+        from repro.media.channel import ChannelModel, ReadChannel
+        from repro.media.read_drive import ReadDriveModel
+
+        service = ArchiveService()
+        service.put("l/burnt", b"beyond in-place recovery")
+        burnt = ReadChannel(ChannelModel(sensor_noise_sigma=3.0), seed=23)
+        service.read_drive = ReadDriveModel(channel=burnt, seed=23)
+        with pytest.raises(IOError, match="network coding"):
+            service.get("l/burnt")
+        assert service.retry_stats.unrecovered_sectors >= 1
