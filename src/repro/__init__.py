@@ -34,11 +34,23 @@ Subpackages
 - :mod:`repro.decode` — sector imaging, numpy voxel-net, elastic decode pipeline
 - :mod:`repro.service` — staging, verification, put/get/delete front end
 - :mod:`repro.costs` — tape-vs-glass sustainability model (Table 2)
+- :mod:`repro.observability` — structured tracing, spans, metrics export
 """
 
 __version__ = "1.0.0"
 
-from . import core, costs, decode, ecc, layout, library, media, service, workload
+from . import (
+    core,
+    costs,
+    decode,
+    ecc,
+    layout,
+    library,
+    media,
+    observability,
+    service,
+    workload,
+)
 
 __all__ = [
     "core",
@@ -48,6 +60,7 @@ __all__ = [
     "layout",
     "library",
     "media",
+    "observability",
     "service",
     "workload",
     "__version__",

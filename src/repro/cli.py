@@ -18,7 +18,16 @@ Commands
 ``chaos``
     Run the digital twin under a stochastic fault schedule (MTBF/MTTR
     repair clocks, transient read errors, metadata outages) and print the
-    resilience report; ``--no-repair`` runs the same schedule fail-stop.
+    resilience report; ``--no-repair`` runs the same schedule fail-stop;
+    ``--json`` emits the full report as stable-keyed JSON.
+``trace``
+    Run the digital twin with the structured tracer on and export the full
+    artifact set (``trace.jsonl``, ``spans.json``, ``metrics.json``,
+    ``metrics.prom``, ``report.json``) plus a critical-path breakdown;
+    ``--hotspots`` additionally profiles the event loop's wall-clock time.
+``export``
+    Run the digital twin untraced and export ``metrics.json`` /
+    ``metrics.prom`` / ``report.json`` (the cheap artifact set).
 """
 
 from __future__ import annotations
@@ -26,6 +35,23 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _profile_trace(args: argparse.Namespace):
+    """Build the interval trace shared by simulate / chaos / trace / export."""
+    from .workload import WorkloadGenerator, profile_by_name
+
+    profile = profile_by_name(args.profile)
+    generator = WorkloadGenerator(seed=args.seed)
+    trace, start, end = generator.interval_trace(
+        profile.mean_rate_per_second * args.rate_factor,
+        interval_hours=args.hours,
+        warmup_hours=args.hours / 6,
+        cooldown_hours=args.hours / 6,
+        size_model=profile.size_model,
+        burstiness=profile.burstiness,
+    )
+    return profile, trace, start, end
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -55,18 +81,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core import LibrarySimulation, SimConfig
-    from .workload import WorkloadGenerator, profile_by_name
 
-    profile = profile_by_name(args.profile)
-    generator = WorkloadGenerator(seed=args.seed)
-    trace, start, end = generator.interval_trace(
-        profile.mean_rate_per_second * args.rate_factor,
-        interval_hours=args.hours,
-        warmup_hours=args.hours / 6,
-        cooldown_hours=args.hours / 6,
-        size_model=profile.size_model,
-        burstiness=profile.burstiness,
-    )
+    profile, trace, start, end = _profile_trace(args)
     config = SimConfig(
         drive_throughput_mbps=args.mbps,
         num_drives=args.drives,
@@ -140,20 +156,12 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
     from .core import LibrarySimulation, SimConfig
     from .faults import ChaosConfig, FaultModel, FaultSchedule
-    from .workload import WorkloadGenerator, profile_by_name
 
-    profile = profile_by_name(args.profile)
-    generator = WorkloadGenerator(seed=args.seed)
-    trace, start, end = generator.interval_trace(
-        profile.mean_rate_per_second * args.rate_factor,
-        interval_hours=args.hours,
-        warmup_hours=args.hours / 6,
-        cooldown_hours=args.hours / 6,
-        size_model=profile.size_model,
-        burstiness=profile.burstiness,
-    )
+    profile, trace, start, end = _profile_trace(args)
     config = SimConfig(
         num_drives=args.drives,
         num_shuttles=args.shuttles,
@@ -182,6 +190,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = simulation.run()
     resilience = report.resilience
     counts = {k.value: v for k, v in schedule.faults_by_component().items()}
+    if args.json:
+        payload = report.as_dict()
+        payload["schedule"] = {
+            "faults_scheduled": len(schedule),
+            "faults_by_component": {k.value: v for k, v in sorted(
+                schedule.faults_by_component().items(), key=lambda kv: kv[0].value
+            )},
+            "repair": not args.no_repair,
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
     print(f"profile    : {profile.name} ({len(trace)} requests)")
     print(f"faults     : {len(schedule)} scheduled {counts} "
           f"(repair {'off' if args.no_repair else 'on'})")
@@ -191,6 +210,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"tail       : {report.completions.tail_hours:.2f} h "
         f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
     )
+    return 0
+
+
+def _sim_config_from(args: argparse.Namespace):
+    from .core import SimConfig
+
+    return SimConfig(
+        num_drives=args.drives,
+        num_shuttles=args.shuttles,
+        num_platters=args.platters,
+        transient_read_error_prob=args.read_error_prob,
+        seed=args.seed,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import LibrarySimulation
+    from .observability import (
+        Tracer,
+        WallClockProfiler,
+        critical_path,
+        export_run,
+    )
+
+    profile, trace, start, end = _profile_trace(args)
+    tracer = Tracer()
+    simulation = LibrarySimulation(_sim_config_from(args), tracer=tracer)
+    simulation.assign_trace(trace, start, end)
+    profiler = None
+    if args.hotspots:
+        profiler = WallClockProfiler()
+        profiler.install(simulation.sim)
+    report = simulation.run()
+    events = tracer.events()
+    artifacts = export_run(
+        args.out, report, simulation.metrics, events=events, profiler=profiler
+    )
+    from .observability import assemble_spans
+
+    spans = assemble_spans(events)
+    breakdown = critical_path(spans)
+    print(f"profile   : {profile.name} ({len(trace)} requests)")
+    print(f"result    : {report.summary()}")
+    print(f"trace     : {len(events)} events, {len(spans)} request spans")
+    print(breakdown.format())
+    if profiler is not None:
+        print(profiler.format(top=args.top))
+    print(artifacts.summary())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .core import LibrarySimulation
+    from .observability import export_run
+
+    profile, trace, start, end = _profile_trace(args)
+    simulation = LibrarySimulation(_sim_config_from(args))
+    simulation.assign_trace(trace, start, end)
+    report = simulation.run()
+    artifacts = export_run(args.out, report, simulation.metrics)
+    print(f"profile   : {profile.name} ({len(trace)} requests)")
+    print(f"result    : {report.summary()}")
+    print(artifacts.summary())
     return 0
 
 
@@ -254,7 +336,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt transient sector read error probability")
     chaos.add_argument("--no-repair", action="store_true",
                        help="same fault schedule, repair disabled (fail-stop)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as stable-keyed JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    def _run_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--profile", default="IOPS",
+                         choices=["Typical", "IOPS", "Volume"])
+        sub.add_argument("--drives", type=int, default=20)
+        sub.add_argument("--shuttles", type=int, default=20)
+        sub.add_argument("--platters", type=int, default=1200)
+        sub.add_argument("--hours", type=float, default=1.0)
+        sub.add_argument("--rate-factor", type=float, default=0.7)
+        sub.add_argument("--read-error-prob", type=float, default=0.0)
+
+    trace = commands.add_parser(
+        "trace", help="traced run: export trace.jsonl, spans, metrics, report"
+    )
+    _run_args(trace)
+    trace.add_argument("--out", default="runs/trace",
+                       help="artifact output directory")
+    trace.add_argument("--hotspots", action="store_true",
+                       help="also profile the event loop's wall-clock hot spots")
+    trace.add_argument("--top", type=int, default=10,
+                       help="hot-spot rows to print with --hotspots")
+    trace.set_defaults(func=_cmd_trace)
+
+    export = commands.add_parser(
+        "export", help="untraced run: export metrics.json/.prom and report.json"
+    )
+    _run_args(export)
+    export.add_argument("--out", default="runs/export",
+                        help="artifact output directory")
+    export.set_defaults(func=_cmd_export)
     return parser
 
 

@@ -7,9 +7,14 @@ Section 7, and the metrics it reports.
 
 from .events import Event, Process, Resource, Simulation, SimulationError, drain
 from .metrics import (
+    DEFAULT_TIME_BUCKETS,
     SLO_SECONDS,
     CompletionStats,
+    Counter,
     DriveUtilization,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
     ResilienceMetrics,
     ShuttleMetrics,
     SimulationReport,
@@ -37,9 +42,14 @@ __all__ = [
     "Simulation",
     "SimulationError",
     "drain",
+    "DEFAULT_TIME_BUCKETS",
     "SLO_SECONDS",
     "CompletionStats",
+    "Counter",
     "DriveUtilization",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "ResilienceMetrics",
     "ShuttleMetrics",
     "SimulationReport",

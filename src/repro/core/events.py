@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -62,6 +63,10 @@ class Simulation:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Optional wall-clock observer hook ``(label, wall_seconds) -> None``
+        #: (see :class:`repro.observability.profiler.WallClockProfiler`).
+        #: None (the default) costs one pointer comparison per event.
+        self.observer: Optional[Callable[[str, float], None]] = None
 
     @property
     def now(self) -> float:
@@ -108,7 +113,12 @@ class Simulation:
                 continue
             self._now = event.time
             self._events_processed += 1
-            event.callback()
+            if self.observer is None:
+                event.callback()
+            else:
+                start = perf_counter()
+                event.callback()
+                self.observer(event.label, perf_counter() - start)
             return True
         return False
 

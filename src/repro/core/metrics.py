@@ -5,17 +5,241 @@ time of a read request — the delay between reception and last byte out of
 the library — against a 15-hour SLO (Section 7.2). Figure 6 adds drive
 utilization (read / verify / switching split); Figure 7 adds congestion
 overhead per travel and power per platter operation.
+
+Two layers live here:
+
+* **primitives + registry** — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` collected in a :class:`MetricsRegistry` with stable
+  JSON and Prometheus text-format export. The simulator accumulates its
+  run counters on a registry (no ad-hoc dict accumulation), so every run
+  is exportable and diffable;
+* **report dataclasses** — the typed summaries one run produces
+  (:class:`SimulationReport` and friends), each with a stable-keyed
+  ``as_dict()``.
+
+Units: all times are **seconds** of simulation time unless a name says
+``hours``; byte quantities are raw **bytes** (not MiB); energies joules.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 #: The archival SLO used throughout Section 7.
 SLO_SECONDS = 15 * 3600.0
+
+#: Default histogram bucket bounds for durations (seconds): sub-second
+#: mechanics up through the 15 h SLO.
+DEFAULT_TIME_BUCKETS = (0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 4 * 3600.0, SLO_SECONDS)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing scalar (events, bytes, retries)."""
+
+    name: str
+    help: str = ""
+    unit: str = ""
+    _value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value, "help": self.help, "unit": self.unit}
+
+
+@dataclass
+class Gauge:
+    """Point-in-time scalar (availability, backlog, utilization)."""
+
+    name: str
+    help: str = ""
+    unit: str = ""
+    _value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value, "help": self.help, "unit": self.unit}
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bounds`` are upper bucket edges; an implicit ``+Inf`` bucket catches
+    the rest. ``observe`` is O(#buckets) with no allocation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """(le-label, cumulative count) pairs, ending with ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((format(bound, "g"), running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "buckets": {label: count for label, count in self.cumulative()},
+            "sum": self.sum,
+            "count": self.count,
+            "help": self.help,
+            "unit": self.unit,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with stable, exportable state.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` get-or-create by name
+    (re-registering with a different type is an error). Export formats:
+
+    * :meth:`as_dict` / :meth:`to_json` — stable-keyed (sorted) JSON, the
+      artifact format every run dumps;
+    * :meth:`to_prometheus` — the Prometheus text exposition format.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Metric:
+        full = f"{self.prefix}{name}"
+        existing = self._metrics.get(full)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {full!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        metric = factory(full)
+        self._metrics[full] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda n: Counter(n, help, unit))
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda n: Gauge(n, help, unit))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda n: Histogram(n, help, unit, buckets)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return f"{self.prefix}{name}" in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str) -> float:
+        """Scalar value of a counter/gauge (full or prefix-relative name)."""
+        metric = self._metrics.get(name) or self._metrics[f"{self.prefix}{name}"]
+        if isinstance(metric, Histogram):
+            raise TypeError(f"{name} is a histogram; read .sum/.count instead")
+        return metric.value
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed (sorted by metric name) snapshot of every metric."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, metrics sorted by name."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_prom_number(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_prom_number(metric.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                for label, cumulative in metric.cumulative():
+                    lines.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
+                lines.append(f"{name}_sum {_prom_number(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_number(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
 
 
 @dataclass
@@ -55,6 +279,17 @@ class CompletionStats:
     def tail_hours(self) -> float:
         return self.p999 / 3600.0
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot (all times seconds)."""
+        return {
+            "count": self.count,
+            "max": self.max,
+            "mean": self.mean,
+            "median": self.median,
+            "p99": self.p99,
+            "p999": self.p999,
+        }
+
 
 @dataclass
 class DriveUtilization:
@@ -92,6 +327,16 @@ class DriveUtilization:
             self.total_seconds + other.total_seconds,
         )
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot (seconds + derived fractions)."""
+        return {
+            "read_seconds": self.read_seconds,
+            "switch_seconds": self.switch_seconds,
+            "total_seconds": self.total_seconds,
+            "utilization": self.utilization,
+            "verify_seconds": self.verify_seconds,
+        }
+
 
 @dataclass
 class ShuttleMetrics:
@@ -107,6 +352,17 @@ class ShuttleMetrics:
         if not self.travel_times:
             return 0.0
         return float(np.percentile(self.travel_times, percentile))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot (travel distribution summarized, not listed)."""
+        return {
+            "congestion_overhead": self.congestion_overhead,
+            "energy_per_platter_op": self.energy_per_platter_op,
+            "steals": self.steals,
+            "tail_travel_seconds": self.tail_travel_seconds(),
+            "total_conflicts": self.total_conflicts,
+            "travels": len(self.travel_times),
+        }
 
 
 @dataclass
@@ -139,6 +395,29 @@ class ResilienceMetrics:
         default_factory=lambda: CompletionStats.from_times([])
     )
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot: fixed schema, alphabetical keys.
+
+        This is the contract the ``chaos --json`` output keeps between
+        runs and versions — consumers can diff two runs key by key.
+        """
+        return {
+            "availability": self.availability,
+            "deep_decodes": self.deep_decodes,
+            "degraded_completions": self.degraded_completions.as_dict(),
+            "degraded_requests": self.degraded_requests,
+            "downtime_component_seconds": self.downtime_component_seconds,
+            "faults_injected": self.faults_injected,
+            "faults_repaired": self.faults_repaired,
+            "mean_time_to_repair": self.mean_time_to_repair,
+            "metadata_retries": self.metadata_retries,
+            "recovery_bytes_read": self.recovery_bytes_read,
+            "recovery_escalations": self.recovery_escalations,
+            "recovery_read_amplification": self.recovery_read_amplification,
+            "requests_lost": self.requests_lost,
+            "reread_retries": self.reread_retries,
+        }
+
     def summary(self) -> str:
         degraded_tail = self.degraded_completions.p999 / 3600.0
         return (
@@ -169,6 +448,24 @@ class SimulationReport:
     seek_seconds: float = 0.0
     simulated_seconds: float = 0.0
     resilience: Optional[ResilienceMetrics] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot of the whole report (per-drive rows omitted)."""
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_verified": self.bytes_verified,
+            "completions": self.completions.as_dict(),
+            "drive_utilization": self.drive_utilization.as_dict(),
+            "requests_completed": self.requests_completed,
+            "requests_submitted": self.requests_submitted,
+            "resilience": self.resilience.as_dict() if self.resilience else None,
+            "seek_seconds": self.seek_seconds,
+            "shuttles": self.shuttles.as_dict(),
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
 
     def summary(self) -> str:
         c = self.completions

@@ -34,6 +34,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultSchedule
+    from ..observability.tracer import Tracer
 
 from ..library.layout import LibraryConfig, LibraryLayout, Position, SlotId
 from ..library.shuttle import Shuttle
@@ -43,6 +44,7 @@ from .events import Simulation
 from .metrics import (
     CompletionStats,
     DriveUtilization,
+    MetricsRegistry,
     ResilienceMetrics,
     ShuttleMetrics,
     SimulationReport,
@@ -129,6 +131,7 @@ class _DriveSim:
         self.seek_seconds = 0.0
         self.head_track = 0
         self.failed = False
+        self.current_mount: Optional[int] = None  # mount-cycle id for tracing
 
     @property
     def customer_slot_free(self) -> bool:
@@ -158,12 +161,25 @@ class _ShuttleSim:
 
 
 class LibrarySimulation:
-    """One library, one trace, one report."""
+    """One library, one trace, one report.
 
-    def __init__(self, config: Optional[SimConfig] = None):
+    ``tracer`` (a :class:`repro.observability.Tracer`) switches on
+    structured event tracing; the default ``None`` keeps every emission
+    site at a single pointer comparison, so an untraced run pays no
+    observable overhead (guarded by a regression test). ``metrics`` is the
+    run's :class:`~repro.core.metrics.MetricsRegistry`; all accumulation
+    counters live there (exportable as stable JSON / Prometheus text).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        tracer: Optional["Tracer"] = None,
+    ):
         self.config = config or SimConfig()
         cfg = self.config
         self.sim = Simulation()
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self.rng = np.random.default_rng(cfg.seed)
         lib_cfg = cfg.library
         if cfg.num_drives != lib_cfg.num_read_drives:
@@ -216,13 +232,73 @@ class LibrarySimulation:
         self.unavailable: set = set()
         if cfg.unavailable_fraction > 0:
             self._sample_unavailable()
-        # Bookkeeping.
+        # Bookkeeping: run counters accumulate on the metrics registry
+        # (stable-keyed JSON / Prometheus export); the legacy attribute
+        # names remain readable as properties below.
+        self.metrics = MetricsRegistry(prefix="sim_")
+        m = self.metrics
+        self._c_bytes_read = m.counter(
+            "bytes_read_total", "Raw bytes scanned off glass by read drives", "bytes"
+        )
+        self._c_recharges = m.counter(
+            "recharges_total", "Shuttle battery recharge cycles started"
+        )
+        self._c_faults_injected = m.counter(
+            "faults_injected_total", "Component faults that actually fired"
+        )
+        self._c_faults_repaired = m.counter(
+            "faults_repaired_total", "Faults whose repair clock returned the component"
+        )
+        self._c_downtime = m.counter(
+            "downtime_component_seconds_total",
+            "Component-seconds of downtime from closed (repaired) faults",
+            "seconds",
+        )
+        self._c_metadata_retries = m.counter(
+            "metadata_retries_total", "Arrivals bounced off a metadata outage"
+        )
+        self._c_reread = m.counter(
+            "reread_retries_total", "Retry-ladder rung 1: in-place track re-reads"
+        )
+        self._c_deep_decode = m.counter(
+            "deep_decodes_total", "Retry-ladder rung 2: deeper LDPC iteration budgets"
+        )
+        self._c_escalations = m.counter(
+            "recovery_escalations_total",
+            "Retry-ladder rung 3: escalations to cross-platter NC recovery",
+        )
+        self._c_recovery_bytes = m.counter(
+            "recovery_bytes_read_total",
+            "Raw bytes read by cross-platter NC recovery sub-reads",
+            "bytes",
+        )
+        self._c_fanout_user_bytes = m.counter(
+            "recovery_user_bytes_total",
+            "User bytes recovered via cross-platter fan-out",
+            "bytes",
+        )
+        self._c_requests_lost = m.counter(
+            "requests_lost_total", "Reads abandoned with no surviving recovery peer"
+        )
+        self._c_steals = m.counter(
+            "work_steals_total", "Cross-partition work-stealing fetches"
+        )
+        self._h_travel = m.histogram(
+            "shuttle_travel_seconds",
+            "Per-trip shuttle travel time (including congestion)",
+            "seconds",
+            buckets=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
+        self._h_completion = m.histogram(
+            "request_completion_seconds",
+            "Measured top-level request completion time (arrival to last byte)",
+            "seconds",
+        )
         self.all_requests: List[SimRequest] = []
         self._next_request_id = 0
-        self.bytes_read = 0.0
+        self._mount_counter = 0
         self._travel_times: List[float] = []
         self._dispatch_scheduled = False
-        self.recharges = 0
         # Fluid verification queue (Section 3.1): freshly written platters
         # queue for full read-back; the drives' idle (verify) time drains
         # the queue at aggregate throughput. Tracked as a fluid integrator
@@ -241,7 +317,6 @@ class LibrarySimulation:
             for p in self.policy.partitions:
                 self._partition_cover[p.index] = p.index
         self._drive_override: Dict[int, int] = {}
-        self.failures_injected = 0
         # Fault lifecycle (repair clocks, §4/§6 chaos harness): faults that
         # struck a busy component wait here and fire from the dispatch hook
         # at the next operation boundary — no polling.
@@ -250,18 +325,68 @@ class LibrarySimulation:
         self._active_fault_started: Dict[Tuple[str, int], float] = {}
         self._fault_platters: Dict[Tuple[str, int], set] = {}
         self._repair_durations: List[float] = []
-        self.faults_repaired = 0
-        self._downtime_seconds = 0.0
         # Metadata service availability (arrivals need a metadata lookup).
         self._metadata_available = True
-        self.metadata_retries = 0
-        # Read-retry escalation ladder counters.
-        self.reread_retries = 0
-        self.deep_decodes = 0
-        self.recovery_escalations = 0
-        self.recovery_bytes_read = 0.0
-        self._fanout_user_bytes = 0.0
-        self.requests_lost = 0
+        if self.tracer is not None:
+            self._install_shuttle_hooks()
+
+    # ------------------------------------------------------------------ #
+    # Legacy counter views (the registry is the source of truth)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bytes_read(self) -> float:
+        return self._c_bytes_read.value
+
+    @property
+    def recharges(self) -> int:
+        return int(self._c_recharges.value)
+
+    @property
+    def failures_injected(self) -> int:
+        return int(self._c_faults_injected.value)
+
+    @property
+    def faults_repaired(self) -> int:
+        return int(self._c_faults_repaired.value)
+
+    @property
+    def metadata_retries(self) -> int:
+        return int(self._c_metadata_retries.value)
+
+    @property
+    def reread_retries(self) -> int:
+        return int(self._c_reread.value)
+
+    @property
+    def deep_decodes(self) -> int:
+        return int(self._c_deep_decode.value)
+
+    @property
+    def recovery_escalations(self) -> int:
+        return int(self._c_escalations.value)
+
+    @property
+    def recovery_bytes_read(self) -> float:
+        return self._c_recovery_bytes.value
+
+    @property
+    def requests_lost(self) -> int:
+        return int(self._c_requests_lost.value)
+
+    def _install_shuttle_hooks(self) -> None:
+        """Route shuttle model events (move/pick/place) into the tracer."""
+
+        def make_hook(shuttle: Shuttle) -> Callable[..., None]:
+            component = f"shuttle:{shuttle.shuttle_id}"
+
+            def hook(kind: str, attrs: Dict[str, object]) -> None:
+                self.tracer.emit(self.sim.now, f"shuttle.{kind}", component=component, **attrs)
+
+            return hook
+
+        for shuttle_sim in self.shuttles:
+            shuttle_sim.shuttle.on_event = make_hook(shuttle_sim.shuttle)
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -417,9 +542,28 @@ class LibrarySimulation:
         unavailable — far outside the blast-zone invariant — but the sim
         must stay sound (and terminating) even there, so the request
         completes immediately and is tallied as lost."""
-        self.requests_lost += 1
+        self._c_requests_lost.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "request.lost", request_id=sim_request.request_id
+            )
         sim_request.mark_degraded()
-        sim_request.complete(self.sim.now)
+        self._complete_request(sim_request)
+
+    def _complete_request(self, sim_request: SimRequest) -> None:
+        """Completion bookkeeping shared by every completion site:
+        propagate up the sub-read hierarchy, record the completion-time
+        histogram for measured top-level requests, and trace."""
+        now = self.sim.now
+        finished = sim_request.complete(now)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(now, "request.complete", request_id=sim_request.request_id)
+            if finished is not None:
+                tr.emit(now, "request.complete", request_id=finished.request_id)
+        for node in (sim_request, finished):
+            if node is not None and node.measured and node.parent is None:
+                self._h_completion.observe(node.completion_time)
 
     def _fan_out_recovery(self, sim_request: SimRequest) -> List[SimRequest]:
         """Cross-platter NC: read the matching tracks on I_p available
@@ -438,7 +582,15 @@ class LibrarySimulation:
         subs = sim_request.fan_out(recovery, [self._new_id() for _ in recovery])
         if subs:
             sim_request.mark_degraded()
-            self._fanout_user_bytes += sim_request.size_bytes
+            self._c_fanout_user_bytes.inc(sim_request.size_bytes)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "recovery.fanout",
+                    request_id=sim_request.request_id,
+                    peers=len(subs),
+                    platter=sim_request.platter_id,
+                )
         for sub in subs:
             self.all_requests.append(sub)
             self._schedule_arrival(sub)
@@ -454,11 +606,28 @@ class LibrarySimulation:
             # catches the failover). Event-driven: an outage that never
             # repairs costs zero events instead of an unbounded retry storm.
             if not self._metadata_available:
-                self.metadata_retries += 1
+                self._c_metadata_retries.inc()
                 sim_request.metadata_attempts += 1
                 sim_request.mark_degraded()
                 self._metadata_waiters.append(retry_after_repair)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "request.metadata_blocked",
+                        request_id=sim_request.request_id,
+                        attempts=sim_request.metadata_attempts,
+                    )
                 return
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "request.arrival",
+                    request_id=sim_request.request_id,
+                    arrival=sim_request.arrival,
+                    platter=sim_request.platter_id,
+                    size_bytes=sim_request.size_bytes,
+                    recovery=sim_request.is_recovery,
+                )
             # A failure may have struck between routing and arrival.
             if sim_request.platter_id in self.unavailable:
                 if not self._fan_out_recovery(sim_request):
@@ -482,6 +651,13 @@ class LibrarySimulation:
 
     def _enqueue(self, sim_request: SimRequest) -> None:
         newly_pending = self.scheduler.enqueue(sim_request)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "request.enqueue",
+                request_id=sim_request.request_id,
+                platter=sim_request.platter_id,
+            )
         platter = sim_request.platter_id
         pid = self._platter_partition.get(platter)
         if pid is not None:
@@ -631,6 +807,14 @@ class LibrarySimulation:
         platter = drive.awaiting_return
         home = self._home_slot[platter]
         home_pos = self.layout.slot_position(home)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "return.start",
+                component=f"shuttle:{shuttle.shuttle_id}",
+                platter=platter,
+                drive=drive.drive_id,
+            )
 
         def at_drive() -> None:
             pick_dur = shuttle.pick(platter, self.rng)
@@ -651,6 +835,13 @@ class LibrarySimulation:
                 self.layout.store(platter, home)
                 self._end_service(platter)
                 shuttle_sim.busy = False
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "return.done",
+                        component=f"shuttle:{shuttle.shuttle_id}",
+                        platter=platter,
+                    )
                 self._request_dispatch()
 
             self.sim.schedule(place_dur, placed, label="return-place")
@@ -678,7 +869,15 @@ class LibrarySimulation:
         if shuttle.battery_fraction >= cfg.battery_low_threshold:
             return False
         shuttle_sim.busy = True
-        self.recharges += 1
+        self._c_recharges.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "shuttle.recharge",
+                component=f"shuttle:{shuttle.shuttle_id}",
+                battery_fraction=shuttle.battery_fraction,
+                seconds=cfg.recharge_seconds,
+            )
 
         def charged() -> None:
             shuttle.recharge()
@@ -717,6 +916,15 @@ class LibrarySimulation:
                     continue
                 if stolen:
                     policy.steals += 1
+                    self._c_steals.inc()
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            self.sim.now,
+                            "sched.steal",
+                            component=f"shuttle:{shuttle.shuttle_id}",
+                            platter=platter,
+                            partition=pid,
+                        )
                 self._start_fetch(shuttle_sim, platter, drive)
                 break  # this shuttle is busy now
 
@@ -787,6 +995,15 @@ class LibrarySimulation:
         self.scheduler.begin_service(platter)
         slot = self.layout.locate(platter)
         slot_pos = self.layout.slot_position(slot)
+        fetch_started = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                fetch_started,
+                "fetch.assign",
+                component=f"shuttle:{shuttle.shuttle_id}",
+                platter=platter,
+                drive=drive.drive_id,
+            )
 
         def at_shelf() -> None:
             pick_dur = shuttle.pick(platter, self.rng)
@@ -803,7 +1020,7 @@ class LibrarySimulation:
             def placed() -> None:
                 shuttle_sim.busy = False
                 drive.slot_reserved = False
-                self._on_customer_arrival(drive, platter)
+                self._on_customer_arrival(drive, platter, fetch_started=fetch_started)
                 self._request_dispatch()
 
             self.sim.schedule(place_dur, placed, label="fetch-place")
@@ -813,6 +1030,7 @@ class LibrarySimulation:
     def _move(self, shuttle: Shuttle, target: Position, then: Callable[[], None]) -> None:
         plan = self.policy.plan_move(shuttle, target, self.sim.now)
         self._travel_times.append(plan.total_seconds)
+        self._h_travel.observe(plan.total_seconds)
 
         def arrived() -> None:
             shuttle.complete_move(
@@ -829,7 +1047,9 @@ class LibrarySimulation:
     # Drive service
     # ------------------------------------------------------------------ #
 
-    def _on_customer_arrival(self, drive: _DriveSim, platter: str) -> None:
+    def _on_customer_arrival(
+        self, drive: _DriveSim, platter: str, fetch_started: Optional[float] = None
+    ) -> None:
         self._drive_stops_verifying()
         drive.customer_platter = platter
         drive.serving = True
@@ -842,6 +1062,20 @@ class LibrarySimulation:
         drive.switch_seconds += switch
         mount = drive.model.config.mount_seconds
         drive.read_seconds += mount
+        self._mount_counter += 1
+        drive.current_mount = self._mount_counter
+        if self.tracer is not None:
+            now = self.sim.now
+            self.tracer.emit(
+                now,
+                "drive.mount",
+                component=f"drive:{drive.drive_id}",
+                mount_id=drive.current_mount,
+                platter=platter,
+                mount_s=mount,
+                switch_s=switch,
+                shuttle_s=(now - fetch_started) if fetch_started is not None else 0.0,
+            )
 
         def mounted() -> None:
             self._serve_batch(drive, platter)
@@ -860,6 +1094,15 @@ class LibrarySimulation:
             )
         if self.config.sort_batch_by_track:
             batch = sorted(batch, key=lambda r: r.track_start)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "sched.batch",
+                component=f"drive:{drive.drive_id}",
+                platter=platter,
+                size=len(batch),
+                bytes=sum(r.size_bytes for r in batch),
+            )
         self._serve_requests(drive, platter, batch, 0)
 
     def _serve_requests(
@@ -876,31 +1119,52 @@ class LibrarySimulation:
             return
         request = batch[index]
         cfg = self.config
+        tr = self.tracer
         seek = self._seek_seconds(drive, request.track_start)
         drive.head_track = request.track_start + request.num_tracks
         track_bytes = request.num_tracks * cfg.track_read_bytes
         scan = drive.model.seconds_to_scan(track_bytes)
         duration = seek + scan
         bytes_this_service = track_bytes
+        seek_total = seek
+        decode_extra = 0.0
         drive.seek_seconds += seek
         escalate = False
         p = cfg.transient_read_error_prob
         if p > 0.0 and float(self.rng.random()) < p:
             # Read-retry escalation ladder. Rung 1: a transient sector
             # error — re-read the tracks in place (another seek + scan).
-            self.reread_retries += 1
+            self._c_reread.inc()
             request.retries += 1
             request.mark_degraded()
             reread_seek = self._seek_seconds(drive, request.track_start)
             duration += reread_seek + scan
             drive.seek_seconds += reread_seek
+            seek_total += reread_seek
             bytes_this_service += track_bytes
+            if tr is not None:
+                tr.emit(
+                    self.sim.now,
+                    "retry.reread",
+                    request_id=request.request_id,
+                    component=f"drive:{drive.drive_id}",
+                    extra_s=reread_seek + scan,
+                )
             if float(self.rng.random()) < p:
                 # Rung 2: spend a deeper LDPC iteration budget on the
                 # captured image (decode compute, no extra media read).
-                self.deep_decodes += 1
+                self._c_deep_decode.inc()
                 request.retries += 1
-                duration += scan * cfg.deep_decode_factor
+                decode_extra = scan * cfg.deep_decode_factor
+                duration += decode_extra
+                if tr is not None:
+                    tr.emit(
+                        self.sim.now,
+                        "retry.deep_decode",
+                        request_id=request.request_id,
+                        component=f"drive:{drive.drive_id}",
+                        extra_s=decode_extra,
+                    )
                 if (
                     not request.is_recovery
                     and float(self.rng.random()) < p * cfg.deep_decode_residual
@@ -911,18 +1175,40 @@ class LibrarySimulation:
                     # carry the set's redundancy).
                     escalate = True
         drive.read_seconds += duration
-        self.bytes_read += bytes_this_service
+        self._c_bytes_read.inc(bytes_this_service)
         if request.is_recovery:
-            self.recovery_bytes_read += bytes_this_service
+            self._c_recovery_bytes.inc(bytes_this_service)
+        if tr is not None:
+            tr.emit(
+                self.sim.now,
+                "drive.read",
+                request_id=request.request_id,
+                component=f"drive:{drive.drive_id}",
+                mount_id=drive.current_mount,
+                seek_s=seek_total,
+                channel_s=duration - seek_total - decode_extra,
+                decode_s=decode_extra,
+                bytes=bytes_this_service,
+                retries=request.retries,
+                escalated=escalate,
+            )
 
         def done() -> None:
             if escalate:
+                if tr is not None:
+                    tr.emit(
+                        self.sim.now,
+                        "retry.escalate",
+                        request_id=request.request_id,
+                        component=f"drive:{drive.drive_id}",
+                        platter=platter,
+                    )
                 if self._fan_out_recovery(request):
-                    self.recovery_escalations += 1
+                    self._c_escalations.inc()
                 else:
                     self._abandon_request(request)
             else:
-                request.complete(self.sim.now)
+                self._complete_request(request)
             self._serve_requests(drive, platter, batch, index + 1)
 
         self.sim.schedule(duration, done, label="read")
@@ -936,6 +1222,17 @@ class LibrarySimulation:
         )
         drive.read_seconds += unmount
         drive.switch_seconds += switch
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "drive.unmount",
+                component=f"drive:{drive.drive_id}",
+                mount_id=drive.current_mount,
+                platter=platter,
+                unmount_s=unmount,
+                switch_s=switch,
+            )
+        drive.current_mount = None
 
         def done() -> None:
             self._drive_resumes_verifying()
@@ -983,6 +1280,13 @@ class LibrarySimulation:
             self._verify_queue.append(
                 (self.sim.now, platter_bytes, self._verify_cum_demand)
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "verify.submit",
+                    bytes=platter_bytes,
+                    backlog_bytes=self.verify_backlog_bytes,
+                )
 
         if time is None or time <= self.sim.now:
             arrive()
@@ -1050,6 +1354,12 @@ class LibrarySimulation:
                 return  # overlapping fault; the active one wins
             if shuttle_sim.busy:
                 self._pending_faults.append(("shuttle", shuttle_id, repair_after))
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "fault.deferred",
+                        component=f"shuttle:{shuttle_id}",
+                    )
                 return
             self._fail_shuttle(shuttle_id, repair_after=repair_after)
 
@@ -1072,6 +1382,12 @@ class LibrarySimulation:
                 return
             if drive.occupied:
                 self._pending_faults.append(("drive", drive_id, repair_after))
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.sim.now,
+                        "fault.deferred",
+                        component=f"drive:{drive_id}",
+                    )
                 return
             self._fail_drive(drive_id, repair_after=repair_after)
 
@@ -1101,8 +1417,15 @@ class LibrarySimulation:
             if not self._metadata_available:
                 return  # overlapping outage; the active one wins
             self._metadata_available = False
-            self.failures_injected += 1
+            self._c_faults_injected.inc()
             self._active_fault_started[("metadata", 0)] = self.sim.now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "metadata.outage",
+                    component="metadata",
+                    duration=duration if duration is not None else -1.0,
+                )
             if duration is not None:
                 self.sim.schedule(duration, repair, label="metadata-repair")
 
@@ -1137,9 +1460,16 @@ class LibrarySimulation:
         shuttle_sim = self.shuttles[shuttle_id]
         shuttle = shuttle_sim.shuttle
         shuttle.fail()
-        self.failures_injected += 1
+        self._c_faults_injected.inc()
         key = ("shuttle", shuttle_id)
         self._active_fault_started[key] = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "fault.fire",
+                component=f"shuttle:{shuttle_id}",
+                permanent=repair_after is None,
+            )
         # Blast zone: one shelf of one rack at the death position.
         width = self.layout.config.rack_width_m
         rack = int(shuttle.position.x // width)
@@ -1185,8 +1515,15 @@ class LibrarySimulation:
     def _fail_drive(self, drive_id: int, repair_after: Optional[float] = None) -> None:
         drive = self.drives[drive_id]
         drive.failed = True
-        self.failures_injected += 1
+        self._c_faults_injected.inc()
         self._active_fault_started[("drive", drive_id)] = self.sim.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "fault.fire",
+                component=f"drive:{drive_id}",
+                permanent=repair_after is None,
+            )
         self._drive_stops_verifying()  # failure gate ensures it was idle
         self._recompute_drive_routing()
         if repair_after is not None:
@@ -1213,9 +1550,17 @@ class LibrarySimulation:
         """Account the downtime of a repaired fault."""
         started = self._active_fault_started.pop(key, self.sim.now)
         downtime = max(0.0, self.sim.now - started)
-        self._downtime_seconds += downtime
+        self._c_downtime.inc(downtime)
         self._repair_durations.append(downtime)
-        self.faults_repaired += 1
+        self._c_faults_repaired.inc()
+        if self.tracer is not None:
+            kind, target = key
+            self.tracer.emit(
+                self.sim.now,
+                "metadata.repair" if kind == "metadata" else "fault.repair",
+                component="metadata" if kind == "metadata" else f"{kind}:{target}",
+                downtime_s=downtime,
+            )
 
     def _recompute_partition_cover(self) -> None:
         """Self-coverage for alive shuttles; orphaned partitions adopt the
@@ -1336,9 +1681,35 @@ class LibrarySimulation:
         ]
         completed_all = sum(1 for r in self.all_requests if r.done and r.parent is None)
         submitted_all = sum(1 for r in self.all_requests if r.parent is None)
+        resilience = self._resilience_metrics(total)
+        completions = CompletionStats.from_times(measured)
+        # Snapshot headline figures as gauges so a metrics export alone
+        # (without report.json) is self-describing.
+        m = self.metrics
+        m.gauge("simulated_seconds", "Simulated wall time", unit="seconds").set(total)
+        m.gauge("requests_submitted", "Top-level requests submitted").set(submitted_all)
+        m.gauge("requests_completed", "Top-level requests completed").set(completed_all)
+        m.gauge("availability", "Component availability over the run").set(
+            resilience.availability
+        )
+        m.gauge(
+            "tail_seconds", "Measured completion-time p99.9", unit="seconds"
+        ).set(completions.tail)
+        m.gauge("drive_utilization_read", "Aggregate drive read-time fraction").set(
+            agg.read_fraction
+        )
+        m.gauge(
+            "verify_backlog_bytes", "Verification backlog at end of run", unit="bytes"
+        ).set(self.verify_backlog_bytes)
+        m.gauge("congestion_overhead", "Shuttle congestion / unobstructed travel").set(
+            shuttle_metrics.congestion_overhead
+        )
+        m.gauge(
+            "energy_per_platter_op", "Shuttle energy per platter operation", unit="joules"
+        ).set(shuttle_metrics.energy_per_platter_op)
         return SimulationReport(
-            resilience=self._resilience_metrics(total),
-            completions=CompletionStats.from_times(measured),
+            resilience=resilience,
+            completions=completions,
             drive_utilization=agg,
             per_drive_utilization=per_drive,
             shuttles=shuttle_metrics,
@@ -1354,7 +1725,7 @@ class LibrarySimulation:
         """Fault-lifecycle accounting over the whole run."""
         # Downtime of closed (repaired) faults plus the open tail of every
         # fault still active at the end of the run.
-        downtime = self._downtime_seconds
+        downtime = self._c_downtime.value
         for started in self._active_fault_started.values():
             downtime += max(0.0, total_seconds - started)
         num_components = len(self.shuttles) + len(self.drives) + 1  # + metadata
@@ -1373,9 +1744,10 @@ class LibrarySimulation:
         degraded_times = [
             r.completion_time for r in degraded if r.measured and r.done
         ]
+        fanout_user_bytes = self._c_fanout_user_bytes.value
         amplification = (
-            self.recovery_bytes_read / self._fanout_user_bytes
-            if self._fanout_user_bytes > 0
+            self.recovery_bytes_read / fanout_user_bytes
+            if fanout_user_bytes > 0
             else 0.0
         )
         return ResilienceMetrics(

@@ -70,6 +70,8 @@ class TapeReport:
 
 
 class _TapeDrive:
+    """One tape drive: busy flag plus the currently mounted cartridge."""
+
     def __init__(self, drive_id: int):
         self.drive_id = drive_id
         self.busy = False

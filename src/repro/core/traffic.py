@@ -51,6 +51,8 @@ class TripPlan:
 
 @dataclass
 class _Reservation:
+    """A shuttle's claimed space-time corridor in the reservation table."""
+
     shuttle_id: int
     t0: float
     t1: float

@@ -17,6 +17,8 @@ from typing import Dict, List, Tuple
 
 
 class Level(Enum):
+    """Qualitative cost/impact rating used in the Table 2 comparison."""
+
     LOW = "L"
     MEDIUM = "M"
     HIGH = "H"

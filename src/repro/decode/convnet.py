@@ -87,6 +87,8 @@ class _Conv:
 
 @dataclass
 class ConvTrainStats:
+    """Per-epoch loss/accuracy curves from voxel-net training."""
+
     losses: List[float] = field(default_factory=list)
     accuracies: List[float] = field(default_factory=list)
 

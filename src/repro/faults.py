@@ -42,6 +42,8 @@ class ComponentKind(Enum):
 
 
 class FaultKind(Enum):
+    """Whether an injected fault repairs (transient) or fail-stops."""
+
     TRANSIENT = "transient"  # repairs after its duration
     PERMANENT = "permanent"  # fail-stop until the end of the horizon
 

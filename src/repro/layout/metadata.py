@@ -36,6 +36,8 @@ class FileLocation:
 
 @dataclass
 class _FileRecord:
+    """Version history + encryption key for one file id (crypto-shred unit)."""
+
     versions: List[FileLocation] = field(default_factory=list)
     encryption_key: Optional[bytes] = None
     deleted: bool = False

@@ -24,6 +24,8 @@ from .layout import LibraryLayout, Position, SlotId
 
 
 class FailureKind(Enum):
+    """Component class an injected library failure targets."""
+
     SHUTTLE = "shuttle"
     READ_DRIVE = "read_drive"
     COLLISION = "collision"

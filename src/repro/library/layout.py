@@ -23,6 +23,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class RackKind(Enum):
+    """Role of a rack in the library hall (Section 4 floor plan)."""
+
     WRITE = "write"
     READ = "read"
     STORAGE = "storage"

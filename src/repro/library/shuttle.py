@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -59,6 +59,8 @@ class ShuttlePowerModel:
 
 
 class ShuttleState(Enum):
+    """Lifecycle state of a shuttle (FAILED marks a blast zone in place)."""
+
     IDLE = "idle"
     MOVING = "moving"
     PICKING = "picking"
@@ -117,6 +119,11 @@ class Shuttle:
         self.battery_capacity = battery_capacity_joules
         self.battery_joules = battery_capacity_joules
         self.stats = ShuttleStats()
+        #: Optional observer ``(kind, attrs) -> None`` called after each
+        #: completed operation ("move", "pick", "place"). The shuttle has no
+        #: clock, so the installer (e.g. the simulation's tracer bridge)
+        #: supplies timestamps. None (the default) costs one comparison.
+        self.on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
 
     @property
     def battery_fraction(self) -> float:
@@ -169,6 +176,15 @@ class Shuttle:
         self.stats.stop_start_cycles += stop_start_cycles
         self.position = target
         self.state = ShuttleState.IDLE
+        if self.on_event is not None:
+            self.on_event(
+                "move",
+                {
+                    "seconds": travel_seconds + congestion_seconds,
+                    "congestion_s": congestion_seconds,
+                    "distance_m": dx,
+                },
+            )
 
     def pick(self, platter_id: str, rng: np.random.Generator) -> float:
         """Pick a platter at the current position; returns operation time."""
@@ -181,6 +197,8 @@ class Shuttle:
         self.stats.picks += 1
         self.stats.platter_operations += 1
         self._drain(self.power.pick_energy_joules)
+        if self.on_event is not None:
+            self.on_event("pick", {"platter": platter_id, "seconds": duration})
         return duration
 
     def place(self, rng: np.random.Generator) -> float:
@@ -188,9 +206,12 @@ class Shuttle:
         if self.carrying is None:
             raise RuntimeError(f"shuttle {self.shuttle_id} carries nothing")
         duration = self.motion.pick_place.sample_place(rng)
+        placed = self.carrying
         self.carrying = None
         self.stats.places += 1
         self._drain(self.power.pick_energy_joules)
+        if self.on_event is not None:
+            self.on_event("place", {"platter": placed, "seconds": duration})
         return duration
 
     def _drain(self, joules: float) -> None:

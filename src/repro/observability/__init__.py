@@ -1,0 +1,83 @@
+"""Observability: structured tracing, span timelines, exportable artifacts.
+
+The paper's Section 7 evaluation is an exercise in *explaining where time
+goes* inside the library digital twin — mechanical latency vs queueing vs
+channel vs decode. This subpackage makes every run of the simulator (and
+of the archive service front end) explainable after the fact:
+
+- :mod:`~repro.observability.tracer` — a zero-overhead-when-disabled
+  structured event tracer (typed records, closed kind taxonomy, ring /
+  list / JSONL sinks);
+- :mod:`~repro.observability.spans` — per-request span timelines assembled
+  from trace events, with an exact queue / mechanics / channel / decode
+  critical-path decomposition;
+- :mod:`~repro.observability.profiler` — wall-clock hot-spot accounting of
+  the event loop itself (simulator performance, not simulated time);
+- :mod:`~repro.observability.export` — one-directory run artifacts:
+  ``trace.jsonl``, ``spans.json``, ``metrics.json``, ``metrics.prom``,
+  ``report.json``, ``hotspots.json``.
+
+Counter/gauge/histogram primitives and the registry they live in are in
+:mod:`repro.core.metrics` (the simulator accumulates on them natively);
+this package re-exports them for convenience.
+
+Units: trace timestamps and span phases are **seconds** of simulated time;
+profiler durations are wall-clock seconds; byte attrs are raw bytes.
+"""
+
+from ..core.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .export import RunArtifacts, export_run, load_metrics, load_spans
+from .profiler import WallClockProfiler
+from .spans import (
+    PHASES,
+    CriticalPathBreakdown,
+    RequestSpan,
+    assemble_spans,
+    critical_path,
+    render_timeline,
+)
+from .tracer import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JsonlSink,
+    ListSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    TraceSchemaError,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunArtifacts",
+    "export_run",
+    "load_metrics",
+    "load_spans",
+    "WallClockProfiler",
+    "PHASES",
+    "CriticalPathBreakdown",
+    "RequestSpan",
+    "assemble_spans",
+    "critical_path",
+    "render_timeline",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "ListSink",
+    "RingSink",
+    "TraceEvent",
+    "Tracer",
+    "TraceSchemaError",
+    "read_jsonl",
+    "write_jsonl",
+]

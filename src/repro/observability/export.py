@@ -1,0 +1,133 @@
+"""Exportable run artifacts: one directory that fully describes a run.
+
+A run artifact directory (written by ``python -m repro trace`` /
+``python -m repro export``, or programmatically via
+:class:`RunArtifacts`) contains:
+
+``trace.jsonl``
+    the structured event stream (one :class:`~repro.observability.tracer.
+    TraceEvent` per line, schema-versioned) — only when tracing was on;
+``spans.json``
+    per-request span timelines with the queue / mechanics / channel /
+    decode phase decomposition, assembled from the trace;
+``metrics.json``
+    the run's :class:`~repro.core.metrics.MetricsRegistry` snapshot,
+    stable-keyed JSON;
+``metrics.prom``
+    the same registry in Prometheus text exposition format;
+``report.json``
+    the :class:`~repro.core.metrics.SimulationReport` as stable JSON;
+``hotspots.json``
+    wall-clock hot spots of the simulator loop — only when profiling
+    was on.
+
+Everything is derived from in-memory state; nothing here re-runs the
+simulator. All JSON is sorted-key, so artifacts diff cleanly between runs.
+Units follow the repo convention: seconds and bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from ..core.metrics import MetricsRegistry, SimulationReport
+from .profiler import WallClockProfiler
+from .spans import RequestSpan, assemble_spans, critical_path
+from .tracer import TraceEvent, write_jsonl
+
+
+def _write_json(path: str, payload: Any) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+class RunArtifacts:
+    """Collects one run's outputs and writes them as a directory."""
+
+    def __init__(self, out_dir: str) -> None:
+        self.out_dir = out_dir
+        self.written: List[str] = []
+
+    def _path(self, name: str) -> str:
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, name)
+        self.written.append(path)
+        return path
+
+    def write_trace(self, events: List[TraceEvent], name: str = "trace.jsonl") -> str:
+        path = self._path(name)
+        write_jsonl(events, path)
+        return path
+
+    def write_spans(
+        self, events: List[TraceEvent], name: str = "spans.json"
+    ) -> List[RequestSpan]:
+        """Assemble spans from ``events`` and dump them plus the breakdown."""
+        spans = assemble_spans(events)
+        breakdown = critical_path(spans)
+        payload = {
+            "critical_path": {
+                "seconds": dict(sorted(breakdown.seconds.items())),
+                "spans": breakdown.spans,
+            },
+            "spans": [span.to_dict() for span in spans],
+        }
+        _write_json(self._path(name), payload)
+        return spans
+
+    def write_metrics(self, registry: MetricsRegistry) -> None:
+        _write_json(self._path("metrics.json"), registry.as_dict())
+        with open(self._path("metrics.prom"), "w", encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
+
+    def write_report(self, report: SimulationReport, name: str = "report.json") -> str:
+        path = self._path(name)
+        _write_json(path, report.as_dict())
+        return path
+
+    def write_hotspots(self, profiler: WallClockProfiler) -> str:
+        path = self._path("hotspots.json")
+        _write_json(path, profiler.as_dict())
+        return path
+
+    def summary(self) -> str:
+        lines = [f"artifacts in {self.out_dir}/:"]
+        for path in self.written:
+            size = os.path.getsize(path) if os.path.exists(path) else 0
+            lines.append(f"  {os.path.basename(path):<14s} {size:>10d} bytes")
+        return "\n".join(lines)
+
+
+def export_run(
+    out_dir: str,
+    report: SimulationReport,
+    registry: MetricsRegistry,
+    events: Optional[List[TraceEvent]] = None,
+    profiler: Optional[WallClockProfiler] = None,
+) -> RunArtifacts:
+    """Write the full artifact set for one finished run."""
+    artifacts = RunArtifacts(out_dir)
+    if events is not None:
+        artifacts.write_trace(events)
+        artifacts.write_spans(events)
+    artifacts.write_metrics(registry)
+    artifacts.write_report(report)
+    if profiler is not None:
+        artifacts.write_hotspots(profiler)
+    return artifacts
+
+
+def load_spans(trace_path: str) -> List[RequestSpan]:
+    """Re-assemble spans straight from an exported ``trace.jsonl``."""
+    from .tracer import read_jsonl
+
+    return assemble_spans(read_jsonl(trace_path))
+
+
+def load_metrics(metrics_path: str) -> Dict[str, Any]:
+    """Load an exported ``metrics.json`` snapshot."""
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

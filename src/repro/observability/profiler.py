@@ -1,0 +1,83 @@
+"""Wall-clock hot-spot profiling of the simulator itself.
+
+Where the tracer measures *simulated* time, this measures *real* time: how
+many wall-clock seconds the event loop spends inside callbacks of each
+event label ("move", "read", "dispatch", ...). It is the "you can't speed
+up what you can't measure" hook for future performance PRs: attach a
+:class:`WallClockProfiler` to a :class:`repro.core.events.Simulation` and
+the loop times every callback; detach (the default) and the loop pays a
+single ``is None`` check per event.
+
+Usage::
+
+    profiler = WallClockProfiler()
+    profiler.install(sim.sim)      # or Simulation(observer=profiler.observe)
+    sim.run()
+    print(profiler.format(top=10))
+
+Units: all durations are wall-clock **seconds** (``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class WallClockProfiler:
+    """Accumulates wall-clock time per event label."""
+
+    def __init__(self) -> None:
+        # label -> [calls, total_wall_seconds]
+        self._buckets: Dict[str, List[float]] = {}
+
+    def observe(self, label: str, wall_seconds: float) -> None:
+        """Record one callback execution (the Simulation observer hook)."""
+        bucket = self._buckets.get(label)
+        if bucket is None:
+            self._buckets[label] = [1, wall_seconds]
+        else:
+            bucket[0] += 1
+            bucket[1] += wall_seconds
+
+    def install(self, simulation: Any) -> None:
+        """Attach to a :class:`repro.core.events.Simulation`."""
+        simulation.observer = self.observe
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(b[1] for b in self._buckets.values())
+
+    @property
+    def total_events(self) -> int:
+        return int(sum(b[0] for b in self._buckets.values()))
+
+    def hotspots(self, top: Optional[int] = None) -> List[Tuple[str, int, float]]:
+        """(label, calls, wall_seconds) sorted by time, hottest first."""
+        rows = [
+            (label, int(bucket[0]), bucket[1])
+            for label, bucket in self._buckets.items()
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        return rows[:top] if top is not None else rows
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Stable-keyed snapshot: label -> {calls, wall_seconds}."""
+        return {
+            label: {"calls": int(bucket[0]), "wall_seconds": bucket[1]}
+            for label, bucket in sorted(self._buckets.items())
+        }
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable hot-spot table."""
+        total = self.total_seconds
+        lines = [
+            f"wall-clock hot spots ({self.total_events} events, "
+            f"{total:.3f}s inside callbacks):"
+        ]
+        for label, calls, seconds in self.hotspots(top):
+            share = seconds / total * 100 if total > 0 else 0.0
+            lines.append(
+                f"  {label or '(unlabeled)':<18s} {calls:>9d} calls "
+                f"{seconds:9.3f}s  {share:5.1f}%"
+            )
+        return "\n".join(lines)

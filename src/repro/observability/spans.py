@@ -1,0 +1,243 @@
+"""Per-request span timelines reconstructed from trace events.
+
+A *span* is the life of one read request between arrival and last byte
+out of the library (the paper's completion-time metric, Section 7.2),
+decomposed into phases:
+
+``queue``
+    waiting for a shuttle/drive/mount slot (includes in-batch wait);
+``shuttle``
+    the fetch trip's mechanical time (travel + pick + place) of the mount
+    cycle that served the request;
+``mount``
+    drive mount plus fast-switch time of that cycle;
+``seek``
+    XY head seeks, including retry re-seeks;
+``channel``
+    scan time streaming the track(s) through the read channel, including
+    re-read scans;
+``decode``
+    extra deep-LDPC compute spent on captured images (retry rung 2).
+
+The decomposition is exact: the six phases sum to the span duration for
+every completed request (``queue`` absorbs the residual wait, clipped at
+zero). ``mechanics`` = shuttle + mount + seek is the paper's "mechanical
+latency" bucket, so the headline breakdown reads queue vs mechanics vs
+channel vs decode.
+
+All times are **seconds** of simulation time. Spans are assembled purely
+from the JSONL/ring trace — no simulator state needed — so any exported
+run artifact can be re-analyzed offline::
+
+    from repro.observability import read_jsonl, assemble_spans, critical_path
+
+    events = read_jsonl("artifacts/trace.jsonl")
+    spans = assemble_spans(events)
+    print(critical_path(spans).format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .tracer import TraceEvent
+
+#: Ordered phase names of the span decomposition.
+PHASES = ("queue", "shuttle", "mount", "seek", "channel", "decode")
+
+
+@dataclass
+class RequestSpan:
+    """One request's reconstructed timeline."""
+
+    request_id: int
+    platter_id: str
+    arrival: float
+    completion: Optional[float] = None
+    lost: bool = False
+    recovery: bool = False
+    retries: int = 0
+    mount_id: Optional[int] = None
+    drive: Optional[str] = None
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.completion is not None
+
+    @property
+    def duration(self) -> float:
+        """Arrival -> completion, seconds."""
+        if self.completion is None:
+            raise ValueError(f"request {self.request_id} has no completion event")
+        return self.completion - self.arrival
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "platter_id": self.platter_id,
+            "arrival": self.arrival,
+            "completion": self.completion,
+            "lost": self.lost,
+            "recovery": self.recovery,
+            "retries": self.retries,
+            "mount_id": self.mount_id,
+            "drive": self.drive,
+            "phases": {k: self.phases.get(k, 0.0) for k in PHASES},
+        }
+
+
+@dataclass
+class CriticalPathBreakdown:
+    """Aggregate where-does-the-time-go across a set of spans."""
+
+    seconds: Dict[str, float]
+    spans: int
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction(self, phase: str) -> float:
+        total = self.total_seconds
+        return self.seconds.get(phase, 0.0) / total if total > 0 else 0.0
+
+    @property
+    def mechanics_seconds(self) -> float:
+        """Shuttle + mount + seek: the paper's mechanical-latency bucket."""
+        return (
+            self.seconds.get("shuttle", 0.0)
+            + self.seconds.get("mount", 0.0)
+            + self.seconds.get("seek", 0.0)
+        )
+
+    def format(self) -> str:
+        """Human-readable table: phase, total seconds, share."""
+        total = self.total_seconds
+        lines = [f"critical path over {self.spans} request span(s):"]
+        headline = {
+            "queue": self.seconds.get("queue", 0.0),
+            "mechanics": self.mechanics_seconds,
+            "channel": self.seconds.get("channel", 0.0),
+            "decode": self.seconds.get("decode", 0.0),
+        }
+        for phase, secs in headline.items():
+            share = secs / total * 100 if total > 0 else 0.0
+            lines.append(f"  {phase:<9s} {secs:12.1f} s  {share:5.1f}%")
+        detail = ", ".join(
+            f"{p}={self.seconds.get(p, 0.0):.1f}s" for p in ("shuttle", "mount", "seek")
+        )
+        lines.append(f"  (mechanics = {detail})")
+        return "\n".join(lines)
+
+
+def assemble_spans(events: Iterable[TraceEvent]) -> List[RequestSpan]:
+    """Reconstruct per-request spans from a trace event stream.
+
+    Only requests that were actually served by a drive (have a
+    ``drive.read`` event) get a full phase decomposition; requests that
+    fanned out into recovery sub-reads are represented by their sub-reads.
+    """
+    arrivals: Dict[int, TraceEvent] = {}
+    reads: Dict[int, TraceEvent] = {}
+    completions: Dict[int, float] = {}
+    lost: Dict[int, float] = {}
+    mounts: Dict[int, TraceEvent] = {}
+    for event in events:
+        if event.kind == "request.arrival" and event.request_id is not None:
+            arrivals.setdefault(event.request_id, event)
+        elif event.kind == "drive.read" and event.request_id is not None:
+            reads[event.request_id] = event
+        elif event.kind == "request.complete" and event.request_id is not None:
+            completions[event.request_id] = event.ts
+        elif event.kind == "request.lost" and event.request_id is not None:
+            lost[event.request_id] = event.ts
+        elif event.kind == "drive.mount":
+            mounts[int(event.attrs["mount_id"])] = event
+
+    spans: List[RequestSpan] = []
+    for rid, arrival_event in sorted(arrivals.items()):
+        attrs = arrival_event.attrs
+        span = RequestSpan(
+            request_id=rid,
+            platter_id=str(attrs.get("platter", "")),
+            arrival=float(attrs.get("arrival", arrival_event.ts)),
+            recovery=bool(attrs.get("recovery", False)),
+        )
+        span.completion = completions.get(rid)
+        if rid in lost:
+            span.lost = True
+            span.completion = span.completion if span.completion is not None else lost[rid]
+        read = reads.get(rid)
+        if read is not None and span.completion is not None:
+            span.retries = int(read.attrs.get("retries", 0))
+            span.drive = read.component
+            seek = float(read.attrs.get("seek_s", 0.0))
+            channel = float(read.attrs.get("channel_s", 0.0))
+            decode = float(read.attrs.get("decode_s", 0.0))
+            shuttle = mount = 0.0
+            mount_id = read.attrs.get("mount_id")
+            if mount_id is not None and int(mount_id) in mounts:
+                span.mount_id = int(mount_id)
+                mattrs = mounts[span.mount_id].attrs
+                shuttle = float(mattrs.get("shuttle_s", 0.0))
+                mount = float(mattrs.get("mount_s", 0.0)) + float(mattrs.get("switch_s", 0.0))
+            # Exact decomposition: the read phases are fully attributed to
+            # this request; the mount cycle's mechanical time only up to
+            # what the span can absorb (a request that joined a batch on an
+            # already-mounted platter did not pay the fetch trip itself);
+            # the residual is queueing.
+            duration = span.duration
+            read_time = seek + channel + decode
+            mech_budget = max(0.0, duration - read_time)
+            shuttle_att = min(shuttle, mech_budget)
+            mount_att = min(mount, mech_budget - shuttle_att)
+            span.phases = {
+                "queue": max(0.0, duration - read_time - shuttle_att - mount_att),
+                "shuttle": shuttle_att,
+                "mount": mount_att,
+                "seek": seek,
+                "channel": channel,
+                "decode": decode,
+            }
+        spans.append(span)
+    return spans
+
+
+def critical_path(spans: Iterable[RequestSpan]) -> CriticalPathBreakdown:
+    """Aggregate phase totals over all decomposed spans."""
+    totals = {phase: 0.0 for phase in PHASES}
+    count = 0
+    for span in spans:
+        if not span.phases:
+            continue
+        count += 1
+        for phase in PHASES:
+            totals[phase] += span.phases.get(phase, 0.0)
+    return CriticalPathBreakdown(seconds=totals, spans=count)
+
+
+def render_timeline(span: RequestSpan, width: int = 60) -> str:
+    """ASCII timeline of one span: one bar segment per non-empty phase."""
+    if not span.phases or span.completion is None:
+        return f"request {span.request_id}: (no phase decomposition)"
+    duration = max(span.duration, 1e-12)
+    glyphs = {
+        "queue": ".",
+        "shuttle": "s",
+        "mount": "m",
+        "seek": "k",
+        "channel": "#",
+        "decode": "d",
+    }
+    bar = ""
+    for phase in PHASES:
+        cells = int(round(span.phases.get(phase, 0.0) / duration * width))
+        bar += glyphs[phase] * cells
+    bar = (bar + glyphs["queue"] * width)[:width]
+    return (
+        f"request {span.request_id:>6d} [{bar}] "
+        f"{duration:8.1f}s  platter={span.platter_id}"
+        + (" (recovery)" if span.recovery else "")
+    )

@@ -1,0 +1,272 @@
+"""Structured event tracing for the digital twin and the service front end.
+
+One run of the simulator (or of the archive service) emits a stream of
+:class:`TraceEvent` records — typed, timestamped, JSON-serializable facts
+about what happened: request lifecycle edges, shuttle trips, drive mount /
+seek / scan phases, retry-ladder rungs, fault fire/repair transitions, and
+scheduler decisions. The stream is what makes a run *auditable*: spans,
+critical-path breakdowns and replots are all derived from it after the fact
+(:mod:`repro.observability.spans`), the way TALICS³ and SimFS treat
+simulation output as a first-class queryable artifact.
+
+Design constraints:
+
+* **zero overhead when disabled** — the simulator holds ``tracer=None`` by
+  default and guards every emission site with a single ``is not None``
+  check; a constructed-but-disabled :class:`Tracer` additionally guards in
+  :meth:`Tracer.emit`, so a disabled tracer never touches its sink (there
+  is a regression test for exactly this);
+* **typed taxonomy** — every event ``kind`` is a dotted name from
+  :data:`EVENT_KINDS`; unknown kinds are rejected at emission and at parse
+  time, so the trace schema cannot drift silently;
+* **pluggable sinks** — an in-memory ring (:class:`RingSink`, bounded, for
+  always-on flight recording), a plain list (:class:`ListSink`, for tests),
+  or a streaming JSONL file (:class:`JsonlSink`, for exported artifacts).
+
+Units: ``ts`` is simulation time in **seconds** (the service front end uses
+its logical clock, also seconds). Attribute values carrying durations are
+suffixed ``_s`` (seconds) or ``_bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+#: Trace schema version, embedded in every JSONL line as ``"v"``.
+SCHEMA_VERSION = 1
+
+#: The closed taxonomy of event kinds. Grouped by subsystem:
+#: request lifecycle, scheduler decisions, shuttle mechanics, drive
+#: service phases, recovery/retry ladder, fault lifecycle, verification,
+#: and the archive-service data path.
+EVENT_KINDS = frozenset(
+    {
+        # request lifecycle
+        "request.arrival",
+        "request.enqueue",
+        "request.metadata_blocked",
+        "request.complete",
+        "request.lost",
+        # scheduler decisions
+        "sched.batch",
+        "sched.steal",
+        "fetch.assign",
+        # shuttle mechanics
+        "shuttle.move",
+        "shuttle.pick",
+        "shuttle.place",
+        "shuttle.recharge",
+        "return.start",
+        "return.done",
+        # drive service phases
+        "drive.mount",
+        "drive.read",
+        "drive.unmount",
+        # retry ladder + recovery
+        "retry.reread",
+        "retry.deep_decode",
+        "retry.escalate",
+        "recovery.fanout",
+        # fault lifecycle
+        "fault.fire",
+        "fault.deferred",
+        "fault.repair",
+        "metadata.outage",
+        "metadata.repair",
+        # verification queue
+        "verify.submit",
+        # archive-service (front-end) data path
+        "service.put",
+        "service.get",
+        "service.metadata_retry",
+        "service.sector_reread",
+        "service.deep_decode",
+        "service.sector_unrecovered",
+    }
+)
+
+
+class TraceSchemaError(ValueError):
+    """An event violated the trace schema (unknown kind, bad payload)."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``ts`` is simulation seconds; ``kind`` must be a member of
+    :data:`EVENT_KINDS`; ``component`` names the emitting entity
+    (``"drive:3"``, ``"shuttle:7"``, ``"metadata"``, ``"service"``);
+    ``attrs`` carries JSON-safe scalars only.
+    """
+
+    ts: float
+    kind: str
+    request_id: Optional[int] = None
+    component: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise TraceSchemaError(f"unknown trace event kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable-keyed dict form (the JSONL line payload)."""
+        out: Dict[str, Any] = {"v": SCHEMA_VERSION, "ts": self.ts, "kind": self.kind}
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        if self.component is not None:
+            out["component"] = self.component
+        if self.attrs:
+            out["attrs"] = dict(sorted(self.attrs.items()))
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceEvent":
+        version = payload.get("v", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise TraceSchemaError(f"unsupported trace schema version {version}")
+        try:
+            return cls(
+                ts=float(payload["ts"]),
+                kind=str(payload["kind"]),
+                request_id=payload.get("request_id"),
+                component=payload.get("component"),
+                attrs=dict(payload.get("attrs", {})),
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise TraceSchemaError(f"trace record missing field {exc}") from exc
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        return cls.from_dict(json.loads(line))
+
+
+class ListSink:
+    """Unbounded in-memory sink (tests, short runs)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class RingSink:
+    """Bounded in-memory ring: keeps the most recent ``capacity`` events.
+
+    Suitable as an always-on flight recorder — memory is O(capacity)
+    regardless of run length.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class JsonlSink:
+    """Streaming JSONL sink: one event per line, written as they happen.
+
+    Accepts a path or an open text handle. Use as a context manager (or
+    call :meth:`close`) so the file is flushed.
+    """
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, str):
+            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.count = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._file.write(event.to_json())
+        self._file.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Tracer:
+    """The emission front of the tracing layer.
+
+    ``Tracer(sink)`` records; ``Tracer(sink, enabled=False)`` is inert and
+    guarantees the sink is never called. Hot paths hold ``tracer=None`` by
+    default, so the disabled cost is one pointer comparison per site.
+    """
+
+    def __init__(self, sink: Optional[Any] = None, enabled: bool = True) -> None:
+        self.sink = sink if sink is not None else ListSink()
+        self.enabled = enabled
+
+    def emit(
+        self,
+        ts: float,
+        kind: str,
+        request_id: Optional[int] = None,
+        component: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.sink.append(TraceEvent(ts, kind, request_id, component, attrs))
+
+    def events(self) -> List[TraceEvent]:
+        """Events captured so far (in-memory sinks only)."""
+        return list(self.sink)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Dump ``events`` to a JSONL file; returns the number written."""
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.append(event)
+        return sink.count
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Parse a JSONL trace file back into validated :class:`TraceEvent`."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events

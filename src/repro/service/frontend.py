@@ -123,10 +123,17 @@ class ServiceConfig:
 
 
 class ArchiveService:
-    """A single-library archival storage service."""
+    """A single-library archival storage service.
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    Pass a :class:`repro.observability.Tracer` to get structured
+    ``service.*`` events (put/get lifecycle, metadata retries, decode
+    ladder rungs) timestamped with the front end's simulated clock.
+    Tracing defaults to off and then costs one comparison per hook.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, tracer=None):
         self.config = config or ServiceConfig()
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         cfg = self.config
         self.codec = SectorCodec(
             payload_bytes=cfg.sector_payload_bytes, ldpc_rate=cfg.ldpc_rate
@@ -158,6 +165,14 @@ class ArchiveService:
         platter; production batches a staging window through the packer.
         """
         self._clock += 1.0
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock,
+                "service.put",
+                component="frontend",
+                file_id=file_id,
+                size_bytes=len(data),
+            )
         staged = StagedFile(file_id, len(data), account, self._clock)
         self.staging.stage(staged)
         record = self.metadata._files.get(file_id)
@@ -220,6 +235,10 @@ class ArchiveService:
         re-read -> deeper-LDPC escalation ladder.
         """
         deadline = self._clock + self.config.retry.deadline_seconds
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock, "service.get", component="frontend", file_id=file_id
+            )
         location = self._metadata_call(
             lambda: self.metadata.locate(file_id, version), deadline
         )
@@ -259,6 +278,14 @@ class ArchiveService:
                 self.retry_stats.metadata_retries += 1
                 self.retry_stats.backoff_seconds += delay
                 self._clock += delay  # simulated wait; no wall-clock sleep
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self._clock,
+                        "service.metadata_retry",
+                        component="frontend",
+                        attempt=attempt,
+                        backoff_s=delay,
+                    )
 
     def _read_extent(
         self, platter: Platter, start_track: int, start_layer: int, num_sectors: int
@@ -292,14 +319,36 @@ class ArchiveService:
                 return result.payload
             if reread < policy.sector_rereads:
                 self.retry_stats.sector_rereads += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self._clock,
+                        "service.sector_reread",
+                        component="frontend",
+                        sector=str(address),
+                    )
         # Deeper iteration budget on the final capture.
         self.retry_stats.deep_decodes += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock,
+                "service.deep_decode",
+                component="frontend",
+                sector=str(address),
+                iterations=policy.deep_ldpc_iterations,
+            )
         result = self.codec.decode(
             posteriors, max_iterations=policy.deep_ldpc_iterations
         )
         if result.success:
             return result.payload
         self.retry_stats.unrecovered_sectors += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._clock,
+                "service.sector_unrecovered",
+                component="frontend",
+                sector=str(address),
+            )
         raise IOError(
             f"sector {address} unrecoverable after "
             f"{policy.sector_rereads} re-read(s) and deep decode; "

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -104,3 +107,64 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert "repair off" in out
         assert "repaired=0" in out
+
+    def test_chaos_json_stable_keys(self, capsys):
+        code = main(
+            [
+                "--seed", "3",
+                "chaos",
+                "--hours", "0.2",
+                "--platters", "950",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == sorted(payload)
+        assert list(payload["resilience"]) == sorted(payload["resilience"])
+        assert payload["schedule"]["repair"] is True
+        assert payload["resilience"]["faults_injected"] >= 0
+
+
+class TestTraceExportCommands:
+    _small = ["--hours", "0.1", "--rate-factor", "0.2", "--platters", "300"]
+
+    def test_trace_writes_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        code = main(["trace", *self._small, "--out", out_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        for name in ("trace.jsonl", "spans.json", "metrics.json",
+                     "metrics.prom", "report.json"):
+            assert os.path.exists(os.path.join(out_dir, name)), name
+        # The documented offline reconstruction: spans re-assembled from
+        # the exported trace match the exported spans.json.
+        from repro.observability import assemble_spans, read_jsonl
+
+        spans = assemble_spans(read_jsonl(os.path.join(out_dir, "trace.jsonl")))
+        with open(os.path.join(out_dir, "spans.json")) as handle:
+            exported = json.load(handle)
+        assert len(exported["spans"]) == len(spans)
+        assert exported["critical_path"]["spans"] == sum(
+            1 for s in spans if s.phases
+        )
+
+    def test_trace_hotspots(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        code = main(["trace", *self._small, "--out", out_dir, "--hotspots"])
+        assert code == 0
+        assert "wall-clock hot spots" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(out_dir, "hotspots.json"))
+
+    def test_export_writes_metrics_and_report(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "run")
+        code = main(["export", *self._small, "--out", out_dir])
+        assert code == 0
+        assert not os.path.exists(os.path.join(out_dir, "trace.jsonl"))
+        with open(os.path.join(out_dir, "metrics.json")) as handle:
+            metrics = json.load(handle)
+        assert list(metrics) == sorted(metrics)
+        assert "sim_bytes_read_total" in metrics
+        prom = open(os.path.join(out_dir, "metrics.prom")).read()
+        assert "# TYPE sim_bytes_read_total counter" in prom

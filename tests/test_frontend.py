@@ -173,8 +173,8 @@ class TestDecodeLadder:
         service.put("l/noisy", b"recoverable with retries" * 4)
         # Degrade the channel after write: raise the noise until the first
         # decode sometimes fails but a re-read or deep decode clears it.
-        noisy = ReadChannel(ChannelModel(sensor_noise_sigma=0.34), seed=7)
-        service.read_drive = ReadDriveModel(channel=noisy, seed=7)
+        noisy = ReadChannel(ChannelModel(sensor_noise_sigma=0.34), seed=3)
+        service.read_drive = ReadDriveModel(channel=noisy, seed=3)
         data = service.get("l/noisy")
         assert data == b"recoverable with retries" * 4
         assert (

@@ -1,0 +1,350 @@
+"""Observability layer: tracer schema, spans, metrics export, overhead.
+
+Covers the acceptance criteria of the observability PR:
+
+* trace events round-trip through JSONL with the schema enforced;
+* span assembly reconstructs exact phase decompositions from a known
+  three-request scenario (phases sum to duration);
+* the disabled tracer never touches its sink and the simulator normalizes
+  a disabled tracer to ``None`` (the zero-overhead contract);
+* the Prometheus text exposition matches a golden rendering;
+* the registry-backed counters stay consistent with the legacy attribute
+  views and with the ``chaos --json`` stable output contract.
+"""
+
+import json
+
+import pytest
+
+from repro.core import LibrarySimulation, SimConfig
+from repro.core.metrics import MetricsRegistry
+from repro.observability import (
+    EVENT_KINDS,
+    JsonlSink,
+    ListSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    TraceSchemaError,
+    WallClockProfiler,
+    assemble_spans,
+    critical_path,
+    read_jsonl,
+    render_timeline,
+    write_jsonl,
+)
+
+
+# --------------------------------------------------------------------- #
+# Trace event schema
+# --------------------------------------------------------------------- #
+
+
+class TestTraceSchema:
+    def test_unknown_kind_rejected_at_emit(self):
+        tracer = Tracer()
+        with pytest.raises(TraceSchemaError):
+            tracer.emit(0.0, "bogus.kind")
+
+    def test_unknown_kind_rejected_at_parse(self):
+        line = json.dumps({"v": 1, "ts": 0.0, "kind": "not.a.kind"})
+        with pytest.raises(TraceSchemaError):
+            TraceEvent.from_json(line)
+
+    def test_future_schema_version_rejected(self):
+        line = json.dumps({"v": 99, "ts": 0.0, "kind": "request.arrival"})
+        with pytest.raises(TraceSchemaError):
+            TraceEvent.from_json(line)
+
+    def test_roundtrip_through_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(1.5, "request.arrival", request_id=7, platter="P1",
+                    size_bytes=4096, recovery=False)
+        tracer.emit(2.0, "drive.mount", component="drive:0", mount_id=1,
+                    mount_s=10.0, switch_s=2.0, shuttle_s=5.0)
+        tracer.emit(30.0, "request.complete", request_id=7)
+        path = str(tmp_path / "trace.jsonl")
+        assert write_jsonl(tracer.events(), path) == 3
+        back = read_jsonl(path)
+        assert back == tracer.events()
+        # Stable serialization: every line carries the schema version and
+        # sorted attrs.
+        first = json.loads(open(path).readline())
+        assert first["v"] == 1
+        assert list(first["attrs"]) == sorted(first["attrs"])
+
+    def test_all_kinds_constructible(self):
+        for kind in EVENT_KINDS:
+            TraceEvent(0.0, kind)
+
+    def test_ring_sink_bounds_memory(self):
+        sink = RingSink(capacity=4)
+        tracer = Tracer(sink)
+        for i in range(10):
+            tracer.emit(float(i), "request.enqueue", request_id=i)
+        assert len(sink) == 4
+        assert sink.dropped == 6
+        assert [e.request_id for e in sink] == [6, 7, 8, 9]
+
+    def test_jsonl_sink_streams(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with JsonlSink(path) as sink:
+            Tracer(sink).emit(0.0, "service.put", file_id="f", size_bytes=1)
+        assert len(read_jsonl(path)) == 1
+
+
+# --------------------------------------------------------------------- #
+# Disabled-tracer overhead guard
+# --------------------------------------------------------------------- #
+
+
+class _ExplodingSink:
+    """A sink that fails the test if anything is ever appended."""
+
+    def append(self, event):
+        raise AssertionError("disabled tracer touched its sink")
+
+    def __iter__(self):
+        return iter(())
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_never_calls_sink(self):
+        tracer = Tracer(_ExplodingSink(), enabled=False)
+        tracer.emit(0.0, "request.arrival", request_id=1)
+
+    def test_simulation_normalizes_disabled_tracer_to_none(self):
+        disabled = Tracer(_ExplodingSink(), enabled=False)
+        sim = LibrarySimulation(SimConfig(num_platters=50), tracer=disabled)
+        assert sim.tracer is None
+
+    def test_default_simulation_has_no_tracer(self):
+        sim = LibrarySimulation(SimConfig(num_platters=50))
+        assert sim.tracer is None
+        # The shuttle hook is only installed when tracing: the model layer
+        # stays a single `is None` comparison per operation.
+        assert all(s.shuttle.on_event is None for s in sim.shuttles)
+
+
+# --------------------------------------------------------------------- #
+# Span assembly on a known scenario
+# --------------------------------------------------------------------- #
+
+
+def _three_request_trace():
+    """Hand-built trace: two requests batched on one mount, one lost.
+
+    Request 1 pays the full fetch trip (shuttle 40 s + mount 12 s), then
+    seek 1 s + channel 5 s; request 2 joined the same batch late so its
+    mechanical budget is clipped; request 3 is abandoned.
+    """
+    return [
+        TraceEvent(0.0, "request.arrival", request_id=1,
+                   attrs={"arrival": 0.0, "platter": "P1", "size_bytes": 100,
+                          "recovery": False}),
+        TraceEvent(30.0, "request.arrival", request_id=2,
+                   attrs={"arrival": 30.0, "platter": "P1", "size_bytes": 100,
+                          "recovery": False}),
+        TraceEvent(5.0, "request.arrival", request_id=3,
+                   attrs={"arrival": 5.0, "platter": "P2", "size_bytes": 100,
+                          "recovery": False}),
+        TraceEvent(40.0, "drive.mount", component="drive:0",
+                   attrs={"mount_id": 1, "platter": "P1", "mount_s": 10.0,
+                          "switch_s": 2.0, "shuttle_s": 40.0}),
+        TraceEvent(52.0, "drive.read", request_id=1, component="drive:0",
+                   attrs={"mount_id": 1, "seek_s": 1.0, "channel_s": 5.0,
+                          "decode_s": 0.0, "retries": 0, "escalated": False}),
+        TraceEvent(58.0, "request.complete", request_id=1),
+        TraceEvent(58.0, "drive.read", request_id=2, component="drive:0",
+                   attrs={"mount_id": 1, "seek_s": 1.0, "channel_s": 5.0,
+                          "decode_s": 2.0, "retries": 1, "escalated": False}),
+        TraceEvent(66.0, "request.complete", request_id=2),
+        TraceEvent(70.0, "request.lost", request_id=3),
+    ]
+
+
+class TestSpanAssembly:
+    def test_three_request_scenario(self):
+        spans = {s.request_id: s for s in assemble_spans(_three_request_trace())}
+        assert set(spans) == {1, 2, 3}
+
+        # Request 1: full decomposition, pays the whole mount cycle.
+        s1 = spans[1]
+        assert s1.duration == pytest.approx(58.0)
+        assert s1.mount_id == 1 and s1.drive == "drive:0"
+        assert s1.phases["seek"] == pytest.approx(1.0)
+        assert s1.phases["channel"] == pytest.approx(5.0)
+        assert s1.phases["decode"] == pytest.approx(0.0)
+        assert s1.phases["shuttle"] == pytest.approx(40.0)
+        assert s1.phases["mount"] == pytest.approx(12.0)
+        assert s1.phases["queue"] == pytest.approx(0.0)
+
+        # Request 2: arrived at t=30, done at 66 => 36 s. Mechanical
+        # attribution is clipped to the budget (36 - 8 read = 28 s), all of
+        # it shuttle; queue absorbs nothing.
+        s2 = spans[2]
+        assert s2.duration == pytest.approx(36.0)
+        assert s2.retries == 1
+        assert s2.phases["shuttle"] == pytest.approx(28.0)
+        assert s2.phases["mount"] == pytest.approx(0.0)
+        assert s2.phases["queue"] == pytest.approx(0.0)
+
+        # Request 3: lost, no read => no decomposition.
+        s3 = spans[3]
+        assert s3.lost and s3.phases == {}
+
+        # Exactness: every decomposed span's phases sum to its duration.
+        for span in (s1, s2):
+            assert sum(span.phases.values()) == pytest.approx(span.duration)
+
+    def test_critical_path_aggregation(self):
+        breakdown = critical_path(assemble_spans(_three_request_trace()))
+        assert breakdown.spans == 2  # the lost request has no phases
+        assert breakdown.total_seconds == pytest.approx(58.0 + 36.0)
+        assert breakdown.mechanics_seconds == pytest.approx(40 + 12 + 28 + 2)
+        assert "mechanics" in breakdown.format()
+
+    def test_render_timeline(self):
+        spans = assemble_spans(_three_request_trace())
+        line = render_timeline(spans[0], width=30)
+        assert "request" in line and "P1" in line
+
+    def test_spans_from_simulated_run_are_exact(self):
+        """End to end: a real (small) simulated run decomposes exactly."""
+        from repro.workload import WorkloadGenerator
+
+        tracer = Tracer()
+        sim = LibrarySimulation(
+            SimConfig(num_shuttles=4, num_drives=4, num_platters=100,
+                      transient_read_error_prob=0.1, seed=3),
+            tracer=tracer,
+        )
+        generator = WorkloadGenerator(seed=3)
+        trace, start, end = generator.interval_trace(
+            0.05, interval_hours=0.1, warmup_hours=0.0, cooldown_hours=0.1
+        )
+        sim.assign_trace(trace, start, end)
+        sim.run()
+        spans = [s for s in assemble_spans(tracer.events()) if s.phases]
+        assert spans, "expected at least one decomposed span"
+        for span in spans:
+            assert sum(span.phases.values()) == pytest.approx(span.duration)
+            assert all(v >= 0 for v in span.phases.values())
+
+
+# --------------------------------------------------------------------- #
+# Prometheus golden test
+# --------------------------------------------------------------------- #
+
+
+GOLDEN_PROM = """\
+# HELP t_bytes_total Bytes served
+# TYPE t_bytes_total counter
+t_bytes_total 4096
+# HELP t_queue_depth Current queue depth
+# TYPE t_queue_depth gauge
+t_queue_depth 2.5
+# HELP t_wait_seconds Request wait time
+# TYPE t_wait_seconds histogram
+t_wait_seconds_bucket{le="1"} 1
+t_wait_seconds_bucket{le="10"} 3
+t_wait_seconds_bucket{le="+Inf"} 4
+t_wait_seconds_sum 127.5
+t_wait_seconds_count 4
+"""
+
+
+class TestMetricsExport:
+    def _registry(self):
+        registry = MetricsRegistry(prefix="t_")
+        registry.counter("bytes_total", "Bytes served", unit="bytes").inc(4096)
+        registry.gauge("queue_depth", "Current queue depth").set(2.5)
+        hist = registry.histogram(
+            "wait_seconds", "Request wait time", unit="seconds", buckets=(1.0, 10.0)
+        )
+        for value in (0.5, 2.0, 5.0, 120.0):
+            hist.observe(value)
+        return registry
+
+    def test_prometheus_golden(self):
+        assert self._registry().to_prometheus() == GOLDEN_PROM
+
+    def test_json_export_stable_keys(self):
+        payload = json.loads(self._registry().to_json())
+        assert list(payload) == sorted(payload)
+        assert payload["t_bytes_total"]["value"] == 4096
+        assert payload["t_wait_seconds"]["buckets"]["+Inf"] == 4
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+# --------------------------------------------------------------------- #
+# Registry-backed simulation counters
+# --------------------------------------------------------------------- #
+
+
+class TestSimulationRegistry:
+    def _run(self, **config):
+        from repro.workload import WorkloadGenerator
+
+        sim = LibrarySimulation(
+            SimConfig(num_shuttles=4, num_drives=4, num_platters=100, seed=5,
+                      **config)
+        )
+        generator = WorkloadGenerator(seed=5)
+        trace, start, end = generator.interval_trace(
+            0.05, interval_hours=0.1, warmup_hours=0.0, cooldown_hours=0.1
+        )
+        sim.assign_trace(trace, start, end)
+        sim.run()
+        return sim
+
+    def test_legacy_views_match_registry(self):
+        sim = self._run(transient_read_error_prob=0.2)
+        assert sim.bytes_read == sim.metrics.value("bytes_read_total")
+        assert sim.reread_retries == sim.metrics.value("reread_retries_total")
+        assert sim.deep_decodes == sim.metrics.value("deep_decodes_total")
+        assert sim.bytes_read > 0
+
+    def test_report_gauges_snapshot(self):
+        sim = self._run()
+        report = sim.report()
+        assert sim.metrics.value("requests_completed") == report.requests_completed
+        assert sim.metrics.value("simulated_seconds") == pytest.approx(
+            report.simulated_seconds
+        )
+
+    def test_travel_histogram_populated(self):
+        sim = self._run()
+        hist = sim.metrics.histogram("shuttle_travel_seconds")
+        assert hist.count == len(sim._travel_times)
+
+
+# --------------------------------------------------------------------- #
+# Wall-clock profiler
+# --------------------------------------------------------------------- #
+
+
+class TestProfiler:
+    def test_profiler_accounts_labels(self):
+        from repro.core.events import Simulation
+
+        sim = Simulation()
+        profiler = WallClockProfiler()
+        profiler.install(sim)
+        sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(2.0, lambda: None, label="a")
+        sim.schedule(3.0, lambda: None, label="b")
+        sim.run()
+        assert profiler.total_events == 3
+        labels = {label for label, _, _ in profiler.hotspots()}
+        assert labels == {"a", "b"}
+        assert "wall-clock hot spots" in profiler.format()

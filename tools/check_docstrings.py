@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for CI.
+
+Walks a source tree and counts docstrings on modules, classes, and
+public functions/methods (names not starting with ``_``, plus ``__init__``
+files at module level). Fails (exit 1) when coverage drops below the
+threshold, listing every undocumented definition so the offender is
+obvious from the CI log.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro --fail-under 95
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def _iter_defs(
+    tree: ast.Module, path: str
+) -> Iterator[Tuple[str, str, bool]]:
+    """Yield (kind, qualified-name, has-docstring) for the module, every
+    class, and every public function/method in ``tree``."""
+    module = os.path.relpath(path)
+    yield "module", module, ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                name = f"{prefix}{child.name}"
+                yield "class", f"{module}:{name}", ast.get_docstring(child) is not None
+                yield from walk(child, f"{name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name.startswith("_") and child.name != "__init__":
+                    continue
+                if child.name == "__init__":
+                    # Constructors inherit the class docstring's contract.
+                    continue
+                name = f"{prefix}{child.name}"
+                yield (
+                    "function",
+                    f"{module}:{name}",
+                    ast.get_docstring(child) is not None,
+                )
+
+    yield from walk(tree, "")
+
+
+def scan(root: str) -> List[Tuple[str, str, bool]]:
+    rows: List[Tuple[str, str, bool]] = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            rows.extend(_iter_defs(tree, path))
+    return rows
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default="src/repro")
+    parser.add_argument("--fail-under", type=float, default=95.0,
+                        help="minimum coverage percent (default 95)")
+    parser.add_argument("--kinds", default="module,class,function",
+                        help="comma-separated kinds to count "
+                             "(module, class, function)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every undocumented definition")
+    args = parser.parse_args(argv)
+
+    kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
+    rows = [row for row in scan(args.root) if row[0] in kinds]
+    if not rows:
+        print(f"no python files under {args.root}")
+        return 1
+    documented = sum(1 for _, _, ok in rows if ok)
+    coverage = documented / len(rows) * 100.0
+    missing = [(kind, name) for kind, name, ok in rows if not ok]
+    print(
+        f"docstring coverage: {documented}/{len(rows)} = {coverage:.1f}% "
+        f"(threshold {args.fail_under:.1f}%)"
+    )
+    if missing and (args.verbose or coverage < args.fail_under):
+        print(f"undocumented ({len(missing)}):")
+        for kind, name in missing:
+            print(f"  {kind:<8s} {name}")
+    if coverage < args.fail_under:
+        print("FAIL: docstring coverage below threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

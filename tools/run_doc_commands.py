@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Smoke-run every ``python -m repro ...`` command quoted in the docs.
+
+Extracts command lines from fenced code blocks in the given markdown files
+and executes each one, so README/EXPERIMENTS can never drift from the CLI.
+Only lines starting with ``python -m repro`` (optionally prefixed by ``$``
+or environment assignments like ``REPRO_SCALE=full``) are run; environment
+prefixes and placeholder lines (containing ``<``) are skipped, and
+``REPRO_SCALE=full`` lines are run at default scale — CI smoke-tests the
+command surface, not the paper-scale numbers.
+
+Usage::
+
+    python tools/run_doc_commands.py README.md EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from typing import List, Tuple
+
+COMMAND_RE = re.compile(r"^\$?\s*((?:[A-Z_][A-Z0-9_]*=\S+\s+)*)(python -m repro\b.*)$")
+
+
+def extract_commands(path: str) -> List[str]:
+    """Commands from fenced blocks of one markdown file, in order."""
+    commands: List[str] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith("```"):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                continue
+            match = COMMAND_RE.match(stripped)
+            if not match:
+                continue
+            command = match.group(2)
+            if "<" in command:
+                continue  # placeholder, e.g. `--out <dir>`
+            commands.append(command)
+    return commands
+
+
+def main(argv: List[str] = None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or [
+        "README.md",
+        "EXPERIMENTS.md",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    results: List[Tuple[str, str, int]] = []
+    for path in paths:
+        for command in extract_commands(path):
+            print(f"[{path}] $ {command}", flush=True)
+            proc = subprocess.run(
+                shlex.split(command),
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            results.append((path, command, proc.returncode))
+            if proc.returncode != 0:
+                print(proc.stdout)
+                print(f"FAILED (exit {proc.returncode})")
+    failed = [r for r in results if r[2] != 0]
+    print(f"\nran {len(results)} documented command(s), {len(failed)} failed")
+    for path, command, code in failed:
+        print(f"  [{path}] exit {code}: {command}")
+    if not results:
+        print("no commands found — check the extraction regex against the docs")
+        return 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
