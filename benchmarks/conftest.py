@@ -5,76 +5,40 @@ evaluation (Section 7), printing the same rows/series the paper reports.
 Simulation scale is reduced by default so the whole suite completes in
 minutes; set ``REPRO_SCALE=full`` for paper-scale runs (12-hour measured
 intervals at full request rates).
+
+The workload definitions themselves live in :mod:`repro.bench.scenarios`
+— the same module the continuous-bench registry (``python -m repro
+bench``) runs — so the pytest suite and the perf trajectory can never
+measure different things. This file only adapts them to pytest.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 
 import pytest
 
-from repro.core.simulation import LibrarySimulation, SimConfig
-from repro.workload.generator import WorkloadGenerator
-from repro.workload.profiles import IOPS, TYPICAL, VOLUME, WorkloadProfile
+from repro.bench.scenarios import (  # noqa: F401  (re-exported for benchmarks)
+    BenchScale,
+    build_library_sim,
+    scale_for,
+)
+from repro.workload.profiles import WorkloadProfile  # noqa: F401
 
 
 FULL_SCALE = os.environ.get("REPRO_SCALE", "small") == "full"
 
-
-@dataclass(frozen=True)
-class BenchScale:
-    """Scaling knobs for the simulated evaluation."""
-
-    interval_hours: float
-    warmup_hours: float
-    cooldown_hours: float
-    rate_factor: float  # multiplies each profile's request rate
-    num_platters: int
-
-    def trace_for(self, profile: WorkloadProfile, seed: int = 0, stream: int = 30):
-        generator = WorkloadGenerator(seed=seed)
-        return generator.interval_trace(
-            profile.mean_rate_per_second * self.rate_factor,
-            interval_hours=self.interval_hours,
-            warmup_hours=self.warmup_hours,
-            cooldown_hours=self.cooldown_hours,
-            size_model=profile.size_model,
-            burstiness=profile.burstiness,
-            stream=stream,
-        )
-
-
-SCALE = (
-    BenchScale(
-        interval_hours=12.0,
-        warmup_hours=2.0,
-        cooldown_hours=2.0,
-        rate_factor=1.0,
-        num_platters=3000,
-    )
-    if FULL_SCALE
-    else BenchScale(
-        interval_hours=1.5,
-        warmup_hours=0.25,
-        cooldown_hours=0.25,
-        rate_factor=0.7,
-        num_platters=1200,
-    )
-)
+SCALE = scale_for(FULL_SCALE)
 
 
 def run_library(
-    profile: WorkloadProfile,
+    profile,
     seed: int = 0,
     skew=None,
     **config_kwargs,
 ):
     """One simulator run of a profile at the configured scale."""
-    trace, start, end = SCALE.trace_for(profile, seed=seed, stream=30 + seed)
-    config_kwargs.setdefault("num_platters", SCALE.num_platters)
-    sim = LibrarySimulation(SimConfig(seed=seed, **config_kwargs))
-    sim.assign_trace(trace, start, end, skew=skew)
+    sim = build_library_sim(profile, scale=SCALE, seed=seed, skew=skew, **config_kwargs)
     return sim.run()
 
 

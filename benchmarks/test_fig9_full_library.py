@@ -6,49 +6,34 @@ read rate of the simulated early deployment is 0.3 reads/s; projecting
 deletions and cool-down 9 age-folds out gives ~1.6 reads/s, which 60 MB/s
 drives serve with a tail around 8 hours; higher-throughput drives (or more
 read racks) buy headroom for harder futures.
+
+The workload builder and the perf-capture helpers are shared with the
+continuous-bench ``fig9_full_library`` scenario (``repro.bench``), so
+"events/sec" and "peak memory" mean the same thing here as in the
+committed BENCH baselines (this single-shot capture traces memory inline,
+so its wall figure carries tracemalloc overhead the bench runner's clean
+timed repetitions avoid).
 """
 
-import pytest
-
+from repro.bench import PerfCapture
+from repro.bench.scenarios import (
+    FIG9_RATE_READS_PER_SEC,
+    build_full_library_sim,
+)
 from repro.core.metrics import SLO_SECONDS
-from repro.core.simulation import LibrarySimulation, SimConfig
-from repro.library.layout import LibraryConfig
-from repro.workload.generator import WorkloadGenerator
 
 from conftest import FULL_SCALE, hours, print_series
 
 
-# The paper derives 1.6 reads/s from 0.3 reads/s early-deployment mean with
-# 5% deletion and 10% cool-down over 9 age-folds; repro.workload.lifecycle
-# reproduces that arithmetic (LifecycleModel().projected_rate(9) ~ 1.64).
-RATE_READS_PER_SEC = 1.6
-FILE_BYTES = 100_000_000
 THROUGHPUTS = (30, 60, 120)
 WINDOW_HOURS = 6.0 if FULL_SCALE else 1.5
 
 
 def _run_full_library(mbps, seed=12):
-    library = LibraryConfig()
-    capacity = library.storage_capacity
-    generator = WorkloadGenerator(seed=seed)
-    trace, start, end = generator.interval_trace(
-        RATE_READS_PER_SEC,
-        interval_hours=WINDOW_HOURS,
-        warmup_hours=0.5,
-        cooldown_hours=0.5,
-        fixed_size=FILE_BYTES,
-        stream=60,
-    )
-    sim = LibrarySimulation(
-        SimConfig(
-            drive_throughput_mbps=float(mbps),
-            num_platters=capacity,  # fully populated
-            seed=seed,
-            library=library,
-        )
-    )
-    sim.assign_trace(trace, start, end)
-    return sim.run()
+    sim = build_full_library_sim(mbps, WINDOW_HOURS, seed=seed)
+    with PerfCapture(sim.sim) as capture:
+        report = sim.run()
+    return report, capture.sample
 
 
 def test_fig9_full_library(once):
@@ -57,19 +42,29 @@ def test_fig9_full_library(once):
 
     results = once(experiment)
     rows = []
-    for mbps, report in results.items():
+    for mbps, (report, _) in results.items():
         rows.append(
             f"{mbps:3d} MB/s drives: tail {hours(report.completions.tail):6.2f} h   "
             f"median {report.completions.median / 60:5.1f} min   "
             f"({report.completions.count} requests)"
         )
+    for mbps, (_, perf) in results.items():
+        rows.append(
+            f"{mbps:3d} MB/s drives: {perf.wall_seconds:5.2f} s wall   "
+            f"{perf.events_per_second:10,.0f} events/s   "
+            f"peak {perf.peak_memory_bytes / 1e6:6.1f} MB"
+        )
     rows.append(
-        f"future-projected rate {RATE_READS_PER_SEC} reads/s over a full "
+        f"future-projected rate {FIG9_RATE_READS_PER_SEC} reads/s over a full "
         f"library of ~100 MB files (paper: ~8 h tail at 60 MB/s)"
     )
     print_series("Figure 9: full library", "per-drive throughput", rows)
+    reports = {mbps: report for mbps, (report, _) in results.items()}
     # 60 MB/s drives keep the future full-library workload within SLO.
-    assert results[60].completions.tail < SLO_SECONDS
+    assert reports[60].completions.tail < SLO_SECONDS
     # Higher throughput helps monotonically for this 100 MB-file workload.
-    assert results[30].completions.tail >= results[60].completions.tail
-    assert results[60].completions.tail >= results[120].completions.tail * 0.8
+    assert reports[30].completions.tail >= reports[60].completions.tail
+    assert reports[60].completions.tail >= reports[120].completions.tail * 0.8
+    # The capture helpers saw the event loop run.
+    for _, perf in results.values():
+        assert perf.events_processed > 0 and perf.events_per_second > 0

@@ -1,0 +1,95 @@
+"""Continuous benchmarking: scenario registry, runner, regression gate.
+
+The repo's north star is "as fast as the hardware allows" — this package
+is how we know whether a PR moved toward or away from it. It turns the
+one-off scripts under ``benchmarks/`` into a *performance trajectory*:
+
+- :mod:`~repro.bench.registry` — named, seeded, suite-tagged scenarios
+  (``fast`` runs on every PR, ``full`` at paper scale);
+- :mod:`~repro.bench.scenarios` — the scenario definitions themselves,
+  shared with ``benchmarks/conftest.py`` so pytest benchmarks and the
+  continuous suite measure identical workloads;
+- :mod:`~repro.bench.capture` — the shared wall-clock / peak-memory /
+  event-loop-throughput capture helpers;
+- :mod:`~repro.bench.runner` — warmup + N repetitions per scenario,
+  median/MAD aggregation, git-SHA + machine provenance, schema-versioned
+  ``BENCH_<scenario>.json`` artifacts;
+- :mod:`~repro.bench.compare` — noise-aware diffing against the committed
+  baselines in ``benchmarks/baselines/``: wall-clock shifts must beat a
+  MAD/relative threshold, while simulated-time metrics must match a
+  same-seed baseline *exactly* (drift is a correctness regression).
+
+CLI: ``python -m repro bench {list,run,compare,update-baseline}``.
+
+Units: wall durations are seconds, memory raw bytes, throughput events
+per wall-clock second; ``simulated_metrics`` values are simulated time.
+"""
+
+from .capture import PerfCapture, PerfSample
+from .compare import (
+    ComparisonReport,
+    MetricComparison,
+    ScenarioComparison,
+    Tolerance,
+    compare_dirs,
+    compare_scenario,
+    load_artifact,
+    load_artifact_dir,
+)
+from .registry import (
+    SUITES,
+    BenchError,
+    Scenario,
+    ScenarioRegistry,
+    ScenarioRun,
+)
+from .runner import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    BenchRunner,
+    git_sha,
+    machine_fingerprint,
+)
+from .scenarios import (
+    BENCH_SCALE,
+    FULL_SCALE,
+    SMALL_SCALE,
+    BenchScale,
+    build_full_library_sim,
+    build_library_sim,
+    default_registry,
+    headline_metrics,
+    scale_for,
+)
+
+__all__ = [
+    "PerfCapture",
+    "PerfSample",
+    "ComparisonReport",
+    "MetricComparison",
+    "ScenarioComparison",
+    "Tolerance",
+    "compare_dirs",
+    "compare_scenario",
+    "load_artifact",
+    "load_artifact_dir",
+    "SUITES",
+    "BenchError",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioRun",
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "BenchRunner",
+    "git_sha",
+    "machine_fingerprint",
+    "BENCH_SCALE",
+    "FULL_SCALE",
+    "SMALL_SCALE",
+    "BenchScale",
+    "build_full_library_sim",
+    "build_library_sim",
+    "default_registry",
+    "headline_metrics",
+    "scale_for",
+]

@@ -1,0 +1,114 @@
+"""Wall-clock / memory / event-loop capture shared by every perf consumer.
+
+:class:`PerfCapture` is the one way this repo measures how expensive a run
+was in *real* resources: wrap the run in the context manager and read the
+:class:`PerfSample` afterwards. The bench runner, ``chaos --json`` and the
+fig9 benchmark all use it, so "events/sec" and "peak memory" mean the same
+thing everywhere.
+
+Captured per sample:
+
+``wall_seconds``
+    ``time.perf_counter`` duration of the ``with`` block;
+``peak_memory_bytes``
+    peak traced allocation inside the block (``tracemalloc``; if tracing
+    was already active the surrounding trace is left running) — ``None``
+    when ``trace_memory=False``;
+``events_processed`` / ``events_per_second``
+    events fired by the attached :class:`repro.core.events.Simulation`
+    during the block and their rate over the block's wall time — ``None``
+    when no engine is attached (pure-numpy scenarios).
+
+Allocation tracking is *expensive* (tracemalloc can slow allocation-heavy
+code several-fold), so wall time and peak memory cannot be measured
+honestly in the same pass. The bench runner therefore times its
+repetitions with ``trace_memory=False`` and takes peak memory from one
+separate instrumented pass; one-shot consumers (``chaos --json``, the
+fig9 benchmark) keep the default single combined capture and accept the
+overhead in their informational wall figure.
+
+Units: seconds (wall clock) and raw bytes.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One captured measurement of a run's real-resource cost."""
+
+    wall_seconds: float
+    peak_memory_bytes: Optional[int]
+    events_processed: Optional[int] = None
+    events_per_second: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot (``None`` kept for non-simulator runs)."""
+        return {
+            "events_per_second": self.events_per_second,
+            "events_processed": self.events_processed,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class PerfCapture:
+    """Context manager measuring wall time, peak memory, loop throughput.
+
+    Usage::
+
+        with PerfCapture(simulation=sim.sim) as capture:
+            sim.run()
+        print(capture.sample.as_dict())
+
+    ``simulation`` (optional) is the event engine whose
+    ``events_processed`` counter is diffed across the block;
+    ``trace_memory=False`` skips allocation tracking for an undistorted
+    wall-clock measurement (``peak_memory_bytes`` is then ``None``).
+    """
+
+    def __init__(
+        self, simulation: Optional[Any] = None, trace_memory: bool = True
+    ) -> None:
+        self.simulation = simulation
+        self.trace_memory = trace_memory
+        self.sample: Optional[PerfSample] = None
+        self._started_tracing = False
+        self._events_before = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "PerfCapture":
+        if self.trace_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracing = True
+            else:
+                tracemalloc.reset_peak()
+        if self.simulation is not None:
+            self._events_before = self.simulation.events_processed
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = perf_counter() - self._t0
+        peak: Optional[int] = None
+        if self.trace_memory:
+            peak = int(tracemalloc.get_traced_memory()[1])
+            if self._started_tracing:
+                tracemalloc.stop()
+        events: Optional[int] = None
+        rate: Optional[float] = None
+        if self.simulation is not None:
+            events = self.simulation.events_processed - self._events_before
+            rate = events / wall if wall > 0 else 0.0
+        self.sample = PerfSample(
+            wall_seconds=wall,
+            peak_memory_bytes=peak,
+            events_processed=events,
+            events_per_second=rate,
+        )

@@ -1,0 +1,293 @@
+"""Noise-aware regression detection between bench artifacts.
+
+The comparator answers one question per metric: *is the candidate's shift
+beyond what run-to-run noise explains?* Wall-clock metrics are judged by a
+median-shift test — the shift must exceed
+``max(mad_factor * max(MADs), rel_tolerance * baseline, abs_floor)``
+before it counts, and direction decides regression vs improvement
+(wall time and peak memory: up is bad; events/sec: down is bad).
+
+Simulated-time metrics are different in kind: the simulator is
+deterministic, so for a same-seed comparison they must match **exactly**.
+Any difference is a :data:`DRIFT` verdict — a behaviour change (perhaps an
+intended one, in which case the baseline is updated deliberately), never
+noise. When seeds differ the simulated comparison is skipped.
+
+Exit-code policy lives in :meth:`ComparisonReport.exit_code`: drift and
+simulated-metric trouble always fail; wall-clock regressions fail unless
+``wall_warn_only`` (the CI perf job's mode — baselines are measured on
+different machines than CI runners).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import BenchError
+from .runner import BENCH_SCHEMA_VERSION
+
+# Verdicts, roughly worst-first.
+DRIFT = "drift"  # simulated metric changed under the same seed
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+WITHIN_NOISE = "within-noise"
+MATCH = "match"  # simulated metric identical
+SKIPPED = "skipped"  # seeds differ / metric absent on one side
+
+#: perf metric -> True when a higher value is better.
+PERF_METRICS: Dict[str, bool] = {
+    "wall_seconds": False,
+    "peak_memory_bytes": False,
+    "events_per_second": True,
+}
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Noise thresholds for the wall-clock metrics."""
+
+    rel: float = 0.10  # fraction of the baseline median
+    mad_factor: float = 4.0  # multiples of the larger MAD
+    abs_floor: float = 0.005  # absolute floor (seconds / fraction-scale)
+
+    def threshold(self, baseline_median: float, mads: Tuple[float, float]) -> float:
+        """The shift a metric must exceed before it counts as real."""
+        return max(
+            self.mad_factor * max(mads),
+            self.rel * abs(baseline_median),
+            self.abs_floor,
+        )
+
+
+@dataclass
+class MetricComparison:
+    """One metric's verdict with the numbers behind it."""
+
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    verdict: str
+    threshold: float = 0.0
+
+    @property
+    def delta(self) -> float:
+        if self.baseline is None or self.candidate is None:
+            return 0.0
+        return self.candidate - self.baseline
+
+    @property
+    def delta_percent(self) -> float:
+        if not self.baseline:
+            return 0.0
+        return self.delta / abs(self.baseline) * 100.0
+
+    def row(self) -> str:
+        base = "-" if self.baseline is None else f"{self.baseline:12.6g}"
+        cand = "-" if self.candidate is None else f"{self.candidate:12.6g}"
+        delta = (
+            f"{self.delta:+12.6g} ({self.delta_percent:+6.1f}%)"
+            if self.baseline is not None and self.candidate is not None
+            else " " * 22
+        )
+        return f"    {self.metric:<28s} {base} -> {cand} {delta}  {self.verdict}"
+
+
+@dataclass
+class ScenarioComparison:
+    """All metric verdicts for one scenario."""
+
+    scenario: str
+    seed_matched: bool
+    comparisons: List[MetricComparison] = field(default_factory=list)
+
+    def worst(self) -> str:
+        order = [DRIFT, REGRESSION, IMPROVEMENT, WITHIN_NOISE, MATCH, SKIPPED]
+        verdicts = {c.verdict for c in self.comparisons}
+        for verdict in order:
+            if verdict in verdicts:
+                return verdict
+        return SKIPPED
+
+    def has(self, verdict: str) -> bool:
+        return any(c.verdict == verdict for c in self.comparisons)
+
+    def wall_only_regressions(self) -> bool:
+        """True when every regression is a wall-clock (machine-bound) one."""
+        return all(
+            c.metric in PERF_METRICS
+            for c in self.comparisons
+            if c.verdict == REGRESSION
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """The full baseline-vs-candidate comparison across scenarios."""
+
+    scenarios: List[ScenarioComparison] = field(default_factory=list)
+    missing_in_candidate: List[str] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+
+    def exit_code(self, wall_warn_only: bool = False) -> int:
+        """0 = clean. Drift always fails; wall regressions obey the flag."""
+        if self.missing_in_candidate:
+            return 1
+        for scenario in self.scenarios:
+            if scenario.has(DRIFT):
+                return 1
+            if scenario.has(REGRESSION):
+                if not (wall_warn_only and scenario.wall_only_regressions()):
+                    return 1
+        return 0
+
+    def format(self, verbose: bool = False) -> str:
+        """Human table: per-scenario verdicts, flagged metrics, totals."""
+        lines: List[str] = []
+        counts: Dict[str, int] = {}
+        for scenario in self.scenarios:
+            worst = scenario.worst()
+            counts[worst] = counts.get(worst, 0) + 1
+            marker = {
+                DRIFT: "!!",
+                REGRESSION: "--",
+                IMPROVEMENT: "++",
+            }.get(worst, "ok")
+            lines.append(f"  [{marker}] {scenario.scenario:<26s} {worst}")
+            for comparison in scenario.comparisons:
+                interesting = comparison.verdict in (DRIFT, REGRESSION, IMPROVEMENT)
+                if verbose or interesting:
+                    lines.append(comparison.row())
+        for name in self.missing_in_candidate:
+            lines.append(f"  [!!] {name:<26s} missing from candidate run")
+        for name in self.missing_in_baseline:
+            lines.append(f"  [??] {name:<26s} no baseline yet (new scenario)")
+        totals = ", ".join(f"{v}={counts[v]}" for v in sorted(counts))
+        lines.append(
+            f"compared {len(self.scenarios)} scenario(s): {totals or 'none'}"
+        )
+        return "\n".join(lines)
+
+
+def _stat_median(doc: Dict[str, Any], metric: str) -> Tuple[Optional[float], float]:
+    entry = doc.get(metric)
+    if not isinstance(entry, dict):
+        return None, 0.0
+    return entry.get("median"), float(entry.get("mad", 0.0))
+
+
+def compare_scenario(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: Tolerance = Tolerance(),
+) -> ScenarioComparison:
+    """Compare two BENCH documents for the same scenario."""
+    for doc, side in ((baseline, "baseline"), (candidate, "candidate")):
+        if doc.get("schema") != BENCH_SCHEMA_VERSION:
+            raise BenchError(
+                f"{side} artifact for {doc.get('scenario')!r} has schema "
+                f"{doc.get('schema')!r}, expected {BENCH_SCHEMA_VERSION!r}"
+            )
+    seed_matched = baseline.get("seed") == candidate.get("seed")
+    result = ScenarioComparison(
+        scenario=str(candidate.get("scenario")), seed_matched=seed_matched
+    )
+
+    # Wall-clock class: noise-aware median-shift test.
+    for metric, higher_is_better in sorted(PERF_METRICS.items()):
+        base_median, base_mad = _stat_median(baseline, metric)
+        cand_median, cand_mad = _stat_median(candidate, metric)
+        if base_median is None or cand_median is None:
+            result.comparisons.append(
+                MetricComparison(metric, base_median, cand_median, SKIPPED)
+            )
+            continue
+        threshold = tolerance.threshold(base_median, (base_mad, cand_mad))
+        shift = cand_median - base_median
+        if abs(shift) <= threshold:
+            verdict = WITHIN_NOISE
+        elif (shift > 0) == higher_is_better:
+            verdict = IMPROVEMENT
+        else:
+            verdict = REGRESSION
+        result.comparisons.append(
+            MetricComparison(metric, base_median, cand_median, verdict, threshold)
+        )
+
+    # Simulated-time class: exact match required under the same seed.
+    base_sim = baseline.get("simulated_metrics") or {}
+    cand_sim = candidate.get("simulated_metrics") or {}
+    for name in sorted(set(base_sim) | set(cand_sim)):
+        base_value = base_sim.get(name)
+        cand_value = cand_sim.get(name)
+        full_name = f"sim:{name}"
+        if not seed_matched or base_value is None or cand_value is None:
+            result.comparisons.append(
+                MetricComparison(full_name, base_value, cand_value, SKIPPED)
+            )
+        elif base_value == cand_value:
+            result.comparisons.append(
+                MetricComparison(full_name, base_value, cand_value, MATCH)
+            )
+        else:
+            result.comparisons.append(
+                MetricComparison(full_name, base_value, cand_value, DRIFT)
+            )
+    return result
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and sanity-check one BENCH_*.json document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "scenario" not in doc:
+        raise BenchError(f"{path} is not a bench artifact (no 'scenario' key)")
+    return doc
+
+
+def load_artifact_dir(directory: str) -> Dict[str, Dict[str, Any]]:
+    """scenario name -> document for every ``BENCH_*.json`` in a directory."""
+    if not os.path.isdir(directory):
+        raise BenchError(f"no such artifact directory: {directory}")
+    docs: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        doc = load_artifact(path)
+        docs[str(doc["scenario"])] = doc
+    if not docs:
+        raise BenchError(f"no BENCH_*.json artifacts found in {directory}")
+    return docs
+
+
+def compare_dirs(
+    baseline_dir: str,
+    candidate_dir: str,
+    tolerance: Tolerance = Tolerance(),
+    names: Optional[List[str]] = None,
+) -> ComparisonReport:
+    """Compare every candidate artifact against its committed baseline.
+
+    ``names`` restricts the comparison to those scenarios (a name missing
+    from *both* sides is an error — likely a typo).
+    """
+    baselines = load_artifact_dir(baseline_dir)
+    candidates = load_artifact_dir(candidate_dir)
+    if names is not None:
+        unknown = [n for n in names if n not in baselines and n not in candidates]
+        if unknown:
+            raise BenchError(f"scenario(s) not found on either side: {unknown}")
+        baselines = {n: d for n, d in baselines.items() if n in names}
+        candidates = {n: d for n, d in candidates.items() if n in names}
+    report = ComparisonReport()
+    for name in sorted(set(baselines) | set(candidates)):
+        if name not in candidates:
+            report.missing_in_candidate.append(name)
+        elif name not in baselines:
+            report.missing_in_baseline.append(name)
+        else:
+            report.scenarios.append(
+                compare_scenario(baselines[name], candidates[name], tolerance)
+            )
+    return report

@@ -1,0 +1,125 @@
+"""Benchmark scenario registry: named, seeded, suite-tagged workloads.
+
+A :class:`Scenario` is the unit of continuous benchmarking: a name, a
+suite tag (``fast`` scenarios run on every PR, ``full`` at paper scale),
+an explicit seed, warmup/repetition counts, and a zero-argument ``build``
+callable producing a fresh :class:`ScenarioRun` per repetition. Keeping
+``build`` cheap and the work inside :meth:`ScenarioRun.execute` is what
+makes wall-clock numbers honest — setup cost is excluded.
+
+The registry is just a name -> scenario map with duplicate protection;
+:func:`repro.bench.scenarios.default_registry` populates it with the
+scenarios wrapping the ``benchmarks/`` figures and tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+#: The suites a scenario may belong to.
+SUITES = ("fast", "full")
+
+
+class BenchError(RuntimeError):
+    """Raised on invalid bench usage (unknown scenario, empty baseline...)."""
+
+
+@dataclass
+class ScenarioRun:
+    """One prepared repetition of a scenario.
+
+    ``execute`` performs the measured work and returns the scenario's
+    headline *simulated-time* metrics (a flat name -> number mapping that
+    must be bit-identical across repetitions of the same seed).
+    ``simulation`` optionally exposes the underlying event engine so the
+    runner can attach a profiler and count events; it is ``None`` for
+    scenarios that do not use the discrete-event simulator.
+    """
+
+    execute: Callable[[], Dict[str, float]]
+    simulation: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible benchmark workload."""
+
+    name: str
+    description: str
+    suite: str
+    seed: int
+    build: Callable[[], ScenarioRun]
+    repetitions: int = 3
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.suite not in SUITES:
+            raise BenchError(
+                f"scenario {self.name!r}: suite must be one of {SUITES}, got {self.suite!r}"
+            )
+        if self.repetitions < 1:
+            raise BenchError(f"scenario {self.name!r}: repetitions must be >= 1")
+        if self.warmup < 0:
+            raise BenchError(f"scenario {self.name!r}: warmup must be >= 0")
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario` map with duplicate and lookup guards."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self._scenarios:
+            raise BenchError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def add(
+        self,
+        name: str,
+        description: str,
+        suite: str,
+        seed: int,
+        build: Callable[[], ScenarioRun],
+        repetitions: int = 3,
+        warmup: int = 1,
+    ) -> Scenario:
+        """Convenience constructor-and-register in one call."""
+        return self.register(
+            Scenario(name, description, suite, seed, build, repetitions, warmup)
+        )
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none)"
+            raise BenchError(
+                f"unknown scenario {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def by_suite(self, suite: str) -> List[Scenario]:
+        """Scenarios of one suite, name-sorted for stable run order."""
+        if suite not in SUITES:
+            raise BenchError(f"unknown suite {suite!r}; suites: {SUITES}")
+        return [
+            self._scenarios[name]
+            for name in self.names()
+            if self._scenarios[name].suite == suite
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        for name in self.names():
+            yield self._scenarios[name]

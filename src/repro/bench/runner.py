@@ -1,0 +1,226 @@
+"""Benchmark runner: execute scenarios, aggregate, stamp provenance.
+
+For each scenario the runner performs ``warmup`` unmeasured executions,
+then ``repetitions`` *clean* timed ones (no allocation tracking, no
+observer hooks — wall time and events/sec measure the scenario, not the
+instrumentation), then one *instrumented* pass with ``tracemalloc`` and a
+:class:`~repro.observability.profiler.WallClockProfiler` attached, which
+contributes peak memory and the top-K hot spots. Timing aggregation is
+median + MAD (median absolute deviation) — the robust pair the comparator's
+noise model is built on — with raw samples kept in the artifact so a
+future reader can re-derive anything.
+
+Simulated-time metrics are required to be bit-identical across
+repetitions (same process, same seed); a mismatch raises
+:class:`~repro.bench.registry.BenchError` because it means the scenario is
+not actually deterministic and could never be baselined.
+
+The artifact schema (``BENCH_SCHEMA_VERSION``) is the cross-run contract:
+bump it on any breaking key change, and keep
+:meth:`BenchResult.as_dict` stable-keyed so artifacts diff cleanly.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..observability.profiler import WallClockProfiler
+from .capture import PerfCapture, PerfSample
+from .registry import BenchError, Scenario, ScenarioRegistry
+
+#: Version stamp of the BENCH_*.json artifact schema.
+BENCH_SCHEMA_VERSION = "repro.bench/1"
+
+#: Hot-spot rows recorded per artifact.
+DEFAULT_TOP_HOTSPOTS = 8
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Where a result was measured (wall-clock numbers are machine-bound)."""
+    import os
+
+    return {
+        "cpu_count": os.cpu_count() or 0,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def git_sha(short: bool = True) -> str:
+    """The repo's current commit, or ``"unknown"`` outside a checkout."""
+    args = ["git", "rev-parse", "--short" if short else "HEAD"]
+    if short:
+        args.append("HEAD")
+    try:
+        out = subprocess.run(
+            args, capture_output=True, text=True, timeout=10, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def median(values: List[float]) -> float:
+    """Median without numpy (keeps artifacts reproducible to read)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: List[float]) -> float:
+    """Median absolute deviation — the runner's robust noise estimate."""
+    if len(values) < 2:
+        return 0.0
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def _stat(samples: List[float]) -> Dict[str, Any]:
+    return {"mad": mad(samples), "median": median(samples), "samples": samples}
+
+
+@dataclass
+class BenchResult:
+    """One scenario's aggregated measurement, ready to serialize."""
+
+    scenario: str
+    description: str
+    suite: str
+    seed: int
+    repetitions: int
+    warmup: int
+    sha: str
+    machine: Dict[str, Any]
+    wall_seconds: List[float] = field(default_factory=list)
+    peak_memory_bytes: List[float] = field(default_factory=list)
+    events_per_second: List[float] = field(default_factory=list)
+    events_processed: Optional[int] = None
+    simulated_metrics: Dict[str, float] = field(default_factory=dict)
+    hotspots: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed artifact payload (the BENCH_*.json contract)."""
+        payload: Dict[str, Any] = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "description": self.description,
+            "suite": self.suite,
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+            "warmup": self.warmup,
+            "git_sha": self.sha,
+            "machine": self.machine,
+            "events_processed": self.events_processed,
+            "hotspots": self.hotspots,
+            "simulated_metrics": dict(sorted(self.simulated_metrics.items())),
+            "wall_seconds": _stat(self.wall_seconds),
+            "peak_memory_bytes": _stat(self.peak_memory_bytes),
+        }
+        payload["events_per_second"] = (
+            _stat(self.events_per_second) if self.events_per_second else None
+        )
+        return payload
+
+    def summary(self) -> str:
+        """One human line: the numbers a PR author scans first."""
+        wall = median(self.wall_seconds)
+        mem = median(self.peak_memory_bytes) / 1e6
+        parts = [
+            f"{self.scenario:<26s} wall {wall:7.3f}s ±{mad(self.wall_seconds):.3f}",
+            f"peak {mem:7.1f} MB",
+        ]
+        if self.events_per_second:
+            parts.append(f"{median(self.events_per_second):>10,.0f} ev/s")
+        return "  ".join(parts)
+
+
+class BenchRunner:
+    """Runs registry scenarios and produces :class:`BenchResult` objects."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry,
+        repetitions: Optional[int] = None,
+        warmup: Optional[int] = None,
+        top_hotspots: int = DEFAULT_TOP_HOTSPOTS,
+    ) -> None:
+        self.registry = registry
+        self.repetitions = repetitions  # None -> per-scenario default
+        self.warmup = warmup
+        self.top_hotspots = top_hotspots
+        self._sha = git_sha()
+        self._machine = machine_fingerprint()
+
+    def run_scenario(self, scenario: Scenario) -> BenchResult:
+        """Warm up, time ``repetitions`` clean passes, instrument one more."""
+        repetitions = self.repetitions or scenario.repetitions
+        warmup = scenario.warmup if self.warmup is None else self.warmup
+        for _ in range(warmup):
+            scenario.build().execute()
+
+        result = BenchResult(
+            scenario=scenario.name,
+            description=scenario.description,
+            suite=scenario.suite,
+            seed=scenario.seed,
+            repetitions=repetitions,
+            warmup=warmup,
+            sha=self._sha,
+            machine=self._machine,
+        )
+        # Clean timed repetitions: nothing attached that could distort
+        # wall time or events/sec.
+        for rep in range(repetitions):
+            run = scenario.build()
+            with PerfCapture(run.simulation, trace_memory=False) as capture:
+                metrics = run.execute()
+            sample: PerfSample = capture.sample
+            result.wall_seconds.append(sample.wall_seconds)
+            if sample.events_per_second is not None:
+                result.events_per_second.append(sample.events_per_second)
+                result.events_processed = sample.events_processed
+            if rep == 0:
+                result.simulated_metrics = dict(metrics)
+            elif metrics != result.simulated_metrics:
+                raise BenchError(
+                    f"scenario {scenario.name!r} is not deterministic: "
+                    f"repetition {rep} changed simulated metrics "
+                    f"(seed {scenario.seed})"
+                )
+        # One instrumented pass: tracemalloc peak + wall-clock hot spots.
+        # Its (distorted) wall time is deliberately not recorded.
+        run = scenario.build()
+        profiler = WallClockProfiler()
+        if run.simulation is not None:
+            profiler.install(run.simulation)
+        with PerfCapture(run.simulation, trace_memory=True) as capture:
+            metrics = run.execute()
+        if metrics != result.simulated_metrics:
+            raise BenchError(
+                f"scenario {scenario.name!r} is not deterministic: "
+                f"instrumented pass changed simulated metrics "
+                f"(seed {scenario.seed})"
+            )
+        result.peak_memory_bytes.append(float(capture.sample.peak_memory_bytes))
+        result.hotspots = profiler.to_dict(top=self.top_hotspots)["hotspots"]
+        return result
+
+    def run_suite(self, suite: str) -> List[BenchResult]:
+        """Every scenario of ``suite``, in stable name order."""
+        scenarios = self.registry.by_suite(suite)
+        if not scenarios:
+            raise BenchError(f"suite {suite!r} has no registered scenarios")
+        return [self.run_scenario(scenario) for scenario in scenarios]
+
+    def run_named(self, names: List[str]) -> List[BenchResult]:
+        """The named scenarios, in the order given."""
+        return [self.run_scenario(self.registry.get(name)) for name in names]

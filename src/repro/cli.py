@@ -28,11 +28,20 @@ Commands
 ``export``
     Run the digital twin untraced and export ``metrics.json`` /
     ``metrics.prom`` / ``report.json`` (the cheap artifact set).
+``bench``
+    Continuous benchmarking (see :mod:`repro.bench`): ``bench list`` shows
+    the registered scenarios, ``bench run`` executes a suite (or named
+    scenarios) and writes schema-versioned ``BENCH_<scenario>.json``
+    artifacts, ``bench compare`` diffs a run against the committed
+    baselines with noise-aware thresholds (non-zero exit on regression or
+    simulated-metric drift), and ``bench update-baseline`` promotes a
+    run's artifacts to ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -187,7 +196,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.no_repair:
         schedule = schedule.without_repair()
     simulation.apply_fault_schedule(schedule)
-    report = simulation.run()
+    from .bench import PerfCapture
+
+    with PerfCapture(simulation.sim) as capture:
+        report = simulation.run()
+    perf = capture.sample
     resilience = report.resilience
     counts = {k.value: v for k, v in schedule.faults_by_component().items()}
     if args.json:
@@ -199,6 +212,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             )},
             "repair": not args.no_repair,
         }
+        payload["perf"] = perf.as_dict()
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
     print(f"profile    : {profile.name} ({len(trace)} requests)")
@@ -206,6 +220,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"(repair {'off' if args.no_repair else 'on'})")
     print(f"result     : {report.summary()}")
     print(f"resilience : {resilience.summary()}")
+    print(f"perf       : {perf.wall_seconds:.2f}s wall, "
+          f"{perf.events_per_second:,.0f} events/s, "
+          f"peak {perf.peak_memory_bytes / 1e6:.1f} MB")
     print(
         f"tail       : {report.completions.tail_hours:.2f} h "
         f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
@@ -273,6 +290,80 @@ def _cmd_export(args: argparse.Namespace) -> int:
     print(f"profile   : {profile.name} ({len(trace)} requests)")
     print(f"result    : {report.summary()}")
     print(artifacts.summary())
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from .bench import default_registry
+
+    registry = default_registry()
+    print(f"{len(registry)} registered scenario(s):")
+    for scenario in registry:
+        print(
+            f"  {scenario.name:<26s} [{scenario.suite:>4s}] seed={scenario.seed:<3d} "
+            f"reps={scenario.repetitions} warmup={scenario.warmup}  "
+            f"{scenario.description}"
+        )
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench import BenchRunner, default_registry
+    from .observability import RunArtifacts
+
+    registry = default_registry()
+    runner = BenchRunner(
+        registry,
+        repetitions=args.repetitions,
+        warmup=args.warmup,
+        top_hotspots=args.top,
+    )
+    if args.scenario:
+        results = runner.run_named(args.scenario)
+    else:
+        results = runner.run_suite(args.suite)
+    artifacts = RunArtifacts(args.out)
+    for result in results:
+        artifacts.write_bench(result)
+        print(result.summary())
+    print(artifacts.summary())
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench import Tolerance, compare_dirs
+
+    tolerance = Tolerance(rel=args.rel_tolerance, mad_factor=args.mad_factor)
+    report = compare_dirs(
+        args.baseline,
+        args.candidate,
+        tolerance,
+        names=args.scenario or None,
+    )
+    print(f"baseline  : {args.baseline}")
+    print(f"candidate : {args.candidate}")
+    print(report.format(verbose=args.verbose))
+    code = report.exit_code(wall_warn_only=args.wall_warn_only)
+    print("verdict   : " + ("PASS" if code == 0 else "REGRESSION"))
+    return code
+
+
+def _cmd_bench_update_baseline(args: argparse.Namespace) -> int:
+    import shutil
+
+    from .bench import load_artifact_dir
+
+    docs = load_artifact_dir(args.from_dir)
+    names = args.scenario or sorted(docs)
+    os.makedirs(args.baseline, exist_ok=True)
+    for name in names:
+        if name not in docs:
+            print(f"no BENCH_{name}.json in {args.from_dir}", file=sys.stderr)
+            return 1
+        source = os.path.join(args.from_dir, f"BENCH_{name}.json")
+        target = os.path.join(args.baseline, f"BENCH_{name}.json")
+        shutil.copyfile(source, target)
+        print(f"baseline updated: {target}")
     return 0
 
 
@@ -369,13 +460,74 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", default="runs/export",
                         help="artifact output directory")
     export.set_defaults(func=_cmd_export)
+
+    bench = commands.add_parser(
+        "bench", help="continuous benchmarking: run scenarios, gate regressions"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_list = bench_commands.add_parser("list", help="registered scenarios")
+    bench_list.set_defaults(func=_cmd_bench_list)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run a suite (or named scenarios), write BENCH_*.json"
+    )
+    bench_run.add_argument("--suite", default="fast", choices=["fast", "full"])
+    bench_run.add_argument("--scenario", action="append", default=[],
+                           help="run only this scenario (repeatable)")
+    bench_run.add_argument("--out", default="runs/bench",
+                           help="artifact output directory")
+    bench_run.add_argument("--repetitions", type=int, default=None,
+                           help="override per-scenario repetition count")
+    bench_run.add_argument("--warmup", type=int, default=None,
+                           help="override per-scenario warmup count")
+    bench_run.add_argument("--top", type=int, default=8,
+                           help="hot-spot rows recorded per artifact")
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="diff a run against committed baselines (exit 1 on regression)"
+    )
+    bench_compare.add_argument("--baseline", default="benchmarks/baselines",
+                               help="baseline artifact directory")
+    bench_compare.add_argument("--candidate", default="runs/bench",
+                               help="candidate artifact directory")
+    bench_compare.add_argument("--scenario", action="append", default=[],
+                               help="compare only this scenario (repeatable)")
+    bench_compare.add_argument("--rel-tolerance", type=float, default=0.10,
+                               help="relative wall-clock tolerance (fraction)")
+    bench_compare.add_argument("--mad-factor", type=float, default=4.0,
+                               help="noise threshold in MAD multiples")
+    bench_compare.add_argument("--wall-warn-only", action="store_true",
+                               help="wall-clock regressions warn instead of fail "
+                                    "(simulated-metric drift still fails)")
+    bench_compare.add_argument("--verbose", action="store_true",
+                               help="print every metric row, not just flagged ones")
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    bench_update = bench_commands.add_parser(
+        "update-baseline", help="promote a run's BENCH_*.json to the baseline dir"
+    )
+    bench_update.add_argument("--from-dir", default="runs/bench",
+                              help="source artifact directory")
+    bench_update.add_argument("--baseline", default="benchmarks/baselines",
+                              help="baseline directory to update")
+    bench_update.add_argument("--scenario", action="append", default=[],
+                              help="promote only this scenario (repeatable)")
+    bench_update.set_defaults(func=_cmd_bench_update_baseline)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from .bench.registry import BenchError
+
+    try:
+        return args.func(args)
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -63,6 +63,7 @@ class Simulation:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._run_wall_seconds = 0.0
         #: Optional wall-clock observer hook ``(label, wall_seconds) -> None``
         #: (see :class:`repro.observability.profiler.WallClockProfiler`).
         #: None (the default) costs one pointer comparison per event.
@@ -77,6 +78,23 @@ class Simulation:
     def events_processed(self) -> int:
         """Number of events that have fired so far."""
         return self._events_processed
+
+    @property
+    def run_wall_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent inside :meth:`run`."""
+        return self._run_wall_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Event-loop throughput: events fired per wall-clock second.
+
+        Measured over time spent inside :meth:`run` (events fired through
+        bare :meth:`step` calls count events but no wall time). Zero until
+        the loop has run.
+        """
+        if self._run_wall_seconds <= 0.0:
+            return 0.0
+        return self._events_processed / self._run_wall_seconds
 
     def schedule(
         self, delay: float, callback: Callable[[], None], label: str = ""
@@ -133,6 +151,7 @@ class Simulation:
             raise SimulationError("simulation is already running (re-entrant run())")
         self._running = True
         processed = 0
+        loop_start = perf_counter()
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -146,6 +165,7 @@ class Simulation:
                 processed += 1
         finally:
             self._running = False
+            self._run_wall_seconds += perf_counter() - loop_start
         if until is not None and self._now < until:
             self._now = until
 

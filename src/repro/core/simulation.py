@@ -374,6 +374,16 @@ class LibrarySimulation:
     def requests_lost(self) -> int:
         return int(self._c_requests_lost.value)
 
+    @property
+    def events_processed(self) -> int:
+        """Events fired by the underlying engine so far."""
+        return self.sim.events_processed
+
+    @property
+    def events_per_second(self) -> float:
+        """Wall-clock event-loop throughput of the underlying engine."""
+        return self.sim.events_per_second
+
     def _install_shuttle_hooks(self) -> None:
         """Route shuttle model events (move/pick/place) into the tracer."""
 

@@ -19,7 +19,12 @@ A run artifact directory (written by ``python -m repro trace`` /
     the :class:`~repro.core.metrics.SimulationReport` as stable JSON;
 ``hotspots.json``
     wall-clock hot spots of the simulator loop — only when profiling
-    was on.
+    was on;
+``BENCH_<scenario>.json``
+    schema-versioned continuous-benchmark results (one file per scenario,
+    written by :meth:`RunArtifacts.write_bench` for the
+    :mod:`repro.bench` runner and diffed by ``python -m repro bench
+    compare``).
 
 Everything is derived from in-memory state; nothing here re-runs the
 simulator. All JSON is sorted-key, so artifacts diff cleanly between runs.
@@ -93,11 +98,27 @@ class RunArtifacts:
         _write_json(path, profiler.as_dict())
         return path
 
+    def write_bench(self, result: Any, name: Optional[str] = None) -> str:
+        """Write one bench result as ``BENCH_<scenario>.json``.
+
+        ``result`` is a :class:`repro.bench.runner.BenchResult` (or any
+        object with an ``as_dict()`` whose payload has a ``scenario`` key).
+        """
+        payload = result.as_dict() if hasattr(result, "as_dict") else dict(result)
+        scenario = payload.get("scenario", "unnamed")
+        path = self._path(name or f"BENCH_{scenario}.json")
+        _write_json(path, payload)
+        return path
+
     def summary(self) -> str:
         lines = [f"artifacts in {self.out_dir}/:"]
+        if not self.written:
+            lines.append("  (no artifacts written)")
+            return "\n".join(lines)
+        width = max(14, max(len(os.path.basename(p)) for p in self.written))
         for path in self.written:
             size = os.path.getsize(path) if os.path.exists(path) else 0
-            lines.append(f"  {os.path.basename(path):<14s} {size:>10d} bytes")
+            lines.append(f"  {os.path.basename(path):<{width}s} {size:>10d} bytes")
         return "\n".join(lines)
 
 

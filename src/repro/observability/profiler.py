@@ -67,6 +67,33 @@ class WallClockProfiler:
             for label, bucket in sorted(self._buckets.items())
         }
 
+    def to_dict(self, top: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-ready snapshot with deterministic-keyed hot-spot rows.
+
+        Unlike :meth:`format` (a human table) and :meth:`hotspots` (bare
+        tuples), every row here is a ``{label, calls, wall_seconds, share}``
+        mapping, hottest first with a stable label tie-break, so downstream
+        consumers (bench artifacts, dashboards) can diff runs key by key.
+        """
+        total = self.total_seconds
+        return {
+            "total_events": self.total_events,
+            "total_seconds": total,
+            "hotspots": [
+                {
+                    "label": label,
+                    "calls": calls,
+                    "wall_seconds": seconds,
+                    "share": seconds / total if total > 0 else 0.0,
+                }
+                for label, calls, seconds in self.hotspots(top)
+            ],
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated buckets (e.g. between bench repetitions)."""
+        self._buckets.clear()
+
     def format(self, top: int = 10) -> str:
         """Human-readable hot-spot table."""
         total = self.total_seconds

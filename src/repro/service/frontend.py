@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import secrets
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -120,6 +121,11 @@ class ServiceConfig:
     ldpc_rate: float = 0.8
     channel_seed: int = 11
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # None -> per-file keys from ``secrets`` (production behaviour). A seed
+    # draws keys from a seeded generator instead, making the whole data
+    # path — ciphertext, channel noise, decode outcomes — reproducible
+    # run to run, which benchmarks and regression baselines require.
+    key_seed: Optional[int] = None
 
 
 class ArchiveService:
@@ -153,6 +159,9 @@ class ArchiveService:
         self._platter_counter = 0
         self._clock = 0.0
         self.retry_stats = ServiceRetryStats()
+        self._key_rng = (
+            None if cfg.key_seed is None else np.random.default_rng(cfg.key_seed)
+        )
 
     # ------------------------------------------------------------------ #
     # put
@@ -210,11 +219,13 @@ class ArchiveService:
 
     def _ensure_key(self, file_id: str) -> bytes:
         from ..layout.metadata import _FileRecord
-        import secrets
 
         record = self.metadata._files.setdefault(file_id, _FileRecord())
         if record.encryption_key is None:
-            record.encryption_key = secrets.token_bytes(32)
+            if self._key_rng is not None:
+                record.encryption_key = self._key_rng.bytes(32)
+            else:
+                record.encryption_key = secrets.token_bytes(32)
         return record.encryption_key
 
     def _new_platter(self) -> Platter:

@@ -1,0 +1,384 @@
+"""Tests for repro.bench: registry, runner, artifacts, comparator."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchError,
+    BenchRunner,
+    PerfCapture,
+    Scenario,
+    ScenarioRegistry,
+    ScenarioRun,
+    Tolerance,
+    compare_dirs,
+    compare_scenario,
+    default_registry,
+    load_artifact,
+    load_artifact_dir,
+)
+from repro.bench.compare import (
+    DRIFT,
+    IMPROVEMENT,
+    MATCH,
+    REGRESSION,
+    SKIPPED,
+    WITHIN_NOISE,
+)
+from repro.bench.runner import mad, median
+from repro.core.events import Simulation
+from repro.observability import RunArtifacts
+
+
+def tiny_scenario(name="tiny", seed=1, metrics=None, repetitions=2, warmup=0):
+    """A registry scenario that drains a 100-event engine near-instantly."""
+
+    def build():
+        sim = Simulation()
+
+        def execute():
+            for i in range(100):
+                sim.schedule(i * 0.01, lambda: None, label="tick")
+            sim.run()
+            return dict(metrics or {"simulated_seconds": sim.now})
+
+        return ScenarioRun(execute=execute, simulation=sim)
+
+    return Scenario(
+        name=name,
+        description="tiny test scenario",
+        suite="fast",
+        seed=seed,
+        build=build,
+        repetitions=repetitions,
+        warmup=warmup,
+    )
+
+
+def make_doc(
+    scenario="tiny",
+    seed=1,
+    wall=(1.0, 0.01),
+    memory=(1e6, 0.0),
+    events=None,
+    simulated=None,
+    schema=BENCH_SCHEMA_VERSION,
+):
+    """A minimal BENCH document for comparator tests."""
+    doc = {
+        "schema": schema,
+        "scenario": scenario,
+        "seed": seed,
+        "wall_seconds": {"median": wall[0], "mad": wall[1], "samples": [wall[0]]},
+        "peak_memory_bytes": {
+            "median": memory[0],
+            "mad": memory[1],
+            "samples": [memory[0]],
+        },
+        "events_per_second": (
+            {"median": events[0], "mad": events[1], "samples": [events[0]]}
+            if events
+            else None
+        ),
+        "simulated_metrics": dict(simulated or {"tail_seconds": 100.0}),
+    }
+    return doc
+
+
+class TestRegistry:
+    def test_default_registry_has_fast_suite(self):
+        registry = default_registry()
+        fast = registry.by_suite("fast")
+        assert len(fast) >= 5
+        assert all(s.suite == "fast" for s in fast)
+        # Name-sorted for stable run order.
+        assert [s.name for s in fast] == sorted(s.name for s in fast)
+
+    def test_default_registry_has_full_suite(self):
+        assert len(default_registry().by_suite("full")) >= 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario())
+        with pytest.raises(BenchError, match="already registered"):
+            registry.register(tiny_scenario())
+
+    def test_unknown_scenario_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario())
+        with pytest.raises(BenchError, match="unknown scenario"):
+            registry.get("nope")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(BenchError, match="unknown suite"):
+            ScenarioRegistry().by_suite("medium")
+
+    def test_scenario_validation(self):
+        with pytest.raises(BenchError, match="suite"):
+            Scenario("x", "d", "medium", 0, lambda: None)
+        with pytest.raises(BenchError, match="repetitions"):
+            Scenario("x", "d", "fast", 0, lambda: None, repetitions=0)
+
+    def test_iteration_and_contains(self):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario("b"))
+        registry.register(tiny_scenario("a"))
+        assert [s.name for s in registry] == ["a", "b"]
+        assert "a" in registry and "zzz" not in registry
+        assert len(registry) == 2
+
+
+class TestStats:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert median([]) == 0.0
+
+    def test_mad(self):
+        assert mad([1.0, 1.0, 1.0]) == 0.0
+        assert mad([1.0, 2.0, 9.0]) == 1.0  # deviations from 2: [1, 0, 7]
+        assert mad([5.0]) == 0.0
+
+
+class TestPerfCapture:
+    def test_counts_engine_events(self):
+        sim = Simulation()
+        for i in range(10):
+            sim.schedule(i * 0.1, lambda: None)
+        with PerfCapture(sim) as capture:
+            sim.run()
+        sample = capture.sample
+        assert sample.events_processed == 10
+        assert sample.events_per_second > 0
+        assert sample.peak_memory_bytes is not None
+        assert sample.wall_seconds > 0
+
+    def test_no_engine_means_no_event_fields(self):
+        with PerfCapture() as capture:
+            sum(range(1000))
+        assert capture.sample.events_processed is None
+        assert capture.sample.events_per_second is None
+
+    def test_trace_memory_off(self):
+        with PerfCapture(trace_memory=False) as capture:
+            sum(range(1000))
+        assert capture.sample.peak_memory_bytes is None
+        assert capture.sample.as_dict()["peak_memory_bytes"] is None
+
+
+class TestRunner:
+    def test_runs_and_aggregates(self):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario(repetitions=3, warmup=1))
+        result = BenchRunner(registry).run_scenario(registry.get("tiny"))
+        assert len(result.wall_seconds) == 3
+        assert len(result.events_per_second) == 3
+        assert len(result.peak_memory_bytes) == 1  # one instrumented pass
+        assert result.events_processed == 100
+        assert result.simulated_metrics == {"simulated_seconds": pytest.approx(0.99)}
+        assert result.hotspots and result.hotspots[0]["label"] == "tick"
+        payload = result.as_dict()
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["wall_seconds"]["median"] > 0
+        assert "git_sha" in payload and "machine" in payload
+        assert "wall" in result.summary()
+
+    def test_nondeterministic_scenario_rejected(self):
+        drifting = {"count": 0}
+
+        def build():
+            def execute():
+                drifting["count"] += 1
+                return {"value": float(drifting["count"])}
+
+            return ScenarioRun(execute=execute)
+
+        registry = ScenarioRegistry()
+        registry.add("drifty", "changes every run", "fast", 0, build, repetitions=2)
+        with pytest.raises(BenchError, match="not deterministic"):
+            BenchRunner(registry).run_scenario(registry.get("drifty"))
+
+    def test_run_suite_empty_rejected(self):
+        with pytest.raises(BenchError, match="no registered scenarios"):
+            BenchRunner(ScenarioRegistry()).run_suite("fast")
+
+    def test_overrides(self):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario(repetitions=3, warmup=2))
+        runner = BenchRunner(registry, repetitions=1, warmup=0)
+        result = runner.run_scenario(registry.get("tiny"))
+        assert len(result.wall_seconds) == 1
+        assert result.warmup == 0
+
+
+class TestArtifactRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        registry = ScenarioRegistry()
+        registry.register(tiny_scenario())
+        result = BenchRunner(registry).run_scenario(registry.get("tiny"))
+        artifacts = RunArtifacts(str(tmp_path))
+        path = artifacts.write_bench(result)
+        assert os.path.basename(path) == "BENCH_tiny.json"
+        doc = load_artifact(path)
+        assert doc == result.as_dict()
+        assert load_artifact_dir(str(tmp_path)) == {"tiny": doc}
+        # Stable keys: serialization is sorted.
+        text = open(path).read()
+        assert json.loads(text) == doc
+
+    def test_non_artifact_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bogus.json"
+        path.write_text('{"no": "scenario"}')
+        with pytest.raises(BenchError, match="not a bench artifact"):
+            load_artifact(str(path))
+
+    def test_summary_empty_run(self, tmp_path):
+        artifacts = RunArtifacts(str(tmp_path / "never_written"))
+        summary = artifacts.summary()
+        assert "(no artifacts written)" in summary
+        # Nothing was created on disk either.
+        assert not os.path.exists(str(tmp_path / "never_written"))
+
+
+class TestComparator:
+    def verdict_of(self, report, metric):
+        return {c.metric: c.verdict for c in report.comparisons}[metric]
+
+    def test_within_noise(self):
+        base = make_doc(wall=(1.0, 0.02))
+        cand = make_doc(wall=(1.05, 0.02))  # 5% < 10% rel tolerance
+        report = compare_scenario(base, cand)
+        assert self.verdict_of(report, "wall_seconds") == WITHIN_NOISE
+
+    def test_regression_and_improvement(self):
+        base = make_doc(wall=(1.0, 0.001), events=(1000.0, 1.0))
+        slow = make_doc(wall=(1.5, 0.001), events=(500.0, 1.0))
+        report = compare_scenario(base, slow)
+        assert self.verdict_of(report, "wall_seconds") == REGRESSION
+        assert self.verdict_of(report, "events_per_second") == REGRESSION
+        fast = make_doc(wall=(0.5, 0.001), events=(2000.0, 1.0))
+        report = compare_scenario(base, fast)
+        assert self.verdict_of(report, "wall_seconds") == IMPROVEMENT
+        assert self.verdict_of(report, "events_per_second") == IMPROVEMENT
+
+    def test_mad_widens_threshold(self):
+        # 20% shift, but the baseline is extremely noisy: MAD catches it.
+        base = make_doc(wall=(1.0, 0.1))
+        cand = make_doc(wall=(1.2, 0.1))
+        report = compare_scenario(base, cand, Tolerance(rel=0.05, mad_factor=4.0))
+        assert self.verdict_of(report, "wall_seconds") == WITHIN_NOISE
+
+    def test_exact_metric_drift_same_seed(self):
+        base = make_doc(simulated={"tail_seconds": 100.0})
+        cand = make_doc(simulated={"tail_seconds": 100.0000001})
+        report = compare_scenario(base, cand)
+        assert self.verdict_of(report, "sim:tail_seconds") == DRIFT
+        assert report.worst() == DRIFT
+
+    def test_exact_metric_match_same_seed(self):
+        report = compare_scenario(make_doc(), make_doc())
+        assert self.verdict_of(report, "sim:tail_seconds") == MATCH
+
+    def test_seed_mismatch_skips_simulated(self):
+        base = make_doc(seed=1, simulated={"tail_seconds": 100.0})
+        cand = make_doc(seed=2, simulated={"tail_seconds": 200.0})
+        report = compare_scenario(base, cand)
+        assert self.verdict_of(report, "sim:tail_seconds") == SKIPPED
+        assert not report.seed_matched
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(BenchError, match="schema"):
+            compare_scenario(make_doc(schema="repro.bench/0"), make_doc())
+
+    def test_events_absent_skipped(self):
+        report = compare_scenario(make_doc(events=None), make_doc(events=None))
+        assert self.verdict_of(report, "events_per_second") == SKIPPED
+
+
+class TestCompareDirs:
+    def write(self, directory, doc):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{doc['scenario']}.json")
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+
+    def test_empty_baseline_dir_rejected(self, tmp_path):
+        base = tmp_path / "base"
+        base.mkdir()
+        self.write(str(tmp_path / "cand"), make_doc())
+        with pytest.raises(BenchError, match="no BENCH_"):
+            compare_dirs(str(base), str(tmp_path / "cand"))
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="no such artifact directory"):
+            compare_dirs(str(tmp_path / "nope"), str(tmp_path / "nope2"))
+
+    def test_missing_in_candidate_fails(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc("a"))
+        self.write(str(tmp_path / "base"), make_doc("b"))
+        self.write(str(tmp_path / "cand"), make_doc("a"))
+        report = compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"))
+        assert report.missing_in_candidate == ["b"]
+        assert report.exit_code() == 1
+        assert "missing from candidate" in report.format()
+
+    def test_new_scenario_warns_only(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc("a"))
+        self.write(str(tmp_path / "cand"), make_doc("a"))
+        self.write(str(tmp_path / "cand"), make_doc("new"))
+        report = compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"))
+        assert report.missing_in_baseline == ["new"]
+        assert report.exit_code() == 0
+
+    def test_wall_warn_only_mode(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc("a", wall=(1.0, 0.001)))
+        self.write(str(tmp_path / "cand"), make_doc("a", wall=(2.0, 0.001)))
+        report = compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"))
+        assert report.exit_code() == 1
+        assert report.exit_code(wall_warn_only=True) == 0
+        # ... but drift still fails even in warn-only mode.
+        self.write(
+            str(tmp_path / "cand"),
+            make_doc("a", wall=(2.0, 0.001), simulated={"tail_seconds": 1.0}),
+        )
+        report = compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"))
+        assert report.exit_code(wall_warn_only=True) == 1
+
+    def test_names_filter(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc("a"))
+        self.write(str(tmp_path / "base"), make_doc("b"))
+        self.write(str(tmp_path / "cand"), make_doc("a"))
+        self.write(str(tmp_path / "cand"), make_doc("b"))
+        report = compare_dirs(
+            str(tmp_path / "base"), str(tmp_path / "cand"), names=["a"]
+        )
+        assert [s.scenario for s in report.scenarios] == ["a"]
+        with pytest.raises(BenchError, match="not found on either side"):
+            compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"), names=["z"])
+
+
+class TestCommittedBaselines:
+    BASELINE_DIR = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "baselines",
+    )
+
+    def test_baselines_exist_and_parse(self):
+        docs = load_artifact_dir(self.BASELINE_DIR)
+        assert len(docs) >= 5
+        for name, doc in docs.items():
+            assert doc["schema"] == BENCH_SCHEMA_VERSION
+            assert doc["suite"] == "fast"
+            assert doc["simulated_metrics"], name
+
+    def test_baselines_match_registry(self):
+        docs = load_artifact_dir(self.BASELINE_DIR)
+        fast = {s.name for s in default_registry().by_suite("fast")}
+        assert set(docs) == fast
+        registry = default_registry()
+        for name, doc in docs.items():
+            assert doc["seed"] == registry.get(name).seed

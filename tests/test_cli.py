@@ -124,6 +124,13 @@ class TestChaosCommand:
         assert list(payload["resilience"]) == sorted(payload["resilience"])
         assert payload["schedule"]["repair"] is True
         assert payload["resilience"]["faults_injected"] >= 0
+        # Perf block from the shared bench capture helpers.
+        perf = payload["perf"]
+        assert list(perf) == sorted(perf)
+        assert perf["events_per_second"] > 0
+        assert perf["events_processed"] > 0
+        assert perf["peak_memory_bytes"] > 0
+        assert perf["wall_seconds"] > 0
 
 
 class TestTraceExportCommands:
@@ -168,3 +175,87 @@ class TestTraceExportCommands:
         assert "sim_bytes_read_total" in metrics
         prom = open(os.path.join(out_dir, "metrics.prom")).read()
         assert "# TYPE sim_bytes_read_total counter" in prom
+
+
+class TestBenchCommands:
+    """The ``bench`` subcommand family (run / compare / list / update)."""
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "event_loop" in out and "fig9_full_library" in out
+        assert "[fast]" in out and "[full]" in out
+
+    def test_bench_run_compare_update_roundtrip(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        code = main(
+            [
+                "bench", "run",
+                "--scenario", "event_loop",
+                "--out", run_dir,
+                "--repetitions", "2",
+                "--warmup", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_event_loop.json" in out
+        artifact = os.path.join(run_dir, "BENCH_event_loop.json")
+        with open(artifact) as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == "repro.bench/1"
+        assert doc["repetitions"] == 2
+
+        # Same artifacts on both sides: clean pass.
+        code = main(
+            ["bench", "compare", "--baseline", run_dir, "--candidate", run_dir]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+        # Promote to a baseline dir, perturb a simulated metric: drift fails
+        # even in wall-warn-only mode.
+        base_dir = str(tmp_path / "base")
+        code = main(
+            [
+                "bench", "update-baseline",
+                "--from-dir", run_dir,
+                "--baseline", base_dir,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        with open(os.path.join(base_dir, "BENCH_event_loop.json")) as handle:
+            doc = json.load(handle)
+        doc["simulated_metrics"]["events_fired"] += 1
+        with open(os.path.join(base_dir, "BENCH_event_loop.json"), "w") as handle:
+            json.dump(doc, handle)
+        code = main(
+            [
+                "bench", "compare",
+                "--baseline", base_dir,
+                "--candidate", run_dir,
+                "--wall-warn-only",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "drift" in out and "REGRESSION" in out
+
+    def test_bench_unknown_scenario_errors(self, tmp_path, capsys):
+        code = main(
+            ["bench", "run", "--scenario", "warp_drive", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_compare_missing_baseline_dir_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "compare",
+                "--baseline", str(tmp_path / "nope"),
+                "--candidate", str(tmp_path / "nope"),
+            ]
+        )
+        assert code == 2
+        assert "no such artifact directory" in capsys.readouterr().err

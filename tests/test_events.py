@@ -71,6 +71,25 @@ class TestScheduling:
         drain(sim)
         assert sim.events_processed == 4
 
+    def test_loop_throughput_tracked_by_run(self):
+        sim = Simulation()
+        assert sim.events_per_second == 0.0  # nothing has run yet
+        for i in range(100):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.run_wall_seconds > 0.0
+        assert sim.events_per_second == pytest.approx(
+            sim.events_processed / sim.run_wall_seconds
+        )
+
+    def test_bare_step_counts_events_but_no_wall_time(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.step()
+        assert sim.events_processed == 1
+        assert sim.run_wall_seconds == 0.0
+        assert sim.events_per_second == 0.0
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
