@@ -265,6 +265,103 @@ def _workload_run(days: int, seed: int) -> ScenarioRun:
     return ScenarioRun(execute=execute)
 
 
+def build_qos_sim(
+    fetch_policy: str,
+    scale: BenchScale = SMALL_SCALE,
+    seed: int = 0,
+    num_drives: int = 6,
+    total_rate_per_second: float = 6.0,
+    hot_share: float = 0.8,
+) -> LibrarySimulation:
+    """A prepared multi-tenant run under a skewed (hot-tenant) mix.
+
+    One bulk tenant carries ``hot_share`` of the offered rate; expedited
+    and standard tenants share the rest. ``num_drives`` is deliberately
+    small so the library queues — QoS policies only differ under
+    contention. The same (scale, seed) always produces the identical
+    trace and mix, so an arrival-order and a deadline-aware twin see
+    byte-identical inputs.
+    """
+    from ..tenancy import skewed_mix
+    from ..workload.generator import WorkloadGenerator
+    from ..workload.profiles import IOPS
+
+    registry = skewed_mix(
+        num_tenants=6,
+        seed=seed,
+        total_rate_per_second=total_rate_per_second * scale.rate_factor,
+        hot_share=hot_share,
+    )
+    generator = WorkloadGenerator(seed=seed)
+    trace, start, end = generator.multi_tenant_trace(
+        registry,
+        interval_hours=scale.interval_hours,
+        warmup_hours=scale.warmup_hours,
+        cooldown_hours=scale.cooldown_hours,
+        size_model=IOPS.size_model,
+    )
+    sim = LibrarySimulation(
+        SimConfig(
+            seed=seed,
+            num_platters=scale.num_platters,
+            num_drives=num_drives,
+            num_shuttles=num_drives,
+            fetch_policy=fetch_policy,
+            tenancy=registry,
+        )
+    )
+    sim.assign_trace(trace, start, end)
+    return sim
+
+
+def qos_ablation_metrics(
+    arrival: SimulationReport, deadline: SimulationReport
+) -> Dict[str, float]:
+    """Side-by-side QoS metrics of the arrival vs deadline-aware twin runs.
+
+    The ``deadline_beats_arrival_*`` entries encode the acceptance gates
+    (expedited p99 and Jain fairness) as 1.0/0.0 simulated metrics, so the
+    bench comparator's EXACT-match check fails CI if a change ever stops
+    the deadline-aware policy from winning.
+    """
+    metrics: Dict[str, float] = {}
+    for label, report in (("arrival", arrival), ("deadline", deadline)):
+        qos = report.qos
+        if qos is None:
+            raise ValueError(f"{label} run produced no QoS block")
+        metrics[f"{label}_requests_completed"] = float(report.requests_completed)
+        metrics[f"{label}_jain_index"] = qos.jain_fairness
+        metrics[f"{label}_deadline_misses"] = float(qos.deadline_misses)
+        for cls in ("expedited", "standard", "bulk"):
+            row = qos.per_class.get(cls)
+            if row is not None:
+                metrics[f"{label}_{cls}_p99_seconds"] = row.completions.p99
+                metrics[f"{label}_{cls}_slo_attainment"] = row.slo_attainment
+    metrics["deadline_beats_arrival_p99"] = (
+        1.0
+        if metrics["deadline_expedited_p99_seconds"]
+        < metrics["arrival_expedited_p99_seconds"]
+        else 0.0
+    )
+    metrics["deadline_beats_arrival_jain"] = (
+        1.0 if metrics["deadline_jain_index"] > metrics["arrival_jain_index"] else 0.0
+    )
+    return metrics
+
+
+def _qos_ablation_run(scale: BenchScale, seed: int) -> ScenarioRun:
+    sims = {
+        policy: build_qos_sim(policy, scale=scale, seed=seed)
+        for policy in ("arrival", "deadline")
+    }
+    return ScenarioRun(
+        execute=lambda: qos_ablation_metrics(
+            sims["arrival"].run(), sims["deadline"].run()
+        ),
+        simulation=sims["deadline"].sim,
+    )
+
+
 def _archive_run(payload_bytes: int, seed: int) -> ScenarioRun:
     from ..service import ArchiveService, ServiceConfig
 
@@ -341,6 +438,15 @@ def default_registry() -> ScenarioRegistry:
         suite="fast",
         seed=3,
         build=lambda: _chaos_run(BENCH_SCALE, seed=3),
+        repetitions=2,
+        warmup=0,
+    )
+    registry.add(
+        "qos_ablation",
+        "arrival vs deadline-aware fetch under a skewed multi-tenant mix",
+        suite="fast",
+        seed=5,
+        build=lambda: _qos_ablation_run(BENCH_SCALE, seed=5),
         repetitions=2,
         warmup=0,
     )

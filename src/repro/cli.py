@@ -46,12 +46,52 @@ import sys
 from typing import List, Optional
 
 
+def _tenancy_from(args: argparse.Namespace, profile):
+    """The run's tenant registry (None unless ``--tenants N`` was given).
+
+    The skewed mix's total offered rate matches the profile's rate at the
+    chosen ``--rate-factor``, so a tenancy-enabled run carries the same
+    aggregate load as its single-tenant twin.
+    """
+    tenants = getattr(args, "tenants", 0)
+    fetch_policy = getattr(args, "fetch_policy", "arrival")
+    if tenants <= 0:
+        if fetch_policy == "deadline":
+            raise SystemExit(
+                "error: --fetch-policy deadline requires --tenants N (N >= 2)"
+            )
+        return None
+    from .tenancy import skewed_mix
+
+    return skewed_mix(
+        num_tenants=max(2, tenants),
+        seed=args.seed,
+        total_rate_per_second=profile.mean_rate_per_second * args.rate_factor,
+    )
+
+
 def _profile_trace(args: argparse.Namespace):
-    """Build the interval trace shared by simulate / chaos / trace / export."""
+    """Build the interval trace shared by simulate / chaos / trace / export.
+
+    With ``--tenants N`` the trace is the multi-tenant skewed mix instead
+    of the single anonymous stream; the registry is stashed on
+    ``args.tenancy_registry`` for the sim-config builders.
+    """
     from .workload import WorkloadGenerator, profile_by_name
 
     profile = profile_by_name(args.profile)
     generator = WorkloadGenerator(seed=args.seed)
+    registry = _tenancy_from(args, profile)
+    args.tenancy_registry = registry
+    if registry is not None:
+        trace, start, end = generator.multi_tenant_trace(
+            registry,
+            interval_hours=args.hours,
+            warmup_hours=args.hours / 6,
+            cooldown_hours=args.hours / 6,
+            size_model=profile.size_model,
+        )
+        return profile, trace, start, end
     trace, start, end = generator.interval_trace(
         profile.mean_rate_per_second * args.rate_factor,
         interval_hours=args.hours,
@@ -99,6 +139,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         policy=args.policy,
         num_platters=args.platters,
         unavailable_fraction=args.unavailable,
+        fetch_policy=args.fetch_policy,
+        tenancy=args.tenancy_registry,
         seed=args.seed,
     )
     simulation = LibrarySimulation(config)
@@ -108,6 +150,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"policy    : {args.policy}, {args.drives} drives @ {args.mbps} MB/s, "
           f"{args.shuttles} shuttles")
     print(f"result    : {report.summary()}")
+    if report.qos is not None:
+        print(f"qos       : {report.qos.summary()}")
     print(
         f"tail      : {report.completions.tail_hours:.2f} h "
         f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
@@ -176,6 +220,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         num_shuttles=args.shuttles,
         num_platters=args.platters,
         transient_read_error_prob=args.read_error_prob,
+        fetch_policy=args.fetch_policy,
+        tenancy=args.tenancy_registry,
         seed=args.seed,
     )
     simulation = LibrarySimulation(config)
@@ -220,6 +266,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"(repair {'off' if args.no_repair else 'on'})")
     print(f"result     : {report.summary()}")
     print(f"resilience : {resilience.summary()}")
+    if report.qos is not None:
+        print(f"qos        : {report.qos.summary()}")
     print(f"perf       : {perf.wall_seconds:.2f}s wall, "
           f"{perf.events_per_second:,.0f} events/s, "
           f"peak {perf.peak_memory_bytes / 1e6:.1f} MB")
@@ -238,6 +286,8 @@ def _sim_config_from(args: argparse.Namespace):
         num_shuttles=args.shuttles,
         num_platters=args.platters,
         transient_read_error_prob=args.read_error_prob,
+        fetch_policy=getattr(args, "fetch_policy", "arrival"),
+        tenancy=getattr(args, "tenancy_registry", None),
         seed=args.seed,
     )
 
@@ -367,6 +417,17 @@ def _cmd_bench_update_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _qos_args(sub: argparse.ArgumentParser) -> None:
+    """Multi-tenant QoS flags shared by simulate / chaos / trace / export."""
+    sub.add_argument("--tenants", type=int, default=0,
+                     help="run a skewed multi-tenant mix with N tenants "
+                          "(0 = single anonymous tenant)")
+    sub.add_argument("--fetch-policy", default="arrival",
+                     choices=["arrival", "deadline"],
+                     help="platter-fetch policy: §4.1 arrival order, or "
+                          "deadline-aware QoS (requires --tenants)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -389,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--hours", type=float, default=1.0)
     simulate.add_argument("--rate-factor", type=float, default=0.7)
     simulate.add_argument("--unavailable", type=float, default=0.0)
+    _qos_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     commands.add_parser("table1", help="platter-set trade-off").set_defaults(
@@ -429,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="same fault schedule, repair disabled (fail-stop)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as stable-keyed JSON")
+    _qos_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     def _run_args(sub: argparse.ArgumentParser) -> None:
@@ -440,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--hours", type=float, default=1.0)
         sub.add_argument("--rate-factor", type=float, default=0.7)
         sub.add_argument("--read-error-prob", type=float, default=0.0)
+        _qos_args(sub)
 
     trace = commands.add_parser(
         "trace", help="traced run: export trace.jsonl, spans, metrics, report"

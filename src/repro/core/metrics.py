@@ -433,6 +433,232 @@ class ResilienceMetrics:
         )
 
 
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1].
+
+    1.0 means perfectly equal allocation; 1/n means one participant got
+    everything. Degenerate inputs (empty, or all zero) score 1.0 — nothing
+    was allocated unfairly.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    denom = float(arr.size * (arr * arr).sum())
+    if denom == 0.0:
+        return 1.0
+    total = float(arr.sum())
+    return total * total / denom
+
+
+@dataclass
+class TenantQoS:
+    """One tenant's service outcome over a run.
+
+    ``mean_slowdown`` is the tenant's mean *deadline-normalized* latency
+    (completion time over its class's deadline target) — the quantity the
+    Jain fairness index is computed over. Raw-latency fairness would favor
+    FIFO (which equalizes waiting, not urgency); normalized slowdown is
+    what a deadline-aware policy equalizes across classes.
+    """
+
+    tenant: str
+    slo_class: str
+    completions: CompletionStats
+    slo_attainment: float = 1.0  # fraction completed within class deadline
+    deadline_misses: int = 0
+    mean_slowdown: float = 0.0
+    degraded_requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot for the report's per-tenant block."""
+        return {
+            "admitted": self.admitted,
+            "completions": self.completions.as_dict(),
+            "deadline_misses": self.deadline_misses,
+            "degraded_requests": self.degraded_requests,
+            "mean_slowdown": self.mean_slowdown,
+            "rejected": self.rejected,
+            "slo_attainment": self.slo_attainment,
+            "slo_class": self.slo_class,
+        }
+
+
+@dataclass
+class ClassQoS:
+    """Aggregate service outcome of one SLO class.
+
+    Carries the degraded-mode split (count + completion distribution) so
+    PR 1's resilience metrics can be read per class in ``chaos --json``
+    and exported artifacts.
+    """
+
+    slo_class: str
+    deadline_seconds: float
+    completions: CompletionStats
+    slo_attainment: float = 1.0
+    deadline_misses: int = 0
+    tenants: int = 0
+    degraded_requests: int = 0
+    degraded_completions: CompletionStats = field(
+        default_factory=lambda: CompletionStats.from_times([])
+    )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot for the report's per-class block."""
+        return {
+            "completions": self.completions.as_dict(),
+            "deadline_misses": self.deadline_misses,
+            "deadline_seconds": self.deadline_seconds,
+            "degraded_completions": self.degraded_completions.as_dict(),
+            "degraded_requests": self.degraded_requests,
+            "slo_attainment": self.slo_attainment,
+            "tenants": self.tenants,
+        }
+
+
+@dataclass
+class QoSMetrics:
+    """The multi-tenant QoS block of a run: who got what service.
+
+    Assembled by :meth:`from_requests` from the simulator's completed
+    request set plus the admission controller's books. ``jain_fairness``
+    is Jain's index over per-tenant mean slowdown (see
+    :class:`TenantQoS`); ``admission_rejections`` totals rejects across
+    tenants.
+    """
+
+    per_tenant: Dict[str, TenantQoS] = field(default_factory=dict)
+    per_class: Dict[str, ClassQoS] = field(default_factory=dict)
+    jain_fairness: float = 1.0
+    deadline_misses: int = 0
+    admission_rejections: int = 0
+
+    @classmethod
+    def from_requests(
+        cls,
+        requests: Iterable[Any],
+        registry: Any,
+        admission_stats: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> "QoSMetrics":
+        """Aggregate per-tenant / per-class QoS from completed requests.
+
+        ``requests`` are simulator requests (top-level, measured ones are
+        counted); ``registry`` is a :class:`repro.tenancy.model.
+        TenantRegistry` (duck-typed: needs ``class_of``);
+        ``admission_stats`` is :meth:`repro.tenancy.admission.
+        AdmissionController.stats_dict` output.
+        """
+        by_tenant: Dict[str, List[Any]] = {}
+        for request in requests:
+            if request.parent is not None or not request.measured:
+                continue
+            if request.completion is None:
+                continue
+            by_tenant.setdefault(request.tenant, []).append(request)
+
+        tenant_names = set(by_tenant)
+        if admission_stats:
+            tenant_names |= set(admission_stats)
+
+        per_tenant: Dict[str, TenantQoS] = {}
+        class_rows: Dict[str, Dict[str, List[float]]] = {}
+        slowdowns: List[float] = []
+        total_misses = 0
+        for tenant in sorted(tenant_names):
+            slo = registry.class_of(tenant)
+            done = by_tenant.get(tenant, [])
+            times = [r.completion_time for r in done]
+            target = slo.deadline_seconds
+            norm = [t / target for t in times]
+            misses = sum(1 for r in done if r.completion > (r.deadline or (r.arrival + target)))
+            degraded = sum(1 for r in done if r.degraded)
+            stats = (admission_stats or {}).get(tenant, {})
+            per_tenant[tenant] = TenantQoS(
+                tenant=tenant,
+                slo_class=slo.name,
+                completions=CompletionStats.from_times(times),
+                slo_attainment=(
+                    1.0 if not times else 1.0 - misses / len(times)
+                ),
+                deadline_misses=misses,
+                mean_slowdown=float(np.mean(norm)) if norm else 0.0,
+                degraded_requests=degraded,
+                admitted=int(stats.get("admitted", len(done))),
+                rejected=int(stats.get("rejected", 0)),
+            )
+            total_misses += misses
+            if norm:
+                slowdowns.append(float(np.mean(norm)))
+            row = class_rows.setdefault(
+                slo.name,
+                {"times": [], "degraded": [], "tenants": [], "target": [target]},
+            )
+            row["times"].extend(times)
+            row["degraded"].extend(r.completion_time for r in done if r.degraded)
+            row["tenants"].append(1.0)
+
+        per_class: Dict[str, ClassQoS] = {}
+        for name in sorted(class_rows):
+            row = class_rows[name]
+            target = row["target"][0]
+            times = row["times"]
+            misses = sum(1 for t in times if t > target)
+            per_class[name] = ClassQoS(
+                slo_class=name,
+                deadline_seconds=target,
+                completions=CompletionStats.from_times(times),
+                slo_attainment=(1.0 if not times else 1.0 - misses / len(times)),
+                deadline_misses=misses,
+                tenants=len(row["tenants"]),
+                degraded_requests=len(row["degraded"]),
+                degraded_completions=CompletionStats.from_times(row["degraded"]),
+            )
+
+        rejections = sum(
+            int(stats.get("rejected", 0))
+            for stats in (admission_stats or {}).values()
+        )
+        return cls(
+            per_tenant=per_tenant,
+            per_class=per_class,
+            jain_fairness=jain_index(slowdowns),
+            deadline_misses=total_misses,
+            admission_rejections=rejections,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot: the per-tenant breakdown block."""
+        return {
+            "admission_rejections": self.admission_rejections,
+            "deadline_misses": self.deadline_misses,
+            "jain_fairness": self.jain_fairness,
+            "per_class": {
+                name: self.per_class[name].as_dict()
+                for name in sorted(self.per_class)
+            },
+            "per_tenant": {
+                name: self.per_tenant[name].as_dict()
+                for name in sorted(self.per_tenant)
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line operator view of the QoS block."""
+        parts = []
+        for name in sorted(self.per_class):
+            row = self.per_class[name]
+            parts.append(
+                f"{name}: p99={row.completions.p99 / 3600:.2f}h "
+                f"slo={row.slo_attainment * 100:.1f}%"
+            )
+        return (
+            f"jain={self.jain_fairness:.3f} misses={self.deadline_misses} "
+            f"rejected={self.admission_rejections} | " + " | ".join(parts)
+        )
+
+
 @dataclass
 class SimulationReport:
     """Everything a single simulator run produces."""
@@ -448,6 +674,7 @@ class SimulationReport:
     seek_seconds: float = 0.0
     simulated_seconds: float = 0.0
     resilience: Optional[ResilienceMetrics] = None
+    qos: Optional[QoSMetrics] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Stable-keyed snapshot of the whole report (per-drive rows omitted)."""
@@ -456,6 +683,7 @@ class SimulationReport:
             "bytes_verified": self.bytes_verified,
             "completions": self.completions.as_dict(),
             "drive_utilization": self.drive_utilization.as_dict(),
+            "qos": self.qos.as_dict() if self.qos else None,
             "requests_completed": self.requests_completed,
             "requests_submitted": self.requests_submitted,
             "resilience": self.resilience.as_dict() if self.resilience else None,

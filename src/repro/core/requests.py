@@ -35,6 +35,10 @@ class SimRequest:
     metadata_attempts: int = 0  # arrivals bounced off a metadata outage
     degraded: bool = False  # touched any retry / recovery / outage path
     is_recovery: bool = False  # a cross-platter NC recovery sub-read
+    # Multi-tenant QoS tags ("" / None when tenancy is not in play):
+    tenant: str = ""
+    slo_class: str = ""
+    deadline: Optional[float] = None  # absolute completion deadline
 
     @classmethod
     def from_trace(
@@ -49,6 +53,7 @@ class SimRequest:
             size_bytes=request.size_bytes,
             num_tracks=max(1, request.num_tracks),
             measured=measured,
+            tenant=request.tenant,
         )
 
     @property
@@ -112,6 +117,9 @@ class SimRequest:
                 measured=False,  # the parent carries the measurement
                 parent=self,
                 is_recovery=True,
+                tenant=self.tenant,
+                slo_class=self.slo_class,
+                deadline=self.deadline,
             )
             subs.append(sub)
         self.pending_subreads = len(subs)

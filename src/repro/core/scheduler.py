@@ -14,9 +14,32 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .requests import SimRequest
+
+
+class ArrivalOrderPolicy:
+    """The §4.1 default fetch policy: earliest queued arrival wins.
+
+    A fetch policy maps a request to a static priority key (smaller is
+    more urgent); the scheduler fetches the platter whose queued-request
+    key minimum is smallest. The arrival-time key reproduces the paper's
+    work-conserving FIFO. :class:`repro.tenancy.qos.
+    DeadlineAwareFetchPolicy` substitutes a weighted-deadline key.
+    """
+
+    name = "arrival"
+    #: Arrivals reach the simulator in time order, so an already-pending
+    #: platter's key can only improve on out-of-order re-enqueues (retry /
+    #: recovery traffic). §4.1 dispatch publishes a platter's candidacy
+    #: once per pending episode and leaves that entry in place; keep that
+    #: contract so matched-seed runs replay byte-identically.
+    refresh_on_improvement = False
+
+    def key(self, request: SimRequest) -> float:
+        """Priority key for one request — its arrival time."""
+        return request.arrival
 
 
 class RequestScheduler:
@@ -25,17 +48,26 @@ class RequestScheduler:
     ``select_platter`` implements work-conserving fairness: among platters
     that are accessible (per the caller's predicate — e.g. within a
     shuttle's partition, not obscured, not already being fetched), pick the
-    one whose earliest queued request is oldest.
+    one whose earliest queued request is oldest — or, under an injected
+    ``policy``, whose most-urgent queued request has the smallest priority
+    key. Ties break on platter id so matched-seed runs are byte-identical.
     """
 
-    def __init__(self, amortize_batch: bool = True):
+    def __init__(self, amortize_batch: bool = True, policy=None):
         #: platter id -> queued requests (arrival order).
         self._by_platter: Dict[str, List[SimRequest]] = {}
-        #: platter id -> earliest queued arrival, as a heap for fast scans.
+        #: platter id -> earliest queued arrival, kept for SLO accounting
+        #: and partition routing regardless of the active policy.
         self._earliest: Dict[str, float] = {}
+        #: platter id -> smallest policy key among its queued requests.
+        self._priority: Dict[str, float] = {}
+        #: min-heap of (priority, platter id); entries whose priority no
+        #: longer matches ``_priority`` are stale and dropped lazily.
+        self._select_heap: List[Tuple[float, str]] = []
         #: platters currently assigned to a fetch or mounted in a drive.
         self._in_service: Set[str] = set()
         self.amortize_batch = amortize_batch
+        self.policy = policy if policy is not None else ArrivalOrderPolicy()
         self.total_enqueued = 0
 
     # ------------------------------------------------------------------ #
@@ -43,23 +75,47 @@ class RequestScheduler:
     # ------------------------------------------------------------------ #
 
     def enqueue(self, request: SimRequest) -> bool:
-        """Add a request; returns True if its platter was not pending before.
+        """Add a request; returns True when the platter's fetch candidacy
+        should be (re)published.
 
-        The transition empty -> pending is what callers use to maintain
-        their fetch-candidate indexes (heaps) incrementally.
+        Always True on the empty -> pending transition — that is how
+        callers maintain their candidate indexes incrementally. A priority
+        improvement on an *already-pending* platter additionally returns
+        True only when the policy opts in via ``refresh_on_improvement``:
+        deadline policies must (an urgent class arriving behind a patient
+        one reorders the fetch), while the arrival-order default declines
+        so out-of-order re-enqueues (retry / recovery traffic) replay the
+        historical §4.1 dispatch order. The scheduler's own selection heap
+        is refreshed on every improvement regardless, so
+        :meth:`select_platter` always sees true priorities.
         """
         queue = self._by_platter.setdefault(request.platter_id, [])
-        newly_pending = not queue
         queue.append(request)
         first = self._earliest.get(request.platter_id)
         if first is None or request.arrival < first:
             self._earliest[request.platter_id] = request.arrival
+        key = self.policy.key(request)
+        current = self._priority.get(request.platter_id)
+        improved = current is None or key < current
+        if improved:
+            self._priority[request.platter_id] = key
+            heapq.heappush(self._select_heap, (key, request.platter_id))
         self.total_enqueued += 1
-        return newly_pending
+        if current is None:
+            return True
+        return improved and getattr(self.policy, "refresh_on_improvement", True)
 
     def earliest_for(self, platter_id: str) -> Optional[float]:
         """Earliest queued arrival for a platter, or None if not pending."""
         return self._earliest.get(platter_id)
+
+    def priority_for(self, platter_id: str) -> Optional[float]:
+        """The platter's fetch-priority key, or None if not pending.
+
+        Equals :meth:`earliest_for` under the arrival-order policy; under
+        a deadline-aware policy it is the smallest queued request key.
+        """
+        return self._priority.get(platter_id)
 
     @property
     def pending_requests(self) -> int:
@@ -88,24 +144,33 @@ class RequestScheduler:
     def select_platter(
         self, accessible: Callable[[str], bool]
     ) -> Optional[str]:
-        """Earliest-queued-read platter among accessible, unassigned ones.
+        """Most-urgent pending platter among accessible, unassigned ones.
 
-        Work conservation: a platter whose earliest request is oldest but
-        which is currently inaccessible (obscured / being fetched) is
+        Work conservation: a platter whose queued request is most urgent
+        but which is currently inaccessible (obscured / being fetched) is
         skipped; it will be selected as soon as its resources free up.
+
+        Backed by a lazily-invalidated min-heap of (priority, platter id):
+        stale entries (priority no longer current) are discarded on pop;
+        current entries that were popped — skipped or chosen — are pushed
+        back, so the call is side-effect-free for callers. Equal-priority
+        platters resolve by id, not by insertion history.
         """
-        best: Optional[str] = None
-        best_arrival = float("inf")
-        for platter, earliest in self._earliest.items():
-            if earliest >= best_arrival:
+        restore: List[Tuple[float, str]] = []
+        chosen: Optional[str] = None
+        while self._select_heap:
+            entry = heapq.heappop(self._select_heap)
+            key, platter = entry
+            if self._priority.get(platter) != key:
                 continue
-            if platter in self._in_service:
+            restore.append(entry)
+            if platter in self._in_service or not accessible(platter):
                 continue
-            if not accessible(platter):
-                continue
-            best = platter
-            best_arrival = earliest
-        return best
+            chosen = platter
+            break
+        for entry in restore:
+            heapq.heappush(self._select_heap, entry)
+        return chosen
 
     def begin_service(self, platter_id: str) -> None:
         """Mark the platter assigned (fetch dispatched)."""
@@ -126,13 +191,18 @@ class RequestScheduler:
             batch = queue
             del self._by_platter[platter_id]
             del self._earliest[platter_id]
+            del self._priority[platter_id]
         else:
             batch = [queue.pop(0)]
             if queue:
                 self._earliest[platter_id] = queue[0].arrival
+                key = min(self.policy.key(r) for r in queue)
+                self._priority[platter_id] = key
+                heapq.heappush(self._select_heap, (key, platter_id))
             else:
                 del self._by_platter[platter_id]
                 del self._earliest[platter_id]
+                del self._priority[platter_id]
         return batch
 
     def end_service(self, platter_id: str) -> None:
@@ -150,6 +220,7 @@ class RequestScheduler:
             raise ValueError(f"platter {platter_id} is in service")
         queue = self._by_platter.pop(platter_id, [])
         self._earliest.pop(platter_id, None)
+        self._priority.pop(platter_id, None)
         return queue
 
     def in_service(self, platter_id: str) -> bool:

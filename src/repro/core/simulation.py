@@ -35,6 +35,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultSchedule
     from ..observability.tracer import Tracer
+    from ..tenancy.model import TenantRegistry
 
 from ..library.layout import LibraryConfig, LibraryLayout, Position, SlotId
 from ..library.shuttle import Shuttle
@@ -43,8 +44,10 @@ from ..workload.traces import ReadRequest, ReadTrace
 from .events import Simulation
 from .metrics import (
     CompletionStats,
+    Counter,
     DriveUtilization,
     MetricsRegistry,
+    QoSMetrics,
     ResilienceMetrics,
     ShuttleMetrics,
     SimulationReport,
@@ -90,12 +93,23 @@ class SimConfig:
     # Capped exponential backoff for arrivals hitting a metadata outage.
     metadata_backoff_base_seconds: float = 1.0
     metadata_backoff_cap_seconds: float = 60.0
+    # Multi-tenant QoS: the platter-fetch priority policy ("arrival" is the
+    # §4.1 default; "deadline" is the weighted-deadline policy and needs a
+    # tenant registry), plus the tenant mix itself. With ``tenancy`` set,
+    # ingress quotas are enforced at trace intake and the report grows a
+    # per-tenant / per-class QoS block.
+    fetch_policy: str = "arrival"
+    tenancy: Optional["TenantRegistry"] = None
     seed: int = 0
     library: LibraryConfig = field(default_factory=LibraryConfig)
 
     def __post_init__(self) -> None:
         if self.policy not in ("silica", "sp", "ns"):
             raise ValueError(f"unknown policy {self.policy!r}")
+        if self.fetch_policy not in ("arrival", "deadline"):
+            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        if self.fetch_policy == "deadline" and self.tenancy is None:
+            raise ValueError("fetch_policy='deadline' requires a tenancy registry")
         if self.num_shuttles > self.library.max_shuttles:
             raise ValueError(
                 f"{self.num_shuttles} shuttles exceed the panel cap of "
@@ -209,15 +223,28 @@ class LibrarySimulation:
         else:  # ns
             self.policy = None
         self.shuttles = [_ShuttleSim(s) for s in raw_shuttles]
-        self.scheduler = RequestScheduler(amortize_batch=cfg.amortize_batch)
+        # Tenancy is optional and imported lazily so the core simulator has
+        # no hard dependency on the QoS subsystem.
+        self.admission = None
+        fetch_policy = None
+        if cfg.tenancy is not None:
+            from ..tenancy.admission import AdmissionController
+            from ..tenancy.qos import policy_for
+
+            self.admission = AdmissionController(cfg.tenancy)
+            fetch_policy = policy_for(cfg.fetch_policy, cfg.tenancy)
+        self.scheduler = RequestScheduler(
+            amortize_batch=cfg.amortize_batch, policy=fetch_policy
+        )
         # Platter population and placement.
         self.platters: List[str] = [f"P{i:05d}" for i in range(cfg.num_platters)]
         self._platter_index = {p: i for i, p in enumerate(self.platters)}
         self._home_slot: Dict[str, SlotId] = {}
         self._place_platters()
         # Fetch-candidate indexes: per-partition heaps (Silica) and a global
-        # heap (SP/NS), holding (earliest arrival, platter) with lazy
-        # invalidation.
+        # heap (SP/NS), holding (fetch priority, platter) with lazy
+        # invalidation. Priority is the scheduler policy's key — earliest
+        # queued arrival by default, weighted-deadline urgency under QoS.
         self._platter_partition: Dict[str, int] = {}
         self._partition_heaps: Dict[int, List[Tuple[float, str]]] = {}
         self._partition_load: Dict[int, float] = {}
@@ -294,6 +321,19 @@ class LibrarySimulation:
             "Measured top-level request completion time (arrival to last byte)",
             "seconds",
         )
+        # QoS counters exist only on tenancy-enabled runs so single-tenant
+        # metric exports stay byte-identical with earlier versions.
+        self._c_admission_rejects: Optional[Counter] = None
+        self._c_deadline_misses: Optional[Counter] = None
+        if cfg.tenancy is not None:
+            self._c_admission_rejects = m.counter(
+                "admission_rejections_total",
+                "Reads rejected by tenant ingress quotas",
+            )
+            self._c_deadline_misses = m.counter(
+                "deadline_misses_total",
+                "Measured completions past their SLO-class deadline",
+            )
         self.all_requests: List[SimRequest] = []
         self._next_request_id = 0
         self._mount_counter = 0
@@ -480,6 +520,35 @@ class LibrarySimulation:
 
     def _submit(self, request: ReadRequest, platter: str, measured: bool) -> None:
         cfg = self.config
+        slo_class = ""
+        deadline: Optional[float] = None
+        if cfg.tenancy is not None:
+            # Ingress admission: trace requests are processed in time order,
+            # so charging the token bucket at ``request.time`` replays the
+            # frontend's decisions deterministically.
+            if self.admission is not None and not self.admission.admit(
+                request.tenant, request.size_bytes, request.time
+            ):
+                if self._c_admission_rejects is not None:
+                    self._c_admission_rejects.inc()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        request.time,
+                        "admission.reject",
+                        tenant=request.tenant,
+                        size_bytes=request.size_bytes,
+                    )
+                return
+            slo = cfg.tenancy.class_of(request.tenant)
+            slo_class = slo.name
+            deadline = request.time + slo.deadline_seconds
+            if self.tracer is not None:
+                self.tracer.emit(
+                    request.time,
+                    "admission.accept",
+                    tenant=request.tenant,
+                    size_bytes=request.size_bytes,
+                )
         total_tracks = max(1, int(math.ceil(request.size_bytes / cfg.track_payload_bytes)))
         # Large files are sharded across platters to parallelize their reads
         # (Section 6); each shard is an independent sub-read.
@@ -491,6 +560,9 @@ class LibrarySimulation:
                 size_bytes=request.size_bytes,
                 num_tracks=total_tracks,
                 measured=measured,
+                tenant=request.tenant,
+                slo_class=slo_class,
+                deadline=deadline,
             )
             self.all_requests.append(parent)
             num_shards = -(-total_tracks // cfg.shard_tracks_limit)
@@ -510,6 +582,9 @@ class LibrarySimulation:
                         track_start=self._random_track_start(tracks),
                         measured=False,
                         parent=parent,
+                        tenant=request.tenant,
+                        slo_class=slo_class,
+                        deadline=deadline,
                     )
                 )
                 if tracks_left <= 0:
@@ -528,6 +603,9 @@ class LibrarySimulation:
             num_tracks=total_tracks,
             track_start=self._random_track_start(total_tracks),
             measured=measured,
+            tenant=request.tenant,
+            slo_class=slo_class,
+            deadline=deadline,
         )
         self.all_requests.append(sim_request)
         self._ingest(sim_request)
@@ -574,6 +652,18 @@ class LibrarySimulation:
         for node in (sim_request, finished):
             if node is not None and node.measured and node.parent is None:
                 self._h_completion.observe(node.completion_time)
+                if node.deadline is not None and now > node.deadline:
+                    if self._c_deadline_misses is not None:
+                        self._c_deadline_misses.inc()
+                    if tr is not None:
+                        tr.emit(
+                            now,
+                            "request.deadline_miss",
+                            request_id=node.request_id,
+                            tenant=node.tenant,
+                            slo_class=node.slo_class,
+                            late_seconds=now - node.deadline,
+                        )
 
     def _fan_out_recovery(self, sim_request: SimRequest) -> List[SimRequest]:
         """Cross-platter NC: read the matching tracks on I_p available
@@ -660,7 +750,7 @@ class LibrarySimulation:
         self.sim.schedule_at(at, arrive, label="arrival")
 
     def _enqueue(self, sim_request: SimRequest) -> None:
-        newly_pending = self.scheduler.enqueue(sim_request)
+        improved = self.scheduler.enqueue(sim_request)
         if self.tracer is not None:
             self.tracer.emit(
                 self.sim.now,
@@ -672,11 +762,13 @@ class LibrarySimulation:
         pid = self._platter_partition.get(platter)
         if pid is not None:
             self._partition_load[pid] += sim_request.size_bytes
-        if newly_pending:
-            self._push_candidate(platter, sim_request.arrival)
+        if improved:
+            priority = self.scheduler.priority_for(platter)
+            if priority is not None:
+                self._push_candidate(platter, priority)
 
-    def _push_candidate(self, platter: str, earliest: float) -> None:
-        entry = (earliest, platter)
+    def _push_candidate(self, platter: str, priority: float) -> None:
+        entry = (priority, platter)
         heapq.heappush(self._global_heap, entry)
         pid = self._platter_partition.get(platter)
         if pid is not None:
@@ -861,9 +953,9 @@ class LibrarySimulation:
     def _end_service(self, platter: str) -> None:
         """Platter is back on its shelf: re-arm fetch candidacy."""
         self.scheduler.end_service(platter)
-        earliest = self.scheduler.earliest_for(platter)
-        if earliest is not None:
-            self._push_candidate(platter, earliest)
+        priority = self.scheduler.priority_for(platter)
+        if priority is not None:
+            self._push_candidate(platter, priority)
 
     def _maybe_recharge(self, shuttle_sim: _ShuttleSim) -> bool:
         """Send a low-battery shuttle to charge (controller duty, §4.1).
@@ -983,7 +1075,7 @@ class LibrarySimulation:
             drive = self._drive_for(shuttle_sim.shuttle, slot)
             if drive is None:
                 # No free drive after all; put the candidate back.
-                self._push_candidate(platter, self.scheduler.earliest_for(platter) or 0.0)
+                self._push_candidate(platter, self.scheduler.priority_for(platter) or 0.0)
                 return
             self._start_fetch(shuttle_sim, platter, drive)
 
@@ -1717,7 +1809,24 @@ class LibrarySimulation:
         m.gauge(
             "energy_per_platter_op", "Shuttle energy per platter operation", unit="joules"
         ).set(shuttle_metrics.energy_per_platter_op)
+        qos = None
+        if self.config.tenancy is not None:
+            qos = QoSMetrics.from_requests(
+                self.all_requests,
+                self.config.tenancy,
+                self.admission.stats_dict() if self.admission else None,
+            )
+            m.gauge("qos_jain_fairness", "Jain index over per-tenant mean slowdown").set(
+                qos.jain_fairness
+            )
+            m.gauge("qos_deadline_misses", "Measured completions past deadline").set(
+                qos.deadline_misses
+            )
+            m.gauge("qos_admission_rejections", "Reads rejected by ingress quotas").set(
+                qos.admission_rejections
+            )
         return SimulationReport(
+            qos=qos,
             resilience=resilience,
             completions=completions,
             drive_utilization=agg,

@@ -50,6 +50,10 @@ EVENT_KINDS = frozenset(
         "request.metadata_blocked",
         "request.complete",
         "request.lost",
+        "request.deadline_miss",
+        # multi-tenant admission control
+        "admission.accept",
+        "admission.reject",
         # scheduler decisions
         "sched.batch",
         "sched.steal",
@@ -85,6 +89,7 @@ EVENT_KINDS = frozenset(
         "service.sector_reread",
         "service.deep_decode",
         "service.sector_unrecovered",
+        "service.admission_reject",
     }
 )
 

@@ -106,6 +106,7 @@ class ServiceRetryStats:
     deep_decodes: int = 0
     unrecovered_sectors: int = 0
     backoff_seconds: float = 0.0
+    admission_rejections: int = 0  # gets refused by tenant ingress quotas
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,10 @@ class ServiceConfig:
     # path — ciphertext, channel noise, decode outcomes — reproducible
     # run to run, which benchmarks and regression baselines require.
     key_seed: Optional[int] = None
+    # Multi-tenant QoS: a repro.tenancy.model.TenantRegistry enables
+    # token-bucket admission control on get() (quota charged against the
+    # file's stored size once metadata resolves it).
+    tenancy: Optional[object] = None
 
 
 class ArchiveService:
@@ -162,6 +167,11 @@ class ArchiveService:
         self._key_rng = (
             None if cfg.key_seed is None else np.random.default_rng(cfg.key_seed)
         )
+        self.admission = None
+        if cfg.tenancy is not None:
+            from ..tenancy.admission import AdmissionController
+
+            self.admission = AdmissionController(cfg.tenancy)
 
     # ------------------------------------------------------------------ #
     # put
@@ -238,12 +248,18 @@ class ArchiveService:
     # get
     # ------------------------------------------------------------------ #
 
-    def get(self, file_id: str, version: Optional[int] = None) -> bytes:
+    def get(
+        self, file_id: str, version: Optional[int] = None, tenant: str = ""
+    ) -> bytes:
         """Read a file back through the full decode path.
 
         Metadata lookups retry on transient outages (capped exponential
         backoff) under the per-request deadline; sector decodes climb the
-        re-read -> deeper-LDPC escalation ladder.
+        re-read -> deeper-LDPC escalation ladder. With tenancy configured,
+        the ``tenant``'s ingress quota is charged with the file's stored
+        size (known once metadata resolves the location); an empty bucket
+        raises :class:`repro.tenancy.admission.AdmissionRejected` before
+        any glass is read.
         """
         deadline = self._clock + self.config.retry.deadline_seconds
         if self.tracer is not None:
@@ -253,6 +269,22 @@ class ArchiveService:
         location = self._metadata_call(
             lambda: self.metadata.locate(file_id, version), deadline
         )
+        if self.admission is not None and not self.admission.admit(
+            tenant, location.size_bytes, self._clock
+        ):
+            from ..tenancy.admission import AdmissionRejected
+
+            self.retry_stats.admission_rejections += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._clock,
+                    "service.admission_reject",
+                    component="frontend",
+                    file_id=file_id,
+                    tenant=tenant,
+                    size_bytes=location.size_bytes,
+                )
+            raise AdmissionRejected(tenant, location.size_bytes)
         key = self._metadata_call(
             lambda: self.metadata.encryption_key(file_id), deadline
         )

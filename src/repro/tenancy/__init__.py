@@ -1,0 +1,45 @@
+"""Multi-tenant QoS: tenant model, admission control, SLO-class scheduling.
+
+The package threads a new axis — *who is asking* — through the
+reproduction: :mod:`repro.tenancy.model` defines SLO classes
+(``expedited`` / ``standard`` / ``bulk``), tenant specs, and the
+registry; :mod:`repro.tenancy.admission` enforces per-tenant
+token-bucket ingress quotas at the frontend; and
+:mod:`repro.tenancy.qos` provides the deadline-aware platter-fetch
+policy that plugs into :class:`repro.core.scheduler.RequestScheduler`
+alongside the §4.1 arrival-order default. Per-tenant/per-class QoS
+metrics (latency percentiles, SLO attainment, deadline misses, Jain
+fairness) are assembled by :class:`repro.core.metrics.QoSMetrics`.
+"""
+
+from .admission import AdmissionController, AdmissionRejected, TokenBucket
+from .model import (
+    BULK,
+    DEFAULT_CLASSES,
+    EXPEDITED,
+    STANDARD,
+    QuotaSpec,
+    SLOClass,
+    TenantRegistry,
+    TenantSpec,
+    skewed_mix,
+)
+from .qos import ArrivalOrderPolicy, DeadlineAwareFetchPolicy, policy_for
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "TokenBucket",
+    "SLOClass",
+    "QuotaSpec",
+    "TenantSpec",
+    "TenantRegistry",
+    "EXPEDITED",
+    "STANDARD",
+    "BULK",
+    "DEFAULT_CLASSES",
+    "skewed_mix",
+    "ArrivalOrderPolicy",
+    "DeadlineAwareFetchPolicy",
+    "policy_for",
+]

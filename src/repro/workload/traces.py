@@ -36,6 +36,8 @@ class ReadRequest:
     platter_id: Optional[str] = None
     track: int = 0
     num_tracks: int = 1
+    #: issuing tenant ("" = the single anonymous tenant of legacy traces).
+    tenant: str = ""
 
     def with_placement(self, platter_id: str, track: int, num_tracks: int = 1) -> "ReadRequest":
         return replace(self, platter_id=platter_id, track=track, num_tracks=num_tracks)
