@@ -32,6 +32,7 @@ Units: seconds (wall clock) and raw bytes.
 
 from __future__ import annotations
 
+import gc
 import tracemalloc
 from dataclasses import dataclass
 from time import perf_counter
@@ -84,6 +85,7 @@ class PerfCapture:
 
     def __enter__(self) -> "PerfCapture":
         if self.trace_memory:
+            gc.collect()
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
                 self._started_tracing = True

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core.metrics import SimulationReport
-from ..core.simulation import LibrarySimulation, SimConfig
+from ..core.sim import LibrarySimulation, SimConfig
 from .registry import ScenarioRegistry, ScenarioRun
 
 

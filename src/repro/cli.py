@@ -417,15 +417,50 @@ def _cmd_bench_update_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _qos_args(sub: argparse.ArgumentParser) -> None:
+def _parent(*build) -> argparse.ArgumentParser:
+    """A help-less parent parser holding one shared flag group.
+
+    ``argparse`` merges parents' arguments into each subcommand that lists
+    them, so every flag shared by two or more of simulate / chaos / trace /
+    export is declared exactly once (same default, same help text) instead
+    of being copy-pasted per subcommand.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    for add in build:
+        add(parent)
+    return parent
+
+
+def _profile_flags(p: argparse.ArgumentParser) -> None:
+    """Workload-profile flags: which trace to synthesize, and how much."""
+    p.add_argument("--profile", default="IOPS",
+                   choices=["Typical", "IOPS", "Volume"])
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--rate-factor", type=float, default=0.7)
+
+
+def _library_flags(p: argparse.ArgumentParser) -> None:
+    """Library-plant sizing flags shared by every simulation command."""
+    p.add_argument("--drives", type=int, default=20)
+    p.add_argument("--shuttles", type=int, default=20)
+    p.add_argument("--platters", type=int, default=1200)
+
+
+def _qos_flags(p: argparse.ArgumentParser) -> None:
     """Multi-tenant QoS flags shared by simulate / chaos / trace / export."""
-    sub.add_argument("--tenants", type=int, default=0,
-                     help="run a skewed multi-tenant mix with N tenants "
-                          "(0 = single anonymous tenant)")
-    sub.add_argument("--fetch-policy", default="arrival",
-                     choices=["arrival", "deadline"],
-                     help="platter-fetch policy: §4.1 arrival order, or "
-                          "deadline-aware QoS (requires --tenants)")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="run a skewed multi-tenant mix with N tenants "
+                        "(0 = single anonymous tenant)")
+    p.add_argument("--fetch-policy", default="arrival",
+                   choices=["arrival", "deadline"],
+                   help="platter-fetch policy: §4.1 arrival order, or "
+                        "deadline-aware QoS (requires --tenants)")
+
+
+def _fault_flags(p: argparse.ArgumentParser) -> None:
+    """Transient-fault flags shared by chaos / trace / export."""
+    p.add_argument("--read-error-prob", type=float, default=0.0,
+                   help="per-attempt transient sector read error probability")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -436,21 +471,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups (argparse parent parsers): declared once, merged
+    # into every simulation subcommand that uses them.
+    run_parent = _parent(_profile_flags, _library_flags)
+    qos_parent = _parent(_qos_flags)
+    fault_parent = _parent(_fault_flags)
+
     workload = commands.add_parser("workload", help="workload characterization")
     workload.add_argument("--days", type=int, default=120)
     workload.set_defaults(func=_cmd_workload)
 
-    simulate = commands.add_parser("simulate", help="run the digital twin")
-    simulate.add_argument("--profile", default="IOPS", choices=["Typical", "IOPS", "Volume"])
+    simulate = commands.add_parser(
+        "simulate", help="run the digital twin", parents=[run_parent, qos_parent]
+    )
     simulate.add_argument("--policy", default="silica", choices=["silica", "sp", "ns"])
-    simulate.add_argument("--drives", type=int, default=20)
-    simulate.add_argument("--shuttles", type=int, default=20)
     simulate.add_argument("--mbps", type=float, default=60.0)
-    simulate.add_argument("--platters", type=int, default=1200)
-    simulate.add_argument("--hours", type=float, default=1.0)
-    simulate.add_argument("--rate-factor", type=float, default=0.7)
     simulate.add_argument("--unavailable", type=float, default=0.0)
-    _qos_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     commands.add_parser("table1", help="platter-set trade-off").set_defaults(
@@ -468,14 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     archive.set_defaults(func=_cmd_archive)
 
     chaos = commands.add_parser(
-        "chaos", help="run under a stochastic fault schedule with repair clocks"
+        "chaos", help="run under a stochastic fault schedule with repair clocks",
+        parents=[run_parent, fault_parent, qos_parent],
     )
-    chaos.add_argument("--profile", default="IOPS", choices=["Typical", "IOPS", "Volume"])
-    chaos.add_argument("--drives", type=int, default=20)
-    chaos.add_argument("--shuttles", type=int, default=20)
-    chaos.add_argument("--platters", type=int, default=1200)
-    chaos.add_argument("--hours", type=float, default=1.0)
-    chaos.add_argument("--rate-factor", type=float, default=0.7)
     chaos.add_argument("--shuttle-mtbf", type=float, default=1800.0,
                        help="shuttle MTBF seconds (0 disables shuttle faults)")
     chaos.add_argument("--shuttle-mttr", type=float, default=300.0)
@@ -485,30 +516,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metadata-mtbf", type=float, default=0.0,
                        help="metadata-service MTBF seconds (0 disables outages)")
     chaos.add_argument("--metadata-mttr", type=float, default=120.0)
-    chaos.add_argument("--read-error-prob", type=float, default=0.0,
-                       help="per-attempt transient sector read error probability")
     chaos.add_argument("--no-repair", action="store_true",
                        help="same fault schedule, repair disabled (fail-stop)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as stable-keyed JSON")
-    _qos_args(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
-    def _run_args(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--profile", default="IOPS",
-                         choices=["Typical", "IOPS", "Volume"])
-        sub.add_argument("--drives", type=int, default=20)
-        sub.add_argument("--shuttles", type=int, default=20)
-        sub.add_argument("--platters", type=int, default=1200)
-        sub.add_argument("--hours", type=float, default=1.0)
-        sub.add_argument("--rate-factor", type=float, default=0.7)
-        sub.add_argument("--read-error-prob", type=float, default=0.0)
-        _qos_args(sub)
-
     trace = commands.add_parser(
-        "trace", help="traced run: export trace.jsonl, spans, metrics, report"
+        "trace", help="traced run: export trace.jsonl, spans, metrics, report",
+        parents=[run_parent, fault_parent, qos_parent],
     )
-    _run_args(trace)
     trace.add_argument("--out", default="runs/trace",
                        help="artifact output directory")
     trace.add_argument("--hotspots", action="store_true",
@@ -518,9 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=_cmd_trace)
 
     export = commands.add_parser(
-        "export", help="untraced run: export metrics.json/.prom and report.json"
+        "export", help="untraced run: export metrics.json/.prom and report.json",
+        parents=[run_parent, fault_parent, qos_parent],
     )
-    _run_args(export)
     export.add_argument("--out", default="runs/export",
                         help="artifact output directory")
     export.set_defaults(func=_cmd_export)

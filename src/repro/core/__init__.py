@@ -25,7 +25,7 @@ from .replication import ReplicatedMetric, replicate, replicate_tail_hours
 from .requests import SimRequest
 from .scheduler import RequestScheduler
 from .tape_baseline import TapeConfig, TapeLibrarySimulation, TapeReport
-from .simulation import LibrarySimulation, SimConfig
+from .sim import LibrarySimulation, SimConfig, SimContext, SimKernel
 from .traffic import (
     Partition,
     PartitionedPolicy,
@@ -68,6 +68,8 @@ __all__ = [
     "TapeReport",
     "LibrarySimulation",
     "SimConfig",
+    "SimContext",
+    "SimKernel",
     "Partition",
     "PartitionedPolicy",
     "ReservationTable",

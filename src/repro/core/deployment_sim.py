@@ -28,7 +28,7 @@ import numpy as np
 
 from ..workload.traces import ReadRequest, ReadTrace
 from .metrics import CompletionStats, SimulationReport
-from .simulation import LibrarySimulation, SimConfig
+from .sim import LibrarySimulation, SimConfig
 
 
 @dataclass(frozen=True)
@@ -115,9 +115,7 @@ class DeploymentSimulation:
         times: List[float] = []
         for library in self.libraries:
             times.extend(
-                r.completion_time
-                for r in library.all_requests
-                if r.measured and r.done and r.parent is None
+                r.completion_time for r in library.kernel.measured_completed()
             )
         return DeploymentReport(
             completions=CompletionStats.from_times(times),

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..decode.pipeline import ClusterConfig, DecodeCluster, DecodeJob, diurnal_price_curve
 from .metrics import SLO_SECONDS, CompletionStats
-from .simulation import LibrarySimulation
+from .sim import LibrarySimulation
 
 
 @dataclass
@@ -56,11 +56,7 @@ def compose_with_decode(
     False the cluster decodes on arrival instead of time-shifting to cheap
     hours — higher cost, lower latency (the trade-off of Section 3.2).
     """
-    completed = [
-        r
-        for r in simulation.all_requests
-        if r.measured and r.done and r.parent is None
-    ]
+    completed = list(simulation.kernel.measured_completed())
     if not completed:
         raise ValueError("simulation has no measured completed requests")
     horizon_hours = int(math.ceil(simulation.sim.now / 3600.0)) + int(

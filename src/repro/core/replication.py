@@ -18,7 +18,7 @@ from scipy import stats as scipy_stats
 from ..workload.profiles import WorkloadProfile
 from ..workload.generator import WorkloadGenerator
 from .metrics import SimulationReport
-from .simulation import LibrarySimulation, SimConfig
+from .sim import LibrarySimulation, SimConfig
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,351 @@
+"""Dispatch subsystem: assigning shuttles and drives to pending work.
+
+Owns the controller's dispatch machinery — the coalesced zero-delay
+dispatch event, the fetch-candidate indexes (per-partition heaps for the
+Silica policy, one global heap for the SP/NS baselines, both lazily
+invalidated), the partition routing tables that failure handling rewrites
+(partition cover, drive overrides), and the per-partition load estimates
+that drive work stealing.
+
+The three §4.1/§7.2 dispatch strategies — :class:`SilicaDispatch`
+(partitioned, work-stealing), :class:`ShortestPathsDispatch` (free-roaming
+SP baseline) and :class:`NoShuttleDispatch` (teleporting NS lower bound) —
+implement the :class:`~repro.core.sim.hooks.DispatchPolicy` protocol and
+are interchangeable behind it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ...library.layout import SlotId
+from ...library.shuttle import Shuttle
+from ..traffic import PartitionedPolicy
+from .context import SimContext
+from .hooks import DispatchPolicy
+from .robotics import DriveSim, RoboticsSubsystem, ShuttleSim
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultSubsystem
+    from .lifecycle import RequestLifecycle
+
+
+class SilicaDispatch:
+    """Partitioned dispatch (§4.1): each shuttle serves its own partitions,
+    stealing from overloaded donors when its own heaps run dry."""
+
+    name = "silica"
+
+    def run(self, d: "DispatchSubsystem") -> None:
+        """Assign idle shuttles to returns, then partition fetches."""
+        d.dispatch_returns()
+        robotics = d.robotics
+        policy = robotics.policy
+        assert isinstance(policy, PartitionedPolicy)
+        ctx = d.ctx
+        for shuttle_sim in robotics.shuttles:
+            if not shuttle_sim.idle:
+                continue
+            if robotics.maybe_recharge(shuttle_sim):
+                continue
+            shuttle = shuttle_sim.shuttle
+            for pid in d.covered_partitions(shuttle.partition):
+                drive = d.partition_drive(pid)
+                if drive is None or not drive.customer_slot_free:
+                    continue
+                platter = d.pop_candidate(d.partition_heaps[pid])
+                stolen = False
+                if platter is None and policy.work_stealing:
+                    for donor in policy.steal_candidates(d.partition_load):
+                        if donor == pid:
+                            continue
+                        platter = d.pop_candidate(d.partition_heaps[donor])
+                        if platter is not None:
+                            stolen = True
+                            break
+                if platter is None:
+                    continue
+                if stolen:
+                    policy.steals += 1
+                    ctx.counters.steals.inc()
+                    if ctx.tracer is not None:
+                        ctx.tracer.emit(
+                            ctx.sim.now,
+                            "sched.steal",
+                            component=f"shuttle:{shuttle.shuttle_id}",
+                            platter=platter,
+                            partition=pid,
+                        )
+                robotics.start_fetch(shuttle_sim, platter, drive)
+                break  # this shuttle is busy now
+
+
+class ShortestPathsDispatch:
+    """The SP baseline: any idle shuttle fetches the globally most urgent
+    platter via shortest paths — no partitioning, congestion included."""
+
+    name = "sp"
+
+    def run(self, d: "DispatchSubsystem") -> None:
+        """Assign idle shuttles to returns, then nearest-shuttle fetches."""
+        d.dispatch_returns()
+        robotics = d.robotics
+        for shuttle_sim in robotics.shuttles:
+            if shuttle_sim.idle:
+                robotics.maybe_recharge(shuttle_sim)
+        while True:
+            idle = [s for s in robotics.shuttles if s.idle]
+            if not idle:
+                return
+            if not any(dr.customer_slot_free for dr in robotics.drives):
+                return
+            platter = d.pop_candidate(d.global_heap)
+            if platter is None:
+                return
+            slot = robotics.layout.locate(platter)
+            slot_pos = robotics.layout.slot_position(slot)
+            shuttle_sim = min(
+                idle,
+                key=lambda s: abs(s.shuttle.position.x - slot_pos.x)
+                + 0.5 * abs(s.shuttle.position.level - slot_pos.level),
+            )
+            drive = d.drive_for(shuttle_sim.shuttle, slot)
+            if drive is None:
+                # No free drive after all; put the candidate back.
+                d.push_candidate(
+                    platter, d.ctx.scheduler.priority_for(platter) or 0.0
+                )
+                return
+            robotics.start_fetch(shuttle_sim, platter, drive)
+
+
+class NoShuttleDispatch:
+    """The NS baseline: platters teleport into free drives — the lower
+    bound on shuttle overhead."""
+
+    name = "ns"
+
+    def run(self, d: "DispatchSubsystem") -> None:
+        """Mount the most urgent pending platters into free drives."""
+        robotics = d.robotics
+        while True:
+            free_drives = [dr for dr in robotics.drives if dr.customer_slot_free]
+            if not free_drives:
+                return
+            platter = d.pop_candidate(d.global_heap)
+            if platter is None:
+                return
+            drive = free_drives[0]
+            d.ctx.scheduler.begin_service(platter)
+            robotics.on_customer_arrival(drive, platter)
+
+
+_DISPATCH_POLICIES = {
+    "silica": SilicaDispatch,
+    "sp": ShortestPathsDispatch,
+    "ns": NoShuttleDispatch,
+}
+
+
+def dispatch_policy_for(name: str) -> DispatchPolicy:
+    """The dispatch strategy registered under ``name`` (silica/sp/ns)."""
+    return _DISPATCH_POLICIES[name]()
+
+
+class DispatchSubsystem:
+    """Controller dispatch: candidate indexes, routing tables, the loop."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        robotics: RoboticsSubsystem,
+        lifecycle: "RequestLifecycle",
+    ):
+        self.ctx = ctx
+        self.robotics = robotics
+        self.lifecycle = lifecycle
+        # Fetch-candidate indexes: per-partition heaps (Silica) and a global
+        # heap (SP/NS), holding (fetch priority, platter) with lazy
+        # invalidation. Priority is the scheduler policy's key — earliest
+        # queued arrival by default, weighted-deadline urgency under QoS.
+        self.platter_partition: Dict[str, int] = {}
+        self.partition_heaps: Dict[int, List[Tuple[float, str]]] = {}
+        self.partition_load: Dict[int, float] = {}
+        policy = robotics.policy
+        if isinstance(policy, PartitionedPolicy):
+            for platter, slot in robotics.home_slot.items():
+                self.platter_partition[platter] = policy.partition_of_slot(slot)
+            for p in policy.partitions:
+                self.partition_heaps[p.index] = []
+                self.partition_load[p.index] = 0.0
+        self.global_heap: List[Tuple[float, str]] = []
+        # Failure-routing tables: which shuttle covers each partition
+        # (self-coverage initially) and per-partition drive re-routing.
+        self.partition_cover: Dict[int, int] = {}
+        if isinstance(policy, PartitionedPolicy):
+            for p in policy.partitions:
+                self.partition_cover[p.index] = p.index
+        self.drive_override: Dict[int, int] = {}
+        self._dispatch_scheduled = False
+        self.policy: DispatchPolicy = dispatch_policy_for(ctx.config.policy)
+        # Bound by :meth:`wire` during composition.
+        self.faults: "FaultSubsystem" = None  # type: ignore[assignment]
+
+    def wire(self, faults: "FaultSubsystem") -> None:
+        """Bind the fault subsystem (pending faults fire at dispatch)."""
+        self.faults = faults
+
+    # ------------------------------------------------------------------ #
+    # The dispatch loop
+    # ------------------------------------------------------------------ #
+
+    def request_dispatch(self) -> None:
+        """Coalesce dispatch work onto a single zero-delay event."""
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+
+        def run() -> None:
+            self._dispatch_scheduled = False
+            self._dispatch()
+
+        self.ctx.sim.schedule(0.0, run, label="dispatch")
+
+    def _dispatch(self) -> None:
+        # Faults that found their component busy fire here, at the next
+        # operation boundary, *before* new work is assigned — the
+        # event-driven replacement for the old fixed-interval retry poll.
+        self.faults.fire_pending_faults()
+        self.policy.run(self)
+
+    # ------------------------------------------------------------------ #
+    # Returns
+    # ------------------------------------------------------------------ #
+
+    def dispatch_returns(self) -> None:
+        """Assign idle shuttles to drives with a platter awaiting return."""
+        for drive in self.robotics.drives:
+            if drive.awaiting_return is None or drive.return_assigned:
+                continue
+            shuttle = self.shuttle_for_return(drive)
+            if shuttle is None:
+                continue
+            drive.return_assigned = True
+            self.robotics.start_return(shuttle, drive)
+
+    def shuttle_for_return(self, drive: DriveSim) -> Optional[ShuttleSim]:
+        """The shuttle responsible for returning the drive's platter."""
+        platter = drive.awaiting_return
+        robotics = self.robotics
+        if isinstance(robotics.policy, PartitionedPolicy):
+            partition = self.platter_partition[platter]
+            cover = self.partition_cover.get(partition, partition)
+            for s in robotics.shuttles:
+                if s.idle and s.shuttle.partition == cover:
+                    return s
+            return None
+        idle = [s for s in robotics.shuttles if s.idle]
+        if not idle:
+            return None
+        return min(idle, key=lambda s: abs(s.shuttle.position.x - drive.position.x))
+
+    # ------------------------------------------------------------------ #
+    # Candidate indexes
+    # ------------------------------------------------------------------ #
+
+    def push_candidate(self, platter: str, priority: float) -> None:
+        """Publish a platter's fetch candidacy at the given priority."""
+        entry = (priority, platter)
+        heapq.heappush(self.global_heap, entry)
+        pid = self.platter_partition.get(platter)
+        if pid is not None:
+            heapq.heappush(self.partition_heaps[pid], entry)
+
+    def pop_candidate(self, heap: List[Tuple[float, str]]) -> Optional[str]:
+        """Earliest valid pending platter from a heap (lazy invalidation).
+
+        Entries for platters that were serviced, are currently in service,
+        or are unreachable are discarded; in-service platters with new
+        pending work are re-pushed when their service ends.
+        """
+        scheduler = self.ctx.scheduler
+        while heap:
+            _arrival, platter = heap[0]
+            if (
+                not scheduler.has_work(platter)
+                or scheduler.in_service(platter)
+                or platter in self.lifecycle.unavailable
+                or self.robotics.layout.locate(platter) is None
+            ):
+                heapq.heappop(heap)
+                continue
+            heapq.heappop(heap)
+            return platter
+        return None
+
+    def end_service(self, platter: str) -> None:
+        """Platter is back on its shelf: re-arm fetch candidacy."""
+        scheduler = self.ctx.scheduler
+        scheduler.end_service(platter)
+        priority = scheduler.priority_for(platter)
+        if priority is not None:
+            self.push_candidate(platter, priority)
+
+    # ------------------------------------------------------------------ #
+    # Partition load (work stealing)
+    # ------------------------------------------------------------------ #
+
+    def note_enqueued(self, platter: str, size_bytes: float) -> None:
+        """Account newly queued bytes to the platter's partition load."""
+        pid = self.platter_partition.get(platter)
+        if pid is not None:
+            self.partition_load[pid] += size_bytes
+
+    def reduce_partition_load(self, platter: str, size_bytes: float) -> None:
+        """Remove served or withdrawn bytes from the partition load."""
+        pid = self.platter_partition.get(platter)
+        if pid is not None:
+            self.partition_load[pid] = max(
+                0.0, self.partition_load[pid] - size_bytes
+            )
+
+    # ------------------------------------------------------------------ #
+    # Routing (failure-aware)
+    # ------------------------------------------------------------------ #
+
+    def covered_partitions(self, own_partition: int) -> List[int]:
+        """Partitions this shuttle serves: its own plus any adopted from
+        failed shuttles (controller reassignment)."""
+        return [
+            pid
+            for pid, cover in self.partition_cover.items()
+            if cover == own_partition
+        ]
+
+    def partition_drive(self, pid: int) -> Optional[DriveSim]:
+        """The partition's drive, honouring failure re-routing."""
+        robotics = self.robotics
+        assert isinstance(robotics.policy, PartitionedPolicy)
+        drive_id = self.drive_override.get(
+            pid, robotics.policy.partitions[pid].drive_id
+        )
+        if drive_id >= len(robotics.drives):
+            return None
+        drive = robotics.drives[drive_id]
+        return None if drive.failed else drive
+
+    def drive_for(self, shuttle: Shuttle, slot: SlotId) -> Optional[DriveSim]:
+        """A free drive for an SP fetch, chosen by the traffic policy."""
+        robotics = self.robotics
+
+        def free(drive_id: int) -> bool:
+            return (
+                drive_id < len(robotics.drives)
+                and robotics.drives[drive_id].customer_slot_free
+            )
+
+        drive_id = robotics.policy.drive_for(shuttle, slot, free)
+        if drive_id is None:
+            return None
+        return robotics.drives[drive_id]

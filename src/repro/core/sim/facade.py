@@ -1,0 +1,319 @@
+"""The :class:`LibrarySimulation` facade over the composed kernel.
+
+This is the compatibility surface of the original monolithic simulator:
+every public attribute, method and legacy counter property that call sites
+(CLI, benchmarks, service layer, tests) grew against is preserved here as
+a thin delegation onto the :class:`~repro.core.sim.kernel.SimKernel` and
+its subsystems. New code that doesn't need this surface should drive the
+kernel directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...library.layout import LibraryLayout
+from ..events import Simulation
+from ..metrics import MetricsRegistry, SimulationReport
+from ..requests import SimRequest
+from ..scheduler import RequestScheduler
+from ..traffic import TrafficPolicy
+from ...workload.traces import ReadRequest, ReadTrace
+from .config import SimConfig
+from .hooks import AdmissionLike, FaultScheduleLike, TracerLike
+from .kernel import SimKernel
+from .robotics import DriveSim, ShuttleSim
+
+
+class LibrarySimulation:
+    """Full-system simulation of one Silica library (facade).
+
+    Composes the :mod:`repro.core.sim` kernel subsystems — robotics,
+    dispatch, request lifecycle, faults, verification — over one shared
+    :class:`~repro.core.sim.context.SimContext`, and re-exposes their
+    state under the historical attribute names.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        tracer: Optional[TracerLike] = None,
+    ):
+        self.kernel = SimKernel(config, tracer)
+
+    # ------------------------------------------------------------------ #
+    # Context views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> SimConfig:
+        """The run's configuration."""
+        return self.kernel.config
+
+    @property
+    def sim(self) -> Simulation:
+        """The discrete-event engine."""
+        return self.kernel.ctx.sim
+
+    @property
+    def tracer(self) -> Optional[TracerLike]:
+        """The structured-event tracer (None when disabled)."""
+        return self.kernel.ctx.tracer
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The run's single RNG stream."""
+        return self.kernel.ctx.rng
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry."""
+        return self.kernel.ctx.metrics
+
+    @property
+    def scheduler(self) -> RequestScheduler:
+        """The per-platter request scheduler."""
+        return self.kernel.ctx.scheduler
+
+    @property
+    def events_processed(self) -> int:
+        """Events fired by the underlying engine so far."""
+        return self.sim.events_processed
+
+    @property
+    def events_per_second(self) -> float:
+        """Wall-clock event-loop throughput of the underlying engine."""
+        return self.sim.events_per_second
+
+    # ------------------------------------------------------------------ #
+    # Robotics views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def layout(self) -> LibraryLayout:
+        """The library's physical layout."""
+        return self.kernel.robotics.layout
+
+    @property
+    def drives(self) -> List[DriveSim]:
+        """Per-drive simulation state machines."""
+        return self.kernel.robotics.drives
+
+    @property
+    def shuttles(self) -> List[ShuttleSim]:
+        """Per-shuttle simulation wrappers."""
+        return self.kernel.robotics.shuttles
+
+    @property
+    def policy(self) -> Optional[TrafficPolicy]:
+        """The traffic-management policy (None for the NS baseline)."""
+        return self.kernel.robotics.policy
+
+    @property
+    def platters(self) -> List[str]:
+        """All platter ids, in set order."""
+        return self.kernel.robotics.platters
+
+    @property
+    def _platter_index(self) -> Dict[str, int]:
+        return self.kernel.robotics.platter_index
+
+    @property
+    def _home_slot(self) -> Dict[str, object]:
+        return self.kernel.robotics.home_slot
+
+    @property
+    def _travel_times(self) -> List[float]:
+        return self.kernel.robotics.travel_times
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def all_requests(self) -> List[SimRequest]:
+        """Every (sub-)request the run has seen."""
+        return self.kernel.lifecycle.all_requests
+
+    @property
+    def unavailable(self) -> Set[str]:
+        """Currently unreachable platters."""
+        return self.kernel.lifecycle.unavailable
+
+    @property
+    def admission(self) -> Optional[AdmissionLike]:
+        """The ingress admission controller (tenancy runs only)."""
+        return self.kernel.lifecycle.admission
+
+    def assign_trace(
+        self,
+        trace: ReadTrace,
+        measure_start: float,
+        measure_end: float,
+        skew: Optional[float] = None,
+    ) -> None:
+        """Map trace requests onto platters and schedule their arrivals."""
+        self.kernel.lifecycle.assign_trace(trace, measure_start, measure_end, skew)
+
+    def submit(self, request: ReadRequest, platter: str, measured: bool) -> None:
+        """Submit one trace request directly to a chosen platter."""
+        self.kernel.lifecycle.submit(request, platter, measured)
+
+    def platter_set_of(self, platter_id: str) -> List[str]:
+        """The erasure-coded platter set ``platter_id`` belongs to."""
+        return self.kernel.lifecycle.platter_set_of(platter_id)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _partition_cover(self) -> Dict[int, int]:
+        return self.kernel.dispatch.partition_cover
+
+    @property
+    def _drive_override(self) -> Dict[int, int]:
+        return self.kernel.dispatch.drive_override
+
+    @property
+    def _platter_partition(self) -> Dict[str, int]:
+        return self.kernel.dispatch.platter_partition
+
+    @property
+    def _partition_load(self) -> Dict[int, float]:
+        return self.kernel.dispatch.partition_load
+
+    @property
+    def _partition_heaps(self) -> Dict[int, List[Tuple[float, str]]]:
+        return self.kernel.dispatch.partition_heaps
+
+    @property
+    def _global_heap(self) -> List[Tuple[float, str]]:
+        return self.kernel.dispatch.global_heap
+
+    def _covered_partitions(self, own_partition: int) -> List[int]:
+        return self.kernel.dispatch.covered_partitions(own_partition)
+
+    def _request_dispatch(self) -> None:
+        self.kernel.dispatch.request_dispatch()
+
+    # ------------------------------------------------------------------ #
+    # Verification views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def verify_latencies(self) -> List[float]:
+        """Completion latency of each verified platter."""
+        return self.kernel.verification.verify_latencies
+
+    @property
+    def verify_backlog_bytes(self) -> float:
+        """Bytes submitted for verification and not yet drained."""
+        return self.kernel.verification.backlog_bytes
+
+    def submit_verification(
+        self, platter_bytes: float, time: Optional[float] = None
+    ) -> None:
+        """A freshly written platter joins the verification queue."""
+        self.kernel.verification.submit_verification(platter_bytes, time)
+
+    # ------------------------------------------------------------------ #
+    # Fault views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metadata_available(self) -> bool:
+        """Whether the metadata service is currently up."""
+        return self.kernel.faults.metadata_available
+
+    def schedule_shuttle_failure(
+        self, time: float, shuttle_id: int, repair_after: Optional[float] = None
+    ) -> None:
+        """Fail a shuttle at (or shortly after) ``time``."""
+        self.kernel.faults.schedule_shuttle_failure(time, shuttle_id, repair_after)
+
+    def schedule_drive_failure(
+        self, time: float, drive_id: int, repair_after: Optional[float] = None
+    ) -> None:
+        """Fail a read drive at (or shortly after) ``time``."""
+        self.kernel.faults.schedule_drive_failure(time, drive_id, repair_after)
+
+    def schedule_metadata_outage(
+        self, time: float, duration: Optional[float] = None
+    ) -> None:
+        """Take the metadata service down at ``time``."""
+        self.kernel.faults.schedule_metadata_outage(time, duration)
+
+    def apply_fault_schedule(self, schedule: FaultScheduleLike) -> None:
+        """Arm every event of a fault schedule. Call before :meth:`run`."""
+        self.kernel.faults.apply_fault_schedule(schedule)
+
+    # ------------------------------------------------------------------ #
+    # Legacy counter views (the registry is the source of truth)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bytes_read(self) -> float:
+        """Raw bytes scanned off glass by read drives."""
+        return self.kernel.ctx.counters.bytes_read.value
+
+    @property
+    def recharges(self) -> int:
+        """Shuttle battery recharge cycles started."""
+        return int(self.kernel.ctx.counters.recharges.value)
+
+    @property
+    def failures_injected(self) -> int:
+        """Component faults that actually fired."""
+        return int(self.kernel.ctx.counters.faults_injected.value)
+
+    @property
+    def faults_repaired(self) -> int:
+        """Faults whose repair clock returned the component."""
+        return int(self.kernel.ctx.counters.faults_repaired.value)
+
+    @property
+    def metadata_retries(self) -> int:
+        """Arrivals bounced off a metadata outage."""
+        return int(self.kernel.ctx.counters.metadata_retries.value)
+
+    @property
+    def reread_retries(self) -> int:
+        """Retry-ladder rung 1: in-place track re-reads."""
+        return int(self.kernel.ctx.counters.reread.value)
+
+    @property
+    def deep_decodes(self) -> int:
+        """Retry-ladder rung 2: deeper LDPC iteration budgets."""
+        return int(self.kernel.ctx.counters.deep_decode.value)
+
+    @property
+    def recovery_escalations(self) -> int:
+        """Retry-ladder rung 3: escalations to cross-platter recovery."""
+        return int(self.kernel.ctx.counters.escalations.value)
+
+    @property
+    def recovery_bytes_read(self) -> float:
+        """Raw bytes read by cross-platter NC recovery sub-reads."""
+        return self.kernel.ctx.counters.recovery_bytes.value
+
+    @property
+    def requests_lost(self) -> int:
+        """Reads abandoned with no surviving recovery peer."""
+        return int(self.kernel.ctx.counters.requests_lost.value)
+
+    # ------------------------------------------------------------------ #
+    # Run + report
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 50_000_000
+    ) -> SimulationReport:
+        """Run the event loop to quiescence (or ``until``) and report."""
+        return self.kernel.run(until=until, max_events=max_events)
+
+    def report(self) -> SimulationReport:
+        """Snapshot the run into a :class:`SimulationReport`."""
+        return self.kernel.report()

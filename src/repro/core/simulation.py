@@ -1,1887 +1,24 @@
-"""Full-system discrete event simulation of a Silica library.
+"""Compatibility shim over the :mod:`repro.core.sim` kernel package.
 
-This is the "digital twin" of Section 7: a library (racks, read drives,
-shuttles) driven by a read trace, with mechanical durations sampled from the
-prototype-calibrated models of :mod:`repro.library.motion`, the scheduler
-and traffic-management policies of Section 4.1, verification-in-the-gaps of
-Section 3.1, and cross-platter recovery reads of Section 7.6.
-
-The lifecycle of one read request:
-
-1. arrival -> enqueued in the :class:`~repro.core.scheduler.RequestScheduler`
-   (grouped by platter);
-2. a free shuttle is assigned by the traffic policy, travels to the shelf,
-   picks the platter, delivers it to a read drive with a free customer slot;
-3. the drive fast-switches away from its verification platter, mounts the
-   customer platter, and services *all* queued requests for it (seek + scan
-   per request; a track is the minimum read unit);
-4. the drive unmounts, switches back to verification, and a shuttle returns
-   the platter to its fixed home slot (Section 6);
-5. completion time = last byte out minus arrival (Section 7.2).
-
-Baselines: ``policy="sp"`` (free-roaming shortest paths) and ``policy="ns"``
-(no shuttles — platters teleport; the lower bound on shuttle overhead).
+The full-system discrete-event simulator used to live here as one
+1,900-line module. It is now decomposed into the composable subsystems of
+:mod:`repro.core.sim` (robotics, dispatch, request lifecycle, faults,
+verification — see that package's docstring for the map); this module
+re-exports the public surface so historical imports — and pickles that
+reference ``repro.core.simulation.SimConfig`` — keep working unchanged.
 """
 
-from __future__ import annotations
-
-import heapq
-import math
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..faults import FaultSchedule
-    from ..observability.tracer import Tracer
-    from ..tenancy.model import TenantRegistry
-
-from ..library.layout import LibraryConfig, LibraryLayout, Position, SlotId
-from ..library.shuttle import Shuttle
-from ..media.read_drive import ReadDriveConfig, ReadDriveModel
-from ..workload.traces import ReadRequest, ReadTrace
-from .events import Simulation
-from .metrics import (
-    CompletionStats,
-    Counter,
-    DriveUtilization,
-    MetricsRegistry,
-    QoSMetrics,
-    ResilienceMetrics,
-    ShuttleMetrics,
-    SimulationReport,
-)
-from .requests import SimRequest
-from .scheduler import RequestScheduler
-from .traffic import PartitionedPolicy, ShortestPathsPolicy, TrafficPolicy
-
-
-@dataclass(frozen=True)
-class SimConfig:
-    """Configuration of one library simulation run."""
-
-    drive_throughput_mbps: float = 60.0
-    num_drives: int = 20
-    num_shuttles: int = 20
-    policy: str = "silica"  # "silica" | "sp" | "ns"
-    work_stealing: bool = True
-    amortize_batch: bool = True
-    fast_switching: bool = True
-    track_payload_bytes: float = 20e6  # 200 layers x 100 kB sectors
-    nc_read_overhead: float = 0.10  # within-track NC + framing read inflation
-    num_platters: int = 3000
-    platter_set_information: int = 16
-    platter_set_redundancy: int = 3
-    unavailable_fraction: float = 0.0
-    shard_tracks_limit: int = 50  # large files shard across platters (§6)
-    platter_tracks: int = 100_000  # tracks per platter (seek distances)
-    sort_batch_by_track: bool = False  # elevator read order (§4.1 ablation)
-    battery_management: bool = True  # controller monitors battery (§4.1)
-    battery_capacity_joules: float = 400_000.0
-    battery_low_threshold: float = 0.15
-    recharge_seconds: float = 900.0
-    # Transient-fault lifecycle (chaos harness): per-attempt probability of a
-    # transient sector read error, and the read-retry escalation ladder's
-    # costs — a re-read costs another seek+scan; the deeper LDPC iteration
-    # budget costs ``deep_decode_factor`` extra scans and leaves a residual
-    # error probability of ``prob * deep_decode_residual`` before the last
-    # rung (cross-platter NC recovery) is taken.
-    transient_read_error_prob: float = 0.0
-    deep_decode_factor: float = 2.0
-    deep_decode_residual: float = 0.1
-    # Capped exponential backoff for arrivals hitting a metadata outage.
-    metadata_backoff_base_seconds: float = 1.0
-    metadata_backoff_cap_seconds: float = 60.0
-    # Multi-tenant QoS: the platter-fetch priority policy ("arrival" is the
-    # §4.1 default; "deadline" is the weighted-deadline policy and needs a
-    # tenant registry), plus the tenant mix itself. With ``tenancy`` set,
-    # ingress quotas are enforced at trace intake and the report grows a
-    # per-tenant / per-class QoS block.
-    fetch_policy: str = "arrival"
-    tenancy: Optional["TenantRegistry"] = None
-    seed: int = 0
-    library: LibraryConfig = field(default_factory=LibraryConfig)
-
-    def __post_init__(self) -> None:
-        if self.policy not in ("silica", "sp", "ns"):
-            raise ValueError(f"unknown policy {self.policy!r}")
-        if self.fetch_policy not in ("arrival", "deadline"):
-            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
-        if self.fetch_policy == "deadline" and self.tenancy is None:
-            raise ValueError("fetch_policy='deadline' requires a tenancy registry")
-        if self.num_shuttles > self.library.max_shuttles:
-            raise ValueError(
-                f"{self.num_shuttles} shuttles exceed the panel cap of "
-                f"{self.library.max_shuttles} (2x read drives)"
-            )
-        if not 0 <= self.unavailable_fraction < 1:
-            raise ValueError("unavailable_fraction must be in [0, 1)")
-        if not 0 <= self.transient_read_error_prob < 1:
-            raise ValueError("transient_read_error_prob must be in [0, 1)")
-        if self.metadata_backoff_base_seconds <= 0:
-            raise ValueError("metadata_backoff_base_seconds must be positive")
-
-    @property
-    def track_read_bytes(self) -> float:
-        """Raw bytes scanned per track (payload + NC/framing overhead)."""
-        return self.track_payload_bytes * (1 + self.nc_read_overhead)
-
-
-class _DriveSim:
-    """State machine of one read drive inside the simulation."""
-
-    def __init__(self, drive_id: int, model: ReadDriveModel, position: Position):
-        self.drive_id = drive_id
-        self.model = model
-        self.position = position
-        self.slot_reserved = False  # customer slot claimed by a fetch in flight
-        self.customer_platter: Optional[str] = None
-        self.serving = False
-        self.awaiting_return: Optional[str] = None
-        self.return_assigned = False
-        self.read_seconds = 0.0
-        self.switch_seconds = 0.0
-        self.seek_seconds = 0.0
-        self.head_track = 0
-        self.failed = False
-        self.current_mount: Optional[int] = None  # mount-cycle id for tracing
-
-    @property
-    def customer_slot_free(self) -> bool:
-        return (
-            not self.slot_reserved
-            and self.customer_platter is None
-            and self.awaiting_return is None
-            and not self.failed
-        )
-
-    @property
-    def occupied(self) -> bool:
-        """A fault must wait for an operation boundary on this drive."""
-        return bool(self.serving or self.awaiting_return or self.slot_reserved)
-
-
-class _ShuttleSim:
-    """Wrapper pairing a Shuttle with its simulation busy flag."""
-
-    def __init__(self, shuttle: Shuttle):
-        self.shuttle = shuttle
-        self.busy = False
-
-    @property
-    def idle(self) -> bool:
-        return not self.busy and not self.shuttle.failed
-
-
-class LibrarySimulation:
-    """One library, one trace, one report.
-
-    ``tracer`` (a :class:`repro.observability.Tracer`) switches on
-    structured event tracing; the default ``None`` keeps every emission
-    site at a single pointer comparison, so an untraced run pays no
-    observable overhead (guarded by a regression test). ``metrics`` is the
-    run's :class:`~repro.core.metrics.MetricsRegistry`; all accumulation
-    counters live there (exportable as stable JSON / Prometheus text).
-    """
-
-    def __init__(
-        self,
-        config: Optional[SimConfig] = None,
-        tracer: Optional["Tracer"] = None,
-    ):
-        self.config = config or SimConfig()
-        cfg = self.config
-        self.sim = Simulation()
-        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
-        self.rng = np.random.default_rng(cfg.seed)
-        lib_cfg = cfg.library
-        if cfg.num_drives != lib_cfg.num_read_drives:
-            per_rack = -(-cfg.num_drives // 2)  # ceil split over two racks
-            per_rack = min(10, max(2, per_rack))
-            lib_cfg = replace(lib_cfg, drives_per_read_rack=per_rack)
-        self.layout = LibraryLayout(lib_cfg)
-        drive_cfg = ReadDriveConfig(throughput_mbps=cfg.drive_throughput_mbps)
-        self.drives: List[_DriveSim] = []
-        for bay in self.layout.drives[: cfg.num_drives]:
-            model = ReadDriveModel(config=drive_cfg, seed=cfg.seed * 1000 + bay.drive_id)
-            self.drives.append(_DriveSim(bay.drive_id, model, bay.position))
-        raw_shuttles = [
-            Shuttle(
-                i,
-                home=Position(0.0, 0),
-                battery_capacity_joules=cfg.battery_capacity_joules,
-            )
-            for i in range(cfg.num_shuttles)
-        ]
-        if cfg.policy == "silica":
-            self.policy: Optional[TrafficPolicy] = PartitionedPolicy(
-                self.layout, raw_shuttles, self.rng, work_stealing=cfg.work_stealing
-            )
-        elif cfg.policy == "sp":
-            self.policy = ShortestPathsPolicy(self.layout, raw_shuttles, self.rng)
-        else:  # ns
-            self.policy = None
-        self.shuttles = [_ShuttleSim(s) for s in raw_shuttles]
-        # Tenancy is optional and imported lazily so the core simulator has
-        # no hard dependency on the QoS subsystem.
-        self.admission = None
-        fetch_policy = None
-        if cfg.tenancy is not None:
-            from ..tenancy.admission import AdmissionController
-            from ..tenancy.qos import policy_for
-
-            self.admission = AdmissionController(cfg.tenancy)
-            fetch_policy = policy_for(cfg.fetch_policy, cfg.tenancy)
-        self.scheduler = RequestScheduler(
-            amortize_batch=cfg.amortize_batch, policy=fetch_policy
-        )
-        # Platter population and placement.
-        self.platters: List[str] = [f"P{i:05d}" for i in range(cfg.num_platters)]
-        self._platter_index = {p: i for i, p in enumerate(self.platters)}
-        self._home_slot: Dict[str, SlotId] = {}
-        self._place_platters()
-        # Fetch-candidate indexes: per-partition heaps (Silica) and a global
-        # heap (SP/NS), holding (fetch priority, platter) with lazy
-        # invalidation. Priority is the scheduler policy's key — earliest
-        # queued arrival by default, weighted-deadline urgency under QoS.
-        self._platter_partition: Dict[str, int] = {}
-        self._partition_heaps: Dict[int, List[Tuple[float, str]]] = {}
-        self._partition_load: Dict[int, float] = {}
-        if isinstance(self.policy, PartitionedPolicy):
-            for platter, slot in self._home_slot.items():
-                pid = self.policy.partition_of_slot(slot)
-                self._platter_partition[platter] = pid
-            for p in self.policy.partitions:
-                self._partition_heaps[p.index] = []
-                self._partition_load[p.index] = 0.0
-        self._global_heap: List[Tuple[float, str]] = []
-        self.unavailable: set = set()
-        if cfg.unavailable_fraction > 0:
-            self._sample_unavailable()
-        # Bookkeeping: run counters accumulate on the metrics registry
-        # (stable-keyed JSON / Prometheus export); the legacy attribute
-        # names remain readable as properties below.
-        self.metrics = MetricsRegistry(prefix="sim_")
-        m = self.metrics
-        self._c_bytes_read = m.counter(
-            "bytes_read_total", "Raw bytes scanned off glass by read drives", "bytes"
-        )
-        self._c_recharges = m.counter(
-            "recharges_total", "Shuttle battery recharge cycles started"
-        )
-        self._c_faults_injected = m.counter(
-            "faults_injected_total", "Component faults that actually fired"
-        )
-        self._c_faults_repaired = m.counter(
-            "faults_repaired_total", "Faults whose repair clock returned the component"
-        )
-        self._c_downtime = m.counter(
-            "downtime_component_seconds_total",
-            "Component-seconds of downtime from closed (repaired) faults",
-            "seconds",
-        )
-        self._c_metadata_retries = m.counter(
-            "metadata_retries_total", "Arrivals bounced off a metadata outage"
-        )
-        self._c_reread = m.counter(
-            "reread_retries_total", "Retry-ladder rung 1: in-place track re-reads"
-        )
-        self._c_deep_decode = m.counter(
-            "deep_decodes_total", "Retry-ladder rung 2: deeper LDPC iteration budgets"
-        )
-        self._c_escalations = m.counter(
-            "recovery_escalations_total",
-            "Retry-ladder rung 3: escalations to cross-platter NC recovery",
-        )
-        self._c_recovery_bytes = m.counter(
-            "recovery_bytes_read_total",
-            "Raw bytes read by cross-platter NC recovery sub-reads",
-            "bytes",
-        )
-        self._c_fanout_user_bytes = m.counter(
-            "recovery_user_bytes_total",
-            "User bytes recovered via cross-platter fan-out",
-            "bytes",
-        )
-        self._c_requests_lost = m.counter(
-            "requests_lost_total", "Reads abandoned with no surviving recovery peer"
-        )
-        self._c_steals = m.counter(
-            "work_steals_total", "Cross-partition work-stealing fetches"
-        )
-        self._h_travel = m.histogram(
-            "shuttle_travel_seconds",
-            "Per-trip shuttle travel time (including congestion)",
-            "seconds",
-            buckets=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
-        )
-        self._h_completion = m.histogram(
-            "request_completion_seconds",
-            "Measured top-level request completion time (arrival to last byte)",
-            "seconds",
-        )
-        # QoS counters exist only on tenancy-enabled runs so single-tenant
-        # metric exports stay byte-identical with earlier versions.
-        self._c_admission_rejects: Optional[Counter] = None
-        self._c_deadline_misses: Optional[Counter] = None
-        if cfg.tenancy is not None:
-            self._c_admission_rejects = m.counter(
-                "admission_rejections_total",
-                "Reads rejected by tenant ingress quotas",
-            )
-            self._c_deadline_misses = m.counter(
-                "deadline_misses_total",
-                "Measured completions past their SLO-class deadline",
-            )
-        self.all_requests: List[SimRequest] = []
-        self._next_request_id = 0
-        self._mount_counter = 0
-        self._travel_times: List[float] = []
-        self._dispatch_scheduled = False
-        # Fluid verification queue (Section 3.1): freshly written platters
-        # queue for full read-back; the drives' idle (verify) time drains
-        # the queue at aggregate throughput. Tracked as a fluid integrator
-        # updated at every drive state change.
-        self._verifying_drives = len(self.drives)
-        self._verify_rate_per_drive = cfg.drive_throughput_mbps * 1e6
-        self._last_verify_update = 0.0
-        self._verify_drained = 0.0
-        self._verify_queue: List[Tuple[float, float, float]] = []  # (arrival, bytes, cum_end)
-        self._verify_cum_demand = 0.0
-        self.verify_latencies: List[float] = []
-        # Failure-injection state: which shuttle covers each partition
-        # (self-coverage initially) and per-partition drive re-routing.
-        self._partition_cover: Dict[int, int] = {}
-        if isinstance(self.policy, PartitionedPolicy):
-            for p in self.policy.partitions:
-                self._partition_cover[p.index] = p.index
-        self._drive_override: Dict[int, int] = {}
-        # Fault lifecycle (repair clocks, §4/§6 chaos harness): faults that
-        # struck a busy component wait here and fire from the dispatch hook
-        # at the next operation boundary — no polling.
-        self._pending_faults: List[Tuple[str, int, Optional[float]]] = []
-        self._metadata_waiters: List[Callable[[], None]] = []
-        self._active_fault_started: Dict[Tuple[str, int], float] = {}
-        self._fault_platters: Dict[Tuple[str, int], set] = {}
-        self._repair_durations: List[float] = []
-        # Metadata service availability (arrivals need a metadata lookup).
-        self._metadata_available = True
-        if self.tracer is not None:
-            self._install_shuttle_hooks()
-
-    # ------------------------------------------------------------------ #
-    # Legacy counter views (the registry is the source of truth)
-    # ------------------------------------------------------------------ #
-
-    @property
-    def bytes_read(self) -> float:
-        return self._c_bytes_read.value
-
-    @property
-    def recharges(self) -> int:
-        return int(self._c_recharges.value)
-
-    @property
-    def failures_injected(self) -> int:
-        return int(self._c_faults_injected.value)
-
-    @property
-    def faults_repaired(self) -> int:
-        return int(self._c_faults_repaired.value)
-
-    @property
-    def metadata_retries(self) -> int:
-        return int(self._c_metadata_retries.value)
-
-    @property
-    def reread_retries(self) -> int:
-        return int(self._c_reread.value)
-
-    @property
-    def deep_decodes(self) -> int:
-        return int(self._c_deep_decode.value)
-
-    @property
-    def recovery_escalations(self) -> int:
-        return int(self._c_escalations.value)
-
-    @property
-    def recovery_bytes_read(self) -> float:
-        return self._c_recovery_bytes.value
-
-    @property
-    def requests_lost(self) -> int:
-        return int(self._c_requests_lost.value)
-
-    @property
-    def events_processed(self) -> int:
-        """Events fired by the underlying engine so far."""
-        return self.sim.events_processed
-
-    @property
-    def events_per_second(self) -> float:
-        """Wall-clock event-loop throughput of the underlying engine."""
-        return self.sim.events_per_second
-
-    def _install_shuttle_hooks(self) -> None:
-        """Route shuttle model events (move/pick/place) into the tracer."""
-
-        def make_hook(shuttle: Shuttle) -> Callable[..., None]:
-            component = f"shuttle:{shuttle.shuttle_id}"
-
-            def hook(kind: str, attrs: Dict[str, object]) -> None:
-                self.tracer.emit(self.sim.now, f"shuttle.{kind}", component=component, **attrs)
-
-            return hook
-
-        for shuttle_sim in self.shuttles:
-            shuttle_sim.shuttle.on_event = make_hook(shuttle_sim.shuttle)
-
-    # ------------------------------------------------------------------ #
-    # Setup
-    # ------------------------------------------------------------------ #
-
-    def _place_platters(self) -> None:
-        slots = list(self.layout.all_slots())
-        if len(slots) < len(self.platters):
-            raise ValueError(
-                f"{len(self.platters)} platters exceed capacity {len(slots)}"
-            )
-        order = self.rng.permutation(len(slots))
-        for platter, idx in zip(self.platters, order):
-            slot = slots[int(idx)]
-            self.layout.store(platter, slot)
-            self._home_slot[platter] = slot
-
-    def _sample_unavailable(self) -> None:
-        """Uniformly random unavailable platters, capped at R per platter-set.
-
-        The blast-zone placement invariant (Section 6) guarantees a single
-        failure removes at most R platters of any set; we keep the sampled
-        pattern consistent with that invariant so recovery is always
-        possible.
-        """
-        cfg = self.config
-        group = cfg.platter_set_information + cfg.platter_set_redundancy
-        target = int(round(cfg.unavailable_fraction * len(self.platters)))
-        per_set: Dict[int, int] = {}
-        order = self.rng.permutation(len(self.platters))
-        for idx in order:
-            if len(self.unavailable) >= target:
-                break
-            set_id = int(idx) // group
-            if per_set.get(set_id, 0) >= cfg.platter_set_redundancy:
-                continue
-            per_set[set_id] = per_set.get(set_id, 0) + 1
-            self.unavailable.add(self.platters[int(idx)])
-
-    def platter_set_of(self, platter_id: str) -> List[str]:
-        cfg = self.config
-        group = cfg.platter_set_information + cfg.platter_set_redundancy
-        index = self._platter_index[platter_id]
-        start = (index // group) * group
-        return self.platters[start : start + group]
-
-    # ------------------------------------------------------------------ #
-    # Request intake
-    # ------------------------------------------------------------------ #
-
-    def assign_trace(
-        self,
-        trace: ReadTrace,
-        measure_start: float,
-        measure_end: float,
-        skew: Optional[float] = None,
-    ) -> None:
-        """Map trace requests onto platters and schedule their arrivals.
-
-        ``skew`` enables a Zipf distribution over platters (Section 7.5's
-        skewed-request experiment); None means uniform (the default
-        methodology: "we distribute the read requests to platters stored in
-        the library uniformly").
-        """
-        n = len(self.platters)
-        weights = None
-        platter_order = None
-        if skew is not None:
-            ranks = np.arange(1, n + 1, dtype=np.float64)
-            weights = ranks**-skew
-            weights /= weights.sum()
-            platter_order = self.rng.permutation(n)
-        for request in trace:
-            if weights is None:
-                platter = self.platters[int(self.rng.integers(0, n))]
-            else:
-                rank = int(self.rng.choice(n, p=weights))
-                platter = self.platters[int(platter_order[rank])]
-            measured = measure_start <= request.time < measure_end
-            self._submit(request, platter, measured)
-
-    def _submit(self, request: ReadRequest, platter: str, measured: bool) -> None:
-        cfg = self.config
-        slo_class = ""
-        deadline: Optional[float] = None
-        if cfg.tenancy is not None:
-            # Ingress admission: trace requests are processed in time order,
-            # so charging the token bucket at ``request.time`` replays the
-            # frontend's decisions deterministically.
-            if self.admission is not None and not self.admission.admit(
-                request.tenant, request.size_bytes, request.time
-            ):
-                if self._c_admission_rejects is not None:
-                    self._c_admission_rejects.inc()
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        request.time,
-                        "admission.reject",
-                        tenant=request.tenant,
-                        size_bytes=request.size_bytes,
-                    )
-                return
-            slo = cfg.tenancy.class_of(request.tenant)
-            slo_class = slo.name
-            deadline = request.time + slo.deadline_seconds
-            if self.tracer is not None:
-                self.tracer.emit(
-                    request.time,
-                    "admission.accept",
-                    tenant=request.tenant,
-                    size_bytes=request.size_bytes,
-                )
-        total_tracks = max(1, int(math.ceil(request.size_bytes / cfg.track_payload_bytes)))
-        # Large files are sharded across platters to parallelize their reads
-        # (Section 6); each shard is an independent sub-read.
-        if total_tracks > cfg.shard_tracks_limit:
-            parent = SimRequest(
-                request_id=self._new_id(),
-                arrival=request.time,
-                platter_id=platter,
-                size_bytes=request.size_bytes,
-                num_tracks=total_tracks,
-                measured=measured,
-                tenant=request.tenant,
-                slo_class=slo_class,
-                deadline=deadline,
-            )
-            self.all_requests.append(parent)
-            num_shards = -(-total_tracks // cfg.shard_tracks_limit)
-            shard_platters = self._distinct_platters(num_shards)
-            shards = []
-            tracks_left = total_tracks
-            for p in shard_platters:
-                tracks = min(cfg.shard_tracks_limit, tracks_left)
-                tracks_left -= tracks
-                shards.append(
-                    SimRequest(
-                        request_id=self._new_id(),
-                        arrival=request.time,
-                        platter_id=p,
-                        size_bytes=int(tracks * cfg.track_payload_bytes),
-                        num_tracks=tracks,
-                        track_start=self._random_track_start(tracks),
-                        measured=False,
-                        parent=parent,
-                        tenant=request.tenant,
-                        slo_class=slo_class,
-                        deadline=deadline,
-                    )
-                )
-                if tracks_left <= 0:
-                    break
-            parent.pending_subreads = len(shards)
-            parent.children = shards
-            for shard in shards:
-                self.all_requests.append(shard)
-                self._ingest(shard)
-            return
-        sim_request = SimRequest(
-            request_id=self._new_id(),
-            arrival=request.time,
-            platter_id=platter,
-            size_bytes=request.size_bytes,
-            num_tracks=total_tracks,
-            track_start=self._random_track_start(total_tracks),
-            measured=measured,
-            tenant=request.tenant,
-            slo_class=slo_class,
-            deadline=deadline,
-        )
-        self.all_requests.append(sim_request)
-        self._ingest(sim_request)
-
-    def _ingest(self, sim_request: SimRequest) -> None:
-        """Route one (sub-)request: direct read, or cross-platter recovery.
-
-        Availability is re-checked when the arrival event fires (see
-        :meth:`_schedule_arrival`), so requests routed before a dynamic
-        failure still recover correctly.
-        """
-        if sim_request.platter_id in self.unavailable:
-            if not self._fan_out_recovery(sim_request):
-                self._abandon_request(sim_request)
-            return
-        self._schedule_arrival(sim_request)
-
-    def _abandon_request(self, sim_request: SimRequest) -> None:
-        """No surviving recovery peer: the read is lost.
-
-        Only reachable when an entire platter-set is simultaneously
-        unavailable — far outside the blast-zone invariant — but the sim
-        must stay sound (and terminating) even there, so the request
-        completes immediately and is tallied as lost."""
-        self._c_requests_lost.inc()
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now, "request.lost", request_id=sim_request.request_id
-            )
-        sim_request.mark_degraded()
-        self._complete_request(sim_request)
-
-    def _complete_request(self, sim_request: SimRequest) -> None:
-        """Completion bookkeeping shared by every completion site:
-        propagate up the sub-read hierarchy, record the completion-time
-        histogram for measured top-level requests, and trace."""
-        now = self.sim.now
-        finished = sim_request.complete(now)
-        tr = self.tracer
-        if tr is not None:
-            tr.emit(now, "request.complete", request_id=sim_request.request_id)
-            if finished is not None:
-                tr.emit(now, "request.complete", request_id=finished.request_id)
-        for node in (sim_request, finished):
-            if node is not None and node.measured and node.parent is None:
-                self._h_completion.observe(node.completion_time)
-                if node.deadline is not None and now > node.deadline:
-                    if self._c_deadline_misses is not None:
-                        self._c_deadline_misses.inc()
-                    if tr is not None:
-                        tr.emit(
-                            now,
-                            "request.deadline_miss",
-                            request_id=node.request_id,
-                            tenant=node.tenant,
-                            slo_class=node.slo_class,
-                            late_seconds=now - node.deadline,
-                        )
-
-    def _fan_out_recovery(self, sim_request: SimRequest) -> List[SimRequest]:
-        """Cross-platter NC: read the matching tracks on I_p available
-        platters of the set (Section 7.6's 16x read amplification). If
-        dynamic failures left fewer than I_p peers available, recovery
-        proceeds degraded with what remains (real deployments prevent this
-        via blast-zone-aware placement; the simulator places uniformly).
-        Returns the recovery sub-reads (empty when no peer survives)."""
-        cfg = self.config
-        peers = [
-            p
-            for p in self.platter_set_of(sim_request.platter_id)
-            if p != sim_request.platter_id and p not in self.unavailable
-        ]
-        recovery = peers[: cfg.platter_set_information]
-        subs = sim_request.fan_out(recovery, [self._new_id() for _ in recovery])
-        if subs:
-            sim_request.mark_degraded()
-            self._c_fanout_user_bytes.inc(sim_request.size_bytes)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    self.sim.now,
-                    "recovery.fanout",
-                    request_id=sim_request.request_id,
-                    peers=len(subs),
-                    platter=sim_request.platter_id,
-                )
-        for sub in subs:
-            self.all_requests.append(sub)
-            self._schedule_arrival(sub)
-        return subs
-
-    def _schedule_arrival(self, sim_request: SimRequest) -> None:
-        cfg = self.config
-
-        def arrive() -> None:
-            # Every arrival needs a metadata lookup; during an outage the
-            # request parks until the repair event fires, then re-arrives
-            # after its capped-exponential backoff (the client's next poll
-            # catches the failover). Event-driven: an outage that never
-            # repairs costs zero events instead of an unbounded retry storm.
-            if not self._metadata_available:
-                self._c_metadata_retries.inc()
-                sim_request.metadata_attempts += 1
-                sim_request.mark_degraded()
-                self._metadata_waiters.append(retry_after_repair)
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        self.sim.now,
-                        "request.metadata_blocked",
-                        request_id=sim_request.request_id,
-                        attempts=sim_request.metadata_attempts,
-                    )
-                return
-            if self.tracer is not None:
-                self.tracer.emit(
-                    self.sim.now,
-                    "request.arrival",
-                    request_id=sim_request.request_id,
-                    arrival=sim_request.arrival,
-                    platter=sim_request.platter_id,
-                    size_bytes=sim_request.size_bytes,
-                    recovery=sim_request.is_recovery,
-                )
-            # A failure may have struck between routing and arrival.
-            if sim_request.platter_id in self.unavailable:
-                if not self._fan_out_recovery(sim_request):
-                    self._abandon_request(sim_request)
-            else:
-                self._enqueue(sim_request)
-            self._request_dispatch()
-
-        def retry_after_repair() -> None:
-            exponent = min(sim_request.metadata_attempts - 1, 32)
-            delay = min(
-                cfg.metadata_backoff_base_seconds * (2.0 ** exponent),
-                cfg.metadata_backoff_cap_seconds,
-            )
-            self.sim.schedule(delay, arrive, label="metadata-retry")
-
-        # Re-ingested requests (failure re-routing) arrive "now"; their
-        # original arrival stamp is kept for completion-time accounting.
-        at = max(sim_request.arrival, self.sim.now)
-        self.sim.schedule_at(at, arrive, label="arrival")
-
-    def _enqueue(self, sim_request: SimRequest) -> None:
-        improved = self.scheduler.enqueue(sim_request)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "request.enqueue",
-                request_id=sim_request.request_id,
-                platter=sim_request.platter_id,
-            )
-        platter = sim_request.platter_id
-        pid = self._platter_partition.get(platter)
-        if pid is not None:
-            self._partition_load[pid] += sim_request.size_bytes
-        if improved:
-            priority = self.scheduler.priority_for(platter)
-            if priority is not None:
-                self._push_candidate(platter, priority)
-
-    def _push_candidate(self, platter: str, priority: float) -> None:
-        entry = (priority, platter)
-        heapq.heappush(self._global_heap, entry)
-        pid = self._platter_partition.get(platter)
-        if pid is not None:
-            heapq.heappush(self._partition_heaps[pid], entry)
-
-    def _pop_candidate(self, heap: List[Tuple[float, str]]) -> Optional[str]:
-        """Earliest valid pending platter from a heap (lazy invalidation).
-
-        Entries for platters that were serviced, are currently in service,
-        or are unreachable are discarded; in-service platters with new
-        pending work are re-pushed when their service ends.
-        """
-        while heap:
-            _arrival, platter = heap[0]
-            if (
-                not self.scheduler.has_work(platter)
-                or self.scheduler.in_service(platter)
-                or platter in self.unavailable
-                or self.layout.locate(platter) is None
-            ):
-                heapq.heappop(heap)
-                continue
-            heapq.heappop(heap)
-            return platter
-        return None
-
-    def _distinct_platters(self, count: int) -> List[str]:
-        """Distinct shard platters. Placement is failure-oblivious: shards
-        were written long before any failure, so unavailable platters are
-        legitimate targets — their shards get recovered via cross-platter
-        NC like any other read (see :meth:`_ingest`)."""
-        if count >= len(self.platters):
-            return list(self.platters)
-        picks = self.rng.choice(len(self.platters), size=count, replace=False)
-        return [self.platters[int(i)] for i in picks]
-
-    def _new_id(self) -> int:
-        self._next_request_id += 1
-        return self._next_request_id
-
-    def _random_track_start(self, num_tracks: int) -> int:
-        """Uniform file location on the platter (seek distances, Fig. 3d)."""
-        upper = max(1, self.config.platter_tracks - num_tracks)
-        return int(self.rng.integers(0, upper))
-
-    def _seek_seconds(self, drive: "_DriveSim", target_track: int) -> float:
-        """Distance-dependent XY seek, calibrated so uniformly random
-        seeks reproduce the Figure 3(d) distribution (median ~0.6 s,
-        maximum 2 s)."""
-        distance = abs(drive.head_track - target_track) / max(1, self.config.platter_tracks)
-        base = 0.05 + 1.95 * min(1.0, distance)
-        jitter = float(self.rng.uniform(0.92, 1.08))
-        return min(2.0, base * jitter)
-
-    # ------------------------------------------------------------------ #
-    # Dispatch loop
-    # ------------------------------------------------------------------ #
-
-    def _request_dispatch(self) -> None:
-        """Coalesce dispatch work onto a single zero-delay event."""
-        if self._dispatch_scheduled:
-            return
-        self._dispatch_scheduled = True
-
-        def run() -> None:
-            self._dispatch_scheduled = False
-            self._dispatch()
-
-        self.sim.schedule(0.0, run, label="dispatch")
-
-    def _dispatch(self) -> None:
-        # Faults that found their component busy fire here, at the next
-        # operation boundary, *before* new work is assigned — the
-        # event-driven replacement for the old fixed-interval retry poll.
-        self._fire_pending_faults()
-        if self.config.policy == "ns":
-            self._dispatch_ns()
-        elif self.config.policy == "silica":
-            self._dispatch_returns()
-            self._dispatch_silica()
-        else:
-            self._dispatch_returns()
-            self._dispatch_sp()
-
-    def _fire_pending_faults(self) -> None:
-        """Fire deferred faults whose component reached an idle boundary."""
-        if not self._pending_faults:
-            return
-        still_waiting: List[Tuple[str, int, Optional[float]]] = []
-        for kind, target, repair_after in self._pending_faults:
-            if kind == "shuttle":
-                shuttle_sim = self.shuttles[target]
-                if shuttle_sim.shuttle.failed:
-                    continue  # a duplicate fault; the first one won
-                if shuttle_sim.busy:
-                    still_waiting.append((kind, target, repair_after))
-                else:
-                    self._fail_shuttle(target, repair_after=repair_after)
-            else:
-                drive = self.drives[target]
-                if drive.failed:
-                    continue
-                if drive.occupied:
-                    still_waiting.append((kind, target, repair_after))
-                else:
-                    self._fail_drive(target, repair_after=repair_after)
-        self._pending_faults = still_waiting
-
-    # -- returns -------------------------------------------------------- #
-
-    def _dispatch_returns(self) -> None:
-        for drive in self.drives:
-            if drive.awaiting_return is None or drive.return_assigned:
-                continue
-            shuttle = self._shuttle_for_return(drive)
-            if shuttle is None:
-                continue
-            drive.return_assigned = True
-            self._start_return(shuttle, drive)
-
-    def _shuttle_for_return(self, drive: _DriveSim) -> Optional[_ShuttleSim]:
-        platter = drive.awaiting_return
-        if isinstance(self.policy, PartitionedPolicy):
-            partition = self._platter_partition[platter]
-            cover = self._partition_cover.get(partition, partition)
-            for s in self.shuttles:
-                if s.idle and s.shuttle.partition == cover:
-                    return s
-            return None
-        idle = [s for s in self.shuttles if s.idle]
-        if not idle:
-            return None
-        return min(idle, key=lambda s: abs(s.shuttle.position.x - drive.position.x))
-
-    def _start_return(self, shuttle_sim: _ShuttleSim, drive: _DriveSim) -> None:
-        shuttle = shuttle_sim.shuttle
-        shuttle_sim.busy = True
-        platter = drive.awaiting_return
-        home = self._home_slot[platter]
-        home_pos = self.layout.slot_position(home)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "return.start",
-                component=f"shuttle:{shuttle.shuttle_id}",
-                platter=platter,
-                drive=drive.drive_id,
-            )
-
-        def at_drive() -> None:
-            pick_dur = shuttle.pick(platter, self.rng)
-
-            def picked() -> None:
-                # Platter leaves the drive: customer slot frees up.
-                drive.awaiting_return = None
-                drive.return_assigned = False
-                self._request_dispatch()
-                self._move(shuttle, home_pos, at_home)
-
-            self.sim.schedule(pick_dur, picked, label="return-pick")
-
-        def at_home() -> None:
-            place_dur = shuttle.place(self.rng)
-
-            def placed() -> None:
-                self.layout.store(platter, home)
-                self._end_service(platter)
-                shuttle_sim.busy = False
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        self.sim.now,
-                        "return.done",
-                        component=f"shuttle:{shuttle.shuttle_id}",
-                        platter=platter,
-                    )
-                self._request_dispatch()
-
-            self.sim.schedule(place_dur, placed, label="return-place")
-
-        self._move(shuttle, drive.position, at_drive)
-
-    def _end_service(self, platter: str) -> None:
-        """Platter is back on its shelf: re-arm fetch candidacy."""
-        self.scheduler.end_service(platter)
-        priority = self.scheduler.priority_for(platter)
-        if priority is not None:
-            self._push_candidate(platter, priority)
-
-    def _maybe_recharge(self, shuttle_sim: _ShuttleSim) -> bool:
-        """Send a low-battery shuttle to charge (controller duty, §4.1).
-
-        The shuttle is unavailable for the recharge duration; its partition
-        is uncovered meanwhile, which is why the threshold is conservative.
-        Returns True if a recharge was started.
-        """
-        cfg = self.config
-        if not cfg.battery_management:
-            return False
-        shuttle = shuttle_sim.shuttle
-        if shuttle.battery_fraction >= cfg.battery_low_threshold:
-            return False
-        shuttle_sim.busy = True
-        self._c_recharges.inc()
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "shuttle.recharge",
-                component=f"shuttle:{shuttle.shuttle_id}",
-                battery_fraction=shuttle.battery_fraction,
-                seconds=cfg.recharge_seconds,
-            )
-
-        def charged() -> None:
-            shuttle.recharge()
-            shuttle_sim.busy = False
-            self._request_dispatch()
-
-        self.sim.schedule(cfg.recharge_seconds, charged, label="recharge")
-        return True
-
-    # -- fetches: Silica partitioned policy ------------------------------ #
-
-    def _dispatch_silica(self) -> None:
-        policy = self.policy
-        assert isinstance(policy, PartitionedPolicy)
-        for shuttle_sim in self.shuttles:
-            if not shuttle_sim.idle:
-                continue
-            if self._maybe_recharge(shuttle_sim):
-                continue
-            shuttle = shuttle_sim.shuttle
-            for pid in self._covered_partitions(shuttle.partition):
-                drive = self._partition_drive(pid)
-                if drive is None or not drive.customer_slot_free:
-                    continue
-                platter = self._pop_candidate(self._partition_heaps[pid])
-                stolen = False
-                if platter is None and policy.work_stealing:
-                    for donor in policy.steal_candidates(self._partition_load):
-                        if donor == pid:
-                            continue
-                        platter = self._pop_candidate(self._partition_heaps[donor])
-                        if platter is not None:
-                            stolen = True
-                            break
-                if platter is None:
-                    continue
-                if stolen:
-                    policy.steals += 1
-                    self._c_steals.inc()
-                    if self.tracer is not None:
-                        self.tracer.emit(
-                            self.sim.now,
-                            "sched.steal",
-                            component=f"shuttle:{shuttle.shuttle_id}",
-                            platter=platter,
-                            partition=pid,
-                        )
-                self._start_fetch(shuttle_sim, platter, drive)
-                break  # this shuttle is busy now
-
-    def _covered_partitions(self, own_partition: int) -> List[int]:
-        """Partitions this shuttle serves: its own plus any adopted from
-        failed shuttles (controller reassignment)."""
-        return [
-            pid
-            for pid, cover in self._partition_cover.items()
-            if cover == own_partition
-        ]
-
-    def _partition_drive(self, pid: int) -> Optional["_DriveSim"]:
-        """The partition's drive, honouring failure re-routing."""
-        assert isinstance(self.policy, PartitionedPolicy)
-        drive_id = self._drive_override.get(
-            pid, self.policy.partitions[pid].drive_id
-        )
-        if drive_id >= len(self.drives):
-            return None
-        drive = self.drives[drive_id]
-        return None if drive.failed else drive
-
-    # -- fetches: SP baseline -------------------------------------------- #
-
-    def _dispatch_sp(self) -> None:
-        for shuttle_sim in self.shuttles:
-            if shuttle_sim.idle:
-                self._maybe_recharge(shuttle_sim)
-        while True:
-            idle = [s for s in self.shuttles if s.idle]
-            if not idle:
-                return
-            if not any(d.customer_slot_free for d in self.drives):
-                return
-            platter = self._pop_candidate(self._global_heap)
-            if platter is None:
-                return
-            slot = self.layout.locate(platter)
-            slot_pos = self.layout.slot_position(slot)
-            shuttle_sim = min(
-                idle,
-                key=lambda s: abs(s.shuttle.position.x - slot_pos.x)
-                + 0.5 * abs(s.shuttle.position.level - slot_pos.level),
-            )
-            drive = self._drive_for(shuttle_sim.shuttle, slot)
-            if drive is None:
-                # No free drive after all; put the candidate back.
-                self._push_candidate(platter, self.scheduler.priority_for(platter) or 0.0)
-                return
-            self._start_fetch(shuttle_sim, platter, drive)
-
-    def _drive_for(self, shuttle: Shuttle, slot: SlotId) -> Optional[_DriveSim]:
-        def free(drive_id: int) -> bool:
-            return drive_id < len(self.drives) and self.drives[drive_id].customer_slot_free
-
-        drive_id = self.policy.drive_for(shuttle, slot, free)
-        if drive_id is None:
-            return None
-        return self.drives[drive_id]
-
-    # -- the fetch trip --------------------------------------------------- #
-
-    def _start_fetch(self, shuttle_sim: _ShuttleSim, platter: str, drive: _DriveSim) -> None:
-        shuttle = shuttle_sim.shuttle
-        shuttle_sim.busy = True
-        drive.slot_reserved = True
-        self.scheduler.begin_service(platter)
-        slot = self.layout.locate(platter)
-        slot_pos = self.layout.slot_position(slot)
-        fetch_started = self.sim.now
-        if self.tracer is not None:
-            self.tracer.emit(
-                fetch_started,
-                "fetch.assign",
-                component=f"shuttle:{shuttle.shuttle_id}",
-                platter=platter,
-                drive=drive.drive_id,
-            )
-
-        def at_shelf() -> None:
-            pick_dur = shuttle.pick(platter, self.rng)
-
-            def picked() -> None:
-                self.layout.remove(platter)
-                self._move(shuttle, drive.position, at_drive)
-
-            self.sim.schedule(pick_dur, picked, label="fetch-pick")
-
-        def at_drive() -> None:
-            place_dur = shuttle.place(self.rng)
-
-            def placed() -> None:
-                shuttle_sim.busy = False
-                drive.slot_reserved = False
-                self._on_customer_arrival(drive, platter, fetch_started=fetch_started)
-                self._request_dispatch()
-
-            self.sim.schedule(place_dur, placed, label="fetch-place")
-
-        self._move(shuttle, slot_pos, at_shelf)
-
-    def _move(self, shuttle: Shuttle, target: Position, then: Callable[[], None]) -> None:
-        plan = self.policy.plan_move(shuttle, target, self.sim.now)
-        self._travel_times.append(plan.total_seconds)
-        self._h_travel.observe(plan.total_seconds)
-
-        def arrived() -> None:
-            shuttle.complete_move(
-                target,
-                plan.base_seconds,
-                congestion_seconds=plan.congestion_seconds,
-                stop_start_cycles=plan.stop_start_cycles,
-            )
-            then()
-
-        self.sim.schedule(plan.total_seconds, arrived, label="move")
-
-    # ------------------------------------------------------------------ #
-    # Drive service
-    # ------------------------------------------------------------------ #
-
-    def _on_customer_arrival(
-        self, drive: _DriveSim, platter: str, fetch_started: Optional[float] = None
-    ) -> None:
-        self._drive_stops_verifying()
-        drive.customer_platter = platter
-        drive.serving = True
-        drive.head_track = int(self.rng.integers(0, max(1, self.config.platter_tracks)))
-        switch = (
-            drive.model.config.fast_switch_seconds
-            if self.config.fast_switching
-            else drive.model.config.unmount_seconds + drive.model.config.mount_seconds
-        )
-        drive.switch_seconds += switch
-        mount = drive.model.config.mount_seconds
-        drive.read_seconds += mount
-        self._mount_counter += 1
-        drive.current_mount = self._mount_counter
-        if self.tracer is not None:
-            now = self.sim.now
-            self.tracer.emit(
-                now,
-                "drive.mount",
-                component=f"drive:{drive.drive_id}",
-                mount_id=drive.current_mount,
-                platter=platter,
-                mount_s=mount,
-                switch_s=switch,
-                shuttle_s=(now - fetch_started) if fetch_started is not None else 0.0,
-            )
-
-        def mounted() -> None:
-            self._serve_batch(drive, platter)
-
-        self.sim.schedule(switch + mount, mounted, label="mount")
-
-    def _serve_batch(self, drive: _DriveSim, platter: str) -> None:
-        batch = self.scheduler.take_batch(platter)
-        if not batch:
-            self._finish_service(drive, platter)
-            return
-        pid = self._platter_partition.get(platter)
-        if pid is not None:
-            self._partition_load[pid] = max(
-                0.0, self._partition_load[pid] - sum(r.size_bytes for r in batch)
-            )
-        if self.config.sort_batch_by_track:
-            batch = sorted(batch, key=lambda r: r.track_start)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "sched.batch",
-                component=f"drive:{drive.drive_id}",
-                platter=platter,
-                size=len(batch),
-                bytes=sum(r.size_bytes for r in batch),
-            )
-        self._serve_requests(drive, platter, batch, 0)
-
-    def _serve_requests(
-        self, drive: _DriveSim, platter: str, batch: List[SimRequest], index: int
-    ) -> None:
-        if index >= len(batch):
-            if not self.config.amortize_batch:
-                # Ablation mode: one request per mount — unmount and return
-                # the platter even if more requests are queued for it.
-                self._finish_service(drive, platter)
-                return
-            # Re-check for arrivals that queued during this batch.
-            self._serve_batch(drive, platter)
-            return
-        request = batch[index]
-        cfg = self.config
-        tr = self.tracer
-        seek = self._seek_seconds(drive, request.track_start)
-        drive.head_track = request.track_start + request.num_tracks
-        track_bytes = request.num_tracks * cfg.track_read_bytes
-        scan = drive.model.seconds_to_scan(track_bytes)
-        duration = seek + scan
-        bytes_this_service = track_bytes
-        seek_total = seek
-        decode_extra = 0.0
-        drive.seek_seconds += seek
-        escalate = False
-        p = cfg.transient_read_error_prob
-        if p > 0.0 and float(self.rng.random()) < p:
-            # Read-retry escalation ladder. Rung 1: a transient sector
-            # error — re-read the tracks in place (another seek + scan).
-            self._c_reread.inc()
-            request.retries += 1
-            request.mark_degraded()
-            reread_seek = self._seek_seconds(drive, request.track_start)
-            duration += reread_seek + scan
-            drive.seek_seconds += reread_seek
-            seek_total += reread_seek
-            bytes_this_service += track_bytes
-            if tr is not None:
-                tr.emit(
-                    self.sim.now,
-                    "retry.reread",
-                    request_id=request.request_id,
-                    component=f"drive:{drive.drive_id}",
-                    extra_s=reread_seek + scan,
-                )
-            if float(self.rng.random()) < p:
-                # Rung 2: spend a deeper LDPC iteration budget on the
-                # captured image (decode compute, no extra media read).
-                self._c_deep_decode.inc()
-                request.retries += 1
-                decode_extra = scan * cfg.deep_decode_factor
-                duration += decode_extra
-                if tr is not None:
-                    tr.emit(
-                        self.sim.now,
-                        "retry.deep_decode",
-                        request_id=request.request_id,
-                        component=f"drive:{drive.drive_id}",
-                        extra_s=decode_extra,
-                    )
-                if (
-                    not request.is_recovery
-                    and float(self.rng.random()) < p * cfg.deep_decode_residual
-                ):
-                    # Rung 3: the tracks are unrecoverable in place —
-                    # escalate to cross-platter NC recovery. Recovery
-                    # reads themselves never re-escalate (they already
-                    # carry the set's redundancy).
-                    escalate = True
-        drive.read_seconds += duration
-        self._c_bytes_read.inc(bytes_this_service)
-        if request.is_recovery:
-            self._c_recovery_bytes.inc(bytes_this_service)
-        if tr is not None:
-            tr.emit(
-                self.sim.now,
-                "drive.read",
-                request_id=request.request_id,
-                component=f"drive:{drive.drive_id}",
-                mount_id=drive.current_mount,
-                seek_s=seek_total,
-                channel_s=duration - seek_total - decode_extra,
-                decode_s=decode_extra,
-                bytes=bytes_this_service,
-                retries=request.retries,
-                escalated=escalate,
-            )
-
-        def done() -> None:
-            if escalate:
-                if tr is not None:
-                    tr.emit(
-                        self.sim.now,
-                        "retry.escalate",
-                        request_id=request.request_id,
-                        component=f"drive:{drive.drive_id}",
-                        platter=platter,
-                    )
-                if self._fan_out_recovery(request):
-                    self._c_escalations.inc()
-                else:
-                    self._abandon_request(request)
-            else:
-                self._complete_request(request)
-            self._serve_requests(drive, platter, batch, index + 1)
-
-        self.sim.schedule(duration, done, label="read")
-
-    def _finish_service(self, drive: _DriveSim, platter: str) -> None:
-        unmount = drive.model.config.unmount_seconds
-        switch = (
-            drive.model.config.fast_switch_seconds
-            if self.config.fast_switching
-            else drive.model.config.unmount_seconds + drive.model.config.mount_seconds
-        )
-        drive.read_seconds += unmount
-        drive.switch_seconds += switch
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "drive.unmount",
-                component=f"drive:{drive.drive_id}",
-                mount_id=drive.current_mount,
-                platter=platter,
-                unmount_s=unmount,
-                switch_s=switch,
-            )
-        drive.current_mount = None
-
-        def done() -> None:
-            self._drive_resumes_verifying()
-            drive.customer_platter = None
-            drive.serving = False
-            if self.config.policy == "ns":
-                # Platters teleport back: slot frees instantly.
-                self._end_service(platter)
-            else:
-                drive.awaiting_return = platter
-            self._request_dispatch()
-
-        self.sim.schedule(unmount + switch, done, label="unmount")
-
-    # ------------------------------------------------------------------ #
-    # NS baseline dispatch
-    # ------------------------------------------------------------------ #
-
-    def _dispatch_ns(self) -> None:
-        while True:
-            free_drives = [d for d in self.drives if d.customer_slot_free]
-            if not free_drives:
-                return
-            platter = self._pop_candidate(self._global_heap)
-            if platter is None:
-                return
-            drive = free_drives[0]
-            self.scheduler.begin_service(platter)
-            self._on_customer_arrival(drive, platter)
-
-    # ------------------------------------------------------------------ #
-    # Verification queue (Section 3.1)
-    # ------------------------------------------------------------------ #
-
-    def submit_verification(self, platter_bytes: float, time: Optional[float] = None) -> None:
-        """A freshly written platter joins the verification queue.
-
-        Its full capacity must be read back by the read drives' idle time;
-        the completion latency lands in :attr:`verify_latencies`.
-        """
-
-        def arrive() -> None:
-            self._update_verify_fluid()
-            self._verify_cum_demand += platter_bytes
-            self._verify_queue.append(
-                (self.sim.now, platter_bytes, self._verify_cum_demand)
-            )
-            if self.tracer is not None:
-                self.tracer.emit(
-                    self.sim.now,
-                    "verify.submit",
-                    bytes=platter_bytes,
-                    backlog_bytes=self.verify_backlog_bytes,
-                )
-
-        if time is None or time <= self.sim.now:
-            arrive()
-        else:
-            self.sim.schedule_at(time, arrive, label="verify-arrival")
-
-    @property
-    def verify_backlog_bytes(self) -> float:
-        return max(0.0, self._verify_cum_demand - self._verify_drained)
-
-    def _update_verify_fluid(self) -> None:
-        """Advance the fluid drain to `now` and pop completed platters."""
-        now = self.sim.now
-        dt = now - self._last_verify_update
-        if dt > 0 and self._verifying_drives > 0:
-            rate = self._verifying_drives * self._verify_rate_per_drive
-            before = self._verify_drained
-            self._verify_drained += rate * dt
-            while self._verify_queue and self._verify_queue[0][2] <= self._verify_drained:
-                arrival, _bytes, cum_end = self._verify_queue.pop(0)
-                # Interpolate the exact completion instant within [last, now].
-                completed_at = self._last_verify_update + (cum_end - before) / rate
-                self.verify_latencies.append(max(0.0, completed_at - arrival))
-        self._last_verify_update = now
-
-    def _drive_stops_verifying(self) -> None:
-        self._update_verify_fluid()
-        self._verifying_drives = max(0, self._verifying_drives - 1)
-
-    def _drive_resumes_verifying(self) -> None:
-        self._update_verify_fluid()
-        self._verifying_drives = min(len(self.drives), self._verifying_drives + 1)
-
-    # ------------------------------------------------------------------ #
-    # Failure injection (Section 4/6: failures minimize impact)
-    # ------------------------------------------------------------------ #
-
-    def schedule_shuttle_failure(
-        self, time: float, shuttle_id: int, repair_after: Optional[float] = None
-    ) -> None:
-        """Fail a shuttle at (or shortly after) ``time``.
-
-        Fail-stop at an operation boundary: if the shuttle is mid-trip, the
-        failure is parked in the pending-fault set and fires from the
-        dispatch hook when the shuttle next goes idle (event-driven — no
-        polling), keeping every in-flight platter protocol consistent.
-        Consequences:
-
-        * the shelf the shuttle died on becomes a blast zone — its platters
-          turn unavailable and their queued reads re-route through
-          cross-platter recovery;
-        * the controller reassigns the shuttle's partitions to the nearest
-          alive shuttle (detection is reliable, Section 6).
-
-        ``repair_after`` starts a repair clock: the shuttle returns to
-        service that many seconds after the failure actually fires
-        (transient fault); None means fail-stop forever (permanent).
-        """
-        if not 0 <= shuttle_id < len(self.shuttles):
-            raise IndexError(f"no shuttle {shuttle_id}")
-
-        def fire() -> None:
-            shuttle_sim = self.shuttles[shuttle_id]
-            if shuttle_sim.shuttle.failed:
-                return  # overlapping fault; the active one wins
-            if shuttle_sim.busy:
-                self._pending_faults.append(("shuttle", shuttle_id, repair_after))
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        self.sim.now,
-                        "fault.deferred",
-                        component=f"shuttle:{shuttle_id}",
-                    )
-                return
-            self._fail_shuttle(shuttle_id, repair_after=repair_after)
-
-        self.sim.schedule_at(time, fire, label="shuttle-failure")
-
-    def schedule_drive_failure(
-        self, time: float, drive_id: int, repair_after: Optional[float] = None
-    ) -> None:
-        """Fail a read drive at (or shortly after) ``time``.
-
-        Same operation-boundary and repair-clock semantics as
-        :meth:`schedule_shuttle_failure`.
-        """
-        if not 0 <= drive_id < len(self.drives):
-            raise IndexError(f"no drive {drive_id}")
-
-        def fire() -> None:
-            drive = self.drives[drive_id]
-            if drive.failed:
-                return
-            if drive.occupied:
-                self._pending_faults.append(("drive", drive_id, repair_after))
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        self.sim.now,
-                        "fault.deferred",
-                        component=f"drive:{drive_id}",
-                    )
-                return
-            self._fail_drive(drive_id, repair_after=repair_after)
-
-        self.sim.schedule_at(time, fire, label="drive-failure")
-
-    def schedule_metadata_outage(
-        self, time: float, duration: Optional[float] = None
-    ) -> None:
-        """Take the metadata service down at ``time``.
-
-        Arrivals during the outage back off (capped exponential) until the
-        service repairs ``duration`` seconds later; None means the outage
-        lasts to the end of the run.
-        """
-
-        def repair() -> None:
-            if self._metadata_available:
-                return
-            self._metadata_available = True
-            self._close_fault(("metadata", 0))
-            waiters, self._metadata_waiters = self._metadata_waiters, []
-            for retry in waiters:
-                retry()
-            self._request_dispatch()
-
-        def fire() -> None:
-            if not self._metadata_available:
-                return  # overlapping outage; the active one wins
-            self._metadata_available = False
-            self._c_faults_injected.inc()
-            self._active_fault_started[("metadata", 0)] = self.sim.now
-            if self.tracer is not None:
-                self.tracer.emit(
-                    self.sim.now,
-                    "metadata.outage",
-                    component="metadata",
-                    duration=duration if duration is not None else -1.0,
-                )
-            if duration is not None:
-                self.sim.schedule(duration, repair, label="metadata-repair")
-
-        self.sim.schedule_at(time, fire, label="metadata-outage")
-
-    @property
-    def metadata_available(self) -> bool:
-        return self._metadata_available
-
-    def apply_fault_schedule(self, schedule: "FaultSchedule") -> None:
-        """Arm every event of a :class:`repro.faults.FaultSchedule`.
-
-        Transient events carry their repair clock; permanent events never
-        return. Call before :meth:`run`.
-        """
-        from ..faults import ComponentKind
-
-        for event in schedule:
-            repair_after = event.duration if event.repairs else None
-            if event.component is ComponentKind.SHUTTLE:
-                self.schedule_shuttle_failure(
-                    event.start, event.target, repair_after=repair_after
-                )
-            elif event.component is ComponentKind.READ_DRIVE:
-                self.schedule_drive_failure(
-                    event.start, event.target, repair_after=repair_after
-                )
-            else:
-                self.schedule_metadata_outage(event.start, repair_after)
-
-    def _fail_shuttle(self, shuttle_id: int, repair_after: Optional[float] = None) -> None:
-        shuttle_sim = self.shuttles[shuttle_id]
-        shuttle = shuttle_sim.shuttle
-        shuttle.fail()
-        self._c_faults_injected.inc()
-        key = ("shuttle", shuttle_id)
-        self._active_fault_started[key] = self.sim.now
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "fault.fire",
-                component=f"shuttle:{shuttle_id}",
-                permanent=repair_after is None,
-            )
-        # Blast zone: one shelf of one rack at the death position.
-        width = self.layout.config.rack_width_m
-        rack = int(shuttle.position.x // width)
-        level = shuttle.position.level
-        blocked = set()
-        for platter, slot in list(self._home_slot.items()):
-            if slot.rack == rack and slot.level == level:
-                if self.layout.locate(platter) is not None:
-                    if self._make_platter_unavailable(platter):
-                        blocked.add(platter)
-        self._fault_platters[key] = blocked
-        # Controller reassigns coverage of this shuttle's partitions.
-        self._recompute_partition_cover()
-        if repair_after is not None:
-            self.sim.schedule(
-                repair_after,
-                lambda: self._repair_shuttle(shuttle_id),
-                label="shuttle-repair",
-            )
-        self._request_dispatch()
-
-    def _repair_shuttle(self, shuttle_id: int) -> None:
-        """Repair clock expired: the shuttle returns to service.
-
-        Its blast zone clears (unless another active failure still covers a
-        platter) and the controller hands its partitions back."""
-        shuttle_sim = self.shuttles[shuttle_id]
-        shuttle = shuttle_sim.shuttle
-        if not shuttle.failed:
-            return
-        key = ("shuttle", shuttle_id)
-        shuttle.repair()
-        self._close_fault(key)
-        blocked = self._fault_platters.pop(key, set())
-        still_blocked = set()
-        for platters in self._fault_platters.values():
-            still_blocked |= platters
-        for platter in blocked - still_blocked:
-            self.unavailable.discard(platter)
-        self._recompute_partition_cover()
-        self._request_dispatch()
-
-    def _fail_drive(self, drive_id: int, repair_after: Optional[float] = None) -> None:
-        drive = self.drives[drive_id]
-        drive.failed = True
-        self._c_faults_injected.inc()
-        self._active_fault_started[("drive", drive_id)] = self.sim.now
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now,
-                "fault.fire",
-                component=f"drive:{drive_id}",
-                permanent=repair_after is None,
-            )
-        self._drive_stops_verifying()  # failure gate ensures it was idle
-        self._recompute_drive_routing()
-        if repair_after is not None:
-            self.sim.schedule(
-                repair_after,
-                lambda: self._repair_drive(drive_id),
-                label="drive-repair",
-            )
-        self._request_dispatch()
-
-    def _repair_drive(self, drive_id: int) -> None:
-        """Repair clock expired: the drive rejoins the fleet (and the
-        verification pool) and partitions route back to it."""
-        drive = self.drives[drive_id]
-        if not drive.failed:
-            return
-        drive.failed = False
-        self._close_fault(("drive", drive_id))
-        self._drive_resumes_verifying()
-        self._recompute_drive_routing()
-        self._request_dispatch()
-
-    def _close_fault(self, key: Tuple[str, int]) -> None:
-        """Account the downtime of a repaired fault."""
-        started = self._active_fault_started.pop(key, self.sim.now)
-        downtime = max(0.0, self.sim.now - started)
-        self._c_downtime.inc(downtime)
-        self._repair_durations.append(downtime)
-        self._c_faults_repaired.inc()
-        if self.tracer is not None:
-            kind, target = key
-            self.tracer.emit(
-                self.sim.now,
-                "metadata.repair" if kind == "metadata" else "fault.repair",
-                component="metadata" if kind == "metadata" else f"{kind}:{target}",
-                downtime_s=downtime,
-            )
-
-    def _recompute_partition_cover(self) -> None:
-        """Self-coverage for alive shuttles; orphaned partitions adopt the
-        nearest alive shuttle (controller reassignment, Section 6)."""
-        if not isinstance(self.policy, PartitionedPolicy):
-            return
-        owner: Dict[int, _ShuttleSim] = {}
-        for shuttle_sim in self.shuttles:
-            pid = shuttle_sim.shuttle.partition
-            if pid is not None:
-                owner[pid] = shuttle_sim
-        for pid in self._partition_cover:
-            own = owner.get(pid)
-            if own is not None and not own.shuttle.failed:
-                self._partition_cover[pid] = pid
-            else:
-                self._partition_cover[pid] = self._nearest_alive_partition(pid)
-
-    def _recompute_drive_routing(self) -> None:
-        """Partitions whose native drive is down route to the nearest alive
-        drive; routes return home when the native drive repairs."""
-        if not isinstance(self.policy, PartitionedPolicy):
-            return
-        alive = [d for d in self.drives if not d.failed]
-        for partition in self.policy.partitions:
-            native = partition.drive_id
-            if native >= len(self.drives):
-                continue  # bay not populated in this configuration
-            if not self.drives[native].failed:
-                self._drive_override.pop(partition.index, None)
-            elif alive:
-                nearest = min(
-                    alive, key=lambda d: abs(d.position.x - partition.home.x)
-                )
-                self._drive_override[partition.index] = nearest.drive_id
-
-    def _nearest_alive_partition(self, failed_partition: int) -> int:
-        """Partition index of the nearest alive shuttle (by home x/level)."""
-        assert isinstance(self.policy, PartitionedPolicy)
-        failed_home = self.policy.partitions[failed_partition].home
-        alive = [
-            s.shuttle
-            for s in self.shuttles
-            if not s.shuttle.failed and s.shuttle.partition is not None
-        ]
-        if not alive:
-            return failed_partition
-        nearest = min(
-            alive,
-            key=lambda sh: abs(self.policy.partitions[sh.partition].home.x - failed_home.x)
-            + 0.5 * abs(self.policy.partitions[sh.partition].home.level - failed_home.level),
-        )
-        return nearest.partition
-
-    def _make_platter_unavailable(self, platter: str) -> bool:
-        """Mark a platter unreachable and re-route its queued reads.
-
-        Returns True if this call made the platter unavailable (so the
-        failure that caused it can restore it on repair)."""
-        if platter in self.unavailable:
-            return False
-        if self.scheduler.in_service(platter):
-            # Mounted or being fetched: it escaped the blast zone.
-            return False
-        self.unavailable.add(platter)
-        pending = self.scheduler.remove_pending(platter)
-        pid = self._platter_partition.get(platter)
-        if pid is not None and pending:
-            self._partition_load[pid] = max(
-                0.0,
-                self._partition_load[pid] - sum(r.size_bytes for r in pending),
-            )
-        for request in pending:
-            self._ingest(request)
-        return True
-
-    # ------------------------------------------------------------------ #
-    # Run + report
-    # ------------------------------------------------------------------ #
-
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> SimulationReport:
-        self.sim.run(until=until, max_events=max_events)
-        return self.report()
-
-    def report(self) -> SimulationReport:
-        self._update_verify_fluid()
-        total = self.sim.now
-        per_drive = []
-        agg = DriveUtilization()
-        bytes_verified = 0.0
-        for drive in self.drives:
-            verify = max(0.0, total - drive.read_seconds - drive.switch_seconds)
-            util = DriveUtilization(
-                read_seconds=drive.read_seconds,
-                verify_seconds=verify,
-                switch_seconds=drive.switch_seconds,
-                total_seconds=total,
-            )
-            per_drive.append(util)
-            agg = agg + util
-            bytes_verified += verify * drive.model.config.throughput_mbps * 1e6
-        congestion_total = sum(s.shuttle.stats.congestion_seconds for s in self.shuttles)
-        travel_total = sum(s.shuttle.stats.travel_seconds for s in self.shuttles)
-        unobstructed = travel_total - congestion_total
-        energy = sum(s.shuttle.stats.energy_joules for s in self.shuttles)
-        platter_ops = sum(s.shuttle.stats.platter_operations for s in self.shuttles)
-        shuttle_metrics = ShuttleMetrics(
-            congestion_overhead=congestion_total / unobstructed if unobstructed > 0 else 0.0,
-            energy_per_platter_op=energy / platter_ops if platter_ops else 0.0,
-            travel_times=self._travel_times,
-            total_conflicts=self.policy.total_conflicts if self.policy else 0,
-            steals=getattr(self.policy, "steals", 0),
-        )
-        measured = [
-            r.completion_time
-            for r in self.all_requests
-            if r.measured and r.done and r.parent is None
-        ]
-        completed_all = sum(1 for r in self.all_requests if r.done and r.parent is None)
-        submitted_all = sum(1 for r in self.all_requests if r.parent is None)
-        resilience = self._resilience_metrics(total)
-        completions = CompletionStats.from_times(measured)
-        # Snapshot headline figures as gauges so a metrics export alone
-        # (without report.json) is self-describing.
-        m = self.metrics
-        m.gauge("simulated_seconds", "Simulated wall time", unit="seconds").set(total)
-        m.gauge("requests_submitted", "Top-level requests submitted").set(submitted_all)
-        m.gauge("requests_completed", "Top-level requests completed").set(completed_all)
-        m.gauge("availability", "Component availability over the run").set(
-            resilience.availability
-        )
-        m.gauge(
-            "tail_seconds", "Measured completion-time p99.9", unit="seconds"
-        ).set(completions.tail)
-        m.gauge("drive_utilization_read", "Aggregate drive read-time fraction").set(
-            agg.read_fraction
-        )
-        m.gauge(
-            "verify_backlog_bytes", "Verification backlog at end of run", unit="bytes"
-        ).set(self.verify_backlog_bytes)
-        m.gauge("congestion_overhead", "Shuttle congestion / unobstructed travel").set(
-            shuttle_metrics.congestion_overhead
-        )
-        m.gauge(
-            "energy_per_platter_op", "Shuttle energy per platter operation", unit="joules"
-        ).set(shuttle_metrics.energy_per_platter_op)
-        qos = None
-        if self.config.tenancy is not None:
-            qos = QoSMetrics.from_requests(
-                self.all_requests,
-                self.config.tenancy,
-                self.admission.stats_dict() if self.admission else None,
-            )
-            m.gauge("qos_jain_fairness", "Jain index over per-tenant mean slowdown").set(
-                qos.jain_fairness
-            )
-            m.gauge("qos_deadline_misses", "Measured completions past deadline").set(
-                qos.deadline_misses
-            )
-            m.gauge("qos_admission_rejections", "Reads rejected by ingress quotas").set(
-                qos.admission_rejections
-            )
-        return SimulationReport(
-            qos=qos,
-            resilience=resilience,
-            completions=completions,
-            drive_utilization=agg,
-            per_drive_utilization=per_drive,
-            shuttles=shuttle_metrics,
-            requests_submitted=submitted_all,
-            requests_completed=completed_all,
-            bytes_read=self.bytes_read,
-            bytes_verified=bytes_verified,
-            seek_seconds=sum(d.seek_seconds for d in self.drives),
-            simulated_seconds=total,
-        )
-
-    def _resilience_metrics(self, total_seconds: float) -> ResilienceMetrics:
-        """Fault-lifecycle accounting over the whole run."""
-        # Downtime of closed (repaired) faults plus the open tail of every
-        # fault still active at the end of the run.
-        downtime = self._c_downtime.value
-        for started in self._active_fault_started.values():
-            downtime += max(0.0, total_seconds - started)
-        num_components = len(self.shuttles) + len(self.drives) + 1  # + metadata
-        budget = num_components * total_seconds
-        availability = 1.0 - downtime / budget if budget > 0 else 1.0
-        mttr = (
-            sum(self._repair_durations) / len(self._repair_durations)
-            if self._repair_durations
-            else 0.0
-        )
-        degraded = [
-            r
-            for r in self.all_requests
-            if r.parent is None and r.degraded
-        ]
-        degraded_times = [
-            r.completion_time for r in degraded if r.measured and r.done
-        ]
-        fanout_user_bytes = self._c_fanout_user_bytes.value
-        amplification = (
-            self.recovery_bytes_read / fanout_user_bytes
-            if fanout_user_bytes > 0
-            else 0.0
-        )
-        return ResilienceMetrics(
-            faults_injected=self.failures_injected,
-            faults_repaired=self.faults_repaired,
-            availability=max(0.0, availability),
-            mean_time_to_repair=mttr,
-            downtime_component_seconds=downtime,
-            reread_retries=self.reread_retries,
-            deep_decodes=self.deep_decodes,
-            recovery_escalations=self.recovery_escalations,
-            recovery_bytes_read=self.recovery_bytes_read,
-            recovery_read_amplification=amplification,
-            metadata_retries=self.metadata_retries,
-            requests_lost=self.requests_lost,
-            degraded_requests=len(degraded),
-            degraded_completions=CompletionStats.from_times(degraded_times),
-        )
+from .sim import DriveSim, LibrarySimulation, ShuttleSim, SimConfig
+
+# Historical private aliases (tests and downstream forks constructed these).
+_DriveSim = DriveSim
+_ShuttleSim = ShuttleSim
+
+__all__ = [
+    "LibrarySimulation",
+    "SimConfig",
+    "DriveSim",
+    "ShuttleSim",
+    "_DriveSim",
+    "_ShuttleSim",
+]

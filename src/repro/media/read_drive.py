@@ -14,7 +14,7 @@ Sections 3, 3.1 and 7.1:
   read-only by construction — it emits observations, never touches media.
 
 This module provides the timing/data model; the DES wraps it with queueing
-and scheduling state (:mod:`repro.core.simulation`).
+and scheduling state (:mod:`repro.core.sim`).
 """
 
 from __future__ import annotations

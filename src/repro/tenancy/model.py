@@ -10,7 +10,7 @@ per second) enforced at the frontend by
 platter-fetch keys) lives in :mod:`repro.tenancy.qos`.
 
 Everything is a plain frozen dataclass so a tenant mix can ride inside a
-:class:`repro.core.simulation.SimConfig` and be rebuilt bit-identically
+:class:`repro.core.sim.SimConfig` and be rebuilt bit-identically
 from a seed — matched-seed determinism is what the bench comparator's
 EXACT-match gate relies on.
 
@@ -167,6 +167,32 @@ class TenantRegistry:
     def deadline_for(self, tenant: str, arrival: float) -> float:
         """Absolute completion deadline of a request arriving at ``arrival``."""
         return arrival + self.class_of(tenant).deadline_seconds
+
+    # ------------------------------------------------------------------ #
+    # Kernel seam (repro.core.sim.hooks.TenancyLike)
+    # ------------------------------------------------------------------ #
+
+    def admission_controller(self) -> "AdmissionController":
+        """A fresh ingress admission controller over this registry.
+
+        Factory half of the :class:`repro.core.sim.hooks.TenancyLike`
+        seam: the simulation kernel calls this instead of importing
+        :mod:`repro.tenancy.admission` itself (imported lazily here to
+        keep the registry picklable without the controller's state).
+        """
+        from .admission import AdmissionController
+
+        return AdmissionController(self)
+
+    def fetch_policy_for(self, name: str) -> Optional[object]:
+        """The named platter-fetch policy bound to this registry.
+
+        The other factory half of the ``TenancyLike`` seam; ``name`` is
+        ``SimConfig.fetch_policy`` (``"arrival"`` or ``"deadline"``).
+        """
+        from .qos import policy_for
+
+        return policy_for(name, self)
 
 
 def skewed_mix(
