@@ -362,6 +362,83 @@ def _qos_ablation_run(scale: BenchScale, seed: int) -> ScenarioRun:
     )
 
 
+def fleet_outage_metrics(replicated, single) -> Dict[str, float]:
+    """Replicated fleet vs single library under the same library loss.
+
+    Both arguments are :class:`repro.fleet.FleetReport` runs that saw the
+    identical ``lib:0`` outage. The ``*_gate`` entries encode the
+    acceptance criteria as 1.0/0.0 simulated metrics — replication keeps
+    reads >= 99% available while the unreplicated library drops below,
+    with failovers and hedge wins actually exercised — so the bench
+    comparator's EXACT-match check fails CI if replication ever stops
+    carrying the outage.
+    """
+    metrics: Dict[str, float] = {}
+    for label, report in (("replicated", replicated), ("single", single)):
+        fleet = report.fleet
+        metrics[f"{label}_read_availability"] = fleet.read_availability
+        metrics[f"{label}_requests_submitted"] = float(fleet.requests_submitted)
+        metrics[f"{label}_requests_served"] = float(fleet.requests_served)
+        metrics[f"{label}_served_degraded"] = float(fleet.served_degraded)
+        metrics[f"{label}_failovers"] = float(fleet.failovers)
+        metrics[f"{label}_hedge_wins"] = float(fleet.hedge_wins)
+        metrics[f"{label}_replication_lost"] = float(fleet.replication_lost)
+    metrics["replicated_availability_ge_99_gate"] = (
+        1.0 if replicated.fleet.read_availability >= 0.99 else 0.0
+    )
+    metrics["single_availability_lt_99_gate"] = (
+        1.0 if single.fleet.read_availability < 0.99 else 0.0
+    )
+    metrics["replicated_failovers_nonzero_gate"] = (
+        1.0 if replicated.fleet.failovers > 0 else 0.0
+    )
+    metrics["replicated_hedge_wins_nonzero_gate"] = (
+        1.0 if replicated.fleet.hedge_wins > 0 else 0.0
+    )
+    return metrics
+
+
+def _fleet_outage_run(scale: BenchScale, seed: int) -> ScenarioRun:
+    from ..faults import DomainOutage, FaultKind, FleetFaultSchedule
+    from ..fleet import FleetConfig, FleetCoordinator
+    from ..workload.profiles import IOPS
+
+    trace, start, end = scale.trace_for(IOPS, seed=seed, stream=30 + seed)
+    horizon = end + scale.cooldown_hours * 3600.0
+    # One whole-library loss squarely inside the measured window, long
+    # enough that the single library's retry ladder cannot ride it out.
+    outage = DomainOutage(
+        domain="lib:0",
+        start=start + 0.2 * (end - start),
+        duration=0.5 * (end - start),
+        kind=FaultKind.TRANSIENT,
+    )
+    member = SimConfig(num_platters=scale.num_platters, seed=seed)
+
+    def coordinator_for(libraries, replicas, isolation, hedge):
+        config = FleetConfig(
+            num_libraries=libraries,
+            replicas=replicas,
+            isolation=isolation,
+            member=member,
+            hedge=hedge,
+            hedge_delay_seconds=60.0,
+            seed=seed,
+        )
+        coordinator = FleetCoordinator(config)
+        coordinator.assign_trace(trace, start, end)
+        coordinator.apply_fault_schedule(
+            FleetFaultSchedule([outage], horizon_seconds=horizon)
+        )
+        return coordinator
+
+    replicated = coordinator_for(3, 2, "power", hedge=True)
+    single = coordinator_for(1, 1, "library", hedge=False)
+    return ScenarioRun(
+        execute=lambda: fleet_outage_metrics(replicated.run(), single.run())
+    )
+
+
 def _archive_run(payload_bytes: int, seed: int) -> ScenarioRun:
     from ..service import ArchiveService, ServiceConfig
 
@@ -447,6 +524,15 @@ def default_registry() -> ScenarioRegistry:
         suite="fast",
         seed=5,
         build=lambda: _qos_ablation_run(BENCH_SCALE, seed=5),
+        repetitions=2,
+        warmup=0,
+    )
+    registry.add(
+        "fleet_outage",
+        "replicated 3-library fleet vs a single library losing lib:0",
+        suite="fast",
+        seed=9,
+        build=lambda: _fleet_outage_run(BENCH_SCALE, seed=9),
         repetitions=2,
         warmup=0,
     )

@@ -259,6 +259,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "repair": not args.no_repair,
         }
         payload["perf"] = perf.as_dict()
+        payload["service_retry"] = _sim_retry_stats(simulation).as_dict()
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
     print(f"profile    : {profile.name} ({len(trace)} requests)")
@@ -276,6 +277,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"({'within' if report.completions.within_slo() else 'MISSES'} the 15 h SLO)"
     )
     return 0
+
+
+def _sim_retry_stats(simulation):
+    """The simulator's retry ladder in the front end's stats schema.
+
+    Maps the kernel's counters onto
+    :class:`repro.service.frontend.ServiceRetryStats` so ``chaos --json``
+    and the service front end expose one ``service_retry`` block shape:
+    ladder climbs (re-reads / deep decodes / NC escalations), accumulated
+    backoff seconds, and metadata failures (requests still parked on an
+    unrepaired outage at end of run).
+    """
+    from .service.frontend import ServiceRetryStats
+
+    metrics = simulation.metrics
+    requests = simulation.kernel.lifecycle.all_requests
+    return ServiceRetryStats(
+        metadata_retries=int(metrics.value("metadata_retries_total")),
+        metadata_failures=sum(
+            1
+            for r in requests
+            if r.parent is None and r.metadata_attempts and not r.done
+        ),
+        sector_rereads=int(metrics.value("reread_retries_total")),
+        deep_decodes=int(metrics.value("deep_decodes_total")),
+        unrecovered_sectors=int(metrics.value("recovery_escalations_total")),
+        backoff_seconds=metrics.value("metadata_backoff_seconds_total"),
+        admission_rejections=(
+            int(metrics.value("admission_rejections_total"))
+            if "admission_rejections_total" in metrics
+            else 0
+        ),
+    )
 
 
 def _sim_config_from(args: argparse.Namespace):
@@ -341,6 +375,96 @@ def _cmd_export(args: argparse.Namespace) -> int:
     print(f"result    : {report.summary()}")
     print(artifacts.summary())
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.sim import SimConfig
+    from .faults import FaultModel, FleetChaosConfig, FleetFaultSchedule
+    from .fleet import FleetConfig, FleetCoordinator
+    from .observability import RunArtifacts, Tracer
+
+    profile, trace, start, end = _profile_trace(args)
+    member = SimConfig(
+        num_drives=args.drives,
+        num_shuttles=args.shuttles,
+        num_platters=args.platters,
+        seed=args.seed,
+    )
+    config = FleetConfig(
+        num_libraries=args.libraries,
+        replicas=args.replicas,
+        isolation=args.isolation,
+        libraries_per_power_domain=args.libs_per_power,
+        member=member,
+        detect_timeout_seconds=args.detect_timeout,
+        hedge=args.hedge,
+        hedge_delay_seconds=args.hedge_delay,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    tracer = Tracer() if args.out else None
+    coordinator = FleetCoordinator(config, tracer=tracer)
+    coordinator.assign_trace(trace, start, end)
+    horizon = (args.hours + 2 * args.hours / 6) * 3600.0
+    schedule = None
+    if args.lib_mtbf or args.power_mtbf:
+        chaos = FleetChaosConfig(
+            horizon_seconds=horizon,
+            library=(
+                FaultModel(args.lib_mtbf, args.lib_mttr)
+                if args.lib_mtbf else None
+            ),
+            power=(
+                FaultModel(args.power_mtbf, args.power_mttr)
+                if args.power_mtbf else None
+            ),
+            repair=not args.no_repair,
+            seed=args.seed,
+        )
+        topology = coordinator.topology
+        schedule = FleetFaultSchedule.generate(
+            chaos, topology.library_domains, topology.power_domains
+        )
+        coordinator.apply_fault_schedule(schedule)
+    report = coordinator.run()
+    if args.out:
+        artifacts = RunArtifacts(args.out)
+        if tracer is not None:
+            artifacts.write_trace(tracer.events())
+        artifacts.write_metrics(coordinator.metrics)
+        artifacts.write_report(report)
+    if args.json:
+        payload = report.as_dict()
+        payload["schedule"] = {
+            "outages": 0 if schedule is None else len(schedule),
+            "repair": not args.no_repair,
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    fleet = report.fleet
+    print(f"profile   : {profile.name} ({len(trace)} requests)")
+    print(
+        f"fleet     : {args.libraries} libraries, k={args.replicas} "
+        f"({args.isolation} isolation), "
+        f"hedge {'on' if args.hedge else 'off'}, "
+        f"{0 if schedule is None else len(schedule)} outage(s) scheduled"
+    )
+    for member_row in report.members:
+        print(
+            f"  {member_row.site:<8s} requests={member_row.requests:<6d} "
+            f"completed={member_row.completed}"
+        )
+    print(f"result    : {report.summary()}")
+    print(
+        f"tail      : {report.completions.tail_hours:.2f} h "
+        f"({'within' if report.completions.within_slo() else 'MISSES'} "
+        f"the 15 h SLO)"
+    )
+    if args.out:
+        print(artifacts.summary())
+    return 0 if fleet.replication_lost == 0 else 1
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -521,6 +645,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as stable-keyed JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fleet = commands.add_parser(
+        "fleet", help="replicated multi-library fleet under domain outages",
+        parents=[run_parent],
+    )
+    fleet.add_argument("--libraries", type=int, default=3,
+                       help="member libraries in the fleet")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="replicas per object (k of n)")
+    fleet.add_argument("--isolation", default="power",
+                       choices=["library", "power"],
+                       help="domain level replicas must not share")
+    fleet.add_argument("--libs-per-power", type=int, default=2,
+                       help="libraries sharing one rack-row power domain")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for member kernels")
+    fleet.add_argument("--hedge", action="store_true",
+                       help="hedge slow reads to a second replica")
+    fleet.add_argument("--hedge-delay", type=float, default=600.0,
+                       help="seconds before a read is hedged")
+    fleet.add_argument("--detect-timeout", type=float, default=30.0,
+                       help="seconds to detect an unresponsive member")
+    fleet.add_argument("--lib-mtbf", type=float, default=0.0,
+                       help="library MTBF seconds (0 disables library outages)")
+    fleet.add_argument("--lib-mttr", type=float, default=1800.0)
+    fleet.add_argument("--power-mtbf", type=float, default=0.0,
+                       help="power-domain MTBF seconds (0 disables power events)")
+    fleet.add_argument("--power-mttr", type=float, default=900.0)
+    fleet.add_argument("--no-repair", action="store_true",
+                       help="same outage schedule, repair disabled (fail-stop)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the full fleet report as stable-keyed JSON")
+    fleet.add_argument("--out", default=None,
+                       help="artifact output directory (trace, metrics, report)")
+    fleet.set_defaults(func=_cmd_fleet)
 
     trace = commands.add_parser(
         "trace", help="traced run: export trace.jsonl, spans, metrics, report",

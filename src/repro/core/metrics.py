@@ -660,6 +660,117 @@ class QoSMetrics:
 
 
 @dataclass
+class FleetMetrics:
+    """Graceful-degradation accounting for a multi-library fleet run.
+
+    ``read_availability`` is the fleet's headline number: the fraction of
+    submitted reads that some replica served before the coordinator's
+    retry budget ran out. ``served_degraded`` counts reads that had to be
+    served from a non-primary replica (the paper's region-level durability
+    argument made visible); ``replication_lost`` counts reads for which
+    *every* replica's domain was down through the whole retry ladder —
+    exactly the objects a single-library deployment silently loses.
+    """
+
+    libraries: int = 1
+    replicas: int = 1
+    requests_submitted: int = 0
+    requests_served: int = 0
+    served_degraded: int = 0
+    failovers: int = 0
+    failover_seconds: float = 0.0
+    hedges_issued: int = 0
+    hedge_wins: int = 0
+    replication_lost: int = 0
+    domain_outages: int = 0
+
+    @property
+    def read_availability(self) -> float:
+        """Fraction of submitted reads served by some replica."""
+        if self.requests_submitted <= 0:
+            return 1.0
+        return self.requests_served / self.requests_submitted
+
+    @property
+    def mean_failover_seconds(self) -> float:
+        """Mean added latency per failover (detection + backoff)."""
+        if self.failovers <= 0:
+            return 0.0
+        return self.failover_seconds / self.failovers
+
+    @property
+    def hedge_win_rate(self) -> float:
+        """Fraction of issued hedges whose clone beat the primary."""
+        if self.hedges_issued <= 0:
+            return 0.0
+        return self.hedge_wins / self.hedges_issued
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable-keyed snapshot: fixed schema, alphabetical keys."""
+        return {
+            "domain_outages": self.domain_outages,
+            "failover_seconds": self.failover_seconds,
+            "failovers": self.failovers,
+            "hedge_win_rate": self.hedge_win_rate,
+            "hedge_wins": self.hedge_wins,
+            "hedges_issued": self.hedges_issued,
+            "libraries": self.libraries,
+            "mean_failover_seconds": self.mean_failover_seconds,
+            "read_availability": self.read_availability,
+            "replicas": self.replicas,
+            "replication_lost": self.replication_lost,
+            "requests_served": self.requests_served,
+            "requests_submitted": self.requests_submitted,
+            "served_degraded": self.served_degraded,
+        }
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Mirror the fleet block onto a registry for Prometheus export."""
+        pairs = [
+            ("requests_submitted_total", self.requests_submitted,
+             "reads submitted to the fleet coordinator"),
+            ("requests_served_total", self.requests_served,
+             "reads served by some replica"),
+            ("served_degraded_total", self.served_degraded,
+             "reads served from a non-primary replica"),
+            ("failovers_total", self.failovers,
+             "reads rerouted around a down member"),
+            ("failover_seconds_total", self.failover_seconds,
+             "added latency from failure detection and backoff"),
+            ("hedges_issued_total", self.hedges_issued,
+             "hedge clones sent to a second replica"),
+            ("hedge_wins_total", self.hedge_wins,
+             "hedge clones that beat the primary"),
+            ("replication_lost_total", self.replication_lost,
+             "reads with every replica down through the retry budget"),
+            ("domain_outages_total", self.domain_outages,
+             "domain-scoped outages fired by the fleet schedule"),
+        ]
+        for name, value, help_text in pairs:
+            registry.counter(name, help_text).inc(float(value))
+        registry.gauge(
+            "read_availability", "fraction of submitted reads served"
+        ).set(self.read_availability)
+        registry.gauge(
+            "hedge_win_rate", "fraction of hedges whose clone won"
+        ).set(self.hedge_win_rate)
+        registry.gauge("libraries", "member libraries").set(self.libraries)
+        registry.gauge("replicas", "replicas per object").set(self.replicas)
+
+    def summary(self) -> str:
+        """One-line operator view of the fleet block."""
+        return (
+            f"availability={self.read_availability * 100:.3f}% "
+            f"served={self.requests_served}/{self.requests_submitted} "
+            f"degraded={self.served_degraded} "
+            f"failovers={self.failovers} "
+            f"(+{self.mean_failover_seconds:.1f}s each) "
+            f"hedges={self.hedge_wins}/{self.hedges_issued} won "
+            f"lost={self.replication_lost} outages={self.domain_outages}"
+        )
+
+
+@dataclass
 class SimulationReport:
     """Everything a single simulator run produces."""
 

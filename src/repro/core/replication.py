@@ -1,16 +1,24 @@
-"""Multi-seed replication: mean and confidence intervals for sweeps.
+"""Replication primitives: statistical replication and replica placement.
 
-A single digital-twin run samples one realization of every mechanical
-duration and placement decision; experiment conclusions (Figures 5-9)
-should rest on replicated runs. :func:`replicate` runs the same experiment
-across seeds and summarizes any scalar metric with a mean and a
-t-distribution confidence interval.
+Two senses of "replication" live here, both in service of the paper's
+durability story:
+
+* **Statistical replication** — a single digital-twin run samples one
+  realization of every mechanical duration and placement decision;
+  experiment conclusions (Figures 5-9) should rest on replicated runs.
+  :func:`replicate` runs the same experiment across seeds and summarizes
+  any scalar metric with a mean and a t-distribution confidence interval.
+* **Data replication** — the region-level availability argument (Section 8)
+  places k replicas of every object in distinct failure domains so no
+  single-domain outage can take all copies down.
+  :func:`place_across_domains` is the deterministic k-of-n placement
+  primitive the fleet layer builds its replica map on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -68,6 +76,43 @@ def replicate(
         raise ValueError("need at least one seed")
     values = tuple(float(run(seed)) for seed in seeds)
     return ReplicatedMetric(values, confidence)
+
+
+def place_across_domains(
+    object_index: int,
+    domains: Sequence[str],
+    replicas: int,
+) -> Tuple[int, ...]:
+    """k-of-n replica placement: member indices for one object.
+
+    ``domains[i]`` names the failure domain of member ``i``. The returned
+    tuple holds ``replicas`` member indices, primary first, such that no
+    two chosen members share a domain. Placement is a pure function of
+    ``object_index``: the primary domain rotates with the object index
+    (load balance across the fleet) and replicas take the next distinct
+    domains in ring order, so the map is deterministic, needs no stored
+    directory, and any router can recompute it.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    if object_index < 0:
+        raise ValueError("object_index must be non-negative")
+    # Group members by domain, preserving first-appearance domain order.
+    groups: Dict[str, List[int]] = {}
+    for member, domain in enumerate(domains):
+        groups.setdefault(domain, []).append(member)
+    names = list(groups)
+    if replicas > len(names):
+        raise ValueError(
+            f"cannot place {replicas} replicas across {len(names)} domain(s) "
+            "without sharing a domain"
+        )
+    placement: List[int] = []
+    first = object_index % len(names)
+    for step in range(replicas):
+        members = groups[names[(first + step) % len(names)]]
+        placement.append(members[object_index % len(members)])
+    return tuple(placement)
 
 
 def replicate_tail_hours(

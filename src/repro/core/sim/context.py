@@ -51,6 +51,11 @@ class SimCounters:
         self.metadata_retries = m.counter(
             "metadata_retries_total", "Arrivals bounced off a metadata outage"
         )
+        self.metadata_backoff = m.counter(
+            "metadata_backoff_seconds_total",
+            "Simulated seconds parked requests waited out in retry backoff",
+            "seconds",
+        )
         self.reread = m.counter(
             "reread_retries_total", "Retry-ladder rung 1: in-place track re-reads"
         )

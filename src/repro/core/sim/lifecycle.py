@@ -386,6 +386,7 @@ class RequestLifecycle:
                 cfg.metadata_backoff_base_seconds * (2.0 ** exponent),
                 cfg.metadata_backoff_cap_seconds,
             )
+            self.ctx.counters.metadata_backoff.inc(delay)
             self.ctx.sim.schedule(delay, arrive, label="metadata-retry")
 
         # Re-ingested requests (failure re-routing) arrive "now"; their

@@ -21,6 +21,12 @@ the digital twin:
 
 The schedule is pure data; :meth:`repro.core.sim.LibrarySimulation.
 apply_fault_schedule` turns it into simulator events.
+
+On top of the per-component machinery, :class:`FleetFaultSchedule` scopes
+outages to *named failure domains* (whole libraries, rack-row power
+domains, regions) for the fleet layer: a domain outage takes down every
+member library inside the domain at once, which is exactly the correlated
+failure mode single-library fault injection cannot express.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -245,3 +251,186 @@ _COMPONENT_STREAM = {
     ComponentKind.READ_DRIVE: 2,
     ComponentKind.METADATA: 3,
 }
+
+
+# ---------------------------------------------------------------------- #
+# Fleet-level, domain-scoped outages
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class DomainOutage:
+    """One outage of one named failure domain.
+
+    ``domain`` is a fleet domain name (``lib:2``, ``power:0``,
+    ``region:east``). ``duration`` is the repair time in seconds;
+    ``math.inf`` encodes a fail-stop with no repair before the horizon.
+    ``correlated`` marks outages fired by a shared-infrastructure event
+    (a power domain) rather than an independent library failure.
+    """
+
+    domain: str
+    start: float
+    duration: float
+    kind: FaultKind
+    correlated: bool = False
+
+    @property
+    def repairs(self) -> bool:
+        return math.isfinite(self.duration)
+
+    @property
+    def repair_time(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, t: float) -> bool:
+        """True when the domain is down at time ``t``."""
+        return self.start <= t < self.repair_time
+
+
+@dataclass(frozen=True)
+class FleetChaosConfig:
+    """What domains to break, how often, and for how long."""
+
+    horizon_seconds: float
+    #: independent whole-library fail-stop with repair clocks.
+    library: Optional[FaultModel] = None
+    #: correlated rack-row power events (every library in the domain).
+    power: Optional[FaultModel] = None
+    repair: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+
+
+class FleetFaultSchedule:
+    """An ordered, reproducible list of domain-scoped outages.
+
+    The schedule reuses the per-component renewal machinery of
+    :class:`FaultSchedule` — each domain gets an independent substream of
+    alternating up/down intervals — but targets are *named domains*
+    instead of component indices, so one event can take down every
+    library that shares a rack row.
+    """
+
+    def __init__(self, outages: List[DomainOutage], horizon_seconds: float):
+        self.outages = sorted(outages, key=lambda o: (o.start, o.domain))
+        self.horizon_seconds = horizon_seconds
+
+    def __len__(self) -> int:
+        return len(self.outages)
+
+    def __iter__(self) -> Iterator[DomainOutage]:
+        return iter(self.outages)
+
+    @classmethod
+    def generate(
+        cls,
+        config: FleetChaosConfig,
+        library_domains: Sequence[str],
+        power_domains: Sequence[str] = (),
+    ) -> "FleetFaultSchedule":
+        """Draw a schedule from per-domain renewal processes.
+
+        Each domain's substream is derived from the seed, the domain
+        class, and the domain's position, so adding libraries does not
+        perturb the power domains' schedule (mirroring
+        :meth:`FaultSchedule.generate`).
+        """
+        outages: List[DomainOutage] = []
+        population = [
+            (config.library, library_domains, _LIBRARY_STREAM, False),
+            (config.power, power_domains, _POWER_STREAM, True),
+        ]
+        for model, domains, stream, correlated in population:
+            if model is None:
+                continue
+            for index, domain in enumerate(domains):
+                rng = np.random.default_rng([config.seed, stream, index])
+                for event in FaultSchedule._component_walk(
+                    rng,
+                    model,
+                    ComponentKind.METADATA,  # placeholder; only timing is used
+                    index,
+                    config.horizon_seconds,
+                    config.repair,
+                ):
+                    outages.append(
+                        DomainOutage(
+                            domain=domain,
+                            start=event.start,
+                            duration=event.duration,
+                            kind=event.kind,
+                            correlated=correlated,
+                        )
+                    )
+        return cls(outages, config.horizon_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Queries the fleet coordinator routes on
+    # ------------------------------------------------------------------ #
+
+    def down(self, domains: Sequence[str], t: float) -> bool:
+        """True when any of ``domains`` has an active outage at ``t``."""
+        wanted = set(domains)
+        return any(o.domain in wanted and o.covers(t) for o in self.outages)
+
+    def next_up(self, domains: Sequence[str], t: float) -> float:
+        """Earliest time >= ``t`` when none of ``domains`` is down.
+
+        Returns ``math.inf`` if some covering outage never repairs.
+        """
+        wanted = set(domains)
+        now = t
+        while True:
+            active = [
+                o for o in self.outages if o.domain in wanted and o.covers(now)
+            ]
+            if not active:
+                return now
+            latest = max(o.repair_time for o in active)
+            if math.isinf(latest):
+                return math.inf
+            now = latest
+
+    def outages_for(self, domains: Sequence[str]) -> List[DomainOutage]:
+        """The outages that touch any of ``domains``, in start order."""
+        wanted = set(domains)
+        return [o for o in self.outages if o.domain in wanted]
+
+    # ------------------------------------------------------------------ #
+    # Transformations and summaries (FaultSchedule-shaped)
+    # ------------------------------------------------------------------ #
+
+    def without_repair(self) -> "FleetFaultSchedule":
+        """The repair-disabled twin: only each domain's first outage, made
+        permanent — a dead domain cannot fail again."""
+        first: Dict[str, DomainOutage] = {}
+        for outage in self.outages:
+            if outage.domain not in first:
+                first[outage.domain] = replace(
+                    outage, duration=math.inf, kind=FaultKind.PERMANENT
+                )
+        return FleetFaultSchedule(list(first.values()), self.horizon_seconds)
+
+    def downtime_seconds(self) -> float:
+        """Total domain-downtime implied by the schedule, clipped to the
+        horizon."""
+        total = 0.0
+        for outage in self.outages:
+            end = min(self.horizon_seconds, outage.repair_time)
+            total += max(0.0, end - outage.start)
+        return total
+
+    def scheduled_availability(self, num_domains: int) -> float:
+        """Fraction of domain-time up, as scheduled."""
+        if num_domains <= 0 or self.horizon_seconds <= 0:
+            return 1.0
+        budget = num_domains * self.horizon_seconds
+        return max(0.0, 1.0 - self.downtime_seconds() / budget)
+
+
+_LIBRARY_STREAM = 11
+_POWER_STREAM = 12

@@ -1,0 +1,42 @@
+"""Multi-library fleet: replicated archival storage across failure domains.
+
+A single library is itself a failure domain; the paper's availability
+story completes only at the region level, where replicas in other
+domains survive a whole-library loss. This package composes N
+independent :class:`repro.core.sim.SimKernel` member libraries behind a
+:class:`~repro.fleet.coordinator.FleetCoordinator`:
+
+- :mod:`~repro.fleet.topology` — named failure domains (library,
+  rack-row power, region) and the deterministic k-of-n replica map;
+- :mod:`~repro.fleet.coordinator` — routing, member-failure detection
+  (timeout + capped-backoff retry), replica failover, hedged reads;
+- :mod:`~repro.fleet.workers` — picklable member jobs for process-pool
+  execution (``--workers N``).
+
+Layer contract (enforced by ``tools/check_layers.py``): the fleet sits
+*above* the kernel. It drives members through the ``repro.core.sim``
+package surface and its ``hooks`` protocols only — never the kernel's
+internal subsystem modules — and ``repro.core.sim`` never imports
+``repro.fleet`` back.
+"""
+
+from .coordinator import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetReport,
+    MemberSummary,
+)
+from .topology import FleetTopology, LibrarySite
+from .workers import MemberJob, MemberResult, run_member
+
+__all__ = [
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetReport",
+    "FleetTopology",
+    "LibrarySite",
+    "MemberJob",
+    "MemberResult",
+    "MemberSummary",
+    "run_member",
+]

@@ -1,0 +1,154 @@
+"""Fleet layout: member libraries inside named failure domains.
+
+The paper's durability argument (Section 8) only completes at the region
+level — a library is itself a failure domain, and archival availability
+comes from replicas held in *other* domains. :class:`FleetTopology`
+makes those domains explicit: every member library sits inside three
+nested domains (its own ``lib:i`` domain, a shared rack-row ``power:j``
+domain, and a ``region:r`` domain), and the replica map is the
+deterministic k-of-n placement primitive
+:func:`repro.core.replication.place_across_domains` applied at a chosen
+isolation level, so no two replicas of an object ever share a domain
+that can fail as a unit.
+
+The topology is pure data (frozen dataclasses): the coordinator, the
+fault scheduler, and any offline analysis can all recompute the same
+placement with no shared directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.replication import place_across_domains
+
+#: Isolation levels an object's replicas must be spread across.
+ISOLATION_LEVELS = ("library", "power")
+
+
+@dataclass(frozen=True)
+class LibrarySite:
+    """One member library and the failure domains that contain it."""
+
+    index: int
+    name: str  # the library's own failure domain, e.g. "lib:0"
+    power_domain: str  # shared rack-row power, e.g. "power:0"
+    region: str  # e.g. "region:0"
+
+    @property
+    def domains(self) -> Tuple[str, str, str]:
+        """Every domain whose outage takes this member down."""
+        return (self.name, self.power_domain, self.region)
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """N member libraries plus a deterministic k-of-n replica map.
+
+    ``isolation`` picks the domain level replicas must not share:
+    ``"library"`` tolerates any single-library loss, ``"power"``
+    (default) additionally tolerates a whole rack-row power event —
+    the correlated failure mode :class:`repro.faults.FleetFaultSchedule`
+    injects.
+    """
+
+    sites: Tuple[LibrarySite, ...]
+    replicas: int = 2
+    isolation: str = "power"
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ValueError("a fleet needs at least one library")
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.isolation not in ISOLATION_LEVELS:
+            raise ValueError(f"unknown isolation level {self.isolation!r}")
+        distinct = len(set(self.placement_domains))
+        if self.replicas > distinct:
+            raise ValueError(
+                f"cannot isolate {self.replicas} replicas across {distinct} "
+                f"distinct {self.isolation} domain(s)"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        num_libraries: int,
+        replicas: int = 2,
+        libraries_per_power_domain: int = 2,
+        num_regions: int = 1,
+        isolation: str = "power",
+    ) -> "FleetTopology":
+        """A regular layout: libraries packed into rack rows and regions.
+
+        Library ``i`` lands in power domain ``i // libraries_per_power_
+        domain`` and regions split the fleet contiguously — the shape of
+        a real deployment where adjacent libraries share electrical
+        infrastructure.
+        """
+        if num_libraries < 1:
+            raise ValueError("num_libraries must be at least 1")
+        if libraries_per_power_domain < 1:
+            raise ValueError("libraries_per_power_domain must be at least 1")
+        if num_regions < 1:
+            raise ValueError("num_regions must be at least 1")
+        sites = tuple(
+            LibrarySite(
+                index=i,
+                name=f"lib:{i}",
+                power_domain=f"power:{i // libraries_per_power_domain}",
+                region=f"region:{i * num_regions // num_libraries}",
+            )
+            for i in range(num_libraries)
+        )
+        return cls(sites=sites, replicas=replicas, isolation=isolation)
+
+    # ------------------------------------------------------------------ #
+    # Domain views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_libraries(self) -> int:
+        return len(self.sites)
+
+    @property
+    def placement_domains(self) -> Tuple[str, ...]:
+        """Per-member domain names at the isolation level, member order."""
+        if self.isolation == "library":
+            return tuple(site.name for site in self.sites)
+        return tuple(site.power_domain for site in self.sites)
+
+    @property
+    def library_domains(self) -> Tuple[str, ...]:
+        """Each member's own failure domain, member order."""
+        return tuple(site.name for site in self.sites)
+
+    @property
+    def power_domains(self) -> Tuple[str, ...]:
+        """Distinct power domains, first-appearance order."""
+        seen: List[str] = []
+        for site in self.sites:
+            if site.power_domain not in seen:
+                seen.append(site.power_domain)
+        return tuple(seen)
+
+    def domains_of(self, member: int) -> Tuple[str, str, str]:
+        """The nested failure domains of member ``member``."""
+        return self.sites[member].domains
+
+    # ------------------------------------------------------------------ #
+    # Replica placement
+    # ------------------------------------------------------------------ #
+
+    def placement_for(self, object_index: int) -> Tuple[int, ...]:
+        """Member indices holding object ``object_index``, primary first.
+
+        A pure function of the object index (see
+        :func:`repro.core.replication.place_across_domains`): no two
+        returned members share an isolation-level domain, and the primary
+        rotates across domains for load balance.
+        """
+        return place_across_domains(
+            object_index, self.placement_domains, self.replicas
+        )

@@ -1,0 +1,84 @@
+"""Process-pool execution of member library kernels.
+
+Member kernels share no state — each is a self-contained discrete-event
+simulation of one library — so the fleet coordinator can run them on a
+:class:`concurrent.futures.ProcessPoolExecutor`. This module holds the
+*picklable* job/result types and the top-level worker function the pool
+needs (a nested function or lambda cannot cross a process boundary).
+
+Determinism contract: a member's outcome is a pure function of its
+``(config, requests)`` job — the kernel draws every random quantity from
+``config.seed`` — so running members serially, or on 4 workers, or on
+400, produces byte-identical results. The multiprocess-determinism test
+pins exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.sim import SimConfig, SimKernel
+from ..workload.traces import ReadRequest, ReadTrace
+
+
+@dataclass(frozen=True)
+class MemberJob:
+    """Everything one member kernel run needs, picklable.
+
+    ``requests`` rows are ``(submit_time, tag, size_bytes)``: the
+    coordinator's routing plan already folded failover penalties into
+    the submit times, and ``tag`` carries the fleet request identity
+    (``"<index>:p"`` primary / ``"<index>:h"`` hedge clone) back out.
+    """
+
+    site_index: int
+    config: SimConfig
+    requests: Tuple[Tuple[float, str, int], ...]
+
+
+@dataclass(frozen=True)
+class MemberResult:
+    """One member kernel's outcome, aligned with its job's requests.
+
+    ``completions[i]`` is the absolute completion time of
+    ``job.requests[i]`` (``None`` if the member's own recovery machinery
+    abandoned it), in the same order the job listed them.
+    """
+
+    site_index: int
+    completions: Tuple[Optional[float], ...]
+    requests_completed: int
+    simulated_seconds: float
+
+
+def run_member(job: MemberJob) -> MemberResult:
+    """Run one member kernel to quiescence (top-level: pool-picklable).
+
+    The member measures everything (window ``[0, inf)``): fleet-level
+    measurement filtering happens in the coordinator's merge, keyed by
+    the *original* arrival times, which routing delays must not shift.
+    """
+    trace = ReadTrace(
+        ReadRequest(time=time, file_id=tag, size_bytes=size)
+        for time, tag, size in job.requests
+    )
+    kernel = SimKernel(job.config)
+    kernel.lifecycle.assign_trace(trace, 0.0, math.inf)
+    report = kernel.run()
+    tops = [r for r in kernel.lifecycle.all_requests if r.parent is None]
+    if len(tops) != len(job.requests):
+        raise RuntimeError(
+            f"member {job.site_index}: {len(tops)} top-level requests for "
+            f"{len(job.requests)} submissions — trace/request alignment lost"
+        )
+    completions: List[Optional[float]] = [
+        (r.completion if r.done else None) for r in tops
+    ]
+    return MemberResult(
+        site_index=job.site_index,
+        completions=tuple(completions),
+        requests_completed=report.requests_completed,
+        simulated_seconds=report.simulated_seconds,
+    )

@@ -90,6 +90,10 @@ EVENT_KINDS = frozenset(
         "service.deep_decode",
         "service.sector_unrecovered",
         "service.admission_reject",
+        # fleet coordinator (multi-library routing)
+        "fleet.failover",
+        "fleet.hedge",
+        "fleet.domain_outage",
     }
 )
 

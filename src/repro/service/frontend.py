@@ -77,19 +77,42 @@ class RetryPolicy:
     sector_rereads: int = 1
     ldpc_iterations: int = 50
     deep_ldpc_iterations: int = 250
+    # Opt-in decorrelation: with N clients retrying the same metadata
+    # outage, pure exponential backoff fires every retry in lockstep (a
+    # retry storm). ``jitter_fraction`` shaves a seeded-deterministic
+    # uniform slice (up to that fraction) off each delay; 0.0 (default)
+    # reproduces the exact legacy schedule, so committed baselines stay
+    # byte-identical.
+    jitter_fraction: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (1-based): capped exponential."""
-        return min(
+    def backoff(self, attempt: int, token: int = 0) -> float:
+        """Delay before retry ``attempt`` (1-based): capped exponential.
+
+        ``token`` distinguishes concurrent retriers (a request counter, a
+        client index); with ``jitter_fraction`` enabled, different tokens
+        land on decorrelated points of the backoff curve while the same
+        (seed, attempt, token) triple always yields the same delay.
+        """
+        delay = min(
             self.backoff_base_seconds * (2.0 ** (attempt - 1)),
             self.backoff_cap_seconds,
         )
+        if self.jitter_fraction > 0.0:
+            digest = hashlib.sha256(
+                f"{self.jitter_seed}:{attempt}:{token}".encode()
+            ).digest()
+            unit = int.from_bytes(digest[:8], "little") / 2**64
+            delay *= 1.0 - self.jitter_fraction * unit
+        return delay
 
 
 class RequestDeadlineExceeded(TimeoutError):
@@ -107,6 +130,45 @@ class ServiceRetryStats:
     unrecovered_sectors: int = 0
     backoff_seconds: float = 0.0
     admission_rejections: int = 0  # gets refused by tenant ingress quotas
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stable-keyed snapshot (the ``service_retry`` artifact block)."""
+        return {
+            "admission_rejections": self.admission_rejections,
+            "backoff_seconds": self.backoff_seconds,
+            "deep_decodes": self.deep_decodes,
+            "metadata_failures": self.metadata_failures,
+            "metadata_retries": self.metadata_retries,
+            "sector_rereads": self.sector_rereads,
+            "unrecovered_sectors": self.unrecovered_sectors,
+        }
+
+    def publish(self, registry) -> None:
+        """Mirror the ladder counters onto a metrics registry.
+
+        ``registry`` is a :class:`repro.core.metrics.MetricsRegistry`;
+        its prefix decides the metric family (``service_`` for the front
+        end). Counter names follow Prometheus conventions (``_total``
+        for counts, ``_seconds_total`` for accumulated time).
+        """
+        pairs = [
+            ("metadata_retries_total", float(self.metadata_retries),
+             "metadata lookups retried after a transient outage"),
+            ("metadata_failures_total", float(self.metadata_failures),
+             "metadata lookups that exhausted the deadline or attempts"),
+            ("sector_rereads_total", float(self.sector_rereads),
+             "retry-ladder rung 1: fresh imaging passes"),
+            ("deep_decodes_total", float(self.deep_decodes),
+             "retry-ladder rung 2: deeper LDPC iteration budgets"),
+            ("unrecovered_sectors_total", float(self.unrecovered_sectors),
+             "sectors the in-place ladder could not recover"),
+            ("backoff_seconds_total", self.backoff_seconds,
+             "simulated seconds spent waiting between retries"),
+            ("admission_rejections_total", float(self.admission_rejections),
+             "gets refused by tenant ingress quotas"),
+        ]
+        for name, value, help_text in pairs:
+            registry.counter(name, help_text).inc(value)
 
 
 @dataclass(frozen=True)
@@ -311,7 +373,11 @@ class ArchiveService:
                 return operation()
             except MetadataUnavailable:
                 attempt += 1
-                delay = policy.backoff(attempt)
+                # The running retry count doubles as the jitter token: each
+                # successive retry (across requests) decorrelates when
+                # jitter is enabled, and the token is ignored when it is
+                # off, keeping the legacy schedule byte-exact.
+                delay = policy.backoff(attempt, token=self.retry_stats.metadata_retries)
                 if attempt >= policy.max_attempts or self._clock + delay > deadline:
                     self.retry_stats.metadata_failures += 1
                     raise RequestDeadlineExceeded(
@@ -397,6 +463,23 @@ class ArchiveService:
             f"{policy.sector_rereads} re-read(s) and deep decode; "
             "escalate to network coding"
         )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def metrics_registry(self):
+        """Fresh ``service_``-prefixed registry holding the retry ladder.
+
+        Snapshot semantics: counters reflect :attr:`retry_stats` at call
+        time. Export with ``to_prometheus()`` / ``as_dict()`` like any
+        simulator registry.
+        """
+        from ..core.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(prefix="service_")
+        self.retry_stats.publish(registry)
+        return registry
 
     # ------------------------------------------------------------------ #
     # delete / recycle

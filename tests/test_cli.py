@@ -131,6 +131,86 @@ class TestChaosCommand:
         assert perf["events_processed"] > 0
         assert perf["peak_memory_bytes"] > 0
         assert perf["wall_seconds"] > 0
+        # Front-end retry-ladder counters ride along (ServiceRetryStats
+        # schema): stable keys, non-negative counts.
+        retry = payload["service_retry"]
+        assert list(retry) == sorted(retry)
+        assert set(retry) == {
+            "admission_rejections",
+            "backoff_seconds",
+            "deep_decodes",
+            "metadata_failures",
+            "metadata_retries",
+            "sector_rereads",
+            "unrecovered_sectors",
+        }
+        assert all(value >= 0 for value in retry.values())
+
+    def test_chaos_json_counts_metadata_retries(self, capsys):
+        code = main(
+            [
+                "--seed", "3",
+                "chaos",
+                "--hours", "0.2",
+                "--platters", "950",
+                "--metadata-mtbf", "120",
+                "--metadata-mttr", "60",
+                "--json",
+            ]
+        )
+        assert code == 0
+        retry = json.loads(capsys.readouterr().out)["service_retry"]
+        assert retry["metadata_retries"] > 0
+        assert retry["backoff_seconds"] > 0
+
+
+class TestFleetCommand:
+    def test_fleet_survives_library_outage(self, capsys):
+        code = main(
+            [
+                "--seed", "3",
+                "fleet",
+                "--hours", "0.2",
+                "--platters", "240",
+                "--drives", "8",
+                "--shuttles", "8",
+                "--libraries", "3",
+                "--lib-mtbf", "600",
+                "--lib-mttr", "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 libraries, k=2" in out
+        assert "availability" in out
+
+    def test_fleet_json_stable_keys(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "fleet")
+        code = main(
+            [
+                "--seed", "3",
+                "fleet",
+                "--hours", "0.2",
+                "--platters", "240",
+                "--drives", "8",
+                "--shuttles", "8",
+                "--lib-mtbf", "600",
+                "--hedge",
+                "--hedge-delay", "60",
+                "--json",
+                "--out", out_dir,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == sorted(payload)
+        assert list(payload["fleet"]) == sorted(payload["fleet"])
+        assert payload["fleet"]["libraries"] == 3
+        assert payload["schedule"]["repair"] is True
+        # Artifacts: trace + metrics + report land in --out.
+        names = {p.name for p in (tmp_path / "fleet").iterdir()}
+        assert {"trace.jsonl", "metrics.json", "metrics.prom",
+                "report.json"} <= names
 
 
 class TestTraceExportCommands:

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on fault-schedule invariants.
+
+Example-based tests in ``test_faults.py`` pin specific schedules; these
+pin the *structural* invariants every generated schedule must satisfy,
+whatever the seed, horizon, or failure/repair rates:
+
+* ``without_repair`` is idempotent, leaves only permanent faults, and
+  keeps at most one fault per component (a dead part cannot die again);
+* downtime is non-negative and clipped to the horizon;
+* ``scheduled_availability`` is a proper fraction in [0, 1];
+* generation is a pure function of the config (same seed, same bytes).
+
+The domain-scoped :class:`repro.faults.FleetFaultSchedule` shares the
+renewal machinery, so the same invariants are asserted there too.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultModel,
+    FleetChaosConfig,
+    FleetFaultSchedule,
+    FaultSchedule,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+fault_models = st.builds(
+    FaultModel,
+    mtbf_seconds=st.floats(min_value=100.0, max_value=20_000.0),
+    mttr_seconds=st.floats(min_value=0.0, max_value=5_000.0),
+    transient_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+chaos_configs = st.builds(
+    ChaosConfig,
+    horizon_seconds=st.floats(min_value=1_000.0, max_value=200_000.0),
+    shuttle=fault_models,
+    drive=st.one_of(st.none(), fault_models),
+    repair=st.booleans(),
+    seed=st.integers(min_value=0, max_value=100),
+)
+
+fleet_configs = st.builds(
+    FleetChaosConfig,
+    horizon_seconds=st.floats(min_value=1_000.0, max_value=200_000.0),
+    library=fault_models,
+    power=st.one_of(st.none(), fault_models),
+    repair=st.booleans(),
+    seed=st.integers(min_value=0, max_value=100),
+)
+
+LIBRARIES = ("lib:0", "lib:1", "lib:2")
+POWER = ("power:0", "power:1")
+
+
+def _component_schedule(config: ChaosConfig) -> FaultSchedule:
+    return FaultSchedule.generate(config, num_shuttles=3, num_drives=2)
+
+
+class TestFaultScheduleProperties:
+    @SETTINGS
+    @given(chaos_configs)
+    def test_without_repair_is_idempotent_and_permanent(self, config):
+        stopped = _component_schedule(config).without_repair()
+        assert all(e.kind is FaultKind.PERMANENT for e in stopped)
+        assert all(math.isinf(e.duration) for e in stopped)
+        targets = [(e.component, e.target) for e in stopped]
+        assert len(targets) == len(set(targets))  # one death per part
+        assert stopped.without_repair().events == stopped.events
+
+    @SETTINGS
+    @given(chaos_configs)
+    def test_downtime_clipped_to_horizon(self, config):
+        schedule = _component_schedule(config)
+        downtime = schedule.downtime_seconds()
+        assert downtime >= 0.0
+        # 3 shuttles + 2 drives + 1 metadata service at most.
+        assert downtime <= 6 * config.horizon_seconds + 1e-6
+
+    @SETTINGS
+    @given(chaos_configs)
+    def test_scheduled_availability_is_a_fraction(self, config):
+        schedule = _component_schedule(config)
+        assert 0.0 <= schedule.scheduled_availability(6) <= 1.0
+
+    @SETTINGS
+    @given(chaos_configs)
+    def test_generation_is_deterministic(self, config):
+        assert (
+            _component_schedule(config).events
+            == _component_schedule(config).events
+        )
+
+    @SETTINGS
+    @given(chaos_configs)
+    def test_events_ordered_and_inside_horizon(self, config):
+        schedule = _component_schedule(config)
+        starts = [e.start for e in schedule]
+        assert starts == sorted(starts)
+        assert all(0.0 < e.start < config.horizon_seconds for e in schedule)
+
+
+class TestFleetFaultScheduleProperties:
+    @SETTINGS
+    @given(fleet_configs)
+    def test_without_repair_is_idempotent_and_permanent(self, config):
+        schedule = FleetFaultSchedule.generate(config, LIBRARIES, POWER)
+        stopped = schedule.without_repair()
+        assert all(o.kind is FaultKind.PERMANENT for o in stopped)
+        domains = [o.domain for o in stopped]
+        assert len(domains) == len(set(domains))
+        assert stopped.without_repair().outages == stopped.outages
+
+    @SETTINGS
+    @given(fleet_configs)
+    def test_downtime_and_availability_bounds(self, config):
+        schedule = FleetFaultSchedule.generate(config, LIBRARIES, POWER)
+        downtime = schedule.downtime_seconds()
+        assert downtime >= 0.0
+        assert downtime <= 5 * config.horizon_seconds + 1e-6
+        assert 0.0 <= schedule.scheduled_availability(5) <= 1.0
+
+    @SETTINGS
+    @given(fleet_configs)
+    def test_generation_is_deterministic(self, config):
+        a = FleetFaultSchedule.generate(config, LIBRARIES, POWER)
+        b = FleetFaultSchedule.generate(config, LIBRARIES, POWER)
+        assert a.outages == b.outages
+
+    @SETTINGS
+    @given(fleet_configs)
+    def test_down_agrees_with_next_up(self, config):
+        schedule = FleetFaultSchedule.generate(config, LIBRARIES, POWER)
+        for outage in schedule.outages[:5]:
+            up_at = schedule.next_up([outage.domain], outage.start)
+            assert up_at >= outage.repair_time
+            if math.isfinite(up_at):
+                assert not schedule.down([outage.domain], up_at)

@@ -1,0 +1,289 @@
+"""Tests for the multi-library fleet layer (repro.fleet).
+
+Covers the replica-placement primitive, the fleet topology, domain-scoped
+outage schedules, the coordinator's failover/hedge accounting, and the
+multiprocess determinism contract (``--workers N`` must not change a
+byte of the output).
+"""
+
+import math
+
+import pytest
+
+from repro.core.replication import place_across_domains
+from repro.core.sim import SimConfig
+from repro.faults import (
+    DomainOutage,
+    FaultKind,
+    FleetChaosConfig,
+    FleetFaultSchedule,
+    FaultModel,
+)
+from repro.fleet import FleetConfig, FleetCoordinator, FleetTopology
+from repro.workload.traces import ReadRequest, ReadTrace
+
+#: Small member kernel: enough platters to spread load, fast to run.
+MEMBER = SimConfig(num_platters=120, num_drives=4, num_shuttles=4)
+
+
+def _trace(n=40, spacing=30.0, size=4_000_000):
+    return ReadTrace(
+        ReadRequest(time=i * spacing, file_id=f"f{i}", size_bytes=size)
+        for i in range(n)
+    )
+
+
+def _coordinator(trace=None, schedule=None, **overrides):
+    overrides.setdefault("member", MEMBER)
+    coordinator = FleetCoordinator(FleetConfig(**overrides))
+    requests = trace if trace is not None else _trace()
+    coordinator.assign_trace(requests, 0.0, math.inf)
+    if schedule is not None:
+        coordinator.apply_fault_schedule(schedule)
+    return coordinator
+
+
+class TestPlaceAcrossDomains:
+    DOMAINS = ("a", "a", "b", "b", "c")
+
+    def test_replicas_never_share_a_domain(self):
+        for index in range(50):
+            placement = place_across_domains(index, self.DOMAINS, 3)
+            names = [self.DOMAINS[m] for m in placement]
+            assert len(set(names)) == 3
+
+    def test_pure_function_of_index(self):
+        for index in range(20):
+            assert place_across_domains(
+                index, self.DOMAINS, 2
+            ) == place_across_domains(index, self.DOMAINS, 2)
+
+    def test_primary_domain_rotates(self):
+        primaries = {
+            self.DOMAINS[place_across_domains(i, self.DOMAINS, 2)[0]]
+            for i in range(9)
+        }
+        assert primaries == {"a", "b", "c"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            place_across_domains(0, self.DOMAINS, 0)
+        with pytest.raises(ValueError):
+            place_across_domains(-1, self.DOMAINS, 2)
+        with pytest.raises(ValueError):
+            place_across_domains(0, self.DOMAINS, 4)  # only 3 distinct
+
+
+class TestFleetTopology:
+    def test_build_layout(self):
+        topology = FleetTopology.build(
+            4, replicas=2, libraries_per_power_domain=2, num_regions=2
+        )
+        assert topology.library_domains == ("lib:0", "lib:1", "lib:2", "lib:3")
+        assert topology.power_domains == ("power:0", "power:1")
+        assert topology.domains_of(3) == ("lib:3", "power:1", "region:1")
+
+    def test_power_isolation_never_shares_a_rack_row(self):
+        topology = FleetTopology.build(4, replicas=2, isolation="power")
+        for index in range(30):
+            placement = topology.placement_for(index)
+            rows = {topology.sites[m].power_domain for m in placement}
+            assert len(rows) == 2
+
+    def test_library_isolation_allows_shared_power(self):
+        topology = FleetTopology.build(2, replicas=2, isolation="library")
+        placement = topology.placement_for(0)
+        assert set(placement) == {0, 1}
+
+    def test_replicas_must_fit_distinct_domains(self):
+        with pytest.raises(ValueError):
+            FleetTopology.build(2, replicas=2, isolation="power")
+        with pytest.raises(ValueError):
+            FleetTopology.build(3, replicas=4, isolation="library")
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(ValueError):
+            FleetTopology.build(3, replicas=2, isolation="blast-radius")
+
+
+class TestFleetFaultSchedule:
+    def test_down_and_next_up(self):
+        outage = DomainOutage("lib:0", 100.0, 50.0, FaultKind.TRANSIENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=1000.0)
+        assert not schedule.down(["lib:0"], 99.0)
+        assert schedule.down(["lib:0"], 100.0)
+        assert schedule.down(["lib:0", "power:0"], 149.0)
+        assert not schedule.down(["lib:0"], 150.0)
+        assert schedule.next_up(["lib:0"], 120.0) == 150.0
+        assert schedule.next_up(["lib:0"], 10.0) == 10.0
+
+    def test_next_up_is_inf_for_permanent(self):
+        outage = DomainOutage("lib:0", 100.0, math.inf, FaultKind.PERMANENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=1000.0)
+        assert schedule.next_up(["lib:0"], 200.0) == math.inf
+
+    def test_generate_is_seed_deterministic(self):
+        config = FleetChaosConfig(
+            horizon_seconds=50_000.0,
+            library=FaultModel(5000.0, 500.0),
+            power=FaultModel(20_000.0, 1000.0),
+            seed=4,
+        )
+        domains = ("lib:0", "lib:1", "lib:2")
+        a = FleetFaultSchedule.generate(config, domains, ("power:0",))
+        b = FleetFaultSchedule.generate(config, domains, ("power:0",))
+        assert a.outages == b.outages
+        assert all(o.correlated for o in a.outages_for(["power:0"]))
+
+    def test_without_repair_keeps_first_outage_permanent(self):
+        config = FleetChaosConfig(
+            horizon_seconds=100_000.0,
+            library=FaultModel(4000.0, 400.0),
+            seed=1,
+        )
+        schedule = FleetFaultSchedule.generate(config, ("lib:0", "lib:1"))
+        stopped = schedule.without_repair()
+        domains = {o.domain for o in stopped}
+        assert len(stopped) == len(domains)  # one outage per domain
+        assert all(o.kind is FaultKind.PERMANENT for o in stopped)
+        assert all(not o.repairs for o in stopped)
+        # Idempotent: a dead domain cannot die again.
+        assert stopped.without_repair().outages == stopped.outages
+
+    def test_scheduled_availability_bounds(self):
+        outage = DomainOutage("lib:0", 0.0, math.inf, FaultKind.PERMANENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=1000.0)
+        assert schedule.downtime_seconds() == 1000.0  # clipped to horizon
+        assert schedule.scheduled_availability(2) == 0.5
+        assert schedule.scheduled_availability(0) == 1.0
+
+
+class TestFleetConfig:
+    def test_member_seeds_are_distinct(self):
+        config = FleetConfig(member=MEMBER, seed=7)
+        seeds = {config.member_config(m).seed for m in range(3)}
+        assert seeds == {7000, 7001, 7002}
+
+    def test_rejects_tenancy(self):
+        with pytest.raises(ValueError):
+            FleetConfig(member=SimConfig(tenancy=object()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(workers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(detect_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(hedge_delay_seconds=-1.0)
+
+
+class TestCoordinator:
+    def test_requires_a_trace(self):
+        with pytest.raises(RuntimeError):
+            FleetCoordinator(FleetConfig(member=MEMBER)).run()
+
+    def test_healthy_fleet_serves_everything_undegraded(self):
+        report = _coordinator().run()
+        fleet = report.fleet
+        assert fleet.read_availability == 1.0
+        assert fleet.requests_served == fleet.requests_submitted == 40
+        assert fleet.failovers == 0
+        assert fleet.served_degraded == 0
+        assert fleet.replication_lost == 0
+
+    def test_outage_fails_over_to_the_replica(self):
+        # lib:0 is dark for the whole trace: every read it would have
+        # served pays one detection+backoff penalty and lands on its
+        # replica instead.
+        outage = DomainOutage("lib:0", 0.0, math.inf, FaultKind.PERMANENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=10_000.0)
+        coordinator = _coordinator(schedule=schedule)
+        report = coordinator.run()
+        fleet = report.fleet
+        assert fleet.read_availability == 1.0
+        assert fleet.failovers > 0
+        assert fleet.served_degraded >= fleet.failovers
+        expected = coordinator.config.detect_timeout_seconds + (
+            coordinator.config.retry.backoff(1)
+        )
+        assert fleet.mean_failover_seconds == expected
+        assert fleet.domain_outages == 1
+
+    def test_unreplicated_outage_loses_reads(self):
+        outage = DomainOutage("lib:0", 0.0, math.inf, FaultKind.PERMANENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=10_000.0)
+        report = _coordinator(
+            schedule=schedule,
+            num_libraries=1,
+            replicas=1,
+            isolation="library",
+        ).run()
+        fleet = report.fleet
+        assert fleet.replication_lost == 40
+        assert fleet.requests_served == 0
+        assert fleet.read_availability == 0.0
+
+    def test_hedge_not_issued_when_primary_is_fast(self):
+        # With a delay far beyond any member latency the coordinator
+        # cancels every planned clone: no hedges issued, none won.
+        report = _coordinator(hedge=True, hedge_delay_seconds=50_000.0).run()
+        assert report.fleet.hedges_issued == 0
+        assert report.fleet.hedge_wins == 0
+
+    def test_hedge_accounting_is_consistent(self):
+        report = _coordinator(hedge=True, hedge_delay_seconds=1.0).run()
+        fleet = report.fleet
+        assert fleet.hedges_issued > 0
+        assert 0 <= fleet.hedge_wins <= fleet.hedges_issued
+        assert 0.0 <= fleet.hedge_win_rate <= 1.0
+
+    def test_tracer_records_fleet_events(self):
+        from repro.observability import Tracer
+
+        outage = DomainOutage("lib:0", 0.0, 600.0, FaultKind.TRANSIENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=10_000.0)
+        tracer = Tracer()
+        coordinator = _coordinator(schedule=schedule)
+        coordinator.tracer = tracer
+        coordinator.run()
+        kinds = {event.kind for event in tracer.events()}
+        assert "fleet.domain_outage" in kinds
+        assert "fleet.failover" in kinds
+
+    def test_report_is_stable_keyed(self):
+        report = _coordinator().run()
+        payload = report.as_dict()
+        assert list(payload) == sorted(payload)
+        assert list(payload["fleet"]) == sorted(payload["fleet"])
+        assert report.to_json()  # serializable
+        assert "availability" in report.summary()
+
+    def test_metrics_registry_published(self):
+        coordinator = _coordinator()
+        coordinator.run()
+        assert coordinator.metrics.value("requests_served_total") == 40.0
+        assert "fleet_read_availability" in coordinator.metrics.to_prometheus()
+
+    def test_measurement_window_filters_counters(self):
+        coordinator = _coordinator()
+        coordinator.assign_trace(_trace(), 300.0, 600.0)  # 10 of 40 inside
+        report = coordinator.run()
+        assert report.fleet.requests_submitted == 10
+
+
+class TestMultiprocessDeterminism:
+    def test_worker_count_does_not_change_a_byte(self):
+        outage = DomainOutage("lib:0", 200.0, 400.0, FaultKind.TRANSIENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=10_000.0)
+
+        def run(workers):
+            coordinator = _coordinator(
+                schedule=schedule, hedge=True, hedge_delay_seconds=120.0
+            )
+            report = coordinator.run(workers=workers)
+            return report.to_json(), coordinator.metrics.to_prometheus()
+
+        serial_json, serial_prom = run(1)
+        pooled_json, pooled_prom = run(4)
+        assert serial_json == pooled_json
+        assert serial_prom == pooled_prom

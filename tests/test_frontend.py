@@ -211,3 +211,88 @@ class TestDecodeLadder:
         with pytest.raises(IOError, match="network coding"):
             service.get("l/burnt")
         assert service.retry_stats.unrecovered_sectors >= 1
+
+
+class TestBackoffJitter:
+    def test_default_schedule_is_byte_exact_legacy(self):
+        from repro.service import RetryPolicy
+
+        policy = RetryPolicy(backoff_base_seconds=0.5, backoff_cap_seconds=8.0)
+        # jitter_fraction defaults to 0.0: the capped exponential is the
+        # exact historical schedule, so committed baselines cannot move.
+        assert policy.jitter_fraction == 0.0
+        assert [policy.backoff(n) for n in range(1, 6)] == [
+            0.5, 1.0, 2.0, 4.0, 8.0,
+        ]
+        assert policy.backoff(3, token=99) == 2.0  # token ignored when off
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        from repro.service import RetryPolicy
+
+        policy = RetryPolicy(
+            backoff_base_seconds=4.0,
+            backoff_cap_seconds=64.0,
+            jitter_fraction=0.5,
+            jitter_seed=13,
+        )
+        for attempt in range(1, 8):
+            base = min(64.0, 4.0 * 2 ** (attempt - 1))
+            delay = policy.backoff(attempt, token=attempt)
+            assert base * 0.5 <= delay <= base  # shaved, never lengthened
+            assert delay == policy.backoff(attempt, token=attempt)  # seeded
+
+    def test_jitter_decorrelates_tokens_and_seeds(self):
+        from repro.service import RetryPolicy
+
+        policy = RetryPolicy(jitter_fraction=0.5, jitter_seed=1)
+        other = RetryPolicy(jitter_fraction=0.5, jitter_seed=2)
+        assert policy.backoff(3, token=0) != policy.backoff(3, token=1)
+        assert policy.backoff(3, token=0) != other.backoff(3, token=0)
+
+    def test_jitter_fraction_validation(self):
+        from repro.service import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=-0.1)
+
+
+class TestRetryStatsExport:
+    def test_as_dict_is_stable_keyed(self):
+        from repro.service.frontend import ServiceRetryStats
+
+        payload = ServiceRetryStats(metadata_retries=3).as_dict()
+        assert list(payload) == sorted(payload)
+        assert payload["metadata_retries"] == 3
+
+    def test_publish_renders_prometheus_counters(self):
+        from repro.core.metrics import MetricsRegistry
+        from repro.service.frontend import ServiceRetryStats
+
+        stats = ServiceRetryStats(
+            metadata_retries=4,
+            metadata_failures=1,
+            sector_rereads=2,
+            deep_decodes=1,
+            unrecovered_sectors=0,
+            backoff_seconds=12.5,
+            admission_rejections=3,
+        )
+        registry = MetricsRegistry(prefix="service_")
+        stats.publish(registry)
+        text = registry.to_prometheus()
+        assert "# TYPE service_metadata_retries_total counter" in text
+        assert "service_metadata_retries_total 4" in text
+        assert "service_backoff_seconds_total 12.5" in text
+        assert "service_admission_rejections_total 3" in text
+        assert registry.value("metadata_failures_total") == 1.0
+
+    def test_service_metrics_registry_snapshot(self):
+        service = ArchiveService()
+        service.put("x/exported", b"payload")
+        service.metadata.fail_for(2)
+        service.get("x/exported")
+        registry = service.metrics_registry()
+        assert registry.value("metadata_retries_total") >= 2.0
+        assert "service_metadata_retries_total" in registry.to_prometheus()

@@ -29,6 +29,21 @@ import os
 import sys
 from typing import Dict, Iterator, List, Tuple
 
+#: the kernel's internal subsystem modules: the fleet layer must drive
+#: members through the ``repro.core.sim`` package surface (and the
+#: ``hooks``/``config`` seams it re-exports), never reach inside.
+_KERNEL_INTERNALS = (
+    "context",
+    "dispatch",
+    "facade",
+    "faults",
+    "kernel",
+    "lifecycle",
+    "machines",
+    "robotics",
+    "verification",
+)
+
 #: package -> import prefixes its modules must not reach, with the reason.
 CONTRACTS: Dict[str, Dict[str, str]] = {
     "repro.core.sim": {
@@ -36,6 +51,14 @@ CONTRACTS: Dict[str, Dict[str, str]] = {
         "repro.faults": "fault schedules enter via the FaultScheduleLike seam",
         "repro.observability": "tracing enters via the TracerLike seam",
         "repro.service": "the service frontend sits above the kernel",
+        "repro.fleet": "the kernel must not know the fleet exists",
+    },
+    "repro.fleet": {
+        **{
+            f"repro.core.sim.{name}": "kernel internals are off limits — use "
+            "the repro.core.sim package surface"
+            for name in _KERNEL_INTERNALS
+        },
     },
 }
 
