@@ -75,17 +75,20 @@ class MetricComparison:
 
     @property
     def delta(self) -> float:
+        """Candidate minus baseline (0.0 when either side is absent)."""
         if self.baseline is None or self.candidate is None:
             return 0.0
         return self.candidate - self.baseline
 
     @property
     def delta_percent(self) -> float:
+        """The delta as a percentage of the baseline's magnitude."""
         if not self.baseline:
             return 0.0
         return self.delta / abs(self.baseline) * 100.0
 
     def row(self) -> str:
+        """One aligned table line: metric, both sides, delta, verdict."""
         base = "-" if self.baseline is None else f"{self.baseline:12.6g}"
         cand = "-" if self.candidate is None else f"{self.candidate:12.6g}"
         delta = (
@@ -105,6 +108,7 @@ class ScenarioComparison:
     comparisons: List[MetricComparison] = field(default_factory=list)
 
     def worst(self) -> str:
+        """The scenario's most severe verdict (drift worst, skipped least)."""
         order = [DRIFT, REGRESSION, IMPROVEMENT, WITHIN_NOISE, MATCH, SKIPPED]
         verdicts = {c.verdict for c in self.comparisons}
         for verdict in order:
@@ -113,6 +117,7 @@ class ScenarioComparison:
         return SKIPPED
 
     def has(self, verdict: str) -> bool:
+        """Whether any metric of this scenario carries ``verdict``."""
         return any(c.verdict == verdict for c in self.comparisons)
 
     def wall_only_regressions(self) -> bool:

@@ -36,10 +36,17 @@ class ScenarioRun:
     ``simulation`` optionally exposes the underlying event engine so the
     runner can attach a profiler and count events; it is ``None`` for
     scenarios that do not use the discrete-event simulator.
+    ``extra`` (optional) is called by the runner after the timed
+    repetitions and its payload is stored verbatim under the artifact's
+    ``"extra"`` key — the home for informational, possibly wall-clock
+    data (e.g. a per-cell throughput curve) that must *not* be gated:
+    the comparator only reads the perf-metric and ``simulated_metrics``
+    keys, so the block is ignored by regression checks.
     """
 
     execute: Callable[[], Dict[str, float]]
     simulation: Optional[Any] = None
+    extra: Optional[Callable[[], Dict[str, Any]]] = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,7 @@ class ScenarioRegistry:
         self._scenarios: Dict[str, Scenario] = {}
 
     def register(self, scenario: Scenario) -> Scenario:
+        """Add a built :class:`Scenario`, rejecting duplicate names."""
         if scenario.name in self._scenarios:
             raise BenchError(f"scenario {scenario.name!r} is already registered")
         self._scenarios[scenario.name] = scenario
@@ -93,6 +101,7 @@ class ScenarioRegistry:
         )
 
     def get(self, name: str) -> Scenario:
+        """The scenario registered under ``name`` (BenchError if unknown)."""
         try:
             return self._scenarios[name]
         except KeyError:
@@ -102,6 +111,7 @@ class ScenarioRegistry:
             ) from None
 
     def names(self) -> List[str]:
+        """All registered scenario names, sorted."""
         return sorted(self._scenarios)
 
     def by_suite(self, suite: str) -> List[Scenario]:

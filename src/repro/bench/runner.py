@@ -106,6 +106,7 @@ class BenchResult:
     events_processed: Optional[int] = None
     simulated_metrics: Dict[str, float] = field(default_factory=dict)
     hotspots: List[Dict[str, Any]] = field(default_factory=list)
+    extra: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Stable-keyed artifact payload (the BENCH_*.json contract)."""
@@ -128,6 +129,10 @@ class BenchResult:
         payload["events_per_second"] = (
             _stat(self.events_per_second) if self.events_per_second else None
         )
+        if self.extra is not None:
+            # Informational only: the comparator reads the perf-metric and
+            # simulated_metrics keys and ignores this block entirely.
+            payload["extra"] = self.extra
         return payload
 
     def summary(self) -> str:
@@ -196,6 +201,10 @@ class BenchRunner:
                     f"repetition {rep} changed simulated metrics "
                     f"(seed {scenario.seed})"
                 )
+        # The extra block is taken from the last clean repetition so any
+        # wall-clock data in it (throughput curves) stays undistorted.
+        if run.extra is not None:
+            result.extra = run.extra()
         # One instrumented pass: tracemalloc peak + wall-clock hot spots.
         # Its (distorted) wall time is deliberately not recorded.
         run = scenario.build()

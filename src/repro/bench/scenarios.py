@@ -23,7 +23,7 @@ behaviour change, never noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from ..core.metrics import SimulationReport
 from ..core.sim import LibrarySimulation, SimConfig
@@ -439,6 +439,82 @@ def _fleet_outage_run(scale: BenchScale, seed: int) -> ScenarioRun:
     )
 
 
+#: Library-size axis of the dispatch scale sweep: (num_platters,
+#: num_drives == num_shuttles) pairs, smallest first.
+SWEEP_SIZES = ((300, 3), (900, 6), (1800, 9))
+
+#: Request-rate axis: multiples of the IOPS profile's mean rate.
+SWEEP_RATE_FACTORS = (0.25, 0.5)
+
+
+def _dispatch_sweep_run(seed: int) -> ScenarioRun:
+    """The dispatch scale sweep: one short run per (size, rate) cell.
+
+    Each cell is an independent seconds-scale IOPS run; the deterministic
+    per-cell outcomes (completions, p50, dispatch pass/short-circuit/
+    assignment counters) become simulated metrics, while the wall-bound
+    events/s-vs-library-size curve goes into the artifact's ``extra``
+    block, which the comparator ignores.
+    """
+    from time import perf_counter
+
+    from ..workload.profiles import IOPS
+
+    cells = []
+    for platters, drives in SWEEP_SIZES:
+        for rate in SWEEP_RATE_FACTORS:
+            scale = BenchScale(
+                interval_hours=0.5,
+                warmup_hours=0.125,
+                cooldown_hours=0.125,
+                rate_factor=rate,
+                num_platters=platters,
+            )
+            sim = build_library_sim(
+                IOPS,
+                scale=scale,
+                seed=seed,
+                num_drives=drives,
+                num_shuttles=drives,
+            )
+            cells.append((platters, drives, rate, sim))
+    curve: List[Dict[str, float]] = []
+
+    def execute() -> Dict[str, float]:
+        del curve[:]
+        metrics: Dict[str, float] = {}
+        for platters, drives, rate, sim in cells:
+            t0 = perf_counter()
+            report = sim.run()
+            wall = perf_counter() - t0
+            counters = sim.kernel.ctx.counters
+            key = f"p{platters}_r{int(rate * 100)}"
+            metrics[f"{key}_requests_completed"] = float(report.requests_completed)
+            metrics[f"{key}_completion_p50_seconds"] = report.completions.median
+            metrics[f"{key}_dispatch_passes"] = counters.dispatch_passes.value
+            metrics[f"{key}_dispatch_short_circuits"] = (
+                counters.dispatch_short_circuits.value
+            )
+            metrics[f"{key}_dispatch_assignments"] = (
+                counters.dispatch_assignments.value
+            )
+            curve.append(
+                {
+                    "num_platters": float(platters),
+                    "num_drives": float(drives),
+                    "rate_factor": rate,
+                    "events_processed": float(sim.events_processed),
+                    "wall_seconds": wall,
+                    "events_per_second": (
+                        sim.events_processed / wall if wall > 0 else 0.0
+                    ),
+                }
+            )
+        return metrics
+
+    return ScenarioRun(execute=execute, extra=lambda: {"curve": list(curve)})
+
+
 def _archive_run(payload_bytes: int, seed: int) -> ScenarioRun:
     from ..service import ArchiveService, ServiceConfig
 
@@ -533,6 +609,15 @@ def default_registry() -> ScenarioRegistry:
         suite="fast",
         seed=9,
         build=lambda: _fleet_outage_run(BENCH_SCALE, seed=9),
+        repetitions=2,
+        warmup=0,
+    )
+    registry.add(
+        "dispatch_scale_sweep",
+        "dispatch throughput curve over library size x request rate",
+        suite="fast",
+        seed=4,
+        build=lambda: _dispatch_sweep_run(seed=4),
         repetitions=2,
         warmup=0,
     )

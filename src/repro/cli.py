@@ -500,6 +500,14 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     for result in results:
         artifacts.write_bench(result)
         print(result.summary())
+        for row in (result.extra or {}).get("curve", []):
+            print(
+                f"    {int(row['num_platters']):>5d} platters x "
+                f"rate {row['rate_factor']:.2f}: "
+                f"{row['events_per_second']:>10,.0f} ev/s "
+                f"({int(row['events_processed'])} events, "
+                f"{row['wall_seconds']:.3f}s)"
+            )
     print(artifacts.summary())
     return 0
 

@@ -12,11 +12,68 @@ accessible."
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .requests import SimRequest
+
+# --------------------------------------------------------------------- #
+# Shared lazy-heap utilities
+#
+# Both the scheduler's platter selection and the dispatch subsystem's
+# fetch-candidate indexes use the same pattern: a min-heap of
+# ``(priority, id)`` whose entries are never removed eagerly — stale or
+# invalid entries are discarded when they surface at the heap head. The
+# two helpers below are the shared implementation of that pattern.
+# --------------------------------------------------------------------- #
+
+
+def pop_min_valid(
+    heap: List[Tuple[float, str]], valid: Callable[[str], bool]
+) -> Optional[str]:
+    """Pop and return the smallest-key id satisfying ``valid``.
+
+    Entries failing ``valid`` are stale (their platter was serviced,
+    withdrawn, or is otherwise ineligible forever under this index's
+    contract) and are discarded permanently. Returns None when the heap
+    runs dry.
+    """
+    while heap:
+        ident = heap[0][1]
+        heapq.heappop(heap)
+        if valid(ident):
+            return ident
+    return None
+
+
+def select_min_eligible(
+    heap: List[Tuple[float, str]],
+    is_current: Callable[[str, float], bool],
+    eligible: Callable[[str], bool],
+) -> Optional[str]:
+    """Smallest-key id that is current *and* eligible, without consuming it.
+
+    Entries failing ``is_current`` are stale duplicates (the id was
+    re-pushed at a better key) and are discarded. Current entries are
+    popped, tested against ``eligible``, and pushed back afterwards —
+    whether skipped or chosen — so the call is side-effect-free for the
+    caller: ineligibility here is transient (e.g. a platter mid-fetch),
+    unlike the permanent invalidation of :func:`pop_min_valid`.
+    """
+    restore: List[Tuple[float, str]] = []
+    chosen: Optional[str] = None
+    while heap:
+        entry = heapq.heappop(heap)
+        key, ident = entry
+        if not is_current(ident, key):
+            continue
+        restore.append(entry)
+        if not eligible(ident):
+            continue
+        chosen = ident
+        break
+    for entry in restore:
+        heapq.heappush(heap, entry)
+    return chosen
 
 
 class ArrivalOrderPolicy:
@@ -119,22 +176,27 @@ class RequestScheduler:
 
     @property
     def pending_requests(self) -> int:
+        """Total queued requests across all pending platters."""
         return sum(len(q) for q in self._by_platter.values())
 
     @property
     def pending_platters(self) -> int:
+        """Number of platters with at least one queued request."""
         return len(self._by_platter)
 
     def pending_bytes_by_platter(self) -> Dict[str, int]:
+        """Queued bytes per pending platter (work-stealing load input)."""
         return {
             platter: sum(r.size_bytes for r in queue)
             for platter, queue in self._by_platter.items()
         }
 
     def has_work(self, platter_id: str) -> bool:
+        """Whether the platter has any queued requests."""
         return platter_id in self._by_platter
 
     def queued_for(self, platter_id: str) -> List[SimRequest]:
+        """A copy of the platter's queued requests, in arrival order."""
         return list(self._by_platter.get(platter_id, []))
 
     # ------------------------------------------------------------------ #
@@ -150,27 +212,19 @@ class RequestScheduler:
         but which is currently inaccessible (obscured / being fetched) is
         skipped; it will be selected as soon as its resources free up.
 
-        Backed by a lazily-invalidated min-heap of (priority, platter id):
-        stale entries (priority no longer current) are discarded on pop;
-        current entries that were popped — skipped or chosen — are pushed
-        back, so the call is side-effect-free for callers. Equal-priority
-        platters resolve by id, not by insertion history.
+        Backed by a lazily-invalidated min-heap of (priority, platter id)
+        via :func:`select_min_eligible`: stale entries (priority no longer
+        current) are discarded on pop; current entries that were popped —
+        skipped or chosen — are pushed back, so the call is
+        side-effect-free for callers. Equal-priority platters resolve by
+        id, not by insertion history.
         """
-        restore: List[Tuple[float, str]] = []
-        chosen: Optional[str] = None
-        while self._select_heap:
-            entry = heapq.heappop(self._select_heap)
-            key, platter = entry
-            if self._priority.get(platter) != key:
-                continue
-            restore.append(entry)
-            if platter in self._in_service or not accessible(platter):
-                continue
-            chosen = platter
-            break
-        for entry in restore:
-            heapq.heappush(self._select_heap, entry)
-        return chosen
+        return select_min_eligible(
+            self._select_heap,
+            lambda platter, key: self._priority.get(platter) == key,
+            lambda platter: platter not in self._in_service
+            and accessible(platter),
+        )
 
     def begin_service(self, platter_id: str) -> None:
         """Mark the platter assigned (fetch dispatched)."""
@@ -224,4 +278,5 @@ class RequestScheduler:
         return queue
 
     def in_service(self, platter_id: str) -> bool:
+        """Whether the platter is assigned to a fetch or mounted."""
         return platter_id in self._in_service

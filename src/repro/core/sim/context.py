@@ -82,6 +82,21 @@ class SimCounters:
         self.steals = m.counter(
             "work_steals_total", "Cross-partition work-stealing fetches"
         )
+        # Dispatch hot-path accounting. Deterministic (pure event-order
+        # functions of the seed) so they live in the exported metrics;
+        # wall-clock dispatch timing stays in the profiler's hotspot table.
+        self.dispatch_passes = m.counter(
+            "dispatch_passes_total",
+            "Dispatch events that ran the assignment policy",
+        )
+        self.dispatch_short_circuits = m.counter(
+            "dispatch_short_circuits_total",
+            "Dispatch passes answered by the no-idle-shuttle fast path",
+        )
+        self.dispatch_assignments = m.counter(
+            "dispatch_assignments_total",
+            "Fetch, return and mount assignments made by dispatch passes",
+        )
         self.h_travel = m.histogram(
             "shuttle_travel_seconds",
             "Per-trip shuttle travel time (including congestion)",

@@ -12,6 +12,34 @@ The three §4.1/§7.2 dispatch strategies — :class:`SilicaDispatch`
 SP baseline) and :class:`NoShuttleDispatch` (teleporting NS lower bound) —
 implement the :class:`~repro.core.sim.hooks.DispatchPolicy` protocol and
 are interchangeable behind it.
+
+Dispatch is *incremental* by default: the quantities a pass needs are
+maintained under dirty-flag invalidation rather than recomputed per event.
+
+* **Cover index** (`owner partition -> covered partitions`) — rebuilt only
+  after the fault subsystem rewrites ``partition_cover`` (shuttle
+  failure/repair) via :meth:`DispatchSubsystem.invalidate_cover`.
+* **Drive routes** (`partition -> serving drive`) — rebuilt only after a
+  drive failure/repair rewrites ``drive_override`` via
+  :meth:`DispatchSubsystem.invalidate_routing`.
+* **Steal donors** — the work-stealing donor list is a pure function of
+  ``partition_load``, so it is cached and invalidated exactly where the
+  loads change (:meth:`DispatchSubsystem.note_enqueued` /
+  :meth:`DispatchSubsystem.reduce_partition_load`).
+* **Candidate entry counts** — live entry totals for the partition and
+  global heaps (pure push/pop bookkeeping, stale entries included) let a
+  pass skip candidate probing outright when the indexes are empty.
+* **Pending returns** — a counter maintained at the two transitions
+  (service finishes / return assigned) lets a pass skip the all-drives
+  return scan when nothing awaits return.
+* **Idle short-circuit** — a pass with no idle shuttle provably assigns
+  nothing (every assignment needs one), so it exits before touching any
+  index. The dispatch *event* still fires: pending faults are released at
+  that boundary first, which the short-circuit must not skip.
+
+Every cache answers exactly what the per-event rescan would have computed
+— ``SimConfig.incremental_dispatch=False`` selects the rescan reference
+path, and the golden-replay suite pins the two byte-identical.
 """
 
 from __future__ import annotations
@@ -20,7 +48,8 @@ import heapq
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ...library.layout import SlotId
-from ...library.shuttle import Shuttle
+from ...library.shuttle import Shuttle, ShuttleState
+from ..scheduler import pop_min_valid
 from ..traffic import PartitionedPolicy
 from .context import SimContext
 from .hooks import DispatchPolicy
@@ -29,6 +58,9 @@ from .robotics import DriveSim, RoboticsSubsystem, ShuttleSim
 if TYPE_CHECKING:  # pragma: no cover
     from .faults import FaultSubsystem
     from .lifecycle import RequestLifecycle
+
+#: Hoisted for the per-pass idle scan's inlined state check.
+_FAILED = ShuttleState.FAILED
 
 
 class SilicaDispatch:
@@ -39,25 +71,61 @@ class SilicaDispatch:
 
     def run(self, d: "DispatchSubsystem") -> None:
         """Assign idle shuttles to returns, then partition fetches."""
-        d.dispatch_returns()
         robotics = d.robotics
+        if d.idle_short_circuit():
+            return
+        d.dispatch_returns()
         policy = robotics.policy
         assert isinstance(policy, PartitionedPolicy)
         ctx = d.ctx
-        for shuttle_sim in robotics.shuttles:
-            if not shuttle_sim.idle:
-                continue
-            if robotics.maybe_recharge(shuttle_sim):
-                continue
-            shuttle = shuttle_sim.shuttle
-            for pid in d.covered_partitions(shuttle.partition):
-                drive = d.partition_drive(pid)
-                if drive is None or not drive.customer_slot_free:
+        incremental = d.incremental
+        for shuttle_sim in d.shuttle_pool():
+            if incremental:
+                # Pool members passed the idle scan; only ``busy`` can flip
+                # mid-pass (assignments below), so one attribute check
+                # replaces the full idle re-check.
+                if shuttle_sim.busy:
                     continue
+                if not shuttle_sim.no_recharge_memo and d.maybe_recharge(
+                    shuttle_sim
+                ):
+                    continue
+                if not d._partition_entries:
+                    # Every partition heap is empty (live entry count is
+                    # pure push/pop bookkeeping): no probe or steal can
+                    # succeed.
+                    continue
+                # Flush slot notes (an assignment below posts one for the
+                # drive it reserves), then consult the owner refcount: no
+                # free drive among this shuttle's covered partitions means
+                # no fetch can be placed — steals mount on the thief's own
+                # drives too.
+                if d._slot_dirty or d._free_pids is None:
+                    d.free_partitions()
+                shuttle = shuttle_sim.shuttle
+                if not d._free_owner_count.get(shuttle.partition):
+                    continue
+                free_pids = d._free_pids
+            else:
+                if not shuttle_sim.idle:
+                    continue
+                if d.maybe_recharge(shuttle_sim):
+                    continue
+                free_pids = None
+                shuttle = shuttle_sim.shuttle
+            for pid in d.covered_partitions(shuttle.partition):
+                if free_pids is not None:
+                    if pid not in free_pids:
+                        continue
+                    drive = d.partition_drive(pid)
+                else:
+                    drive = d.partition_drive(pid)
+                    if drive is None or not drive.customer_slot_free:
+                        continue
                 platter = d.pop_candidate(d.partition_heaps[pid])
                 stolen = False
                 if platter is None and policy.work_stealing:
-                    for donor in policy.steal_candidates(d.partition_load):
+                    for donor in d.steal_donors():
                         if donor == pid:
                             continue
                         platter = d.pop_candidate(d.partition_heaps[donor])
@@ -77,6 +145,7 @@ class SilicaDispatch:
                             platter=platter,
                             partition=pid,
                         )
+                ctx.counters.dispatch_assignments.inc()
                 robotics.start_fetch(shuttle_sim, platter, drive)
                 break  # this shuttle is busy now
 
@@ -89,13 +158,16 @@ class ShortestPathsDispatch:
 
     def run(self, d: "DispatchSubsystem") -> None:
         """Assign idle shuttles to returns, then nearest-shuttle fetches."""
-        d.dispatch_returns()
         robotics = d.robotics
-        for shuttle_sim in robotics.shuttles:
+        if d.idle_short_circuit():
+            return
+        d.dispatch_returns()
+        pool = d.shuttle_pool()
+        for shuttle_sim in pool:
             if shuttle_sim.idle:
-                robotics.maybe_recharge(shuttle_sim)
+                d.maybe_recharge(shuttle_sim)
         while True:
-            idle = [s for s in robotics.shuttles if s.idle]
+            idle = [s for s in pool if s.idle]
             if not idle:
                 return
             if not any(dr.customer_slot_free for dr in robotics.drives):
@@ -117,6 +189,7 @@ class ShortestPathsDispatch:
                     platter, d.ctx.scheduler.priority_for(platter) or 0.0
                 )
                 return
+            d.ctx.counters.dispatch_assignments.inc()
             robotics.start_fetch(shuttle_sim, platter, drive)
 
 
@@ -138,6 +211,7 @@ class NoShuttleDispatch:
                 return
             drive = free_drives[0]
             d.ctx.scheduler.begin_service(platter)
+            d.ctx.counters.dispatch_assignments.inc()
             robotics.on_customer_arrival(drive, platter)
 
 
@@ -189,6 +263,51 @@ class DispatchSubsystem:
         self.drive_override: Dict[int, int] = {}
         self._dispatch_scheduled = False
         self.policy: DispatchPolicy = dispatch_policy_for(ctx.config.policy)
+        #: False selects the per-event full-rescan reference path (see the
+        #: module docstring); the caches below then sit unused.
+        self.incremental: bool = getattr(
+            ctx.config, "incremental_dispatch", True
+        )
+        # Dirty-flagged caches. Each is invalidated at the state transition
+        # that changes its inputs and rebuilt lazily on next use:
+        #   cover index   <- partition_cover     (shuttle failure/repair)
+        #   drive routes  <- drive_override + drive.failed (drive fail/repair)
+        #   steal donors  <- partition_load      (enqueue / serve / withdraw)
+        self._cover_index: Dict[int, List[int]] = {}
+        self._cover_dirty = True
+        self._route_cache: Dict[int, Optional[DriveSim]] = {}
+        self._routes_dirty = True
+        # Free-partition set: partitions whose routed drive has a free
+        # customer slot. None = rebuild wholesale (routing changed);
+        # otherwise patched per drive via the slot-transition notes the
+        # robotics subsystem posts (:meth:`note_drive_slot`).
+        self._free_pids: Optional[set] = None
+        self._drive_pids: Dict[int, List[int]] = {}
+        self._slot_dirty: List[DriveSim] = []
+        # Per-owner refcount over the free set: how many of the partitions
+        # covered by each owner (``partition_cover`` value) are free. Zero
+        # lets a pass skip a shuttle without walking its covered list.
+        self._free_owner_count: Dict[int, int] = {}
+        self._steal_donors: Optional[List[int]] = None
+        #: The current pass's idle-shuttle scan result (see
+        #: :meth:`idle_short_circuit` / :meth:`shuttle_pool`).
+        self._idle_pass: Optional[List[ShuttleSim]] = None
+        # Live entry counts for the candidate indexes (stale entries
+        # included — pure heap bookkeeping, maintained by push/pop). Zero
+        # partition entries proves every partition-heap pop would miss, so
+        # a pass skips candidate probing and steal ranking entirely.
+        self._partition_entries = 0
+        self._global_entries = 0
+        #: Drives holding a finished platter with no return assigned yet —
+        #: maintained by :meth:`note_return_pending` / the assignment in
+        #: :meth:`dispatch_returns` so a pass can skip the return scan.
+        self.unassigned_returns = 0
+        self._pending_returns: List[DriveSim] = []
+        # Scan-order rank of each drive: pending returns are visited in
+        # the same order the rescan's all-drives sweep would find them.
+        self._drive_order: Dict[int, int] = {
+            d.drive_id: i for i, d in enumerate(robotics.drives)
+        }
         # Bound by :meth:`wire` during composition.
         self.faults: "FaultSubsystem" = None  # type: ignore[assignment]
 
@@ -217,14 +336,90 @@ class DispatchSubsystem:
         # operation boundary, *before* new work is assigned — the
         # event-driven replacement for the old fixed-interval retry poll.
         self.faults.fire_pending_faults()
+        self.ctx.counters.dispatch_passes.inc()
         self.policy.run(self)
+
+    def idle_short_circuit(self) -> bool:
+        """True when this pass can exit before touching any index.
+
+        With no idle shuttle a pass provably assigns nothing: returns,
+        recharges and fetches all require one. Only taken on the
+        incremental path — the rescan reference walks everything — and
+        counted, so the short-circuit rate is visible in the metrics.
+
+        When the pass proceeds, the scan's survivors are kept as the
+        pass's shuttle pool (:meth:`shuttle_pool`): shuttles busy at the
+        start of a pass cannot turn idle mid-pass (only events do that),
+        so iterating the pool with a live ``idle`` re-check visits exactly
+        the shuttles the full scan would.
+        """
+        if not self.incremental:
+            return False
+        idle = [
+            s
+            for s in self.robotics.shuttles
+            # Inlined ShuttleSim.idle (machines.py) — this scan runs per
+            # pass over every shuttle, where two property hops dominate.
+            if not s.busy and s.shuttle.state is not _FAILED
+        ]
+        if idle:
+            self._idle_pass = idle
+            return False
+        self.ctx.counters.dispatch_short_circuits.inc()
+        return True
+
+    def shuttle_pool(self) -> List[ShuttleSim]:
+        """Shuttles a policy pass should visit (callers re-check ``idle``).
+
+        The incremental path reuses :meth:`idle_short_circuit`'s scan —
+        order-preserving, so assignment order matches the full scan; the
+        rescan reference walks every shuttle.
+        """
+        if self.incremental and self._idle_pass is not None:
+            return self._idle_pass
+        return self.robotics.shuttles
 
     # ------------------------------------------------------------------ #
     # Returns
     # ------------------------------------------------------------------ #
 
+    def note_return_pending(self, drive: DriveSim) -> None:
+        """A drive's service finished: its platter now awaits a return trip."""
+        self.unassigned_returns += 1
+        if self.incremental:
+            # The rescan reference finds pending returns by sweeping all
+            # drives, so only incremental runs feed (and drain) the list.
+            self._pending_returns.append(drive)
+
     def dispatch_returns(self) -> None:
-        """Assign idle shuttles to drives with a platter awaiting return."""
+        """Assign idle shuttles to drives with a platter awaiting return.
+
+        Incremental passes walk only the pending-return list — in drive
+        scan-order rank, so assignments land in the same order as the
+        rescan's all-drives sweep. A drive leaves the list exactly when the
+        sweep would start skipping it (``return_assigned``; the flag holds
+        until the platter is picked, after which ``awaiting_return`` is
+        gone), so list membership mirrors the sweep's filter.
+        """
+        if self.incremental:
+            pending = self._pending_returns
+            if not pending:
+                return
+            if len(pending) > 1:
+                order = self._drive_order
+                pending.sort(key=lambda d: order[d.drive_id])
+            remaining: List[DriveSim] = []
+            for drive in pending:
+                shuttle = self.shuttle_for_return(drive)
+                if shuttle is None:
+                    remaining.append(drive)
+                    continue
+                drive.return_assigned = True
+                self.unassigned_returns -= 1
+                self.ctx.counters.dispatch_assignments.inc()
+                self.robotics.start_return(shuttle, drive)
+            self._pending_returns = remaining
+            return
         for drive in self.robotics.drives:
             if drive.awaiting_return is None or drive.return_assigned:
                 continue
@@ -232,20 +427,23 @@ class DispatchSubsystem:
             if shuttle is None:
                 continue
             drive.return_assigned = True
+            self.unassigned_returns -= 1
+            self.ctx.counters.dispatch_assignments.inc()
             self.robotics.start_return(shuttle, drive)
 
     def shuttle_for_return(self, drive: DriveSim) -> Optional[ShuttleSim]:
         """The shuttle responsible for returning the drive's platter."""
         platter = drive.awaiting_return
         robotics = self.robotics
+        pool = self.shuttle_pool()
         if isinstance(robotics.policy, PartitionedPolicy):
             partition = self.platter_partition[platter]
             cover = self.partition_cover.get(partition, partition)
-            for s in robotics.shuttles:
+            for s in pool:
                 if s.idle and s.shuttle.partition == cover:
                     return s
             return None
-        idle = [s for s in robotics.shuttles if s.idle]
+        idle = [s for s in pool if s.idle]
         if not idle:
             return None
         return min(idle, key=lambda s: abs(s.shuttle.position.x - drive.position.x))
@@ -255,34 +453,58 @@ class DispatchSubsystem:
     # ------------------------------------------------------------------ #
 
     def push_candidate(self, platter: str, priority: float) -> None:
-        """Publish a platter's fetch candidacy at the given priority."""
+        """Publish a platter's fetch candidacy at the given priority.
+
+        Incremental runs push to exactly the index the active policy pops
+        — the partition heap under the partitioned policy (whose global
+        heap is never consumed, so feeding it only leaks memory), the
+        global heap otherwise. The rescan reference keeps the legacy
+        dual-push for fidelity with the pre-incremental simulator.
+        """
         entry = (priority, platter)
-        heapq.heappush(self.global_heap, entry)
         pid = self.platter_partition.get(platter)
+        if not self.incremental:
+            heapq.heappush(self.global_heap, entry)
+            if pid is not None:
+                heapq.heappush(self.partition_heaps[pid], entry)
+            return
         if pid is not None:
             heapq.heappush(self.partition_heaps[pid], entry)
+            self._partition_entries += 1
+        else:
+            heapq.heappush(self.global_heap, entry)
+            self._global_entries += 1
 
     def pop_candidate(self, heap: List[Tuple[float, str]]) -> Optional[str]:
         """Earliest valid pending platter from a heap (lazy invalidation).
 
         Entries for platters that were serviced, are currently in service,
-        or are unreachable are discarded; in-service platters with new
-        pending work are re-pushed when their service ends.
+        or are unreachable are discarded (the
+        :func:`~repro.core.scheduler.pop_min_valid` contract); in-service
+        platters with new pending work are re-pushed when their service
+        ends.
         """
         scheduler = self.ctx.scheduler
-        while heap:
-            _arrival, platter = heap[0]
-            if (
-                not scheduler.has_work(platter)
-                or scheduler.in_service(platter)
-                or platter in self.lifecycle.unavailable
-                or self.robotics.layout.locate(platter) is None
-            ):
-                heapq.heappop(heap)
-                continue
-            heapq.heappop(heap)
-            return platter
-        return None
+        unavailable = self.lifecycle.unavailable
+        locate = self.robotics.layout.locate
+
+        def valid(platter: str) -> bool:
+            return (
+                scheduler.has_work(platter)
+                and not scheduler.in_service(platter)
+                and platter not in unavailable
+                and locate(platter) is not None
+            )
+
+        before = len(heap)
+        chosen = pop_min_valid(heap, valid)
+        removed = before - len(heap)
+        if removed:
+            if heap is self.global_heap:
+                self._global_entries -= removed
+            else:
+                self._partition_entries -= removed
+        return chosen
 
     def end_service(self, platter: str) -> None:
         """Platter is back on its shelf: re-arm fetch candidacy."""
@@ -301,6 +523,7 @@ class DispatchSubsystem:
         pid = self.platter_partition.get(platter)
         if pid is not None:
             self.partition_load[pid] += size_bytes
+            self._steal_donors = None
 
     def reduce_partition_load(self, platter: str, size_bytes: float) -> None:
         """Remove served or withdrawn bytes from the partition load."""
@@ -309,22 +532,160 @@ class DispatchSubsystem:
             self.partition_load[pid] = max(
                 0.0, self.partition_load[pid] - size_bytes
             )
+            self._steal_donors = None
+
+    def steal_donors(self) -> List[int]:
+        """Work-stealing donor partitions, most loaded first.
+
+        A pure function of ``partition_load``, so the policy's ranking is
+        cached until the loads next change — every load mutation runs
+        through :meth:`note_enqueued` / :meth:`reduce_partition_load`,
+        which drop the cache. Loads never change *within* a pass (serves
+        and withdrawals happen in other events), so the per-shuttle calls
+        the rescan path makes all return this same list.
+        """
+        policy = self.robotics.policy
+        assert isinstance(policy, PartitionedPolicy)
+        if not self.incremental:
+            return policy.steal_candidates(self.partition_load)
+        if self._steal_donors is None:
+            self._steal_donors = policy.steal_candidates(self.partition_load)
+        return self._steal_donors
 
     # ------------------------------------------------------------------ #
     # Routing (failure-aware)
     # ------------------------------------------------------------------ #
 
+    def invalidate_cover(self) -> None:
+        """``partition_cover`` was rewritten (shuttle failure/repair)."""
+        self._cover_dirty = True
+        # The free-set owner refcounts key on the cover mapping, so a
+        # cover rewrite forces a wholesale rebuild of both.
+        self._free_pids = None
+
+    def invalidate_routing(self) -> None:
+        """Drive topology changed (failure/repair or override rewrite)."""
+        self._routes_dirty = True
+        self._free_pids = None
+
+    def note_drive_slot(self, drive: DriveSim) -> None:
+        """A drive's customer-slot occupancy may have changed.
+
+        Robotics posts this at every slot transition (fetch reserve, mount,
+        return pick, unmount); the free-partition set patches itself from
+        the note queue on next read.
+        """
+        if self._free_pids is not None:
+            self._slot_dirty.append(drive)
+
+    def free_partitions(self) -> set:
+        """Partitions whose routed drive can accept a fetch right now.
+
+        ``pid in free_partitions()`` is exactly ``partition_drive(pid) is
+        not None and partition_drive(pid).customer_slot_free``: the set is
+        rebuilt wholesale after routing changes and patched per posted
+        slot note otherwise. Callers re-read it after every assignment —
+        an in-pass fetch posts a note for the drive it just reserved.
+        """
+        free = self._free_pids
+        cover = self.partition_cover
+        owners = self._free_owner_count
+        if free is None:
+            index: Dict[int, List[int]] = {}
+            free = set()
+            owners.clear()
+            for pid in cover:
+                drive = self.partition_drive(pid)
+                if drive is None:
+                    continue
+                index.setdefault(drive.drive_id, []).append(pid)
+                if drive.customer_slot_free:
+                    free.add(pid)
+                    own = cover[pid]
+                    owners[own] = owners.get(own, 0) + 1
+            self._drive_pids = index
+            self._free_pids = free
+            del self._slot_dirty[:]
+            return free
+        dirty = self._slot_dirty
+        if dirty:
+            for drive in dirty:
+                pids = self._drive_pids.get(drive.drive_id)
+                if not pids:
+                    continue
+                if drive.customer_slot_free:
+                    for pid in pids:
+                        if pid not in free:
+                            free.add(pid)
+                            own = cover[pid]
+                            owners[own] = owners.get(own, 0) + 1
+                else:
+                    for pid in pids:
+                        if pid in free:
+                            free.remove(pid)
+                            owners[cover[pid]] -= 1
+            del dirty[:]
+        return free
+
+    def maybe_recharge(self, shuttle_sim: ShuttleSim) -> bool:
+        """Recharge check with the idle-battery memo.
+
+        An idle shuttle drains no battery, so once a check says "no
+        recharge needed" the answer holds until the shuttle next works (or
+        is repaired) — those transitions clear the memo. The rescan
+        reference re-asks robotics every pass.
+        """
+        if self.incremental and shuttle_sim.no_recharge_memo:
+            return False
+        if self.robotics.maybe_recharge(shuttle_sim):
+            return True
+        shuttle_sim.no_recharge_memo = True
+        return False
+
     def covered_partitions(self, own_partition: int) -> List[int]:
         """Partitions this shuttle serves: its own plus any adopted from
-        failed shuttles (controller reassignment)."""
-        return [
-            pid
-            for pid, cover in self.partition_cover.items()
-            if cover == own_partition
-        ]
+        failed shuttles (controller reassignment).
+
+        Incremental passes answer from the cover index; the index groups
+        ``partition_cover`` in its iteration order, so each owner's list is
+        byte-identical with the rescan's filtered scan.
+        """
+        if not self.incremental:
+            return [
+                pid
+                for pid, cover in self.partition_cover.items()
+                if cover == own_partition
+            ]
+        if self._cover_dirty:
+            index: Dict[int, List[int]] = {}
+            for pid, cover in self.partition_cover.items():
+                index.setdefault(cover, []).append(pid)
+            self._cover_index = index
+            self._cover_dirty = False
+        return self._cover_index.get(own_partition, [])
 
     def partition_drive(self, pid: int) -> Optional[DriveSim]:
-        """The partition's drive, honouring failure re-routing."""
+        """The partition's drive, honouring failure re-routing.
+
+        Routes are cached per partition between topology changes; the
+        live ``customer_slot_free`` check stays with the caller. A failed
+        drive resolves to None — and every ``drive.failed`` flip runs the
+        fault subsystem's rerouting, which drops this cache.
+        """
+        if not self.incremental:
+            return self._route_for(pid)
+        if self._routes_dirty:
+            self._route_cache = {}
+            self._routes_dirty = False
+        cache = self._route_cache
+        if pid in cache:
+            return cache[pid]
+        drive = self._route_for(pid)
+        cache[pid] = drive
+        return drive
+
+    def _route_for(self, pid: int) -> Optional[DriveSim]:
+        """Resolve a partition's serving drive from the routing tables."""
         robotics = self.robotics
         assert isinstance(robotics.policy, PartitionedPolicy)
         drive_id = self.drive_override.get(

@@ -273,6 +273,8 @@ class FaultSubsystem:
             return
         key = ("shuttle", shuttle_id)
         shuttle.repair()
+        # Repair swaps the battery, so any idle-recharge memo is stale.
+        shuttle_sim.no_recharge_memo = False
         self._close_fault(key)
         blocked = self.fault_platters.pop(key, set())
         still_blocked: Set[str] = set()
@@ -357,11 +359,15 @@ class FaultSubsystem:
                 cover[pid] = pid
             else:
                 cover[pid] = self._nearest_alive_partition(pid)
+        self.dispatch.invalidate_cover()
 
     def _recompute_drive_routing(self) -> None:
         """Partitions whose native drive is down route to the nearest alive
         drive; routes return home when the native drive repairs."""
         robotics = self.robotics
+        # Route caching keys on every drive.failed flip, and both fail and
+        # repair paths land here — so this is the single invalidation point.
+        self.dispatch.invalidate_routing()
         if not isinstance(robotics.policy, PartitionedPolicy):
             return
         alive = [d for d in robotics.drives if not d.failed]

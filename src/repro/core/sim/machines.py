@@ -58,6 +58,11 @@ class ShuttleSim:
     def __init__(self, shuttle: Shuttle):
         self.shuttle = shuttle
         self.busy = False
+        #: Incremental-dispatch memo: True while the last idle recharge
+        #: check said "no recharge needed" and the battery has not changed
+        #: since (an idle shuttle drains nothing). Cleared at every
+        #: busy -> idle transition and on repair.
+        self.no_recharge_memo = False
 
     @property
     def idle(self) -> bool:

@@ -178,6 +178,7 @@ class RoboticsSubsystem:
         def charged() -> None:
             shuttle.recharge()
             shuttle_sim.busy = False
+            shuttle_sim.no_recharge_memo = False
             ctx.request_dispatch()
 
         ctx.sim.schedule(cfg.recharge_seconds, charged, label="recharge")
@@ -193,6 +194,7 @@ class RoboticsSubsystem:
         shuttle = shuttle_sim.shuttle
         shuttle_sim.busy = True
         drive.slot_reserved = True
+        self.dispatch.note_drive_slot(drive)
         ctx.scheduler.begin_service(platter)
         slot = self.layout.locate(platter)
         slot_pos = self.layout.slot_position(slot)
@@ -220,6 +222,7 @@ class RoboticsSubsystem:
 
             def placed() -> None:
                 shuttle_sim.busy = False
+                shuttle_sim.no_recharge_memo = False
                 drive.slot_reserved = False
                 self.on_customer_arrival(drive, platter, fetch_started=fetch_started)
                 ctx.request_dispatch()
@@ -252,6 +255,7 @@ class RoboticsSubsystem:
                 # Platter leaves the drive: customer slot frees up.
                 drive.awaiting_return = None
                 drive.return_assigned = False
+                self.dispatch.note_drive_slot(drive)
                 ctx.request_dispatch()
                 self.move(shuttle, home_pos, at_home)
 
@@ -264,6 +268,7 @@ class RoboticsSubsystem:
                 self.layout.store(platter, home)
                 self.dispatch.end_service(platter)
                 shuttle_sim.busy = False
+                shuttle_sim.no_recharge_memo = False
                 if ctx.tracer is not None:
                     ctx.tracer.emit(
                         ctx.sim.now,
@@ -289,6 +294,7 @@ class RoboticsSubsystem:
         self.verification.drive_stops_verifying()
         drive.customer_platter = platter
         drive.serving = True
+        self.dispatch.note_drive_slot(drive)
         drive.head_track = int(ctx.rng.integers(0, max(1, ctx.config.platter_tracks)))
         switch = (
             drive.model.config.fast_switch_seconds
@@ -483,6 +489,8 @@ class RoboticsSubsystem:
                 self.dispatch.end_service(platter)
             else:
                 drive.awaiting_return = platter
+                self.dispatch.note_return_pending(drive)
+            self.dispatch.note_drive_slot(drive)
             ctx.request_dispatch()
 
         ctx.sim.schedule(unmount + switch, done, label="unmount")

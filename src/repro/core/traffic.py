@@ -27,8 +27,8 @@ paying a delay and a stop/start energy cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,42 +60,120 @@ class _Reservation:
     x1: float
     lv0: int
     lv1: int
+    #: Global insertion sequence — restores table-wide insertion order
+    #: when a query collects hits from more than one level band.
+    seq: int = 0
 
 
 class ReservationTable:
-    """Space-time occupancy of the panel for conflict detection."""
+    """Space-time occupancy of the panel for conflict detection.
+
+    Reservations are bucketed by shelf-level band (:data:`BAND_LEVELS`
+    levels per band): shuttles on disjoint level bands use different
+    rails and can never conflict, so a query only scans the buckets its
+    level interval touches — a handful of rows instead of the whole
+    table. A corridor spanning several bands is inserted into each; a
+    multi-band query deduplicates on the global insertion sequence and
+    re-sorts hits by it, so the hit list is byte-identical (contents and
+    order) with a single flat insertion-ordered scan.
+    """
 
     #: Lateral clearance (m): shuttles closer than this on overlapping rails
     #: during overlapping times conflict.
     CLEARANCE_M = 0.25
 
+    #: Shelf levels per bucket. Partitioned shuttles rarely leave their
+    #: level band, so most queries and insertions touch one bucket.
+    BAND_LEVELS = 4
+
+    #: Amortized-prune floor: :meth:`maybe_prune` compacts a bucket only
+    #: once it holds this many rows (then not until it doubles again).
+    PRUNE_FLOOR = 32
+
     def __init__(self) -> None:
-        self._reservations: List[_Reservation] = []
+        self._bands: Dict[int, List[_Reservation]] = {}
+        self._prune_at: Dict[int, int] = {}
+        self._seq = 0
 
     def conflicts(
         self, shuttle_id: int, t0: float, t1: float, x0: float, x1: float, lv0: int, lv1: int
     ) -> List[_Reservation]:
+        """Other shuttles' reservations intersecting the queried corridor.
+
+        A reservation conflicts when its time interval overlaps (open),
+        its x-extent comes within :data:`CLEARANCE_M`, and its level band
+        intersects (closed). Hits return in insertion order.
+        """
+        band = self.BAND_LEVELS
+        b0 = lv0 // band
+        b1 = lv1 // band
         c = self.CLEARANCE_M
-        out = []
-        for r in self._reservations:
-            if r.shuttle_id == shuttle_id:
+        bands = self._bands
+        out: List[_Reservation] = []
+        for b in range(b0, b1 + 1):
+            rows = bands.get(b)
+            if not rows:
                 continue
-            if r.t1 <= t0 or r.t0 >= t1:
-                continue
-            if r.x1 + c <= x0 or r.x0 - c >= x1:
-                continue
-            if r.lv1 < lv0 or r.lv0 > lv1:
-                continue
-            out.append(r)
+            for r in rows:
+                if r.shuttle_id == shuttle_id:
+                    continue
+                if r.t1 <= t0 or r.t0 >= t1:
+                    continue
+                if r.x1 + c <= x0 or r.x0 - c >= x1:
+                    continue
+                if r.lv1 < lv0 or r.lv0 > lv1:
+                    continue
+                out.append(r)
+        if b1 > b0 and len(out) > 1:
+            # Cross-band query: drop duplicate hits (a corridor lives in
+            # every band it spans) and restore global insertion order.
+            seen = set()
+            unique = []
+            for r in out:
+                if r.seq not in seen:
+                    seen.add(r.seq)
+                    unique.append(r)
+            unique.sort(key=lambda r: r.seq)
+            out = unique
         return out
 
     def reserve(
         self, shuttle_id: int, t0: float, t1: float, x0: float, x1: float, lv0: int, lv1: int
     ) -> None:
-        self._reservations.append(_Reservation(shuttle_id, t0, t1, x0, x1, lv0, lv1))
+        """Claim a space-time corridor."""
+        r = _Reservation(shuttle_id, t0, t1, x0, x1, lv0, lv1, self._seq)
+        self._seq += 1
+        band = self.BAND_LEVELS
+        bands = self._bands
+        for b in range(lv0 // band, lv1 // band + 1):
+            rows = bands.get(b)
+            if rows is None:
+                rows = bands[b] = []
+            rows.append(r)
 
     def prune(self, now: float) -> None:
-        self._reservations = [r for r in self._reservations if r.t1 > now]
+        """Drop every reservation whose corridor ended at or before ``now``."""
+        for b, rows in self._bands.items():
+            live = [r for r in rows if r.t1 > now]
+            if len(live) != len(rows):
+                self._bands[b] = live
+
+    def maybe_prune(self, now: float) -> None:
+        """Amortized :meth:`prune` for the per-move hot path.
+
+        Skipping a prune never changes behavior: the sim clock is
+        monotonic, so an expired corridor (``t1 <= now``) can never pass a
+        later query's open time-overlap test — compaction only reclaims
+        memory. Each bucket compacts when it hits the floor, then not
+        again until it doubles past what survived (O(1) amortized).
+        """
+        floor = self.PRUNE_FLOOR
+        thresholds = self._prune_at
+        for b, rows in self._bands.items():
+            if len(rows) >= thresholds.get(b, floor):
+                live = [r for r in rows if r.t1 > now]
+                self._bands[b] = live
+                thresholds[b] = max(floor, 2 * len(live))
 
 
 @dataclass(frozen=True)
@@ -167,7 +245,11 @@ class TrafficPolicy:
         self.reservations.reserve(
             shuttle.shuttle_id, now, now + total, x0, x1, lv0, lv1
         )
-        self.reservations.prune(now - 60.0)
+        # Behavior-exact: the clock is monotonic and every query opens at
+        # ``now``, so a corridor with ``t1 <= now`` can never overlap a
+        # later query's window — compacting at ``now`` drops only rows the
+        # conflict scan would reject anyway.
+        self.reservations.maybe_prune(now)
         return TripPlan(base, congestion, cycles)
 
 

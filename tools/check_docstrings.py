@@ -1,15 +1,17 @@
 #!/usr/bin/env python
 """Docstring-coverage gate for CI.
 
-Walks a source tree and counts docstrings on modules, classes, and
-public functions/methods (names not starting with ``_``, plus ``__init__``
-files at module level). Fails (exit 1) when coverage drops below the
-threshold, listing every undocumented definition so the offender is
-obvious from the CI log.
+Walks one or more source trees (or single ``.py`` files) and counts
+docstrings on modules, classes, and public functions/methods (names not
+starting with ``_``, plus ``__init__`` files at module level). Fails
+(exit 1) when coverage drops below the threshold, listing every
+undocumented definition so the offender is obvious from the CI log.
 
 Usage::
 
     python tools/check_docstrings.py src/repro --fail-under 95
+    python tools/check_docstrings.py src/repro/core/sim src/repro/bench \
+        src/repro/core/scheduler.py --kinds module,class,function --fail-under 100
 """
 
 from __future__ import annotations
@@ -51,22 +53,33 @@ def _iter_defs(
     yield from walk(tree, "")
 
 
+def _scan_file(path: str) -> List[Tuple[str, str, bool]]:
+    """Definition rows of one python file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return list(_iter_defs(tree, path))
+
+
 def scan(root: str) -> List[Tuple[str, str, bool]]:
+    """Definition rows of a tree, or of a single ``.py`` file path."""
+    if os.path.isfile(root):
+        return _scan_file(root)
     rows: List[Tuple[str, str, bool]] = []
     for dirpath, _dirnames, filenames in os.walk(root):
         for filename in sorted(filenames):
             if not filename.endswith(".py"):
                 continue
-            path = os.path.join(dirpath, filename)
-            with open(path, "r", encoding="utf-8") as handle:
-                tree = ast.parse(handle.read(), filename=path)
-            rows.extend(_iter_defs(tree, path))
+            rows.extend(_scan_file(os.path.join(dirpath, filename)))
     return rows
 
 
 def main(argv: List[str] = None) -> int:
+    """CLI entry point: scan the given roots and enforce the threshold."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("root", nargs="?", default="src/repro")
+    parser.add_argument("roots", nargs="*", default=["src/repro"],
+                        metavar="root",
+                        help="source trees and/or single .py files "
+                             "(default: src/repro)")
     parser.add_argument("--fail-under", type=float, default=95.0,
                         help="minimum coverage percent (default 95)")
     parser.add_argument("--kinds", default="module,class,function",
@@ -77,9 +90,14 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
-    rows = [row for row in scan(args.root) if row[0] in kinds]
+    rows = [
+        row
+        for root in args.roots
+        for row in scan(root)
+        if row[0] in kinds
+    ]
     if not rows:
-        print(f"no python files under {args.root}")
+        print(f"no python files under {args.roots}")
         return 1
     documented = sum(1 for _, _, ok in rows if ok)
     coverage = documented / len(rows) * 100.0
