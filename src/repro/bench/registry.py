@@ -36,6 +36,11 @@ class ScenarioRun:
     ``simulation`` optionally exposes the underlying event engine so the
     runner can attach a profiler and count events; it is ``None`` for
     scenarios that do not use the discrete-event simulator.
+    ``kernel`` optionally exposes the :class:`~repro.core.sim.SimKernel`
+    behind ``simulation`` so the runner's instrumented pass can attach a
+    sim-time :class:`~repro.observability.monitor.TimeSeriesMonitor`
+    (``None`` for scenarios without a library kernel; clean timed
+    repetitions never touch it).
     ``extra`` (optional) is called by the runner after the timed
     repetitions and its payload is stored verbatim under the artifact's
     ``"extra"`` key — the home for informational, possibly wall-clock
@@ -46,6 +51,7 @@ class ScenarioRun:
 
     execute: Callable[[], Dict[str, float]]
     simulation: Optional[Any] = None
+    kernel: Optional[Any] = None
     extra: Optional[Callable[[], Dict[str, Any]]] = None
 
 

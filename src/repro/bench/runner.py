@@ -3,9 +3,12 @@
 For each scenario the runner performs ``warmup`` unmeasured executions,
 then ``repetitions`` *clean* timed ones (no allocation tracking, no
 observer hooks — wall time and events/sec measure the scenario, not the
-instrumentation), then one *instrumented* pass with ``tracemalloc`` and a
-:class:`~repro.observability.profiler.WallClockProfiler` attached, which
-contributes peak memory and the top-K hot spots. Timing aggregation is
+instrumentation), then one *instrumented* pass with ``tracemalloc``, a
+:class:`~repro.observability.profiler.PhaseProfiler` and (when the
+scenario exposes its kernel) a sim-time
+:class:`~repro.observability.monitor.TimeSeriesMonitor` attached, which
+contributes peak memory, the top-K hot spots, the per-subsystem wall-share
+table, and the run's gauge timeseries. Timing aggregation is
 median + MAD (median absolute deviation) — the robust pair the comparator's
 noise model is built on — with raw samples kept in the artifact so a
 future reader can re-derive anything.
@@ -27,7 +30,8 @@ import subprocess
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..observability.profiler import WallClockProfiler
+from ..observability.monitor import TimeSeriesMonitor
+from ..observability.profiler import PhaseProfiler
 from .capture import PerfCapture, PerfSample
 from .registry import BenchError, Scenario, ScenarioRegistry
 
@@ -36,6 +40,11 @@ BENCH_SCHEMA_VERSION = "repro.bench/1"
 
 #: Hot-spot rows recorded per artifact.
 DEFAULT_TOP_HOTSPOTS = 8
+
+#: Sim-seconds between monitor samples on the instrumented pass. The
+#: monitor's halving downsampler bounds the reservoir, so one fixed
+#: cadence serves seconds-scale and paper-scale scenarios alike.
+MONITOR_INTERVAL_SECONDS = 30.0
 
 
 def machine_fingerprint() -> Dict[str, Any]:
@@ -106,6 +115,8 @@ class BenchResult:
     events_processed: Optional[int] = None
     simulated_metrics: Dict[str, float] = field(default_factory=dict)
     hotspots: List[Dict[str, Any]] = field(default_factory=list)
+    subsystem_wall: List[Dict[str, Any]] = field(default_factory=list)
+    timeseries: Optional[Dict[str, Any]] = None
     extra: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -129,6 +140,12 @@ class BenchResult:
         payload["events_per_second"] = (
             _stat(self.events_per_second) if self.events_per_second else None
         )
+        # Both blocks come off the instrumented pass only; like "extra",
+        # the comparator ignores them (wall shares are machine-bound and
+        # the timeseries carries its own schema stamp).
+        payload["subsystem_wall"] = self.subsystem_wall
+        if self.timeseries is not None:
+            payload["timeseries"] = self.timeseries
         if self.extra is not None:
             # Informational only: the comparator reads the perf-metric and
             # simulated_metrics keys and ignores this block entirely.
@@ -205,12 +222,20 @@ class BenchRunner:
         # wall-clock data in it (throughput curves) stays undistorted.
         if run.extra is not None:
             result.extra = run.extra()
-        # One instrumented pass: tracemalloc peak + wall-clock hot spots.
-        # Its (distorted) wall time is deliberately not recorded.
+        # One instrumented pass: tracemalloc peak, wall-clock hot spots
+        # with per-subsystem attribution, and the sim-time monitor when
+        # the scenario exposes its kernel. Its (distorted) wall time is
+        # deliberately not recorded, and the determinism re-check below
+        # also proves the attached instruments left every simulated
+        # metric untouched.
         run = scenario.build()
-        profiler = WallClockProfiler()
+        profiler = PhaseProfiler()
         if run.simulation is not None:
             profiler.install(run.simulation)
+        monitor: Optional[TimeSeriesMonitor] = None
+        if run.kernel is not None:
+            monitor = TimeSeriesMonitor(MONITOR_INTERVAL_SECONDS)
+            monitor.attach(run.kernel)
         with PerfCapture(run.simulation, trace_memory=True) as capture:
             metrics = run.execute()
         if metrics != result.simulated_metrics:
@@ -221,6 +246,9 @@ class BenchRunner:
             )
         result.peak_memory_bytes.append(float(capture.sample.peak_memory_bytes))
         result.hotspots = profiler.to_dict(top=self.top_hotspots)["hotspots"]
+        result.subsystem_wall = profiler.subsystem_table()
+        if monitor is not None and len(monitor):
+            result.timeseries = monitor.as_dict()
         return result
 
     def run_suite(self, suite: str) -> List[BenchResult]:

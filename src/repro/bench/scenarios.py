@@ -178,14 +178,18 @@ def _library_profile_run(profile_name: str, scale: BenchScale, seed: int) -> Sce
 
     sim = build_library_sim(profile_by_name(profile_name), scale=scale, seed=seed)
     return ScenarioRun(
-        execute=lambda: headline_metrics(sim.run()), simulation=sim.sim
+        execute=lambda: headline_metrics(sim.run()),
+        simulation=sim.sim,
+        kernel=sim.kernel,
     )
 
 
 def _full_library_run(mbps: float, window_hours: float, seed: int) -> ScenarioRun:
     sim = build_full_library_sim(mbps, window_hours, seed=seed)
     return ScenarioRun(
-        execute=lambda: headline_metrics(sim.run()), simulation=sim.sim
+        execute=lambda: headline_metrics(sim.run()),
+        simulation=sim.sim,
+        kernel=sim.kernel,
     )
 
 
@@ -210,7 +214,9 @@ def _chaos_run(scale: BenchScale, seed: int) -> ScenarioRun:
     )
     sim.apply_fault_schedule(schedule)
     return ScenarioRun(
-        execute=lambda: headline_metrics(sim.run()), simulation=sim.sim
+        execute=lambda: headline_metrics(sim.run()),
+        simulation=sim.sim,
+        kernel=sim.kernel,
     )
 
 
@@ -359,6 +365,7 @@ def _qos_ablation_run(scale: BenchScale, seed: int) -> ScenarioRun:
             sims["arrival"].run(), sims["deadline"].run()
         ),
         simulation=sims["deadline"].sim,
+        kernel=sims["deadline"].kernel,
     )
 
 

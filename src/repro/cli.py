@@ -28,6 +28,13 @@ Commands
 ``export``
     Run the digital twin untraced and export ``metrics.json`` /
     ``metrics.prom`` / ``report.json`` (the cheap artifact set).
+``watch``
+    Drive a paced run with the sim-time monitor attached and render an
+    in-terminal dashboard (sparklines of queue depths, busy machines,
+    fault state) frame by frame; ``--out`` additionally exports the run
+    artifacts including ``timeseries.json``, and ``--html FILE`` renders
+    a previously exported ``timeseries.json`` (``--from-dir``) as a
+    self-contained HTML timeline without re-running anything.
 ``bench``
     Continuous benchmarking (see :mod:`repro.bench`): ``bench list`` shows
     the registered scenarios, ``bench run`` executes a suite (or named
@@ -377,6 +384,72 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_html(args: argparse.Namespace) -> int:
+    """``watch --html``: render an exported timeseries as offline HTML."""
+    import json
+
+    from .observability.watch import render_html
+
+    source = os.path.join(args.from_dir, "timeseries.json")
+    if not os.path.exists(source):
+        print(f"error: no timeseries.json in {args.from_dir} "
+              "(run `repro watch --out DIR` or any monitor-enabled export first)",
+              file=sys.stderr)
+        return 2
+    with open(source, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    html = render_html(payload, title=f"run timeline — {args.from_dir}")
+    with open(args.html, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    series = payload.get("series", {})
+    print(f"timeline  : {args.html} ({len(series)} series, "
+          f"{payload.get('samples', 0)} samples)")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .core import LibrarySimulation
+    from .observability import TimeSeriesMonitor, export_run
+    from .observability.watch import render_frame
+
+    if args.html:
+        return _watch_html(args)
+    profile, trace, start, end = _profile_trace(args)
+    simulation = LibrarySimulation(_sim_config_from(args))
+    simulation.assign_trace(trace, start, end)
+    horizon = (args.hours + 2 * args.hours / 6) * 3600.0
+    interval = args.interval if args.interval else horizon / 240.0
+    monitor = TimeSeriesMonitor(interval, max_samples=args.max_samples)
+    monitor.attach(simulation.kernel)
+    frames = max(1, args.frames)
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() and args.refresh > 0 else ""
+    print(f"profile   : {profile.name} ({len(trace)} requests), "
+          f"sampling every {interval:.0f}s of sim time")
+    for frame in range(1, frames + 1):
+        simulation.run(until=horizon * frame / frames)
+        counters = {
+            "completed": sum(
+                1 for r in simulation.all_requests if r.parent is None and r.done
+            ),
+            "bytes_read": simulation.bytes_read,
+            "lost": simulation.requests_lost,
+            "events": simulation.events_processed,
+        }
+        print(clear + render_frame(monitor, simulation.sim.now, horizon, counters))
+        if args.refresh > 0 and frame < frames:
+            _time.sleep(args.refresh)
+    report = simulation.run()  # drain to quiescence past the horizon
+    print(f"result    : {report.summary()}")
+    if args.out:
+        artifacts = export_run(
+            args.out, report, simulation.metrics, monitor=monitor
+        )
+        print(artifacts.summary())
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
@@ -708,6 +781,29 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", default="runs/export",
                         help="artifact output directory")
     export.set_defaults(func=_cmd_export)
+
+    watch = commands.add_parser(
+        "watch", help="live in-terminal dashboard of a paced run",
+        parents=[run_parent, fault_parent, qos_parent],
+    )
+    watch.add_argument("--interval", type=float, default=0.0,
+                       help="sim-seconds between monitor samples "
+                            "(0 = horizon/240)")
+    watch.add_argument("--frames", type=int, default=12,
+                       help="dashboard frames rendered across the horizon")
+    watch.add_argument("--refresh", type=float, default=0.0,
+                       help="wall-seconds to pause between frames "
+                            "(0 = render as fast as the run allows)")
+    watch.add_argument("--max-samples", type=int, default=512,
+                       help="monitor reservoir bound (halving downsampler)")
+    watch.add_argument("--out", default=None,
+                       help="also export run artifacts incl. timeseries.json")
+    watch.add_argument("--html", default=None, metavar="FILE",
+                       help="skip the run: render --from-dir's timeseries.json "
+                            "as a self-contained HTML timeline at FILE")
+    watch.add_argument("--from-dir", default="runs/watch",
+                       help="artifact directory read by --html")
+    watch.set_defaults(func=_cmd_watch)
 
     bench = commands.add_parser(
         "bench", help="continuous benchmarking: run scenarios, gate regressions"

@@ -27,6 +27,14 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the simulation engine (e.g. past scheduling)."""
 
 
+#: Label suffixes the engine's own machinery appends when scheduling on
+#: behalf of an entity: :class:`Process` completion hops and
+#: :class:`Resource` grant callbacks. The phase profiler attributes any
+#: label carrying one of these (plus unlabeled events) to the "engine"
+#: subsystem in the wall-share table.
+ENGINE_LABEL_SUFFIXES = (":grant", ":late-done")
+
+
 class Event:
     """A scheduled callback.
 
@@ -93,6 +101,10 @@ class Simulation:
         #: (see :class:`repro.observability.profiler.WallClockProfiler`).
         #: None (the default) costs one pointer comparison per event.
         self.observer: Optional[Callable[[str, float], None]] = None
+        #: Optional sim-time sampler installed by :meth:`set_sampler`:
+        #: a mutable ``[next_due_time, callback]`` pair, or None (the
+        #: default, costing one comparison of a loop-local per event).
+        self._sampler: Optional[List[Any]] = None
 
     @property
     def now(self) -> float:
@@ -143,6 +155,57 @@ class Simulation:
         """Schedule ``callback`` at absolute simulation time ``time``."""
         return self.schedule(time - self._now, callback, label)
 
+    def set_sampler(
+        self,
+        interval: float,
+        callback: Callable[[float], Optional[float]],
+        start: Optional[float] = None,
+    ) -> None:
+        """Install a sim-time sampling hook on the run loop.
+
+        ``callback(ts)`` fires at ``ts = start`` (default: now +
+        ``interval``) and thereafter every interval the callback returns
+        (returning None stops sampling). Samples are *not* events: they
+        are interleaved by the run loop whenever the clock is about to
+        jump past a due sample, so they never extend a run, never shift
+        event ordering or sequence numbers, and never count toward
+        ``events_processed`` — which is what keeps a sampled run's
+        simulated metrics byte-identical to an unsampled one. Because
+        simulation state is piecewise constant between events, the state
+        a sample observes is exactly the state at its timestamp. The
+        callback must not schedule events or mutate simulation state.
+        Samples fire only inside :meth:`run` (bare :meth:`step` calls
+        skip them).
+        """
+        if interval <= 0:
+            raise SimulationError(f"sampler interval must be > 0 (got {interval})")
+        first = self._now + interval if start is None else start
+        self._sampler = [first, callback]
+
+    def clear_sampler(self) -> None:
+        """Remove the sampling hook installed by :meth:`set_sampler`."""
+        self._sampler = None
+
+    def _fire_samples(
+        self, sampler: List[Any], limit: float
+    ) -> Optional[List[Any]]:
+        """Fire every sample due at or before ``limit``.
+
+        Advances the clock to each sample's timestamp (monotonic: the
+        caller is about to advance it to ``limit`` or beyond). Returns
+        the still-armed sampler, or None once the callback stops.
+        """
+        while sampler[0] <= limit:
+            due = sampler[0]
+            if due > self._now:
+                self._now = due
+            next_interval = sampler[1](due)
+            if next_interval is None:
+                self._sampler = None
+                return None
+            sampler[0] = due + next_interval
+        return sampler
+
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         while self._queue and self._queue[0][2].cancelled:
@@ -184,6 +247,7 @@ class Simulation:
         # engine's own overhead floor.
         queue = self._queue
         pop = heapq.heappop
+        sampler = self._sampler
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -195,6 +259,8 @@ class Simulation:
                 if until is not None and queue[0][0] > until:
                     break
                 time, _seq, event = pop(queue)
+                if sampler is not None and sampler[0] <= time:
+                    sampler = self._fire_samples(sampler, time)
                 self._now = time
                 self._events_processed += 1
                 if self.observer is None:
@@ -208,6 +274,11 @@ class Simulation:
             self._running = False
             self._run_wall_seconds += perf_counter() - loop_start
         if until is not None and self._now < until:
+            # Close out samples due in the drained tail before pinning the
+            # clock to the horizon (state is constant there, so each one
+            # still observes the correct snapshot).
+            if sampler is not None:
+                self._fire_samples(sampler, until)
             self._now = until
 
     def process(self, generator: Generator[float, None, None], label: str = "") -> "Process":

@@ -43,7 +43,7 @@ from .hooks import (
     TenancyLike,
     TracerLike,
 )
-from .kernel import SimKernel
+from .kernel import SUBSYSTEM_LABELS, SimKernel
 from .lifecycle import RequestLifecycle
 from .machines import DriveSim, ShuttleSim
 from .robotics import RoboticsSubsystem
@@ -69,6 +69,7 @@ __all__ = [
     "SimContext",
     "SimCounters",
     "SimKernel",
+    "SUBSYSTEM_LABELS",
     "TenancyLike",
     "TracerLike",
     "VerificationSubsystem",

@@ -11,7 +11,7 @@ golden-replay tests) can drive the kernel directly.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Dict, FrozenSet, Iterator, Optional
 
 from ..metrics import (
     CompletionStats,
@@ -25,12 +25,31 @@ from ..requests import SimRequest
 from ..scheduler import RequestScheduler
 from .config import SimConfig
 from .context import SimContext
-from .dispatch import DispatchSubsystem
-from .faults import FaultSubsystem
+from .dispatch import DISPATCH_EVENT_LABELS, DispatchSubsystem
+from .faults import FAULT_EVENT_LABELS, FaultSubsystem
 from .hooks import TracerLike
-from .lifecycle import RequestLifecycle
-from .robotics import RoboticsSubsystem
-from .verification import VerificationSubsystem
+from .lifecycle import LIFECYCLE_EVENT_LABELS, RequestLifecycle
+from .robotics import (
+    MOTION_EVENT_LABELS,
+    ROBOTICS_EVENT_LABELS,
+    RoboticsSubsystem,
+)
+from .verification import VERIFICATION_EVENT_LABELS, VerificationSubsystem
+
+#: Subsystem -> event labels it schedules, aggregated from the constants
+#: each subsystem module keeps beside its ``schedule`` calls. This is the
+#: kernel's authoritative map for wall-clock subsystem attribution
+#: (:class:`repro.observability.profiler.PhaseProfiler`); labels not in
+#: any set — engine machinery (``:grant``/``:late-done``), bench ticks,
+#: unlabeled callbacks — fall to the profiler's "engine" bucket.
+SUBSYSTEM_LABELS: Dict[str, FrozenSet[str]] = {
+    "dispatch": DISPATCH_EVENT_LABELS,
+    "motion": MOTION_EVENT_LABELS,
+    "robotics": ROBOTICS_EVENT_LABELS,
+    "lifecycle": LIFECYCLE_EVENT_LABELS,
+    "faults": FAULT_EVENT_LABELS,
+    "verification": VERIFICATION_EVENT_LABELS,
+}
 
 
 class SimKernel:
@@ -80,6 +99,71 @@ class SimKernel:
         """Run the event loop to quiescence (or ``until``) and report."""
         self.ctx.sim.run(until=until, max_events=max_events)
         return self.report()
+
+    # ------------------------------------------------------------------ #
+    # Sim-time state sampling (the monitor hook)
+    # ------------------------------------------------------------------ #
+
+    def sample_state(self) -> Dict[str, float]:
+        """Read-only gauge snapshot of live kernel state, for samplers.
+
+        Every value is computed by *reading* subsystem state — no
+        dispatch caches are touched or populated (``partition_drive`` is
+        maintained on both the incremental and rescan paths, so routing
+        reads are safe), no RNG is drawn, and no events are scheduled.
+        That purity is what lets a monitor-on run keep its simulated
+        metrics byte-identical to the monitor-off run.
+        """
+        robotics = self.robotics
+        scheduler = self.ctx.scheduler
+        dispatch = self.dispatch
+        free = 0
+        for pid in dispatch.partition_cover:
+            drive = dispatch.partition_drive(pid)
+            if drive is not None and drive.customer_slot_free:
+                free += 1
+        in_flight = 0
+        pressured = 0
+        now = self.ctx.sim.now
+        for request in self.lifecycle.all_requests:
+            if request.parent is not None or request.done:
+                continue
+            in_flight += 1
+            if request.deadline is not None and now > request.deadline:
+                pressured += 1
+        return {
+            "pending_requests": float(scheduler.pending_requests),
+            "pending_platters": float(scheduler.pending_platters),
+            "busy_shuttles": float(
+                sum(1 for s in robotics.shuttles if s.sampled_busy)
+            ),
+            "busy_drives": float(
+                sum(1 for d in robotics.drives if d.sampled_busy)
+            ),
+            "free_partitions": float(free),
+            "in_flight_requests": float(in_flight),
+            "deadline_pressured": float(pressured),
+            "active_faults": float(len(self.faults.active_fault_started)),
+            "metadata_down": 0.0 if self.faults.metadata_available else 1.0,
+        }
+
+    def attach_sampler(
+        self,
+        interval_seconds: float,
+        callback: Callable[[float], Optional[float]],
+    ) -> None:
+        """Fire ``callback(now)`` every ``interval_seconds`` of sim time.
+
+        The callback returns the next interval (letting a downsampling
+        monitor stretch its cadence) or ``None`` to stop. Delegates to
+        the engine's :meth:`repro.core.events.Simulation.set_sampler`
+        hook: samples are interleaved by the run loop, not queued as
+        events, so they never extend a run, reorder events, or perturb
+        ``events_processed``. The callback must be read-only against
+        kernel state (see :meth:`sample_state`) to preserve
+        byte-identical metrics.
+        """
+        self.ctx.sim.set_sampler(interval_seconds, callback)
 
     def measured_completed(self) -> Iterator[SimRequest]:
         """Measured, completed top-level requests (the report population).

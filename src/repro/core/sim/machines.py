@@ -51,6 +51,16 @@ class DriveSim:
         """A fault must wait for an operation boundary on this drive."""
         return bool(self.serving or self.awaiting_return or self.slot_reserved)
 
+    @property
+    def sampled_busy(self) -> bool:
+        """The monitor's "busy drive" gauge: actively streaming a read.
+
+        Deliberately narrower than :attr:`occupied` — a drive waiting on
+        a platter return holds resources but does no customer work, and
+        the timeseries is meant to show delivered service.
+        """
+        return bool(self.serving)
+
 
 class ShuttleSim:
     """Wrapper pairing a Shuttle with its simulation busy flag."""
@@ -68,3 +78,8 @@ class ShuttleSim:
     def idle(self) -> bool:
         """Available for assignment: not busy and not failed."""
         return not self.busy and not self.shuttle.failed
+
+    @property
+    def sampled_busy(self) -> bool:
+        """The monitor's "busy shuttle" gauge: mid-errand (failed or not)."""
+        return bool(self.busy)

@@ -27,6 +27,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from .lifecycle import RequestLifecycle
     from .verification import VerificationSubsystem
 
+#: Event labels of pure shuttle-kinematics callbacks (travel + battery):
+#: the "motion" bucket of the subsystem wall-share table.
+MOTION_EVENT_LABELS = frozenset({"move", "recharge"})
+
+#: Event labels of robotics service steps (pick/place handoffs and drive
+#: mount/read/unmount phases): the "robotics" bucket of the table.
+ROBOTICS_EVENT_LABELS = frozenset(
+    {
+        "fetch-pick",
+        "fetch-place",
+        "return-pick",
+        "return-place",
+        "mount",
+        "read",
+        "unmount",
+    }
+)
+
 
 class RoboticsSubsystem:
     """The library's mechanical plant and its service state machines."""

@@ -26,6 +26,7 @@ import hashlib
 import json
 import math
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -163,14 +164,29 @@ class FleetReport:
 class FleetCoordinator:
     """Routes reads across member libraries and survives domain outages."""
 
-    def __init__(self, config: Optional[FleetConfig] = None, tracer=None):
+    def __init__(
+        self, config: Optional[FleetConfig] = None, tracer=None, profiler=None
+    ):
         self.config = config or FleetConfig()
         self.topology = self.config.build_topology()
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        #: optional duck-typed phase profiler (needs a ``scope(name)``
+        #: context manager, e.g. :class:`repro.observability.profiler.
+        #: PhaseProfiler`); the fleet layer never imports observability.
+        self.profiler = profiler
         self.metrics = MetricsRegistry(prefix="fleet_")
         self.schedule: Optional[FleetFaultSchedule] = None
         self._trace: Optional[ReadTrace] = None
         self._measure = (0.0, math.inf)
+
+    def trace_id(self, index: int) -> str:
+        """Deterministic span id of one fleet request (seed + index).
+
+        Stamped on every per-request ``fleet.*`` event so a request's
+        routing, failover ladder, hedge, and completion join into one
+        span regardless of which member library served it.
+        """
+        return f"fleet-{self.config.seed}-{index}"
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -239,6 +255,7 @@ class FleetCoordinator:
                         "fleet.failover",
                         request_id=index,
                         component=self.topology.sites[member].name,
+                        trace_id=self.trace_id(index),
                         attempt=attempt + 1,
                         retry_at=retry_at,
                     )
@@ -265,6 +282,28 @@ class FleetCoordinator:
                             routed.hedge_member = member
                             routed.hedge_time = hedge_time
                             break
+            if self.tracer is not None:
+                attrs: Dict[str, Any] = {
+                    "trace_id": self.trace_id(index),
+                    "submit_s": routed.submit_time,
+                    "penalty_s": routed.penalty_seconds,
+                    "failed_over": routed.failed_over,
+                    "lost": routed.lost,
+                }
+                component = None
+                if routed.served_member is not None:
+                    attrs["member"] = routed.served_member
+                    component = self.topology.sites[routed.served_member].name
+                if routed.hedge_member is not None:
+                    attrs["hedge_member"] = routed.hedge_member
+                    attrs["hedge_s"] = routed.hedge_time
+                self.tracer.emit(
+                    request.time,
+                    "fleet.route",
+                    request_id=index,
+                    component=component,
+                    **attrs,
+                )
             plan.append(routed)
         return plan
 
@@ -365,14 +404,33 @@ class FleetCoordinator:
                 or (hedge == primary and self._hedge_tie_break(routed.index))
             )
             completion = hedge if hedge_won else primary
+            serving = (
+                routed.hedge_member if hedge_won else routed.served_member
+            )
             if self.tracer is not None and hedge_issued:
                 self.tracer.emit(
                     routed.hedge_time,
                     "fleet.hedge",
                     request_id=routed.index,
                     component=self.topology.sites[routed.hedge_member].name,
+                    trace_id=self.trace_id(routed.index),
                     delay_s=self.config.hedge_delay_seconds,
                     won=hedge_won,
+                )
+            if (
+                self.tracer is not None
+                and completion is not None
+                and serving is not None
+            ):
+                self.tracer.emit(
+                    completion,
+                    "fleet.complete",
+                    request_id=routed.index,
+                    component=self.topology.sites[serving].name,
+                    trace_id=self.trace_id(routed.index),
+                    served_by=serving,
+                    hedge_won=hedge_won,
+                    latency_s=completion - routed.request.time,
                 )
             if not measured:
                 continue
@@ -390,9 +448,6 @@ class FleetCoordinator:
             if completion is None:
                 continue
             fleet.requests_served += 1
-            serving = (
-                routed.hedge_member if hedge_won else routed.served_member
-            )
             if serving != routed.placement[0]:
                 fleet.served_degraded += 1
             latencies.append(completion - routed.request.time)
@@ -417,12 +472,27 @@ class FleetCoordinator:
     # ------------------------------------------------------------------ #
 
     def run(self, workers: Optional[int] = None) -> FleetReport:
-        """Plan routing, run members (serially or pooled), merge."""
+        """Plan routing, run members (serially or pooled), merge.
+
+        When a phase profiler is attached, each coordinator phase runs
+        under a nested ``fleet/...`` scope so fleet orchestration shows
+        up in the subsystem wall-share story beside the member kernels'
+        event-loop time.
+        """
         if self._trace is None:
             raise RuntimeError("assign_trace() before run()")
-        plan = self._plan()
-        jobs = self._member_jobs(plan)
-        results = self._run_members(
-            jobs, self.config.workers if workers is None else workers
+        scope = (
+            self.profiler.scope
+            if self.profiler is not None
+            else (lambda name: nullcontext())
         )
-        return self._merge(plan, jobs, results)
+        with scope("fleet"):
+            with scope("plan"):
+                plan = self._plan()
+                jobs = self._member_jobs(plan)
+            with scope("members"):
+                results = self._run_members(
+                    jobs, self.config.workers if workers is None else workers
+                )
+            with scope("merge"):
+                return self._merge(plan, jobs, results)

@@ -10,12 +10,22 @@ of the archive service front end) explainable after the fact:
   list / JSONL sinks);
 - :mod:`~repro.observability.spans` — per-request span timelines assembled
   from trace events, with an exact queue / mechanics / channel / decode
-  critical-path decomposition;
+  critical-path decomposition, plus fleet routing spans (failover /
+  hedge_wait / service) for multi-library runs;
 - :mod:`~repro.observability.profiler` — wall-clock hot-spot accounting of
   the event loop itself (simulator performance, not simulated time);
+  :class:`~repro.observability.profiler.PhaseProfiler` adds per-subsystem
+  attribution (engine / dispatch / motion / robotics / ...) and nested
+  scopes;
+- :mod:`~repro.observability.monitor` — a sim-time
+  :class:`~repro.observability.monitor.TimeSeriesMonitor`: bounded,
+  deterministically-downsampled gauge series sampled from the live
+  kernel (queue depths, busy machines, fault state), the data behind
+  ``python -m repro watch``;
 - :mod:`~repro.observability.export` — one-directory run artifacts:
-  ``trace.jsonl``, ``spans.json``, ``metrics.json``, ``metrics.prom``,
-  ``report.json``, ``hotspots.json``.
+  ``trace.jsonl``, ``spans.json``, ``fleet_spans.json``,
+  ``metrics.json``, ``metrics.prom``, ``report.json``,
+  ``hotspots.json``, ``timeseries.json``, ``tracer.json``.
 
 Counter/gauge/histogram primitives and the registry they live in are in
 :mod:`repro.core.metrics` (the simulator accumulates on them natively);
@@ -32,17 +42,27 @@ from ..core.metrics import (
     MetricsRegistry,
 )
 from .export import RunArtifacts, export_run, load_metrics, load_spans
-from .profiler import WallClockProfiler
+from .monitor import (
+    MONITOR_SERIES,
+    TIMESERIES_SCHEMA_VERSION,
+    TimeSeriesMonitor,
+)
+from .profiler import PhaseProfiler, WallClockProfiler
 from .spans import (
+    FLEET_PHASES,
     PHASES,
     CriticalPathBreakdown,
+    FleetSpan,
     RequestSpan,
+    assemble_fleet_spans,
     assemble_spans,
     critical_path,
+    fleet_critical_path,
     render_timeline,
 )
 from .tracer import (
     EVENT_KINDS,
+    SCHEMA_MIGRATIONS,
     SCHEMA_VERSION,
     JsonlSink,
     ListSink,
@@ -63,14 +83,23 @@ __all__ = [
     "export_run",
     "load_metrics",
     "load_spans",
+    "MONITOR_SERIES",
+    "TIMESERIES_SCHEMA_VERSION",
+    "TimeSeriesMonitor",
+    "PhaseProfiler",
     "WallClockProfiler",
+    "FLEET_PHASES",
     "PHASES",
     "CriticalPathBreakdown",
+    "FleetSpan",
     "RequestSpan",
+    "assemble_fleet_spans",
     "assemble_spans",
     "critical_path",
+    "fleet_critical_path",
     "render_timeline",
     "EVENT_KINDS",
+    "SCHEMA_MIGRATIONS",
     "SCHEMA_VERSION",
     "JsonlSink",
     "ListSink",

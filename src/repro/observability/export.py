@@ -19,7 +19,18 @@ A run artifact directory (written by ``python -m repro trace`` /
     the :class:`~repro.core.metrics.SimulationReport` as stable JSON;
 ``hotspots.json``
     wall-clock hot spots of the simulator loop — only when profiling
-    was on;
+    was on (a :class:`~repro.observability.profiler.PhaseProfiler`
+    additionally carries the per-subsystem wall-share table);
+``timeseries.json``
+    the sim-time monitor's schema-versioned columnar gauge series —
+    only when a :class:`~repro.observability.monitor.TimeSeriesMonitor`
+    was attached;
+``tracer.json``
+    tracer metadata (sink type, captured and *dropped* event counts) so
+    a ring-truncated flight recording is never mistaken for complete;
+``fleet_spans.json``
+    per-request fleet routing spans (failover / hedge_wait / service
+    decomposition) — only for traces carrying ``fleet.route`` events;
 ``BENCH_<scenario>.json``
     schema-versioned continuous-benchmark results (one file per scenario,
     written by :meth:`RunArtifacts.write_bench` for the
@@ -38,12 +49,21 @@ import os
 from typing import Any, Dict, List, Optional
 
 from ..core.metrics import MetricsRegistry, SimulationReport
-from .profiler import WallClockProfiler
-from .spans import RequestSpan, assemble_spans, critical_path
-from .tracer import TraceEvent, write_jsonl
+from .monitor import TimeSeriesMonitor
+from .profiler import PhaseProfiler, WallClockProfiler
+from .spans import (
+    FleetSpan,
+    RequestSpan,
+    assemble_fleet_spans,
+    assemble_spans,
+    critical_path,
+    fleet_critical_path,
+)
+from .tracer import Tracer, TraceEvent, write_jsonl
 
 
 def _write_json(path: str, payload: Any) -> None:
+    """Dump ``payload`` as sorted-key, indented JSON at ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True, indent=2)
         handle.write("\n")
@@ -63,6 +83,7 @@ class RunArtifacts:
         return path
 
     def write_trace(self, events: List[TraceEvent], name: str = "trace.jsonl") -> str:
+        """Dump the structured event stream as JSONL."""
         path = self._path(name)
         write_jsonl(events, path)
         return path
@@ -84,19 +105,61 @@ class RunArtifacts:
         return spans
 
     def write_metrics(self, registry: MetricsRegistry) -> None:
+        """Dump the metrics registry as JSON and Prometheus text."""
         _write_json(self._path("metrics.json"), registry.as_dict())
         with open(self._path("metrics.prom"), "w", encoding="utf-8") as handle:
             handle.write(registry.to_prometheus())
 
     def write_report(self, report: SimulationReport, name: str = "report.json") -> str:
+        """Dump the simulation report as stable JSON."""
         path = self._path(name)
         _write_json(path, report.as_dict())
         return path
 
     def write_hotspots(self, profiler: WallClockProfiler) -> str:
+        """Dump the profiler's hot-spot snapshot (plus, for a
+        :class:`~repro.observability.profiler.PhaseProfiler`, the
+        subsystem wall-share table and scope rows)."""
         path = self._path("hotspots.json")
-        _write_json(path, profiler.as_dict())
+        payload: Dict[str, Any] = profiler.as_dict()
+        if isinstance(profiler, PhaseProfiler):
+            payload = {
+                "labels": payload,
+                "subsystems": profiler.subsystem_table(),
+                "scopes": profiler.scopes_as_dict(),
+            }
+        _write_json(path, payload)
         return path
+
+    def write_timeseries(
+        self, monitor: TimeSeriesMonitor, name: str = "timeseries.json"
+    ) -> str:
+        """Dump the sim-time monitor's columnar gauge series."""
+        path = self._path(name)
+        _write_json(path, monitor.as_dict())
+        return path
+
+    def write_tracer_meta(self, tracer: Tracer, name: str = "tracer.json") -> str:
+        """Dump tracer metadata — including ``dropped_events``."""
+        path = self._path(name)
+        _write_json(path, tracer.as_dict())
+        return path
+
+    def write_fleet_spans(
+        self, events: List[TraceEvent], name: str = "fleet_spans.json"
+    ) -> List[FleetSpan]:
+        """Assemble and dump fleet routing spans plus their breakdown."""
+        spans = assemble_fleet_spans(events)
+        breakdown = fleet_critical_path(spans)
+        payload = {
+            "critical_path": {
+                "seconds": dict(sorted(breakdown.seconds.items())),
+                "spans": breakdown.spans,
+            },
+            "spans": [span.to_dict() for span in spans],
+        }
+        _write_json(self._path(name), payload)
+        return spans
 
     def write_bench(self, result: Any, name: Optional[str] = None) -> str:
         """Write one bench result as ``BENCH_<scenario>.json``.
@@ -111,6 +174,7 @@ class RunArtifacts:
         return path
 
     def summary(self) -> str:
+        """Human-readable listing of the written artifact files."""
         lines = [f"artifacts in {self.out_dir}/:"]
         if not self.written:
             lines.append("  (no artifacts written)")
@@ -128,16 +192,32 @@ def export_run(
     registry: MetricsRegistry,
     events: Optional[List[TraceEvent]] = None,
     profiler: Optional[WallClockProfiler] = None,
+    monitor: Optional[TimeSeriesMonitor] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunArtifacts:
-    """Write the full artifact set for one finished run."""
+    """Write the full artifact set for one finished run.
+
+    ``events`` defaults to ``tracer.events()`` when only a tracer is
+    given; passing a ``tracer`` also records its metadata (including the
+    ring sink's dropped-event count) and, when the trace carries fleet
+    routing events, the fleet span decomposition.
+    """
     artifacts = RunArtifacts(out_dir)
+    if events is None and tracer is not None:
+        events = tracer.events()
     if events is not None:
         artifacts.write_trace(events)
         artifacts.write_spans(events)
+        if any(e.kind == "fleet.route" for e in events):
+            artifacts.write_fleet_spans(events)
     artifacts.write_metrics(registry)
     artifacts.write_report(report)
     if profiler is not None:
         artifacts.write_hotspots(profiler)
+    if monitor is not None:
+        artifacts.write_timeseries(monitor)
+    if tracer is not None:
+        artifacts.write_tracer_meta(tracer)
     return artifacts
 
 

@@ -64,6 +64,7 @@ class RequestSpan:
 
     @property
     def done(self) -> bool:
+        """Whether the request has a completion time."""
         return self.completion is not None
 
     @property
@@ -74,6 +75,7 @@ class RequestSpan:
         return self.completion - self.arrival
 
     def to_dict(self) -> Dict[str, Any]:
+        """Stable-keyed dict form for artifacts."""
         return {
             "request_id": self.request_id,
             "platter_id": self.platter_id,
@@ -97,9 +99,11 @@ class CriticalPathBreakdown:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of all phase totals."""
         return sum(self.seconds.values())
 
     def fraction(self, phase: str) -> float:
+        """One phase's share of the total (0.0 when the total is zero)."""
         total = self.total_seconds
         return self.seconds.get(phase, 0.0) / total if total > 0 else 0.0
 
@@ -203,6 +207,141 @@ def assemble_spans(events: Iterable[TraceEvent]) -> List[RequestSpan]:
             }
         spans.append(span)
     return spans
+
+
+#: Ordered phase names of the fleet span decomposition: time lost to
+#: failover retries before the serving submit, time waiting before the
+#: winning hedge was issued, and the serving member's service time.
+FLEET_PHASES = ("failover", "hedge_wait", "service")
+
+
+@dataclass
+class FleetSpan:
+    """One fleet request's routing timeline across member libraries.
+
+    Assembled from the coordinator's ``fleet.route`` / ``fleet.complete``
+    events (plus ``fleet.failover`` for the retry count). The phase
+    decomposition is exact for completed requests:
+    ``failover + hedge_wait + service == completion - arrival``. When the
+    hedge won, ``service`` is measured from the hedge's issue time — the
+    hedge is the critical path and the primary's longer attempt is off it.
+    """
+
+    request_id: int
+    trace_id: str
+    arrival: float
+    member: int
+    completion: Optional[float] = None
+    served_by: Optional[int] = None
+    lost: bool = False
+    failed_over: bool = False
+    failovers: int = 0
+    hedge_member: Optional[int] = None
+    hedge_won: bool = False
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request completed somewhere in the fleet."""
+        return self.completion is not None
+
+    @property
+    def duration(self) -> float:
+        """Arrival -> fleet-level completion, seconds."""
+        if self.completion is None:
+            raise ValueError(f"request {self.request_id} has no completion")
+        return self.completion - self.arrival
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable-keyed dict form for artifacts."""
+        return {
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "arrival": self.arrival,
+            "member": self.member,
+            "completion": self.completion,
+            "served_by": self.served_by,
+            "lost": self.lost,
+            "failed_over": self.failed_over,
+            "failovers": self.failovers,
+            "hedge_member": self.hedge_member,
+            "hedge_won": self.hedge_won,
+            "phases": {k: self.phases.get(k, 0.0) for k in FLEET_PHASES},
+        }
+
+
+def assemble_fleet_spans(events: Iterable[TraceEvent]) -> List[FleetSpan]:
+    """Reconstruct per-request fleet spans from coordinator trace events.
+
+    Each ``fleet.route`` event opens a span (routing decision, failover
+    penalty, hedge issue time); the matching ``fleet.complete`` closes it
+    and settles which attempt won. Requests the whole fleet lost keep an
+    empty phase dict, mirroring :func:`assemble_spans` for undecomposable
+    library spans.
+    """
+    routes: Dict[int, TraceEvent] = {}
+    completes: Dict[int, TraceEvent] = {}
+    failovers: Dict[int, int] = {}
+    for event in events:
+        if event.request_id is None:
+            continue
+        if event.kind == "fleet.route":
+            routes.setdefault(event.request_id, event)
+        elif event.kind == "fleet.complete":
+            completes[event.request_id] = event
+        elif event.kind == "fleet.failover":
+            failovers[event.request_id] = failovers.get(event.request_id, 0) + 1
+
+    spans: List[FleetSpan] = []
+    for rid, route in sorted(routes.items()):
+        attrs = route.attrs
+        span = FleetSpan(
+            request_id=rid,
+            trace_id=str(attrs.get("trace_id", "")),
+            arrival=route.ts,
+            member=int(attrs.get("member", -1)),
+            lost=bool(attrs.get("lost", False)),
+            failed_over=bool(attrs.get("failed_over", False)),
+            failovers=failovers.get(rid, 0),
+        )
+        hedge_member = attrs.get("hedge_member")
+        if hedge_member is not None:
+            span.hedge_member = int(hedge_member)
+        done = completes.get(rid)
+        if done is not None:
+            span.completion = done.ts
+            served = done.attrs.get("served_by")
+            span.served_by = int(served) if served is not None else None
+            span.hedge_won = bool(done.attrs.get("hedge_won", False))
+            submit = float(attrs.get("submit_s", span.arrival))
+            failover_s = max(0.0, submit - span.arrival)
+            if span.hedge_won and attrs.get("hedge_s") is not None:
+                hedge_at = float(attrs["hedge_s"])
+                hedge_wait = max(0.0, hedge_at - submit)
+                service = span.completion - submit - hedge_wait
+            else:
+                hedge_wait = 0.0
+                service = span.completion - submit
+            span.phases = {
+                "failover": failover_s,
+                "hedge_wait": hedge_wait,
+                "service": max(0.0, service),
+            }
+        spans.append(span)
+    return spans
+
+
+def fleet_critical_path(spans: Iterable[FleetSpan]) -> CriticalPathBreakdown:
+    """Aggregate fleet phase totals over all decomposed fleet spans."""
+    totals = {phase: 0.0 for phase in FLEET_PHASES}
+    count = 0
+    for span in spans:
+        if not span.phases:
+            continue
+        count += 1
+        for phase in FLEET_PHASES:
+            totals[phase] += span.phases.get(phase, 0.0)
+    return CriticalPathBreakdown(seconds=totals, spans=count)
 
 
 def critical_path(spans: Iterable[RequestSpan]) -> CriticalPathBreakdown:

@@ -36,7 +36,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 #: Trace schema version, embedded in every JSONL line as ``"v"``.
-SCHEMA_VERSION = 1
+#: v2 added the fleet per-request span kinds (``fleet.route`` /
+#: ``fleet.complete``) and the ``trace_id`` attribute convention; v1
+#: records parse unchanged via :data:`SCHEMA_MIGRATIONS`.
+SCHEMA_VERSION = 2
 
 #: The closed taxonomy of event kinds. Grouped by subsystem:
 #: request lifecycle, scheduler decisions, shuttle mechanics, drive
@@ -91,11 +94,36 @@ EVENT_KINDS = frozenset(
         "service.sector_unrecovered",
         "service.admission_reject",
         # fleet coordinator (multi-library routing)
+        "fleet.route",
         "fleet.failover",
         "fleet.hedge",
+        "fleet.complete",
         "fleet.domain_outage",
+        # sim-time sampling monitor
+        "monitor.sample",
     }
 )
+
+
+def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a v1 trace record to the current schema.
+
+    v2 only *added* kinds and attribute conventions, so v1 payloads are
+    forward-compatible verbatim; the migration simply restamps the
+    version. Kept as an explicit entry so the next incompatible bump has
+    an obvious pattern to follow.
+    """
+    out = dict(payload)
+    out["v"] = SCHEMA_VERSION
+    return out
+
+
+#: Known older schema versions and the function that lifts a payload of
+#: that version to :data:`SCHEMA_VERSION`. Versions absent from this
+#: table (including future ones) are rejected by
+#: :meth:`TraceEvent.from_dict`, so committed artifacts from supported
+#: history keep parsing while genuinely unknown schemas still fail loudly.
+SCHEMA_MIGRATIONS = {1: _migrate_v1}
 
 
 class TraceSchemaError(ValueError):
@@ -134,13 +162,25 @@ class TraceEvent:
         return out
 
     def to_json(self) -> str:
+        """Compact, sorted-key JSON line for this event."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "TraceEvent":
+        """Validate and build an event from a decoded JSONL payload.
+
+        Records stamped with a known older schema version are lifted to
+        the current one through :data:`SCHEMA_MIGRATIONS`; unknown
+        (e.g. future) versions raise :class:`TraceSchemaError`.
+        """
         version = payload.get("v", SCHEMA_VERSION)
         if version != SCHEMA_VERSION:
-            raise TraceSchemaError(f"unsupported trace schema version {version}")
+            migrate = SCHEMA_MIGRATIONS.get(version)
+            if migrate is None:
+                raise TraceSchemaError(
+                    f"unsupported trace schema version {version}"
+                )
+            payload = migrate(payload)
         try:
             return cls(
                 ts=float(payload["ts"]),
@@ -154,6 +194,7 @@ class TraceEvent:
 
     @classmethod
     def from_json(cls, line: str) -> "TraceEvent":
+        """Parse one JSONL line (see :meth:`from_dict` for versioning)."""
         return cls.from_dict(json.loads(line))
 
 
@@ -164,6 +205,7 @@ class ListSink:
         self.events: List[TraceEvent] = []
 
     def append(self, event: TraceEvent) -> None:
+        """Store one event (never drops)."""
         self.events.append(event)
 
     def __len__(self) -> int:
@@ -188,6 +230,12 @@ class RingSink:
         self.dropped = 0
 
     def append(self, event: TraceEvent) -> None:
+        """Store one event, evicting (and counting) the oldest when full.
+
+        ``self.dropped`` is the number of evicted events; it is surfaced
+        through :meth:`Tracer.as_dict` and the export metadata so a
+        truncated flight recording is never mistaken for a complete one.
+        """
         if len(self.events) == self.capacity:
             self.dropped += 1
         self.events.append(event)
@@ -216,11 +264,13 @@ class JsonlSink:
         self.count = 0
 
     def append(self, event: TraceEvent) -> None:
+        """Write one event as a JSON line."""
         self._file.write(event.to_json())
         self._file.write("\n")
         self.count += 1
 
     def close(self) -> None:
+        """Flush, and close the file if this sink opened it."""
         self._file.flush()
         if self._owns:
             self._file.close()
@@ -260,6 +310,25 @@ class Tracer:
     def events(self) -> List[TraceEvent]:
         """Events captured so far (in-memory sinks only)."""
         return list(self.sink)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events the sink discarded (ring overflow); 0 for lossless sinks."""
+        return int(getattr(self.sink, "dropped", 0))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Summary metadata for artifacts: state, sink, counts, drops."""
+        try:
+            captured = len(self.sink)  # type: ignore[arg-type]
+        except TypeError:
+            captured = getattr(self.sink, "count", 0)
+        return {
+            "enabled": self.enabled,
+            "schema_version": SCHEMA_VERSION,
+            "sink": type(self.sink).__name__,
+            "captured_events": int(captured),
+            "dropped_events": self.dropped_events,
+        }
 
 
 def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:

@@ -287,3 +287,76 @@ class TestMultiprocessDeterminism:
         pooled_json, pooled_prom = run(4)
         assert serial_json == pooled_json
         assert serial_prom == pooled_prom
+
+
+class TestFleetSpans:
+    """Golden span decomposition of a traced 3-library hedged run."""
+
+    def _traced_run(self):
+        from repro.observability import Tracer
+
+        outage = DomainOutage("lib:0", 0.0, 600.0, FaultKind.TRANSIENT)
+        schedule = FleetFaultSchedule([outage], horizon_seconds=10_000.0)
+        coordinator = _coordinator(
+            schedule=schedule, hedge=True, hedge_delay_seconds=1.0
+        )
+        coordinator.tracer = Tracer()
+        report = coordinator.run()
+        return coordinator, report
+
+    def test_span_algebra_is_exact(self):
+        from repro.observability import assemble_fleet_spans
+
+        coordinator, report = self._traced_run()
+        spans = assemble_fleet_spans(coordinator.tracer.events())
+        assert len(spans) == report.fleet.requests_served
+        for span in spans:
+            # The three phases partition the end-to-end latency exactly:
+            # failover + hedge_wait + service == completion - arrival.
+            assert sum(span.phases.values()) == pytest.approx(
+                span.duration, abs=1e-9
+            )
+            assert span.trace_id == f"fleet-0-{span.request_id}"
+
+    def test_hedge_winners_sit_on_the_critical_path(self):
+        from repro.observability import assemble_fleet_spans
+
+        coordinator, report = self._traced_run()
+        spans = assemble_fleet_spans(coordinator.tracer.events())
+        winners = [s for s in spans if s.hedge_won]
+        assert len(winners) == report.fleet.hedge_wins
+        assert winners, "expected at least one hedge win at 1s delay"
+        for span in winners:
+            assert span.served_by == span.hedge_member
+            assert span.phases["hedge_wait"] > 0.0
+
+    def test_failover_latency_matches_the_retry_ladder(self):
+        from repro.observability import assemble_fleet_spans
+
+        coordinator, report = self._traced_run()
+        spans = assemble_fleet_spans(coordinator.tracer.events())
+        assert sum(s.failovers for s in spans) == report.fleet.failovers
+        penalty = coordinator.config.detect_timeout_seconds + (
+            coordinator.config.retry.backoff(1)
+        )
+        single_hop = [s for s in spans if s.failovers == 1]
+        assert single_hop, "the lib:0 outage must force failovers"
+        for span in single_hop:
+            assert span.phases["failover"] == pytest.approx(penalty)
+
+    def test_critical_path_breakdown_totals(self):
+        from repro.observability import assemble_fleet_spans, fleet_critical_path
+
+        coordinator, _ = self._traced_run()
+        spans = assemble_fleet_spans(coordinator.tracer.events())
+        breakdown = fleet_critical_path(spans)
+        assert breakdown.spans == len(spans)
+        for phase in ("failover", "hedge_wait", "service"):
+            assert breakdown.seconds[phase] == pytest.approx(
+                sum(s.phases[phase] for s in spans)
+            )
+        assert breakdown.total_seconds == pytest.approx(
+            sum(s.duration for s in spans)
+        )
+        assert breakdown.seconds["hedge_wait"] > 0.0
+        assert breakdown.seconds["failover"] > 0.0

@@ -20,15 +20,20 @@ from repro.core import LibrarySimulation, SimConfig
 from repro.core.metrics import MetricsRegistry
 from repro.observability import (
     EVENT_KINDS,
+    SCHEMA_VERSION,
     JsonlSink,
     ListSink,
+    PhaseProfiler,
     RingSink,
+    TimeSeriesMonitor,
     TraceEvent,
     Tracer,
     TraceSchemaError,
     WallClockProfiler,
+    assemble_fleet_spans,
     assemble_spans,
     critical_path,
+    fleet_critical_path,
     read_jsonl,
     render_timeline,
     write_jsonl,
@@ -70,7 +75,7 @@ class TestTraceSchema:
         # Stable serialization: every line carries the schema version and
         # sorted attrs.
         first = json.loads(open(path).readline())
-        assert first["v"] == 1
+        assert first["v"] == SCHEMA_VERSION
         assert list(first["attrs"]) == sorted(first["attrs"])
 
     def test_all_kinds_constructible(self):
@@ -348,3 +353,421 @@ class TestProfiler:
         labels = {label for label, _, _ in profiler.hotspots()}
         assert labels == {"a", "b"}
         assert "wall-clock hot spots" in profiler.format()
+
+
+# --------------------------------------------------------------------- #
+# Trace schema migration (v1 -> current)
+# --------------------------------------------------------------------- #
+
+
+class TestSchemaMigration:
+    V1_LINE = json.dumps(
+        {
+            "v": 1,
+            "ts": 3.5,
+            "kind": "request.arrival",
+            "request_id": 7,
+            "component": "drive:0",
+            "attrs": {"size_bytes": 4096},
+        }
+    )
+
+    def test_v1_line_migrates_to_current(self):
+        event = TraceEvent.from_json(self.V1_LINE)
+        assert event.ts == 3.5
+        assert event.kind == "request.arrival"
+        assert event.request_id == 7
+        assert event.component == "drive:0"
+        assert event.attrs["size_bytes"] == 4096
+
+    def test_migrated_event_reserializes_at_current_version(self):
+        event = TraceEvent.from_json(self.V1_LINE)
+        assert json.loads(event.to_json())["v"] == SCHEMA_VERSION
+
+    def test_v1_jsonl_file_reads_back(self, tmp_path):
+        path = str(tmp_path / "old.jsonl")
+        complete = json.dumps(
+            {"v": 1, "ts": 9.0, "kind": "request.complete", "request_id": 7}
+        )
+        with open(path, "w") as handle:
+            handle.write(self.V1_LINE + "\n" + complete + "\n")
+        events = read_jsonl(path)
+        assert [e.kind for e in events] == ["request.arrival", "request.complete"]
+        spans = assemble_spans(events)
+        assert spans[0].completion == 9.0
+
+    def test_migration_table_covers_every_past_version(self):
+        from repro.observability import SCHEMA_MIGRATIONS
+
+        assert set(SCHEMA_MIGRATIONS) == set(range(1, SCHEMA_VERSION))
+
+
+# --------------------------------------------------------------------- #
+# Tracer metadata (captured / dropped surfaced in artifacts)
+# --------------------------------------------------------------------- #
+
+
+class TestTracerMetadata:
+    def test_as_dict_counts_ring_drops(self):
+        tracer = Tracer(RingSink(capacity=4))
+        for i in range(10):
+            tracer.emit(float(i), "request.enqueue", request_id=i)
+        meta = tracer.as_dict()
+        assert meta["sink"] == "RingSink"
+        assert meta["captured_events"] == 4
+        assert meta["dropped_events"] == 6
+        assert meta["schema_version"] == SCHEMA_VERSION
+
+    def test_lossless_sink_reports_zero_drops(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "request.arrival", request_id=1)
+        meta = tracer.as_dict()
+        assert meta["captured_events"] == 1
+        assert meta["dropped_events"] == 0
+
+    def test_export_surfaces_dropped_events(self, tmp_path):
+        # Regression: a ring-truncated flight recording must be flagged
+        # in the exported tracer.json so it is never mistaken for a
+        # complete trace.
+        from repro.observability import RunArtifacts
+
+        tracer = Tracer(RingSink(capacity=2))
+        for i in range(5):
+            tracer.emit(float(i), "request.enqueue", request_id=i)
+        artifacts = RunArtifacts(str(tmp_path))
+        artifacts.write_tracer_meta(tracer)
+        meta = json.load(open(tmp_path / "tracer.json"))
+        assert meta["dropped_events"] == 3
+        assert meta["captured_events"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Sim-time monitor
+# --------------------------------------------------------------------- #
+
+
+GOLDEN_MONITOR_PROM = """\
+# HELP m_monitor_busy_drives Latest sampled value of busy_drives
+# TYPE m_monitor_busy_drives gauge
+m_monitor_busy_drives 3
+# HELP m_monitor_pending_requests Latest sampled value of pending_requests
+# TYPE m_monitor_pending_requests gauge
+m_monitor_pending_requests 12.5
+"""
+
+
+class TestTimeSeriesMonitor:
+    def _probe_sequence(self, rows):
+        feed = iter(rows)
+        return lambda: next(feed)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor(0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor(10.0, max_samples=1)
+
+    def test_sample_before_attach_fails_loudly(self):
+        with pytest.raises(RuntimeError):
+            TimeSeriesMonitor(10.0).sample(0.0)
+
+    def test_samples_accumulate_columnar(self):
+        monitor = TimeSeriesMonitor(10.0)
+        monitor.set_probe(
+            self._probe_sequence([{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}])
+        )
+        assert monitor.sample(10.0) == 10.0
+        monitor.sample(20.0)
+        assert len(monitor) == 2
+        assert monitor.times == [10.0, 20.0]
+        assert monitor.series == {"a": [1.0, 3.0], "b": [2.0, 4.0]}
+        assert monitor.latest() == {"ts": 20.0, "a": 3.0, "b": 4.0}
+
+    def test_reservoir_halves_deterministically(self):
+        monitor = TimeSeriesMonitor(1.0, max_samples=4)
+        monitor.set_probe(lambda: {"x": float(len(monitor))})
+        next_interval = 1.0
+        ts = 0.0
+        for _ in range(8):
+            ts += next_interval
+            next_interval = monitor.sample(ts)
+        # Three halvings (the reservoir halves each time it reaches 4):
+        # interval is now 8x and only even-index survivors remain.
+        assert monitor.downsample_halvings == 3
+        assert monitor.interval == 8.0
+        assert monitor.times == [1.0, 12.0]
+
+    def test_monitor_on_run_is_byte_identical(self):
+        # The tentpole determinism contract: attaching the monitor must
+        # not change a single simulated metric, the event count, or the
+        # final clock of a run.
+        from repro.bench.scenarios import headline_metrics
+        from repro.workload import WorkloadGenerator
+
+        def run(with_monitor):
+            sim = LibrarySimulation(
+                SimConfig(num_shuttles=4, num_drives=4, num_platters=100, seed=5)
+            )
+            generator = WorkloadGenerator(seed=5)
+            trace, start, end = generator.interval_trace(
+                0.05, interval_hours=0.1, warmup_hours=0.0, cooldown_hours=0.1
+            )
+            sim.assign_trace(trace, start, end)
+            monitor = None
+            if with_monitor:
+                monitor = TimeSeriesMonitor(15.0)
+                monitor.attach(sim.kernel)
+            report = sim.run()
+            return (
+                headline_metrics(report),
+                sim.events_processed,
+                sim.sim.now,
+                monitor,
+            )
+
+        bare_metrics, bare_events, bare_now, _ = run(False)
+        mon_metrics, mon_events, mon_now, monitor = run(True)
+        assert mon_metrics == bare_metrics
+        assert mon_events == bare_events
+        assert mon_now == bare_now
+        assert len(monitor) > 0
+        assert set(monitor.series) == set(
+            __import__("repro.observability", fromlist=["MONITOR_SERIES"]).MONITOR_SERIES
+        )
+
+    def test_as_dict_roundtrip(self):
+        monitor = TimeSeriesMonitor(10.0)
+        monitor.set_probe(self._probe_sequence([{"a": 1.0}, {"a": 2.0}]))
+        monitor.sample(10.0)
+        monitor.sample(20.0)
+        payload = monitor.as_dict()
+        back = TimeSeriesMonitor.from_dict(payload)
+        assert back.times == monitor.times
+        assert back.series == monitor.series
+        assert back.as_dict() == payload
+
+    def test_from_dict_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor.from_dict({"schema": "repro.timeseries/99"})
+
+    def test_prometheus_gauges_golden(self):
+        monitor = TimeSeriesMonitor(10.0)
+        monitor.set_probe(
+            self._probe_sequence(
+                [{"pending_requests": 12.5, "busy_drives": 3.0}]
+            )
+        )
+        monitor.sample(10.0)
+        registry = MetricsRegistry(prefix="m_")
+        monitor.to_gauges(registry)
+        assert registry.to_prometheus() == GOLDEN_MONITOR_PROM
+
+
+# --------------------------------------------------------------------- #
+# Phase profiler (subsystem wall attribution + nested scopes)
+# --------------------------------------------------------------------- #
+
+
+class TestPhaseProfiler:
+    def test_classification_covers_kernel_labels(self):
+        profiler = PhaseProfiler()
+        assert profiler.classify("dispatch") == "dispatch"
+        assert profiler.classify("move") == "motion"
+        assert profiler.classify("mount") == "robotics"
+        assert profiler.classify("arrival") == "lifecycle"
+        assert profiler.classify("shuttle-failure") == "faults"
+        assert profiler.classify("verify-arrival") == "verification"
+        assert profiler.classify("") == "engine"
+        assert profiler.classify("drive:3:grant") == "engine"
+        assert profiler.classify("tick") == "other"
+
+    def test_subsystem_shares_sum_to_one_on_a_real_run(self):
+        from repro.workload import WorkloadGenerator
+
+        sim = LibrarySimulation(
+            SimConfig(num_shuttles=4, num_drives=4, num_platters=100, seed=5)
+        )
+        generator = WorkloadGenerator(seed=5)
+        trace, start, end = generator.interval_trace(
+            0.05, interval_hours=0.1, warmup_hours=0.0, cooldown_hours=0.1
+        )
+        sim.assign_trace(trace, start, end)
+        profiler = PhaseProfiler()
+        profiler.install(sim.sim)
+        sim.run()
+        table = profiler.subsystem_table()
+        assert table, "expected at least one attributed subsystem"
+        assert sum(row["share"] for row in table) == pytest.approx(1.0)
+        names = {row["subsystem"] for row in table}
+        assert "dispatch" in names
+        assert "robotics" in names
+        # The table is the "labels bucketed by subsystem" view of the
+        # same wall time: totals must agree with the flat profiler.
+        assert sum(row["wall_seconds"] for row in table) == pytest.approx(
+            profiler.total_seconds
+        )
+
+    def test_nested_scopes_account_self_time(self):
+        profiler = PhaseProfiler()
+        with profiler.scope("fleet"):
+            with profiler.scope("plan"):
+                pass
+            with profiler.scope("members"):
+                pass
+        rows = profiler.scopes_as_dict()
+        assert set(rows) == {"fleet", "fleet/plan", "fleet/members"}
+        assert rows["fleet"]["calls"] == 1
+        # Parent self-time excludes child time: all non-negative, and the
+        # parent's self share is what is left after its two children.
+        assert all(r["self_seconds"] >= 0.0 for r in rows.values())
+
+    def test_to_dict_carries_subsystems_and_scopes(self):
+        from repro.core.events import Simulation
+
+        sim = Simulation()
+        profiler = PhaseProfiler()
+        profiler.install(sim)
+        sim.schedule(1.0, lambda: None, label="dispatch")
+        sim.run()
+        with profiler.scope("merge"):
+            pass
+        payload = profiler.to_dict()
+        assert payload["subsystems"][0]["subsystem"] == "dispatch"
+        assert "merge" in payload["scopes"]
+        profiler.reset()
+        assert profiler.subsystem_table() == []
+        assert profiler.scopes_as_dict() == {}
+
+    def test_format_subsystems_renders_table(self):
+        from repro.core.events import Simulation
+
+        sim = Simulation()
+        profiler = PhaseProfiler()
+        profiler.install(sim)
+        sim.schedule(1.0, lambda: None, label="dispatch")
+        sim.run()
+        text = profiler.format_subsystems()
+        assert "dispatch" in text
+        assert "%" in text
+
+
+# --------------------------------------------------------------------- #
+# Fleet span golden decomposition
+# --------------------------------------------------------------------- #
+
+
+def _fleet_trace():
+    """Hand-built fleet trace: clean, failed-over, and hedged requests."""
+    E = TraceEvent
+    return [
+        # request 1: clean service on member 0 (40 s of pure service).
+        E(0.0, "fleet.route", request_id=1, attrs={
+            "trace_id": "fleet-0-1", "member": 0, "submit_s": 0.0,
+            "failed_over": False, "lost": False}),
+        E(40.0, "fleet.complete", request_id=1, component="site-0",
+          attrs={"served_by": 0, "hedge_won": False, "latency_s": 40.0}),
+        # request 2: primary dark; one failover costs 30 s, replica
+        # (member 1) then serves in 60 s.
+        E(10.0, "fleet.failover", request_id=2, attrs={
+            "trace_id": "fleet-0-2", "from_member": 0, "to_member": 1}),
+        E(10.0, "fleet.route", request_id=2, attrs={
+            "trace_id": "fleet-0-2", "member": 1, "submit_s": 40.0,
+            "failed_over": True, "lost": False}),
+        E(100.0, "fleet.complete", request_id=2, component="site-1",
+          attrs={"served_by": 1, "hedge_won": False, "latency_s": 90.0}),
+        # request 3: hedged at t=50 to member 2, and the hedge wins —
+        # 30 s of hedge_wait, then 30 s of service on the hedge path.
+        E(20.0, "fleet.route", request_id=3, attrs={
+            "trace_id": "fleet-0-3", "member": 0, "submit_s": 20.0,
+            "failed_over": False, "lost": False,
+            "hedge_member": 2, "hedge_s": 50.0}),
+        E(50.0, "fleet.hedge", request_id=3, attrs={
+            "trace_id": "fleet-0-3", "to_member": 2}),
+        E(80.0, "fleet.complete", request_id=3, component="site-2",
+          attrs={"served_by": 2, "hedge_won": True, "latency_s": 60.0}),
+    ]
+
+
+class TestFleetSpanGolden:
+    def test_decomposition_is_exact(self):
+        spans = {s.request_id: s for s in assemble_fleet_spans(_fleet_trace())}
+        assert spans[1].phases == {
+            "failover": 0.0, "hedge_wait": 0.0, "service": 40.0}
+        assert spans[2].phases == {
+            "failover": 30.0, "hedge_wait": 0.0, "service": 60.0}
+        assert spans[2].failovers == 1
+        assert spans[2].failed_over
+        # Hedge winner: service measured from the hedge's issue time —
+        # the hedge attempt is the critical path.
+        assert spans[3].phases == {
+            "failover": 0.0, "hedge_wait": 30.0, "service": 30.0}
+        assert spans[3].hedge_won
+        assert spans[3].served_by == spans[3].hedge_member == 2
+        for span in spans.values():
+            assert sum(span.phases.values()) == pytest.approx(span.duration)
+
+    def test_fleet_critical_path_totals(self):
+        breakdown = fleet_critical_path(assemble_fleet_spans(_fleet_trace()))
+        assert breakdown.spans == 3
+        assert breakdown.seconds == {
+            "failover": 30.0, "hedge_wait": 30.0, "service": 130.0}
+        assert breakdown.total_seconds == 190.0
+        assert breakdown.fraction("service") == pytest.approx(130.0 / 190.0)
+
+    def test_span_to_dict_stable(self):
+        span = assemble_fleet_spans(_fleet_trace())[0]
+        payload = span.to_dict()
+        assert payload["trace_id"] == "fleet-0-1"
+        assert list(payload["phases"]) == ["failover", "hedge_wait", "service"]
+
+
+# --------------------------------------------------------------------- #
+# Watch rendering (sparklines + HTML timeline)
+# --------------------------------------------------------------------- #
+
+
+class TestWatchRendering:
+    def test_sparkline_shapes(self):
+        from repro.observability.watch import SPARK_GLYPHS, sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_GLYPHS[0] * 3
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == SPARK_GLYPHS[0]
+        assert line[-1] == SPARK_GLYPHS[-1]
+        # Long series resample down to the requested width.
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_render_frame_lists_series(self):
+        from repro.observability.watch import render_frame
+
+        monitor = TimeSeriesMonitor(10.0)
+        monitor.set_probe(lambda: {"pending_requests": 4.0, "busy_drives": 1.0})
+        monitor.sample(10.0)
+        frame = render_frame(
+            monitor, now=10.0, horizon=100.0, counters={"completed": 2}
+        )
+        assert "pending_requests" in frame
+        assert "10.0%" in frame
+        assert "completed=2" in frame
+
+    def test_render_html_is_self_contained(self):
+        from repro.observability.watch import render_html
+
+        monitor = TimeSeriesMonitor(10.0)
+        monitor.set_probe(lambda: {"pending_requests": 4.0})
+        monitor.sample(10.0)
+        monitor.sample(20.0)
+        html = render_html(monitor.as_dict())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<polyline" in html
+        assert "pending_requests" in html
+        # Self-contained: no scripts, no external fetches.
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_render_html_empty_payload(self):
+        from repro.observability.watch import render_html
+
+        html = render_html({"schema": "repro.timeseries/1", "series": {}})
+        assert "no samples" in html

@@ -42,6 +42,9 @@ def extract_commands(path: str) -> List[str]:
             if not match:
                 continue
             command = match.group(2)
+            # Docs may annotate a command with a trailing `  # why` note;
+            # shlex.split would feed those tokens to argparse, so drop them.
+            command = re.sub(r"\s+#\s.*$", "", command)
             if "<" in command:
                 continue  # placeholder, e.g. `--out <dir>`
             commands.append(command)
