@@ -522,6 +522,50 @@ def _dispatch_sweep_run(seed: int) -> ScenarioRun:
     return ScenarioRun(execute=execute, extra=lambda: {"curve": list(curve)})
 
 
+def build_serve_soak(seed: int):
+    """The serve_soak scenario's (core, spec) pair, identically tuned.
+
+    Free-running (dilation 0), sampling off — the bench runner owns the
+    kernel's single sampler slot during its instrumented pass. The quota
+    is tuned so every reject is refill-driven (finite ``Retry-After``,
+    retry eventually admitted, zero skips): the burst depth comfortably
+    exceeds the largest soak object, and the refill rate is low enough
+    that the hot tenant still trips admission under burst arrivals.
+    """
+    from ..serve import ArchiveServerCore, ServeConfig, SoakSpec
+
+    config = ServeConfig(
+        dilation=0.0,
+        seed=seed,
+        tenants=3,
+        quota_mbps=3.0,
+        quota_burst_mb=1024.0,
+        sample_interval_seconds=0.0,
+        sim=SimConfig(
+            num_drives=4, num_shuttles=4, num_platters=200, seed=seed
+        ),
+    )
+    return ArchiveServerCore(config), SoakSpec(seed=seed)
+
+
+def _serve_soak_run(seed: int) -> ScenarioRun:
+    """Sustained virtual-time load through the live-serving path.
+
+    Every metric — counters, simulated latency percentiles, the
+    all-clients-finished and tracer/controller reject-parity gates — is
+    deterministic, so the comparator EXACT-gates the whole serving path:
+    catalog, admission, ticket resolution, tracer tap.
+    """
+    from ..serve import run_soak
+
+    core, spec = build_serve_soak(seed)
+    return ScenarioRun(
+        execute=lambda: run_soak(core, spec),
+        simulation=core.sim,
+        kernel=core.kernel,
+    )
+
+
 def _archive_run(payload_bytes: int, seed: int) -> ScenarioRun:
     from ..service import ArchiveService, ServiceConfig
 
@@ -625,6 +669,15 @@ def default_registry() -> ScenarioRegistry:
         suite="fast",
         seed=4,
         build=lambda: _dispatch_sweep_run(seed=4),
+        repetitions=2,
+        warmup=0,
+    )
+    registry.add(
+        "serve_soak",
+        "live-serving path under closed-loop tenant load, virtual time",
+        suite="fast",
+        seed=11,
+        build=lambda: _serve_soak_run(seed=11),
         repetitions=2,
         warmup=0,
     )

@@ -32,9 +32,22 @@ Commands
     Drive a paced run with the sim-time monitor attached and render an
     in-terminal dashboard (sparklines of queue depths, busy machines,
     fault state) frame by frame; ``--out`` additionally exports the run
-    artifacts including ``timeseries.json``, and ``--html FILE`` renders
+    artifacts including ``timeseries.json``, ``--html FILE`` renders
     a previously exported ``timeseries.json`` (``--from-dir``) as a
-    self-contained HTML timeline without re-running anything.
+    self-contained HTML timeline without re-running anything, and
+    ``--follow URL`` skips the local run entirely and renders a live
+    server's ``GET /events`` stream instead.
+``serve``
+    Run the archive as a live asyncio HTTP service over the paced twin
+    (see :mod:`repro.serve`): sim time advances at ``--dilation``
+    sim-seconds per wall-second, ``PUT /archive`` / ``GET /archive/{id}``
+    enter the kernel through the engine's injection queue, ``--tenants``
+    turns on per-tenant token-bucket admission (429 + ``Retry-After``),
+    and ``GET /events`` streams tracer events as NDJSON.
+``loadgen``
+    Drive a live server with a seeded open- or closed-loop client fleet
+    and write a schema-versioned per-request latency log; exits non-zero
+    when any request errored at the transport level.
 ``bench``
     Continuous benchmarking (see :mod:`repro.bench`): ``bench list`` shows
     the registered scenarios, ``bench run`` executes a suite (or named
@@ -407,15 +420,61 @@ def _watch_html(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_watch(args: argparse.Namespace) -> int:
-    import time as _time
+def _watch_follow(args: argparse.Namespace) -> int:
+    """``watch --follow URL``: render a live server's ``/events`` stream.
 
+    Tails the NDJSON stream and feeds every ``monitor.sample`` record —
+    the kernel-gauge snapshots the server's sampler publishes — into the
+    same reservoir + renderer the batch dashboard uses; one frame per
+    sample. ``serve.*`` records update the headline counters between
+    frames. Runs until the stream closes or ``--seconds`` elapse.
+    """
+    from .observability import TimeSeriesMonitor
+    from .observability.watch import render_frame
+    from .serve.loadgen import stream_events
+
+    latest: dict = {}
+    monitor = TimeSeriesMonitor(interval=1.0, max_samples=args.max_samples)
+    monitor.set_probe(lambda: dict(latest))
+    counters = {"completed": 0, "bytes_read": 0, "rejected": 0, "events": 0}
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+    seconds = args.seconds if args.seconds > 0 else None
+    horizon = 0.0
+    frames = 0
+    print(f"following : {args.follow} "
+          f"({'until the stream ends' if seconds is None else f'{seconds:.0f}s'})")
+    for record in stream_events(args.follow, seconds=seconds):
+        kind = record.get("kind")
+        attrs = record.get("attrs", {})
+        counters["events"] += 1
+        if kind == "serve.complete":
+            counters["completed"] += 1
+        elif kind == "serve.get":
+            counters["bytes_read"] += int(attrs.get("size_bytes", 0))
+        elif kind == "serve.reject":
+            counters["rejected"] += 1
+        elif kind == "monitor.sample":
+            ts = float(record.get("ts", 0.0))
+            latest.clear()
+            latest.update({k: float(v) for k, v in attrs.items()})
+            monitor.sample(ts)
+            horizon = max(horizon, ts)
+            frames += 1
+            print(clear + render_frame(monitor, ts, horizon, counters))
+    print(f"stream    : {counters['events']} events, {frames} sample frames")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
     from .core import LibrarySimulation
+    from .core.events import PacedEngine
     from .observability import TimeSeriesMonitor, export_run
     from .observability.watch import render_frame
 
     if args.html:
         return _watch_html(args)
+    if args.follow:
+        return _watch_follow(args)
     profile, trace, start, end = _profile_trace(args)
     simulation = LibrarySimulation(_sim_config_from(args))
     simulation.assign_trace(trace, start, end)
@@ -427,8 +486,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() and args.refresh > 0 else ""
     print(f"profile   : {profile.name} ({len(trace)} requests), "
           f"sampling every {interval:.0f}s of sim time")
-    for frame in range(1, frames + 1):
-        simulation.run(until=horizon * frame / frames)
+    # Frame pacing rides the paced engine (dilation 0 = free-run between
+    # frame boundaries, wall pause between frames) — the same clock the
+    # live server couples to, so there is exactly one pacing
+    # implementation in the tree.
+    engine = PacedEngine(simulation.sim, frame_wall_seconds=args.refresh)
+    for _frame, now in engine.frames(horizon, frames):
         counters = {
             "completed": sum(
                 1 for r in simulation.all_requests if r.parent is None and r.done
@@ -437,9 +500,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             "lost": simulation.requests_lost,
             "events": simulation.events_processed,
         }
-        print(clear + render_frame(monitor, simulation.sim.now, horizon, counters))
-        if args.refresh > 0 and frame < frames:
-            _time.sleep(args.refresh)
+        print(clear + render_frame(monitor, now, horizon, counters))
     report = simulation.run()  # drain to quiescence past the horizon
     print(f"result    : {report.summary()}")
     if args.out:
@@ -538,6 +599,78 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.out:
         print(artifacts.summary())
     return 0 if fleet.replication_lost == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .core import SimConfig
+    from .serve import ArchiveServerCore, ServeConfig, run_server
+
+    if args.dilation <= 0:
+        print("error: serve requires --dilation > 0 (sim-seconds per "
+              "wall-second)", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        dilation=args.dilation,
+        seed=args.seed,
+        tenants=args.tenants,
+        quota_mbps=args.quota_mbps,
+        quota_burst_mb=args.quota_burst_mb,
+        max_pending_ingress=args.max_pending,
+        sample_interval_seconds=args.sample_interval,
+        sim=SimConfig(
+            num_drives=args.drives,
+            num_shuttles=args.shuttles,
+            num_platters=args.platters,
+            seed=args.seed,
+        ),
+    )
+    core = ArchiveServerCore(config)
+
+    def _terminate(signum, frame):
+        """Map SIGTERM onto the KeyboardInterrupt clean-shutdown path."""
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    return run_server(
+        core,
+        host=args.host,
+        port=args.port,
+        slow_client_timeout=args.slow_client_timeout,
+        seconds=args.seconds,
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve.loadgen import BurstSpec, LoadSpec, drive, parse_url
+
+    burst = None
+    if args.burst_factor > 1.0:
+        burst = BurstSpec(
+            start_fraction=args.burst_start,
+            duration_fraction=args.burst_window,
+            factor=args.burst_factor,
+        )
+    spec = LoadSpec(
+        mode=args.mode,
+        clients=args.clients,
+        duration_seconds=args.seconds,
+        rate_per_second=args.rate,
+        think_seconds=args.think,
+        object_count=args.objects,
+        object_mb_mean=args.object_mb,
+        tenants=tuple(args.tenant),
+        burst=burst,
+        seed=args.seed,
+    )
+    host, port = parse_url(args.url)
+    summary = asyncio.run(drive(spec, host, port, args.log))
+    print(json.dumps(summary, sort_keys=True, indent=2))
+    return 0 if summary.get("errors", 0) == 0 else 1
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -803,7 +936,75 @@ def build_parser() -> argparse.ArgumentParser:
                             "as a self-contained HTML timeline at FILE")
     watch.add_argument("--from-dir", default="runs/watch",
                        help="artifact directory read by --html")
+    watch.add_argument("--follow", default=None, metavar="URL",
+                       help="skip the local run: render a live server's "
+                            "GET /events stream (e.g. 127.0.0.1:8173/events)")
+    watch.add_argument("--seconds", type=float, default=0.0,
+                       help="with --follow: stop after this many wall-seconds "
+                            "(0 = until the stream ends)")
     watch.set_defaults(func=_cmd_watch)
+
+    serve = commands.add_parser(
+        "serve", help="live asyncio archive server over the paced twin",
+        parents=[_parent(_library_flags)],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8173,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--dilation", type=float, default=600.0,
+                       help="sim-seconds advanced per wall-second")
+    serve.add_argument("--tenants", type=int, default=0,
+                       help="quota-bearing tenant mix size "
+                            "(0 = single anonymous tenant, no admission)")
+    serve.add_argument("--quota-mbps", type=float, default=4.0,
+                       help="per-tenant token-bucket refill rate (MB/s)")
+    serve.add_argument("--quota-burst-mb", type=float, default=256.0,
+                       help="per-tenant token-bucket burst depth (MB)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="ingress injection-queue bound (503 threshold)")
+    serve.add_argument("--sample-interval", type=float, default=300.0,
+                       help="sim-seconds between monitor.sample trace events "
+                            "(0 = no live gauge feed)")
+    serve.add_argument("--slow-client-timeout", type=float, default=10.0,
+                       help="wall-seconds a response write may stall before "
+                            "the client is disconnected")
+    serve.add_argument("--seconds", type=float, default=0.0,
+                       help="serve for this many wall-seconds then exit "
+                            "(0 = until interrupted)")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="seeded load generator against a live server"
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8173")
+    loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
+    loadgen.add_argument("--clients", type=int, default=8,
+                         help="closed-loop client count (also the open-loop "
+                              "in-flight cap)")
+    loadgen.add_argument("--seconds", type=float, default=10.0,
+                         help="wall-clock duration of the drive phase")
+    loadgen.add_argument("--rate", type=float, default=20.0,
+                         help="open-loop Poisson arrival rate (req/s)")
+    loadgen.add_argument("--think", type=float, default=0.0,
+                         help="closed-loop mean think time (wall-seconds)")
+    loadgen.add_argument("--objects", type=int, default=32,
+                         help="objects PUT during setup and read during drive")
+    loadgen.add_argument("--object-mb", type=float, default=64.0,
+                         help="mean object size (lognormal), MB")
+    loadgen.add_argument("--tenant", action="append", default=[],
+                         help="tenant name to load (repeatable; default: "
+                              "discover from GET /status)")
+    loadgen.add_argument("--burst-factor", type=float, default=0.0,
+                         help="mid-run burst intensity multiplier "
+                              "(<= 1 disables the burst window)")
+    loadgen.add_argument("--burst-start", type=float, default=0.4,
+                         help="burst window start (fraction of the run)")
+    loadgen.add_argument("--burst-window", type=float, default=0.2,
+                         help="burst window length (fraction of the run)")
+    loadgen.add_argument("--log", default=None, metavar="FILE",
+                         help="write the repro.loadgen/1 per-request "
+                              "latency log (JSONL) here")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     bench = commands.add_parser(
         "bench", help="continuous benchmarking: run scenarios, gate regressions"

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from time import perf_counter
+import threading
+from collections import deque
+from time import monotonic, perf_counter
+from time import sleep as _wall_sleep
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
@@ -348,6 +351,195 @@ class Process:
                 callback()
             return
         self._pending = self.sim.schedule(float(delay), self._advance, label=self.label)
+
+
+class PacedEngine:
+    """Couples a :class:`Simulation` to the wall clock, with safe ingress.
+
+    The batch engine runs as fast as it can; a *paced* engine instead maps
+    wall time onto sim time through a ``dilation`` factor (sim-seconds per
+    wall-second) so the twin advances in real time — the substrate of the
+    live service mode (``repro.serve``) and of ``python -m repro watch``'s
+    frame pacing. Two ideas keep it deterministic enough to serve traffic:
+
+    * All simulation state is touched by exactly one thread (whichever
+      thread calls :meth:`advance_to` / :meth:`serve` — "the engine
+      thread"). Other threads hand work in through :meth:`inject`, a
+      thread-safe FIFO of callbacks.
+    * Injections are drained only at slice boundaries, on the engine
+      thread, and each callback runs at the *current* sim time. Once a
+      request has been injected at sim time ``t``, everything downstream
+      of it is the ordinary deterministic kernel — wall-clock jitter only
+      moves the admission timestamp, never the event interleaving after
+      it.
+
+    ``dilation <= 0`` means *free run*: :meth:`advance_to` does not sleep
+    at all and is byte-equivalent to ``sim.run(until=...)`` (this is what
+    the watch command uses between frames, so ``watch --html`` output is
+    unchanged by the rebuild). ``clock``/``sleep`` are injectable for
+    tests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        dilation: float = 0.0,
+        poll_wall_seconds: float = 0.05,
+        frame_wall_seconds: float = 0.0,
+        max_pending: int = 0,
+        clock: Callable[[], float] = monotonic,
+        sleep: Callable[[float], None] = _wall_sleep,
+    ) -> None:
+        self.sim = sim
+        self.dilation = float(dilation)
+        #: Upper bound on how long the engine thread sleeps before
+        #: re-checking stop flags and the wall clock (seconds).
+        self.poll_wall_seconds = float(poll_wall_seconds)
+        #: Wall pause between :meth:`frames` slices (the watch refresh).
+        self.frame_wall_seconds = float(frame_wall_seconds)
+        #: Injection backpressure bound; 0 disables (see :meth:`inject`).
+        self.max_pending = int(max_pending)
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: deque = deque()
+        self._injected_total = 0
+        self._drained_total = 0
+        self._refused_total = 0
+        self._origin: Optional[Tuple[float, float]] = None
+
+    @property
+    def pending_injections(self) -> int:
+        """Callbacks injected but not yet drained onto the engine thread."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def injection_stats(self) -> Tuple[int, int, int]:
+        """``(injected, drained, refused)`` lifetime counters."""
+        with self._lock:
+            return (self._injected_total, self._drained_total, self._refused_total)
+
+    def inject(self, callback: Callable[[], None]) -> bool:
+        """Hand ``callback`` to the engine thread; safe from any thread.
+
+        The callback runs at the next slice boundary, at the engine's
+        current sim time, in FIFO order with other injections. Returns
+        False (and counts a refusal) when ``max_pending`` is set and the
+        queue is full — the caller's backpressure signal.
+        """
+        with self._wake:
+            if self.max_pending > 0 and len(self._pending) >= self.max_pending:
+                self._refused_total += 1
+                return False
+            self._pending.append(callback)
+            self._injected_total += 1
+            self._wake.notify_all()
+        return True
+
+    def drain_injections(self) -> int:
+        """Run all pending injected callbacks; engine thread only."""
+        ran = 0
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return ran
+                callback = self._pending.popleft()
+                self._drained_total += 1
+            callback()
+            ran += 1
+
+    def _wall_due(self) -> float:
+        """Sim time the wall clock says we should have reached by now."""
+        wall0, sim0 = self._origin  # type: ignore[misc]
+        return sim0 + (self._clock() - wall0) * self.dilation
+
+    def _wait_wall(self, seconds: float) -> None:
+        """Idle until ``seconds`` pass, an injection arrives, or poll cap."""
+        timeout = min(seconds, self.poll_wall_seconds)
+        if timeout <= 0:
+            return
+        with self._wake:
+            if not self._pending:
+                self._wake.wait(timeout)
+
+    def advance_to(self, sim_target: float) -> None:
+        """Advance the sim clock to ``sim_target``, pacing by ``dilation``.
+
+        Free-run mode (``dilation <= 0``) drains injections once and runs
+        the queue straight to the target. Paced mode interleaves slices of
+        ``sim.run`` with wall-clock sleeps so sim time never runs ahead of
+        ``origin + elapsed * dilation``, draining injections at every
+        slice boundary.
+        """
+        if self.dilation <= 0:
+            self.drain_injections()
+            self.sim.run(until=sim_target)
+            return
+        if self._origin is None:
+            self._origin = (self._clock(), self.sim.now)
+        while True:
+            self.drain_injections()
+            due = self._wall_due()
+            self.sim.run(until=min(due, sim_target))
+            if self.sim.now >= sim_target:
+                return
+            # Sleep toward whichever comes first: the next event, or the
+            # target itself; injections cut the wait short via the
+            # condition, the poll cap bounds it either way.
+            horizon = sim_target
+            next_event = self.sim.peek()
+            if next_event is not None:
+                horizon = min(horizon, next_event)
+            self._wait_wall(max(0.0, (horizon - due) / self.dilation))
+
+    def serve(self, stop: threading.Event, horizon: Optional[float] = None) -> None:
+        """Run paced until ``stop`` is set (or sim time reaches ``horizon``).
+
+        The open-ended loop behind a live server: keeps the sim clock
+        tracking the wall clock and keeps draining injected requests.
+        Requires ``dilation > 0`` — an unpaced server would spin sim time
+        to infinity.
+        """
+        if self.dilation <= 0:
+            raise SimulationError("serve() requires dilation > 0 (paced mode)")
+        if self._origin is None:
+            self._origin = (self._clock(), self.sim.now)
+        while not stop.is_set():
+            self.drain_injections()
+            due = self._wall_due()
+            if horizon is not None:
+                due = min(due, horizon)
+            self.sim.run(until=due)
+            if horizon is not None and self.sim.now >= horizon:
+                return
+            next_event = self.sim.peek()
+            if next_event is None:
+                self._wait_wall(self.poll_wall_seconds)
+            else:
+                self._wait_wall(max(0.0, (next_event - due) / self.dilation))
+        self.drain_injections()
+
+    def frames(
+        self, horizon: float, count: int
+    ) -> Generator[Tuple[int, float], None, None]:
+        """Advance to ``horizon`` in ``count`` slices, yielding after each.
+
+        Yields ``(frame_index, sim_now)`` with ``frame_index`` counting
+        from 1. Between frames the engine pauses ``frame_wall_seconds``
+        of wall time — this is the single pacing implementation behind
+        ``python -m repro watch`` (free-run within a frame, wall pause
+        between frames), and it also composes with ``dilation`` for a
+        continuously paced frame stream.
+        """
+        if count < 1:
+            raise SimulationError(f"frames() needs count >= 1 (got {count})")
+        for frame in range(1, count + 1):
+            if frame > 1 and self.frame_wall_seconds > 0:
+                self._sleep(self.frame_wall_seconds)
+            self.advance_to(horizon * frame / count)
+            yield frame, self.sim.now
 
 
 def drain(sim: Simulation, limit: int = 10_000_000) -> int:

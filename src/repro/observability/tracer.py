@@ -37,9 +37,10 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 #: Trace schema version, embedded in every JSONL line as ``"v"``.
 #: v2 added the fleet per-request span kinds (``fleet.route`` /
-#: ``fleet.complete``) and the ``trace_id`` attribute convention; v1
-#: records parse unchanged via :data:`SCHEMA_MIGRATIONS`.
-SCHEMA_VERSION = 2
+#: ``fleet.complete``) and the ``trace_id`` attribute convention; v3
+#: added the live-server kinds (``serve.*``). Older records parse
+#: unchanged via :data:`SCHEMA_MIGRATIONS`.
+SCHEMA_VERSION = 3
 
 #: The closed taxonomy of event kinds. Grouped by subsystem:
 #: request lifecycle, scheduler decisions, shuttle mechanics, drive
@@ -101,6 +102,12 @@ EVENT_KINDS = frozenset(
         "fleet.domain_outage",
         # sim-time sampling monitor
         "monitor.sample",
+        # live server (repro.serve): HTTP-facing lifecycle of the paced twin
+        "serve.put",
+        "serve.get",
+        "serve.complete",
+        "serve.reject",
+        "serve.slow_client",
     }
 )
 
@@ -118,12 +125,23 @@ def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
+def _migrate_v2(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a v2 trace record to the current schema.
+
+    v3 only added the ``serve.*`` kinds, so v2 payloads are
+    forward-compatible verbatim; the migration restamps the version.
+    """
+    out = dict(payload)
+    out["v"] = SCHEMA_VERSION
+    return out
+
+
 #: Known older schema versions and the function that lifts a payload of
 #: that version to :data:`SCHEMA_VERSION`. Versions absent from this
 #: table (including future ones) are rejected by
 #: :meth:`TraceEvent.from_dict`, so committed artifacts from supported
 #: history keep parsing while genuinely unknown schemas still fail loudly.
-SCHEMA_MIGRATIONS = {1: _migrate_v1}
+SCHEMA_MIGRATIONS = {1: _migrate_v1, 2: _migrate_v2}
 
 
 class TraceSchemaError(ValueError):

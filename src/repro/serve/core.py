@@ -1,0 +1,419 @@
+"""Transport-free archive-server core over the paced twin.
+
+:class:`ArchiveServerCore` is everything the live server does *except*
+sockets: an object catalog, per-tenant token-bucket admission with
+``Retry-After`` derivation, read submission into a :class:`~repro.core.
+sim.kernel.SimKernel`, completion tickets resolved off the tracer
+stream, a fan-out tap for ``GET /events`` subscribers, and a status
+snapshot. Keeping it transport-free is what makes the whole serving path
+testable (and benchmarkable) in pure virtual time — the ``serve_soak``
+scenario drives this class directly, no HTTP anywhere.
+
+Threading contract: every method that touches simulation state
+(:meth:`put_object`, :meth:`begin_read`, :meth:`status`) must run on the
+engine thread. The HTTP frontend (:mod:`repro.serve.server`) gets there
+by wrapping calls in :meth:`~repro.core.events.PacedEngine.inject`;
+virtual-time callers (tests, the soak harness) simply *are* the engine
+thread. The few counters the HTTP thread updates directly
+(backpressure rejects, slow-client drops) sit behind ``counter_lock``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from threading import Lock
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import PacedEngine
+from ..core.requests import SimRequest
+from ..core.sim import SimConfig, SimKernel
+from ..observability.tracer import RingSink, TraceEvent, Tracer
+from ..tenancy.admission import AdmissionController
+from ..tenancy.model import QuotaSpec, TenantRegistry, TenantSpec, skewed_mix
+from ..workload.traces import ReadRequest
+
+#: Retry-After ceiling (wall seconds) for reads that can never be
+#: admitted (bigger than the bucket's burst depth, or a zero quota).
+MAX_RETRY_AFTER_SECONDS = 3600.0
+
+
+def serve_registry(
+    tenants: int,
+    seed: int = 0,
+    quota_mbps: float = 4.0,
+    quota_burst_mb: float = 256.0,
+) -> Optional[TenantRegistry]:
+    """A quota-bearing tenant mix for the live server.
+
+    Reuses :func:`~repro.tenancy.model.skewed_mix` for the demand shape
+    and attaches the same token-bucket quota to every tenant, so the
+    server enforces admission out of the box. ``tenants <= 0`` returns
+    None (single anonymous tenant, no quotas); ``tenants == 1`` is a
+    solo tenant (the skewed mix needs at least two).
+    """
+    if tenants <= 0:
+        return None
+    quota = QuotaSpec(
+        bytes_per_second=quota_mbps * 1e6, burst_bytes=quota_burst_mb * 1e6
+    )
+    if tenants == 1:
+        solo = TenantSpec(name=f"t{seed}-solo", quota=quota)
+        return TenantRegistry(tenants=(solo,))
+    base = skewed_mix(tenants, seed=seed)
+    specs = tuple(replace(spec, quota=quota) for spec in base.tenants)
+    return TenantRegistry(tenants=specs, aging=base.aging)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one live archive server.
+
+    ``dilation`` is sim-seconds per wall-second (0 = free-run, virtual
+    time only); ``tenants`` > 0 builds a quota-bearing registry via
+    :func:`serve_registry`; ``sample_interval_seconds`` > 0 emits
+    ``monitor.sample`` trace events (the live feed ``watch --follow``
+    renders); ``max_pending_ingress`` bounds the injection queue (the
+    503 backpressure threshold).
+    """
+
+    dilation: float = 600.0
+    seed: int = 0
+    tenants: int = 0
+    quota_mbps: float = 4.0
+    quota_burst_mb: float = 256.0
+    max_pending_ingress: int = 256
+    events_buffer: int = 65536
+    sample_interval_seconds: float = 300.0
+    sim: SimConfig = field(default_factory=SimConfig)
+
+
+@dataclass
+class ReadRejected:
+    """An admission (or catalog) refusal, with everything HTTP needs."""
+
+    status: int
+    reason: str
+    tenant: str = ""
+    object_id: str = ""
+    #: seconds of *sim* time until the bucket could admit the read
+    #: (None: not a quota reject; inf: can never be admitted).
+    retry_after_sim: Optional[float] = None
+    #: the sim delay mapped through the dilation factor, capped — what
+    #: actually goes into the ``Retry-After`` header.
+    retry_after_wall: Optional[float] = None
+
+
+class ReadTicket:
+    """One in-flight read: resolved when its ``request.complete`` fires."""
+
+    def __init__(self, request: SimRequest, submitted_ts: float) -> None:
+        self.request = request
+        self.submitted_ts = submitted_ts
+        self.completed_ts: Optional[float] = None
+        self._callbacks: List[Callable[["ReadTicket"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the kernel completed the read."""
+        return self.completed_ts is not None
+
+    @property
+    def latency_sim_seconds(self) -> float:
+        """Submit-to-complete sim latency (0.0 while in flight)."""
+        if self.completed_ts is None:
+            return 0.0
+        return self.completed_ts - self.submitted_ts
+
+    def on_complete(self, callback: Callable[["ReadTicket"], None]) -> None:
+        """Run ``callback(ticket)`` at completion (immediately if done).
+
+        Engine-thread only, like every core entry point — which is what
+        makes the registered-then-completed race impossible.
+        """
+        if self.completed_ts is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, ts: float) -> None:
+        self.completed_ts = ts
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class _TapSink:
+    """Tracer sink that stores into a ring and fans out to the core.
+
+    The fan-out is how completion tickets get resolved and how
+    ``GET /events`` subscribers see the stream: one hook on the single
+    place every trace record already passes through, instead of patching
+    emission sites across the kernel.
+    """
+
+    def __init__(self, core: "ArchiveServerCore", capacity: int) -> None:
+        self.ring = RingSink(capacity=capacity)
+        self._core = core
+
+    @property
+    def dropped(self) -> int:
+        """Events the ring evicted (flight-recorder truncation count)."""
+        return self.ring.dropped
+
+    def append(self, event: TraceEvent) -> None:
+        """Store one event and notify the core's tap."""
+        self.ring.append(event)
+        self._core._on_trace_event(event)
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    def __iter__(self):
+        """Iterate the retained (ring) events, oldest first."""
+        return iter(self.ring)
+
+
+class Subscription:
+    """One ``/events`` consumer: a callback plus its drop accounting."""
+
+    def __init__(self, callback: Callable[[TraceEvent], None]) -> None:
+        self.callback = callback
+        #: events the consumer-side queue refused (slow client); bumped
+        #: by the frontend, reported in ``/status``.
+        self.dropped = 0
+
+
+class ArchiveServerCore:
+    """The archive service's brain: catalog, admission, kernel, tap."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self._sink = _TapSink(self, cfg.events_buffer)
+        self.tracer = Tracer(self._sink)
+        # The kernel runs tenancy-free: admission lives *here*, at the
+        # frontend, so a rejected request never reaches the kernel and
+        # an admitted one is never charged twice.
+        sim_cfg = cfg.sim
+        if sim_cfg.tenancy is not None:
+            sim_cfg = replace(sim_cfg, tenancy=None)
+        self.kernel = SimKernel(sim_cfg, tracer=self.tracer)
+        self.sim = self.kernel.ctx.sim
+        self.engine = PacedEngine(
+            self.sim, dilation=cfg.dilation, max_pending=cfg.max_pending_ingress
+        )
+        self.registry = serve_registry(
+            cfg.tenants, cfg.seed, cfg.quota_mbps, cfg.quota_burst_mb
+        )
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.registry) if self.registry else None
+        )
+        #: object_id -> (size_bytes, platter_id)
+        self.catalog: Dict[str, Tuple[int, str]] = {}
+        self._inflight: Dict[int, ReadTicket] = {}
+        self._subscribers: List[Subscription] = []
+        self._sub_lock = Lock()
+        #: guards the counters the HTTP thread bumps directly.
+        self.counter_lock = Lock()
+        self.counters: Dict[str, int] = {
+            "puts": 0,
+            "reads_submitted": 0,
+            "reads_completed": 0,
+            "rejected_quota": 0,
+            "rejected_backpressure": 0,
+            "not_found": 0,
+            "slow_clients": 0,
+            "server_errors": 0,
+        }
+        if cfg.sample_interval_seconds > 0:
+            self.kernel.attach_sampler(
+                cfg.sample_interval_seconds, self._emit_sample
+            )
+
+    # ------------------------------------------------------------------ #
+    # Tracer tap
+    # ------------------------------------------------------------------ #
+
+    def _emit_sample(self, ts: float) -> float:
+        """Sampler hook: publish the kernel gauges as a trace event."""
+        self.tracer.emit(ts, "monitor.sample", **self.kernel.sample_state())
+        return self.config.sample_interval_seconds
+
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        """Resolve completion tickets and fan out to subscribers."""
+        if event.kind == "request.complete" and event.request_id is not None:
+            ticket = self._inflight.pop(event.request_id, None)
+            if ticket is not None:
+                self.counters["reads_completed"] += 1
+                self.tracer.emit(
+                    event.ts,
+                    "serve.complete",
+                    request_id=event.request_id,
+                    tenant=ticket.request.tenant,
+                    latency_s=event.ts - ticket.submitted_ts,
+                    degraded=ticket.request.degraded,
+                )
+                ticket._resolve(event.ts)
+        if self._subscribers:
+            with self._sub_lock:
+                subscribers = list(self._subscribers)
+            for sub in subscribers:
+                sub.callback(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> Subscription:
+        """Register an ``/events`` consumer; safe from any thread."""
+        sub = Subscription(callback)
+        with self._sub_lock:
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a consumer registered by :meth:`subscribe`."""
+        with self._sub_lock:
+            if sub in self._subscribers:
+                self._subscribers.remove(sub)
+
+    # ------------------------------------------------------------------ #
+    # Data path (engine thread only)
+    # ------------------------------------------------------------------ #
+
+    def _place(self, object_id: str) -> str:
+        """Deterministic platter placement: stable hash over the catalog."""
+        platters = self.kernel.robotics.platters
+        index = zlib.crc32(object_id.encode("utf-8")) % len(platters)
+        return platters[index]
+
+    def put_object(self, object_id: str, size_bytes: int, tenant: str = "") -> Dict[str, Any]:
+        """Register (or overwrite) one archived object; returns its record."""
+        if size_bytes <= 0:
+            raise ValueError(f"object {object_id!r}: size must be positive")
+        platter = self._place(object_id)
+        self.catalog[object_id] = (int(size_bytes), platter)
+        self.counters["puts"] += 1
+        self.tracer.emit(
+            self.sim.now,
+            "serve.put",
+            component="serve",
+            object=object_id,
+            size_bytes=int(size_bytes),
+            tenant=tenant,
+            platter=platter,
+        )
+        return {"id": object_id, "size_bytes": int(size_bytes), "platter": platter}
+
+    def _reject(
+        self, object_id: str, tenant: str, size_bytes: int, now: float
+    ) -> ReadRejected:
+        """Build the 429 refusal, trace it, and derive ``Retry-After``."""
+        self.counters["rejected_quota"] += 1
+        retry_sim = None
+        retry_wall = None
+        if self.admission is not None:
+            retry_sim = self.admission.retry_after(tenant, size_bytes, now)
+        if retry_sim is not None:
+            dilation = self.config.dilation
+            wall = retry_sim / dilation if dilation > 0 else retry_sim
+            retry_wall = min(wall, MAX_RETRY_AFTER_SECONDS)
+        self.tracer.emit(
+            now,
+            "serve.reject",
+            component="serve",
+            status=429,
+            tenant=tenant,
+            object=object_id,
+            size_bytes=size_bytes,
+            retry_after_s=retry_wall,
+        )
+        return ReadRejected(
+            status=429,
+            reason="quota",
+            tenant=tenant,
+            object_id=object_id,
+            retry_after_sim=retry_sim,
+            retry_after_wall=retry_wall,
+        )
+
+    def begin_read(self, object_id: str, tenant: str = ""):
+        """Admit and submit one read; a :class:`ReadTicket` or refusal.
+
+        Returns :class:`ReadTicket` on admission, :class:`ReadRejected`
+        with status 404 (unknown object) or 429 (quota) otherwise. The
+        ``admission.reject`` trace the controller path emits is the
+        exact mirror of every 429 the frontend returns — the parity the
+        admission tests pin.
+        """
+        now = self.sim.now
+        entry = self.catalog.get(object_id)
+        if entry is None:
+            self.counters["not_found"] += 1
+            return ReadRejected(
+                status=404, reason="unknown object", tenant=tenant, object_id=object_id
+            )
+        size_bytes, platter = entry
+        if self.admission is not None and not self.admission.admit(
+            tenant, size_bytes, now
+        ):
+            self.tracer.emit(
+                now, "admission.reject", tenant=tenant, size_bytes=size_bytes
+            )
+            return self._reject(object_id, tenant, size_bytes, now)
+        if self.admission is not None:
+            self.tracer.emit(
+                now, "admission.accept", tenant=tenant, size_bytes=size_bytes
+            )
+        request = ReadRequest(
+            time=now, file_id=object_id, size_bytes=size_bytes, tenant=tenant
+        )
+        lifecycle = self.kernel.lifecycle
+        before = len(lifecycle.all_requests)
+        lifecycle.submit(request, platter, measured=True)
+        # submit() appends the top-level request first (parent before
+        # shards), so the ticket keys off exactly that record.
+        top = lifecycle.all_requests[before]
+        ticket = ReadTicket(top, now)
+        self._inflight[top.request_id] = ticket
+        self.counters["reads_submitted"] += 1
+        self.tracer.emit(
+            now,
+            "serve.get",
+            request_id=top.request_id,
+            component="serve",
+            object=object_id,
+            size_bytes=size_bytes,
+            tenant=tenant,
+        )
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    # Status (engine thread only)
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /status`` payload: clocks, gauges, books, tenants."""
+        injected, drained, refused = self.engine.injection_stats
+        with self.counter_lock:
+            counters = dict(self.counters)
+        payload: Dict[str, Any] = {
+            "sim_now_seconds": self.sim.now,
+            "dilation": self.config.dilation,
+            "events_processed": self.sim.events_processed,
+            "objects": len(self.catalog),
+            "inflight_reads": len(self._inflight),
+            "pending_injections": self.engine.pending_injections,
+            "injections": {
+                "injected": injected,
+                "drained": drained,
+                "refused": refused,
+            },
+            "counters": counters,
+            "gauges": self.kernel.sample_state(),
+            "trace": self.tracer.as_dict(),
+            "subscribers": len(self._subscribers),
+            "tenants": [t.name for t in self.registry.tenants]
+            if self.registry
+            else [],
+        }
+        if self.admission is not None:
+            payload["admission"] = self.admission.stats_dict()
+        return payload

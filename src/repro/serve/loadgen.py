@@ -1,0 +1,523 @@
+"""Seeded load generator for the live archive server.
+
+``python -m repro loadgen`` drives a running server (or an in-process
+one with ``--self-serve``) with a deterministic, seed-reproducible
+workload: open- or closed-loop arrivals, a weighted tenant mix, an
+optional burst window, and a schema-versioned per-request latency log
+(:data:`LOADGEN_SCHEMA`, JSONL). Determinism is scoped the way the
+reproducibility literature scopes it for live systems: *what* is
+requested — the per-client sequence of (object, tenant, think) draws and
+the open-loop arrival schedule — is a pure function of the seed
+(:func:`closed_loop_plan` / :func:`open_loop_schedule`, pinned by
+tests); *when* responses land is wall clock and belongs to the latency
+log, not the schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import socket
+import time
+import urllib.parse
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .http import HttpError, read_response
+
+#: Schema stamp of the latency log's header line.
+LOADGEN_SCHEMA = "repro.loadgen/1"
+
+#: Open-loop in-flight cap: arrivals beyond it queue at the client.
+MAX_OPEN_CONCURRENCY = 256
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """A burst window: ``factor`` x load between the two run fractions."""
+
+    start_fraction: float = 0.4
+    duration_fraction: float = 0.2
+    factor: float = 4.0
+
+    def active(self, elapsed_fraction: float) -> bool:
+        """Whether ``elapsed_fraction`` of the run sits inside the burst."""
+        end = self.start_fraction + self.duration_fraction
+        return self.start_fraction <= elapsed_fraction < end
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load-generation run, fully determined by its fields + seed."""
+
+    mode: str = "closed"  # "closed" | "open"
+    clients: int = 8
+    duration_seconds: float = 10.0
+    rate_per_second: float = 20.0  # open-loop arrival rate
+    think_seconds: float = 0.0  # closed-loop think time
+    object_count: int = 32
+    object_mb_mean: float = 64.0
+    tenants: Tuple[str, ...] = ()
+    tenant_weights: Tuple[float, ...] = ()
+    burst: Optional[BurstSpec] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown loadgen mode {self.mode!r}")
+        if self.clients < 1 or self.object_count < 1:
+            raise ValueError("clients and object_count must be >= 1")
+        if self.tenant_weights and len(self.tenant_weights) != len(self.tenants):
+            raise ValueError("tenant_weights must match tenants")
+
+
+def _rng(spec: LoadSpec, stream: int) -> np.random.Generator:
+    """A named substream of the spec's seed (client index, object set...)."""
+    return np.random.default_rng([spec.seed, stream])
+
+
+def _tenant_probs(spec: LoadSpec) -> Optional[np.ndarray]:
+    if not spec.tenants:
+        return None
+    if spec.tenant_weights:
+        weights = np.asarray(spec.tenant_weights, dtype=np.float64)
+    else:
+        # Default mix: geometric decay, first tenant hottest — matches
+        # the skew of the server's own serve_registry construction.
+        weights = np.asarray(
+            [0.5**i for i in range(len(spec.tenants))], dtype=np.float64
+        )
+    return weights / weights.sum()
+
+
+def object_set(spec: LoadSpec) -> List[Tuple[str, int]]:
+    """The deterministic (id, size_bytes) set the run archives upfront.
+
+    Sizes are lognormal around ``object_mb_mean`` (archival reads span
+    orders of magnitude), floored at 1 MB.
+    """
+    rng = _rng(spec, stream=1)
+    sizes = rng.lognormal(
+        mean=math.log(spec.object_mb_mean * 1e6), sigma=0.8, size=spec.object_count
+    )
+    return [
+        (f"obj-{i:04d}", int(max(1e6, sizes[i]))) for i in range(spec.object_count)
+    ]
+
+
+def closed_loop_plan(
+    spec: LoadSpec, client: int, count: int
+) -> List[Tuple[str, str, float]]:
+    """First ``count`` planned (object, tenant, think_seconds) of a client.
+
+    A pure function of ``(spec, client)`` — running the generator twice
+    with the same seed yields the identical request schedule, which is
+    the determinism contract the tests pin.
+    """
+    rng = _rng(spec, stream=1000 + client)
+    probs = _tenant_probs(spec)
+    objects = [oid for oid, _ in object_set(spec)]
+    plan: List[Tuple[str, str, float]] = []
+    for _ in range(count):
+        obj = objects[int(rng.integers(0, len(objects)))]
+        tenant = (
+            spec.tenants[int(rng.choice(len(spec.tenants), p=probs))]
+            if spec.tenants
+            else ""
+        )
+        think = float(rng.exponential(spec.think_seconds)) if spec.think_seconds > 0 else 0.0
+        plan.append((obj, tenant, think))
+    return plan
+
+
+def _plan_stream(spec: LoadSpec, client: int) -> Iterator[Tuple[str, str, float]]:
+    """Unbounded closed-loop plan, chunked from :func:`closed_loop_plan`."""
+    offset = 0
+    chunk = 256
+    while True:
+        plan = closed_loop_plan(spec, client, offset + chunk)
+        for item in plan[offset:]:
+            yield item
+        offset += chunk
+
+
+def open_loop_schedule(spec: LoadSpec) -> List[Tuple[float, str, str]]:
+    """Deterministic open-loop arrivals: (time_s, object, tenant).
+
+    Poisson arrivals at ``rate_per_second``, with the burst window's
+    factor applied by thinning time through the rate function.
+    """
+    rng = _rng(spec, stream=2)
+    probs = _tenant_probs(spec)
+    objects = [oid for oid, _ in object_set(spec)]
+    schedule: List[Tuple[float, str, str]] = []
+    t = 0.0
+    while True:
+        fraction = t / spec.duration_seconds if spec.duration_seconds > 0 else 1.0
+        rate = spec.rate_per_second
+        if spec.burst is not None and spec.burst.active(fraction):
+            rate *= spec.burst.factor
+        if rate <= 0:
+            break
+        t += float(rng.exponential(1.0 / rate))
+        if t >= spec.duration_seconds:
+            break
+        obj = objects[int(rng.integers(0, len(objects)))]
+        tenant = (
+            spec.tenants[int(rng.choice(len(spec.tenants), p=probs))]
+            if spec.tenants
+            else ""
+        )
+        schedule.append((t, obj, tenant))
+    return schedule
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+# ---------------------------------------------------------------------- #
+# Minimal async HTTP client
+# ---------------------------------------------------------------------- #
+
+
+class ClientConnection:
+    """One keep-alive connection issuing sequential requests."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _ensure(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Issue one request; reconnects once on a dead keep-alive socket."""
+        for attempt in (0, 1):
+            await self._ensure()
+            try:
+                head = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+                for name, value in (headers or {}).items():
+                    head.append(f"{name}: {value}")
+                head.append(f"Content-Length: {len(body)}")
+                payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+                self._writer.write(payload)
+                await self._writer.drain()
+                return await read_response(self._reader, self.timeout)
+            except (
+                HttpError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def close(self) -> None:
+        """Tear the connection down (safe when already closed)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """Host/port of an ``http://`` URL (the only scheme supported)."""
+    parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+    if parsed.scheme not in ("http", ""):
+        raise ValueError(f"unsupported scheme in {url!r}")
+    return parsed.hostname or "127.0.0.1", parsed.port or 80
+
+
+def stream_events(
+    url: str, seconds: Optional[float] = None
+) -> Iterator[Dict[str, Any]]:
+    """Synchronously tail a ``GET /events`` NDJSON stream as dicts.
+
+    The blocking client behind ``watch --follow``: yields each parsed
+    event line until the server closes the stream or ``seconds`` of wall
+    time pass.
+    """
+    host, port = parse_url(url)
+    path = urllib.parse.urlsplit(url if "//" in url else f"http://{url}").path or "/events"
+    deadline = None if seconds is None else time.monotonic() + seconds
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        request = f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+        sock.sendall(request.encode("latin-1"))
+        handle = sock.makefile("r", encoding="utf-8", newline="\n")
+        in_body = False
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                sock.settimeout(max(0.05, remaining))
+            try:
+                line = handle.readline()
+            except (socket.timeout, OSError):
+                return
+            if not line:
+                return
+            stripped = line.strip()
+            if not in_body:
+                if not stripped:
+                    in_body = True
+                continue
+            if stripped:
+                yield json.loads(stripped)
+
+
+# ---------------------------------------------------------------------- #
+# The run itself
+# ---------------------------------------------------------------------- #
+
+
+class _LogWriter:
+    """JSONL latency log: header line, request rows, summary row."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self._handle = None
+        if path:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "w", encoding="utf-8")
+
+    def write(self, row: Dict[str, Any]) -> None:
+        """Append one JSON line (no-op without a log path)."""
+        if self._handle is not None:
+            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the log file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class LoadgenRun:
+    """Shared state of one load-generation run."""
+
+    def __init__(self, spec: LoadSpec, host: str, port: int, log: _LogWriter) -> None:
+        self.spec = spec
+        self.host = host
+        self.port = port
+        self.log = log
+        self.records: List[Dict[str, Any]] = []
+        self.errors = 0
+        self.started = time.monotonic()
+
+    @property
+    def elapsed_fraction(self) -> float:
+        """Wall progress through the drive phase, clamped only below."""
+        if self.spec.duration_seconds <= 0:
+            return 1.0
+        return (time.monotonic() - self.started) / self.spec.duration_seconds
+
+    def record(
+        self,
+        client: int,
+        seq: int,
+        obj: str,
+        tenant: str,
+        status: int,
+        wall_seconds: float,
+        payload: Dict[str, Any],
+    ) -> None:
+        """Account one finished request and log its row."""
+        row = {
+            "type": "request",
+            "client": client,
+            "seq": seq,
+            "object": obj,
+            "tenant": tenant,
+            "status": status,
+            "wall_ms": round(wall_seconds * 1000.0, 3),
+            "sim_latency_s": payload.get("latency_s"),
+            "retry_after_s": payload.get("retry_after_s"),
+        }
+        self.records.append(row)
+        self.log.write(row)
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate counts and wall-latency percentiles for the run."""
+        by_status: Dict[str, int] = {}
+        latencies = []
+        for row in self.records:
+            key = str(row["status"])
+            by_status[key] = by_status.get(key, 0) + 1
+            if row["status"] == 200:
+                latencies.append(row["wall_ms"])
+        return {
+            "type": "summary",
+            "requests": len(self.records),
+            "completed": by_status.get("200", 0),
+            "rejected_429": by_status.get("429", 0),
+            "rejected_503": by_status.get("503", 0),
+            "by_status": dict(sorted(by_status.items())),
+            "errors": self.errors,
+            "wall_p50_ms": round(percentile(latencies, 50.0), 3),
+            "wall_p95_ms": round(percentile(latencies, 95.0), 3),
+            "wall_p99_ms": round(percentile(latencies, 99.0), 3),
+            "duration_seconds": round(time.monotonic() - self.started, 3),
+        }
+
+
+async def _issue(
+    run: LoadgenRun,
+    conn: ClientConnection,
+    client: int,
+    seq: int,
+    obj: str,
+    tenant: str,
+) -> None:
+    """One GET against the archive, recorded whatever the outcome."""
+    headers = {"X-Tenant": tenant} if tenant else {}
+    start = time.monotonic()
+    try:
+        status, _headers, body = await conn.request(
+            "GET", f"/archive/{obj}", headers=headers
+        )
+        payload = json.loads(body) if body else {}
+    except (HttpError, ConnectionError, asyncio.IncompleteReadError, OSError):
+        run.errors += 1
+        return
+    run.record(client, seq, obj, tenant, status, time.monotonic() - start, payload)
+
+
+async def _closed_client(run: LoadgenRun, client: int, deadline: float) -> None:
+    """One closed-loop client: request, think, repeat until the deadline."""
+    spec = run.spec
+    conn = ClientConnection(run.host, run.port)
+    plan = _plan_stream(spec, client)
+    seq = 0
+    try:
+        while time.monotonic() < deadline:
+            obj, tenant, think = next(plan)
+            await _issue(run, conn, client, seq, obj, tenant)
+            seq += 1
+            if think > 0:
+                if spec.burst is not None and spec.burst.active(run.elapsed_fraction):
+                    think /= spec.burst.factor
+                await asyncio.sleep(min(think, max(0.0, deadline - time.monotonic())))
+    finally:
+        await conn.close()
+
+
+async def _open_driver(run: LoadgenRun, deadline: float) -> None:
+    """Open-loop: fire the precomputed schedule, independent connections."""
+    spec = run.spec
+    semaphore = asyncio.Semaphore(MAX_OPEN_CONCURRENCY)
+    tasks: List[asyncio.Task] = []
+
+    async def one_shot(seq: int, obj: str, tenant: str) -> None:
+        async with semaphore:
+            conn = ClientConnection(run.host, run.port)
+            try:
+                await _issue(run, conn, 0, seq, obj, tenant)
+            finally:
+                await conn.close()
+
+    for seq, (at, obj, tenant) in enumerate(open_loop_schedule(spec)):
+        delay = run.started + at - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if time.monotonic() >= deadline:
+            break
+        tasks.append(asyncio.create_task(one_shot(seq, obj, tenant)))
+    if tasks:
+        await asyncio.gather(*tasks)
+
+
+async def _setup_objects(run: LoadgenRun) -> None:
+    """Archive the deterministic object set before driving load."""
+    conn = ClientConnection(run.host, run.port)
+    try:
+        for object_id, size in object_set(run.spec):
+            status, _headers, _body = await conn.request(
+                "PUT",
+                f"/archive/{object_id}",
+                headers={"X-Size-Bytes": str(size)},
+            )
+            if status != 201:
+                raise RuntimeError(f"setup PUT {object_id} failed with {status}")
+    finally:
+        await conn.close()
+
+
+async def _discover_tenants(run: LoadgenRun) -> Tuple[str, ...]:
+    """Ask ``/status`` for the server's tenant names (quota targeting)."""
+    conn = ClientConnection(run.host, run.port)
+    try:
+        status, _headers, body = await conn.request("GET", "/status")
+        if status != 200:
+            return ()
+        return tuple(json.loads(body).get("tenants", ()))
+    finally:
+        await conn.close()
+
+
+async def drive(spec: LoadSpec, host: str, port: int, log_path: Optional[str]) -> Dict[str, Any]:
+    """Run one load generation against a live server; returns the summary."""
+    log = _LogWriter(log_path)
+    run = LoadgenRun(spec, host, port, log)
+    if not spec.tenants:
+        discovered = await _discover_tenants(run)
+        if discovered:
+            spec = replace(spec, tenants=discovered)
+            run.spec = spec
+    header = {
+        "type": "header",
+        "schema": LOADGEN_SCHEMA,
+        "spec": _spec_dict(run.spec),
+        "url": f"http://{host}:{port}",
+    }
+    log.write(header)
+    await _setup_objects(run)
+    run.started = time.monotonic()
+    deadline = run.started + spec.duration_seconds
+    if spec.mode == "closed":
+        await asyncio.gather(
+            *(_closed_client(run, c, deadline) for c in range(spec.clients))
+        )
+    else:
+        await _open_driver(run, deadline)
+    summary = run.summary()
+    log.write(summary)
+    log.close()
+    return summary
+
+
+def _spec_dict(spec: LoadSpec) -> Dict[str, Any]:
+    """JSON-safe dict of a :class:`LoadSpec` (tuples become lists)."""
+    out = asdict(spec)
+    out["tenants"] = list(spec.tenants)
+    out["tenant_weights"] = list(spec.tenant_weights)
+    return out

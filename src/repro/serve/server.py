@@ -1,0 +1,433 @@
+"""The asyncio frontend: sockets in, paced twin behind a worker thread.
+
+:class:`ArchiveServer` binds a TCP port, runs the
+:class:`~repro.core.events.PacedEngine` on a dedicated worker thread,
+and bridges every request handler onto that thread through the engine's
+thread-safe injection queue — so all simulation state stays
+single-threaded while the event loop serves arbitrarily many
+connections. Backpressure is end-to-end: a full injection queue turns
+into HTTP 503 before any kernel work happens, an over-quota tenant gets
+429 with a refill-derived ``Retry-After``, and a client that stops
+reading its ``/events`` stream is disconnected by the slow-client write
+timeout instead of growing an unbounded buffer.
+
+Routes::
+
+    PUT /archive            register an object (id generated)
+    PUT /archive/{id}       register an object under a chosen id
+    GET /archive/{id}       read it back through the simulated library
+    GET /status             counters, gauges, admission books
+    GET /events             NDJSON stream of tracer events
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+from typing import Any, Callable, Optional
+
+from ..observability.tracer import TraceEvent
+from .core import ArchiveServerCore, ReadRejected, ReadTicket
+from .http import (
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    send_with_timeout,
+    split_path,
+    stream_head,
+)
+
+#: Queue depth of one /events subscriber before events are dropped.
+EVENTS_QUEUE_DEPTH = 1024
+
+
+class BackpressureError(Exception):
+    """The engine's injection queue is full — surface as HTTP 503."""
+
+
+def _retry_after_header(seconds: Optional[float]) -> dict:
+    """``Retry-After`` header dict from a wall-seconds estimate."""
+    if seconds is None:
+        return {}
+    if not math.isfinite(seconds):
+        seconds = 3600.0
+    return {"Retry-After": str(max(1, int(math.ceil(seconds))))}
+
+
+class ArchiveServer:
+    """Live HTTP archive service over one :class:`ArchiveServerCore`."""
+
+    def __init__(
+        self,
+        core: ArchiveServerCore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slow_client_timeout: float = 10.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.core = core
+        self.host = host
+        self.port = port
+        self.slow_client_timeout = slow_client_timeout
+        self.request_timeout = request_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop = threading.Event()
+        self._engine_thread: Optional[threading.Thread] = None
+        self._horizon: Optional[float] = None
+        self._next_object_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the socket and start the paced engine thread."""
+        if self.core.config.dilation <= 0:
+            raise ValueError("a live server needs dilation > 0 (paced mode)")
+        self._engine_thread = threading.Thread(
+            target=self.core.engine.serve,
+            args=(self._stop,),
+            kwargs={"horizon": self._horizon},
+            name="paced-engine",
+            daemon=True,
+        )
+        self._engine_thread.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, stop the engine thread, close the socket."""
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._engine_thread is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._engine_thread.join, 5.0
+            )
+            self._engine_thread = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    # Engine-thread bridge
+    # ------------------------------------------------------------------ #
+
+    async def call_core(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on the engine thread; await its result here.
+
+        Raises :class:`BackpressureError` immediately when the injection
+        queue is at ``max_pending_ingress`` — the 503 path costs nothing
+        on the engine thread, which is the point of the bound.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def run() -> None:
+            try:
+                result = fn()
+            except BaseException as exc:  # bridge, don't kill the engine
+                loop.call_soon_threadsafe(_set_exception, future, exc)
+            else:
+                loop.call_soon_threadsafe(_set_result, future, result)
+
+        if not self.core.engine.inject(run):
+            with self.core.counter_lock:
+                self.core.counters["rejected_backpressure"] += 1
+            raise BackpressureError()
+        return await future
+
+    async def _await_ticket(self, make: Callable[[], Any]) -> Any:
+        """Run ``make`` (a begin_read thunk) and await its completion.
+
+        The completion callback is registered on the engine thread in
+        the same injection that created the ticket, so a read can never
+        complete between creation and registration. Returns the resolved
+        :class:`ReadTicket`, or the :class:`ReadRejected` verdict.
+        """
+        loop = asyncio.get_running_loop()
+        done: asyncio.Future = loop.create_future()
+
+        def begin() -> Any:
+            outcome = make()
+            if isinstance(outcome, ReadTicket):
+                outcome.on_complete(
+                    lambda ticket: loop.call_soon_threadsafe(
+                        _set_result, done, ticket
+                    )
+                )
+            return outcome
+
+        outcome = await self.call_core(begin)
+        if isinstance(outcome, ReadRejected):
+            return outcome
+        return await done
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection (keep-alive loop); never raises."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.request_timeout)
+                except HttpError as exc:
+                    await self._send(
+                        writer,
+                        json_response(
+                            exc.status, {"error": exc.reason}, keep_alive=False
+                        ),
+                    )
+                    break
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                if request.method == "GET" and request.path == "/events":
+                    await self._stream_events(writer)
+                    break
+                response = await self._dispatch(request)
+                await self._send(writer, response)
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        except Exception:  # noqa: BLE001 - a handler bug must not kill the loop
+            with self.core.counter_lock:
+                self.core.counters["server_errors"] += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        """Write one response under the slow-client deadline."""
+        try:
+            await send_with_timeout(writer, data, self.slow_client_timeout)
+        except asyncio.TimeoutError:
+            self._note_slow_client()
+            raise
+
+    def _note_slow_client(self) -> None:
+        """Count a slow client and trace it (best-effort injection)."""
+        with self.core.counter_lock:
+            self.core.counters["slow_clients"] += 1
+        core = self.core
+        core.engine.inject(
+            lambda: core.tracer.emit(
+                core.sim.now, "serve.slow_client", component="serve"
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        """Route one request to its handler; map errors to responses."""
+        segments = split_path(request.path)
+        try:
+            if request.method == "PUT" and segments[:1] == ("archive",):
+                return await self._handle_put(request, segments)
+            if request.method == "GET" and len(segments) == 2 and segments[0] == "archive":
+                return await self._handle_get(request, segments[1])
+            if request.method == "GET" and segments == ("status",):
+                return await self._handle_status()
+            if segments and segments[0] in ("archive", "status", "events"):
+                return json_response(405, {"error": "method not allowed"})
+            return json_response(404, {"error": "no such route"})
+        except BackpressureError:
+            return json_response(
+                503,
+                {"error": "ingress queue full"},
+                extra_headers={"Retry-After": "1"},
+            )
+        except HttpError as exc:
+            return json_response(exc.status, {"error": exc.reason})
+
+    async def _handle_put(self, request: HttpRequest, segments: tuple) -> bytes:
+        """``PUT /archive[/{id}]``: register an object in the catalog.
+
+        The logical archive size comes from ``X-Size-Bytes`` when given
+        (so a load generator can archive terabytes without shipping
+        them), else from the body length.
+        """
+        if len(segments) > 2:
+            return json_response(404, {"error": "no such route"})
+        if len(segments) == 2:
+            object_id = segments[1]
+        else:
+            self._next_object_id += 1
+            object_id = f"obj-{self._next_object_id}"
+        tenant = request.headers.get("x-tenant", "")
+        size = request.header_int("x-size-bytes", None)
+        if size is None:
+            size = len(request.body)
+        if size <= 0:
+            return json_response(400, {"error": "object size must be positive"})
+        record = await self.call_core(
+            lambda: self.core.put_object(object_id, size, tenant)
+        )
+        return json_response(201, record)
+
+    async def _handle_get(self, request: HttpRequest, object_id: str) -> bytes:
+        """``GET /archive/{id}``: read through the simulated library.
+
+        The response returns when the simulated read completes —
+        ``latency_s`` is sim time, so at dilation *D* the wall wait is
+        roughly ``latency_s / D``.
+        """
+        tenant = request.headers.get("x-tenant", "")
+        outcome = await self._await_ticket(
+            lambda: self.core.begin_read(object_id, tenant)
+        )
+        if isinstance(outcome, ReadRejected):
+            if outcome.status == 429:
+                return json_response(
+                    429,
+                    {
+                        "error": "quota",
+                        "tenant": outcome.tenant,
+                        "retry_after_s": outcome.retry_after_wall,
+                    },
+                    extra_headers=_retry_after_header(outcome.retry_after_wall),
+                )
+            return json_response(outcome.status, {"error": outcome.reason})
+        ticket: ReadTicket = outcome
+        return json_response(
+            200,
+            {
+                "id": object_id,
+                "request_id": ticket.request.request_id,
+                "size_bytes": ticket.request.size_bytes,
+                "latency_s": ticket.latency_sim_seconds,
+                "degraded": ticket.request.degraded,
+                "tenant": tenant,
+            },
+        )
+
+    async def _handle_status(self) -> bytes:
+        """``GET /status``: the core's snapshot, taken on the engine thread."""
+        payload = await self.call_core(self.core.status)
+        return json_response(200, payload)
+
+    # ------------------------------------------------------------------ #
+    # /events streaming
+    # ------------------------------------------------------------------ #
+
+    async def _stream_events(self, writer: asyncio.StreamWriter) -> None:
+        """NDJSON-stream tracer events until the client goes away.
+
+        Events are fanned from the engine thread into a bounded asyncio
+        queue; overflow drops (and counts) rather than buffering without
+        bound, and a client that stops draining its socket is cut off by
+        the slow-client timeout.
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=EVENTS_QUEUE_DEPTH)
+
+        def on_event(event: TraceEvent) -> None:
+            loop.call_soon_threadsafe(_offer, queue, event, subscription)
+
+        subscription = self.core.subscribe(on_event)
+        try:
+            await send_with_timeout(writer, stream_head(), self.slow_client_timeout)
+            while not self._stop.is_set():
+                try:
+                    event = await asyncio.wait_for(queue.get(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    continue
+                line = event.to_json() + "\n"
+                await send_with_timeout(
+                    writer, line.encode("utf-8"), self.slow_client_timeout
+                )
+        except asyncio.TimeoutError:
+            self._note_slow_client()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self.core.unsubscribe(subscription)
+
+
+def _offer(queue: asyncio.Queue, event: TraceEvent, subscription: Any) -> None:
+    """Enqueue one event for a subscriber, dropping (counted) when full."""
+    try:
+        queue.put_nowait(event)
+    except asyncio.QueueFull:
+        subscription.dropped += 1
+
+
+def _set_result(future: asyncio.Future, value: Any) -> None:
+    """Resolve ``future`` unless the consumer already went away."""
+    if not future.done():
+        future.set_result(value)
+
+
+def _set_exception(future: asyncio.Future, exc: BaseException) -> None:
+    """Fail ``future`` unless the consumer already went away."""
+    if not future.done():
+        future.set_exception(exc)
+
+
+def run_server(
+    core: ArchiveServerCore,
+    host: str = "127.0.0.1",
+    port: int = 8173,
+    slow_client_timeout: float = 10.0,
+    seconds: float = 0.0,
+    ready: Optional[Callable[[ArchiveServer], None]] = None,
+) -> int:
+    """Foreground entry point: serve until interrupted (or ``seconds``).
+
+    Returns a process exit code. SIGTERM/SIGINT (KeyboardInterrupt) are
+    clean shutdowns — the doc smoke-runner backgrounds a server and
+    terminates it, and that must count as success.
+    """
+
+    async def main() -> int:
+        server = ArchiveServer(
+            core, host=host, port=port, slow_client_timeout=slow_client_timeout
+        )
+        await server.start()
+        if ready is not None:
+            ready(server)
+        print(
+            json.dumps(
+                {
+                    "serving": f"http://{server.host}:{server.port}",
+                    "dilation": core.config.dilation,
+                    "tenants": len(core.registry.tenants) if core.registry else 0,
+                }
+            ),
+            flush=True,
+        )
+        try:
+            if seconds > 0:
+                await asyncio.sleep(seconds)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0

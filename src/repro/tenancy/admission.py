@@ -66,6 +66,22 @@ class TokenBucket:
             return True
         return False
 
+    def seconds_until(self, size_bytes: int, now: float) -> float:
+        """Refill time until ``size_bytes`` could be admitted at ``now``.
+
+        0.0 when the bucket already holds enough tokens; ``inf`` when the
+        read can never fit (bigger than the burst depth, or zero refill
+        rate). This is what a frontend's ``Retry-After`` header is
+        derived from. Read-only: calling it refills the bucket (a pure
+        function of elapsed time) but debits nothing.
+        """
+        self._refill(now)
+        if size_bytes <= self.level:
+            return 0.0
+        if size_bytes > self.spec.burst_bytes or self.spec.bytes_per_second <= 0:
+            return float("inf")
+        return (size_bytes - self.level) / self.spec.bytes_per_second
+
 
 @dataclass
 class TenantAdmissionStats:
@@ -115,6 +131,18 @@ class AdmissionController:
     def bucket_for(self, tenant: str) -> Optional[TokenBucket]:
         """The tenant's bucket, or ``None`` when it has no quota."""
         return self._buckets.get(tenant)
+
+    def retry_after(self, tenant: str, size_bytes: int, now: float) -> Optional[float]:
+        """Seconds until a just-rejected read could pass, or None.
+
+        None means the tenant has no bucket (its reads are never
+        rejected, so there is nothing to wait for). Delegates to
+        :meth:`TokenBucket.seconds_until`.
+        """
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return None
+        return bucket.seconds_until(size_bytes, now)
 
     def admit(self, tenant: str, size_bytes: int, now: float) -> bool:
         """Decide one read; record it in the tenant's admission stats."""

@@ -1,0 +1,375 @@
+"""repro.serve: HTTP parsing, core admission, backpressure, live sockets."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.core import SimConfig
+from repro.serve import (
+    ArchiveServer,
+    ArchiveServerCore,
+    LoadSpec,
+    ServeConfig,
+    SoakSpec,
+    run_soak,
+)
+from repro.serve.core import ReadRejected, ReadTicket
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    read_response,
+    render_response,
+    split_path,
+)
+from repro.serve.loadgen import (
+    LOADGEN_SCHEMA,
+    BurstSpec,
+    closed_loop_plan,
+    drive,
+    object_set,
+    open_loop_schedule,
+    percentile,
+)
+
+
+def parse(raw: bytes):
+    """Run the async request parser over literal bytes."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, timeout=1.0)
+
+    return asyncio.run(go())
+
+
+# --------------------------------------------------------------------- #
+# HTTP framing
+# --------------------------------------------------------------------- #
+
+
+def test_read_request_parses_method_path_headers_body():
+    request = parse(
+        b"PUT /archive/obj-1 HTTP/1.1\r\n"
+        b"X-Tenant: t0\r\n"
+        b"Content-Length: 5\r\n"
+        b"\r\n"
+        b"hello"
+    )
+    assert request.method == "PUT"
+    assert request.path == "/archive/obj-1"
+    assert request.headers["x-tenant"] == "t0"
+    assert request.body == b"hello"
+    assert request.keep_alive
+
+
+def test_read_request_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_read_request_rejects_malformed_line_and_huge_body():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"NOT-HTTP\r\n\r\n")
+    assert excinfo.value.status == 400
+    with pytest.raises(HttpError) as excinfo:
+        parse(
+            b"PUT /archive HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+        )
+    assert excinfo.value.status == 413
+
+
+def test_keep_alive_semantics_across_versions():
+    v11 = HttpRequest(method="GET", path="/", version="HTTP/1.1")
+    assert v11.keep_alive
+    v11.headers["connection"] = "close"
+    assert not v11.keep_alive
+    v10 = HttpRequest(method="GET", path="/", version="HTTP/1.0")
+    assert not v10.keep_alive
+    v10.headers["connection"] = "keep-alive"
+    assert v10.keep_alive
+
+
+def test_response_roundtrips_through_client_parser():
+    raw = json_response(429, {"error": "quota"}, extra_headers={"Retry-After": "7"})
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_response(reader, timeout=1.0)
+
+    status, headers, body = asyncio.run(go())
+    assert status == 429
+    assert headers["retry-after"] == "7"
+    assert json.loads(body) == {"error": "quota"}
+
+
+def test_render_response_marks_connection_close():
+    raw = render_response(200, b"x", keep_alive=False)
+    assert b"Connection: close" in raw
+
+
+def test_split_path_drops_query_and_empty_segments():
+    assert split_path("/archive/obj-1?verbose=1") == ("archive", "obj-1")
+    assert split_path("//status/") == ("status",)
+
+
+# --------------------------------------------------------------------- #
+# Core: virtual puts/reads, admission, Retry-After
+# --------------------------------------------------------------------- #
+
+
+def small_core(**overrides) -> ArchiveServerCore:
+    # 4 drives keeps every dispatch partition mapped to a real drive;
+    # tinier fleets leave partitions whose geometry names absent drives,
+    # and reads placed there can never be fetched.
+    defaults = dict(
+        dilation=0.0,
+        seed=5,
+        tenants=2,
+        quota_mbps=1.0,
+        quota_burst_mb=64.0,
+        sample_interval_seconds=0.0,
+        sim=SimConfig(num_drives=4, num_shuttles=4, num_platters=120, seed=5),
+    )
+    defaults.update(overrides)
+    return ArchiveServerCore(ServeConfig(**defaults))
+
+
+def test_put_and_read_complete_in_virtual_time():
+    core = small_core(tenants=0)
+    record = core.put_object("obj-a", 64_000_000)
+    assert record["platter"] in core.kernel.robotics.platters
+    ticket = core.begin_read("obj-a")
+    assert isinstance(ticket, ReadTicket)
+    assert not ticket.done
+    core.engine.advance_to(core.sim.now + 7200.0)
+    assert ticket.done
+    assert ticket.latency_sim_seconds > 0
+    assert core.counters["reads_completed"] == 1
+
+
+def test_unknown_object_is_a_404_not_an_exception():
+    core = small_core(tenants=0)
+    verdict = core.begin_read("missing")
+    assert isinstance(verdict, ReadRejected)
+    assert verdict.status == 404
+    assert core.counters["not_found"] == 1
+
+
+def test_quota_reject_carries_finite_retry_after():
+    core = small_core()
+    tenant = core.registry.tenants[0].name
+    core.put_object("obj-a", 32_000_000, tenant)
+    # Burst bucket is 64 MB: two 32 MB reads drain it, the third must wait.
+    assert isinstance(core.begin_read("obj-a", tenant), ReadTicket)
+    assert isinstance(core.begin_read("obj-a", tenant), ReadTicket)
+    verdict = core.begin_read("obj-a", tenant)
+    assert isinstance(verdict, ReadRejected)
+    assert verdict.status == 429
+    # At 1 MB/s refill, 32 MB needs 32 s of sim time; dilation 0 maps
+    # Retry-After 1:1 onto the wall.
+    assert verdict.retry_after_sim == pytest.approx(32.0, rel=1e-6)
+    assert verdict.retry_after_wall == pytest.approx(32.0, rel=1e-6)
+
+
+def test_retry_after_wall_is_sim_over_dilation():
+    core = small_core(dilation=600.0)
+    tenant = core.registry.tenants[0].name
+    core.put_object("obj-a", 32_000_000, tenant)
+    core.begin_read("obj-a", tenant)
+    core.begin_read("obj-a", tenant)
+    verdict = core.begin_read("obj-a", tenant)
+    assert isinstance(verdict, ReadRejected)
+    assert verdict.retry_after_wall == pytest.approx(
+        verdict.retry_after_sim / 600.0, rel=1e-6
+    )
+
+
+def test_admission_reject_traces_mirror_http_429s_exactly():
+    core = small_core()
+    tenant = core.registry.tenants[0].name
+    core.put_object("obj-a", 24_000_000, tenant)
+    rejects = 0
+    for _ in range(10):
+        if isinstance(core.begin_read("obj-a", tenant), ReadRejected):
+            rejects += 1
+    assert rejects > 0
+    traced = sum(
+        1 for event in core.tracer.sink if event.kind == "admission.reject"
+    )
+    assert traced == rejects
+    assert core.counters["rejected_quota"] == rejects
+    assert core.admission.total_rejected() == rejects
+
+
+def test_status_snapshot_is_json_serializable_and_consistent():
+    core = small_core()
+    core.put_object("obj-a", 8_000_000)
+    payload = core.status()
+    json.dumps(payload)
+    assert payload["objects"] == 1
+    assert payload["counters"]["puts"] == 1
+    assert payload["tenants"] == [t.name for t in core.registry.tenants]
+
+
+# --------------------------------------------------------------------- #
+# Soak (virtual time) determinism
+# --------------------------------------------------------------------- #
+
+
+def soak_metrics(seed: int):
+    from repro.bench.scenarios import build_serve_soak
+
+    core, _ = build_serve_soak(seed)
+    spec = SoakSpec(
+        clients=6, requests_per_client=3, object_count=12, seed=seed
+    )
+    return run_soak(core, spec)
+
+
+def test_soak_is_deterministic_and_gates_hold():
+    first = soak_metrics(11)
+    second = soak_metrics(11)
+    assert first == second
+    assert first["soak_all_clients_finished_gate"] == 1.0
+    assert first["soak_reject_parity_gate"] == 1.0
+    assert first["soak_completed"] + first["soak_rejected"] + first[
+        "soak_skipped"
+    ] == pytest.approx(first["soak_requests_issued"])
+
+
+# --------------------------------------------------------------------- #
+# Frontend: backpressure and the live socket path
+# --------------------------------------------------------------------- #
+
+
+def test_ingress_backpressure_maps_to_503_with_retry_after():
+    core = small_core(dilation=600.0)
+    server = ArchiveServer(core)
+    core.engine.inject = lambda callback: False  # saturate the queue
+
+    async def go():
+        return await server._dispatch(
+            HttpRequest(method="GET", path="/status", version="HTTP/1.1")
+        )
+
+    raw = asyncio.run(go())
+    assert raw.startswith(b"HTTP/1.1 503")
+    assert b"Retry-After: 1" in raw
+    assert core.counters["rejected_backpressure"] == 1
+
+
+def test_live_server_end_to_end_with_loadgen():
+    """Real sockets: PUT + GET + 429 parity + the loadgen latency log."""
+    core = small_core(dilation=2000.0, tenants=2)
+    server = ArchiveServer(core, port=0)
+    started = threading.Event()
+    finished = threading.Event()
+    box = {}
+
+    def serve_thread():
+        async def main():
+            await server.start()
+            box["port"] = server.port
+            box["stop"] = asyncio.Event()
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await box["stop"].wait()
+            await server.stop()
+
+        asyncio.run(main())
+        finished.set()
+
+    thread = threading.Thread(target=serve_thread, daemon=True)
+    thread.start()
+    assert started.wait(10.0), "server never started"
+    try:
+        spec = LoadSpec(
+            mode="closed",
+            clients=3,
+            duration_seconds=2.0,
+            object_count=6,
+            object_mb_mean=16.0,
+            seed=3,
+        )
+        import tempfile, os
+
+        with tempfile.TemporaryDirectory() as tmp:
+            log_path = os.path.join(tmp, "latency.jsonl")
+            summary = asyncio.run(
+                drive(spec, "127.0.0.1", box["port"], log_path)
+            )
+            with open(log_path, "r", encoding="utf-8") as handle:
+                rows = [json.loads(line) for line in handle]
+        assert summary["errors"] == 0
+        assert summary["requests"] > 0
+        assert summary["completed"] > 0
+        # Latency log schema: header first, summary last, requests between.
+        assert rows[0]["type"] == "header"
+        assert rows[0]["schema"] == LOADGEN_SCHEMA
+        assert rows[0]["spec"]["seed"] == 3
+        assert rows[-1]["type"] == "summary"
+        assert rows[-1]["requests"] == summary["requests"]
+        body_rows = rows[1:-1]
+        assert len(body_rows) == summary["requests"]
+        assert all(row["type"] == "request" for row in body_rows)
+        # 429s returned over HTTP match the core's reject counter exactly.
+        assert summary["rejected_429"] == core.counters["rejected_quota"]
+    finally:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        assert finished.wait(10.0), "server never stopped"
+
+
+# --------------------------------------------------------------------- #
+# Load generator determinism
+# --------------------------------------------------------------------- #
+
+
+def test_loadgen_schema_constant_is_versioned():
+    assert LOADGEN_SCHEMA == "repro.loadgen/1"
+
+
+def test_closed_loop_plans_are_seed_deterministic_per_client():
+    spec = LoadSpec(seed=9, tenants=("a", "b"), think_seconds=2.0)
+    assert closed_loop_plan(spec, 0, 20) == closed_loop_plan(spec, 0, 20)
+    assert closed_loop_plan(spec, 0, 20) != closed_loop_plan(spec, 1, 20)
+    # Longer plans extend shorter ones (the chunked-stream contract).
+    assert closed_loop_plan(spec, 0, 30)[:20] == closed_loop_plan(spec, 0, 20)
+
+
+def test_open_loop_schedule_is_deterministic_and_burst_aware():
+    calm = LoadSpec(mode="open", seed=4, duration_seconds=20.0, rate_per_second=5.0)
+    burst = LoadSpec(
+        mode="open",
+        seed=4,
+        duration_seconds=20.0,
+        rate_per_second=5.0,
+        burst=BurstSpec(start_fraction=0.25, duration_fraction=0.5, factor=6.0),
+    )
+    assert open_loop_schedule(calm) == open_loop_schedule(calm)
+    assert len(open_loop_schedule(burst)) > len(open_loop_schedule(calm))
+    times = [t for t, _, _ in open_loop_schedule(burst)]
+    assert times == sorted(times)
+    assert all(t < 20.0 for t in times)
+
+
+def test_object_set_is_deterministic_with_floored_sizes():
+    spec = LoadSpec(seed=6, object_count=10, object_mb_mean=4.0)
+    assert object_set(spec) == object_set(spec)
+    assert all(size >= 1_000_000 for _, size in object_set(spec))
+    assert [oid for oid, _ in object_set(spec)] == [
+        f"obj-{i:04d}" for i in range(10)
+    ]
+
+
+def test_percentile_is_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 50.0) == 2.0
+    assert percentile(values, 100.0) == 4.0
+    assert percentile([], 99.0) == 0.0

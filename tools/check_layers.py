@@ -52,6 +52,18 @@ CONTRACTS: Dict[str, Dict[str, str]] = {
         "repro.observability": "tracing enters via the TracerLike seam",
         "repro.service": "the service frontend sits above the kernel",
         "repro.fleet": "the kernel must not know the fleet exists",
+        "repro.serve": "the live server sits above the kernel",
+    },
+    # repro.serve may import the kernel, tenancy and observability — but
+    # never the other way round, or the frontend grows into a cycle.
+    "repro.core": {
+        "repro.serve": "nothing under core/ may import the live server",
+    },
+    "repro.tenancy": {
+        "repro.serve": "admission is serve's dependency, not its dependant",
+    },
+    "repro.observability": {
+        "repro.serve": "tracing is serve's dependency, not its dependant",
     },
     "repro.fleet": {
         **{

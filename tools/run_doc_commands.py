@@ -1,13 +1,21 @@
 #!/usr/bin/env python
-"""Smoke-run every ``python -m repro ...`` command quoted in the docs.
+"""Smoke-run every CLI command quoted in the docs.
 
 Extracts command lines from fenced code blocks in the given markdown files
 and executes each one, so README/EXPERIMENTS can never drift from the CLI.
-Only lines starting with ``python -m repro`` (optionally prefixed by ``$``
-or environment assignments like ``REPRO_SCALE=full``) are run; environment
-prefixes and placeholder lines (containing ``<``) are skipped, and
-``REPRO_SCALE=full`` lines are run at default scale — CI smoke-tests the
-command surface, not the paper-scale numbers.
+Lines starting with ``python -m repro`` or ``curl`` (optionally prefixed by
+``$`` or environment assignments like ``REPRO_SCALE=full``) are run;
+environment prefixes and placeholder lines (containing ``<``) are skipped,
+and ``REPRO_SCALE=full`` lines are run at default scale — CI smoke-tests
+the command surface, not the paper-scale numbers.
+
+Client/server walkthroughs work too: a documented command ending in ``&``
+(e.g. ``python -m repro serve ... &``) is started in the background, the
+runner waits for its TCP port (``--port``, default 8173) to accept
+connections, runs the fence's remaining foreground lines — the paired
+``loadgen`` / ``curl`` / ``watch --follow`` commands — against it, then
+terminates it with SIGTERM when the fence closes. The server maps SIGTERM
+onto its clean-shutdown path, so termination counts as success.
 
 Usage::
 
@@ -19,22 +27,38 @@ from __future__ import annotations
 import os
 import re
 import shlex
+import signal
+import socket
 import subprocess
 import sys
-from typing import List, Tuple
+import time
+from typing import List, Optional, Tuple
 
-COMMAND_RE = re.compile(r"^\$?\s*((?:[A-Z_][A-Z0-9_]*=\S+\s+)*)(python -m repro\b.*)$")
+COMMAND_RE = re.compile(
+    r"^\$?\s*((?:[A-Z_][A-Z0-9_]*=\S+\s+)*)((?:python -m repro|curl)\b.*)$"
+)
+
+#: Seconds to wait for a backgrounded server's port to accept connections.
+READY_TIMEOUT = 30.0
 
 
-def extract_commands(path: str) -> List[str]:
-    """Commands from fenced blocks of one markdown file, in order."""
-    commands: List[str] = []
+def extract_commands(path: str) -> List[Tuple[str, bool, int]]:
+    """``(command, background, fence)`` rows from one markdown file.
+
+    ``background`` marks a trailing ``&``; ``fence`` numbers the code
+    block the line came from, so the runner knows when a backgrounded
+    server's fence — and therefore its lifetime — ends.
+    """
+    commands: List[Tuple[str, bool, int]] = []
     in_fence = False
+    fence = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             stripped = line.strip()
             if stripped.startswith("```"):
                 in_fence = not in_fence
+                if in_fence:
+                    fence += 1
                 continue
             if not in_fence:
                 continue
@@ -47,8 +71,43 @@ def extract_commands(path: str) -> List[str]:
             command = re.sub(r"\s+#\s.*$", "", command)
             if "<" in command:
                 continue  # placeholder, e.g. `--out <dir>`
-            commands.append(command)
+            background = command.endswith("&")
+            if background:
+                command = command[:-1].rstrip()
+            commands.append((command, background, fence))
     return commands
+
+
+def _port_of(command: str) -> int:
+    """The ``--port`` a documented server command binds (default 8173)."""
+    match = re.search(r"--port\s+(\d+)", command)
+    return int(match.group(1)) if match else 8173
+
+
+def _wait_ready(port: int, timeout: float = READY_TIMEOUT) -> bool:
+    """Poll until ``127.0.0.1:port`` accepts a TCP connection."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.2)
+    return False
+
+
+def _stop_server(proc: subprocess.Popen) -> int:
+    """Terminate a backgrounded server; clean SIGTERM shutdown is success."""
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        proc.wait(timeout=15.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+    if proc.returncode in (0, -signal.SIGTERM):
+        return 0
+    return proc.returncode
 
 
 def main(argv: List[str] = None) -> int:
@@ -59,8 +118,43 @@ def main(argv: List[str] = None) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     results: List[Tuple[str, str, int]] = []
+    server: Optional[subprocess.Popen] = None
+    server_row: Optional[Tuple[str, str]] = None
+    server_fence: Optional[int] = None
+
+    def finish_server() -> None:
+        """Stop the active background server and record its outcome."""
+        nonlocal server, server_row, server_fence
+        if server is None:
+            return
+        code = _stop_server(server)
+        results.append((*server_row, code))
+        if code != 0:
+            print(server.stdout.read() if server.stdout else "")
+            print(f"FAILED background server (exit {code})")
+        server, server_row, server_fence = None, None, None
+
     for path in paths:
-        for command in extract_commands(path):
+        for command, background, fence in extract_commands(path):
+            if server is not None and fence != server_fence:
+                finish_server()
+            if background:
+                finish_server()  # one background server at a time
+                print(f"[{path}] $ {command} &", flush=True)
+                server = subprocess.Popen(
+                    shlex.split(command),
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                )
+                server_row = (path, command)
+                server_fence = fence
+                if not _wait_ready(_port_of(command)):
+                    print(f"FAILED: server never opened port {_port_of(command)}")
+                    finish_server()
+                    results.append((path, command + " [ready]", 1))
+                continue
             print(f"[{path}] $ {command}", flush=True)
             proc = subprocess.run(
                 shlex.split(command),
@@ -73,6 +167,7 @@ def main(argv: List[str] = None) -> int:
             if proc.returncode != 0:
                 print(proc.stdout)
                 print(f"FAILED (exit {proc.returncode})")
+        finish_server()
     failed = [r for r in results if r[2] != 0]
     print(f"\nran {len(results)} documented command(s), {len(failed)} failed")
     for path, command, code in failed:
