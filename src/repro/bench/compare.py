@@ -253,15 +253,24 @@ def load_artifact(path: str) -> Dict[str, Any]:
     return doc
 
 
-def load_artifact_dir(directory: str) -> Dict[str, Dict[str, Any]]:
-    """scenario name -> document for every ``BENCH_*.json`` in a directory."""
+def load_artifact_dir(
+    directory: str, missing_ok: bool = False
+) -> Dict[str, Dict[str, Any]]:
+    """scenario name -> document for every ``BENCH_*.json`` in a directory.
+
+    With ``missing_ok`` a nonexistent or artifact-free directory yields an
+    empty mapping instead of raising — the shape a fresh checkout (no
+    committed baselines yet) presents to ``bench compare``.
+    """
     if not os.path.isdir(directory):
+        if missing_ok:
+            return {}
         raise BenchError(f"no such artifact directory: {directory}")
     docs: Dict[str, Dict[str, Any]] = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         doc = load_artifact(path)
         docs[str(doc["scenario"])] = doc
-    if not docs:
+    if not docs and not missing_ok:
         raise BenchError(f"no BENCH_*.json artifacts found in {directory}")
     return docs
 
@@ -275,9 +284,11 @@ def compare_dirs(
     """Compare every candidate artifact against its committed baseline.
 
     ``names`` restricts the comparison to those scenarios (a name missing
-    from *both* sides is an error — likely a typo).
+    from *both* sides is an error — likely a typo). A missing or empty
+    baseline directory is tolerated: every candidate then reports as a
+    new scenario, so first-run workflows don't need a bootstrap step.
     """
-    baselines = load_artifact_dir(baseline_dir)
+    baselines = load_artifact_dir(baseline_dir, missing_ok=True)
     candidates = load_artifact_dir(candidate_dir)
     if names is not None:
         unknown = [n for n in names if n not in baselines and n not in candidates]

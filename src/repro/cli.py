@@ -707,9 +707,18 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         artifacts.write_bench(result)
         print(result.summary())
         for row in (result.extra or {}).get("curve", []):
+            # Sweep curves vary in their second axis: request rate for the
+            # dispatch sweep, scheduler backend for the engine sweep, and
+            # motion mode for the motion sweep.
+            if "rate_factor" in row:
+                axis = f"rate {row['rate_factor']:.2f}"
+            elif "backend" in row:
+                axis = f"{row['backend']:>8s}"
+            else:
+                axis = f"{row.get('mode', '?'):>8s}"
             print(
                 f"    {int(row['num_platters']):>5d} platters x "
-                f"rate {row['rate_factor']:.2f}: "
+                f"{axis}: "
                 f"{row['events_per_second']:>10,.0f} ev/s "
                 f"({int(row['events_processed'])} events, "
                 f"{row['wall_seconds']:.3f}s)"

@@ -45,7 +45,7 @@ path, and the golden-replay suite pins the two byte-identical.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ...library.layout import SlotId
 from ...library.shuttle import Shuttle, ShuttleState
@@ -84,6 +84,23 @@ class SilicaDispatch:
         assert isinstance(policy, PartitionedPolicy)
         ctx = d.ctx
         incremental = d.incremental
+        heaps = d.partition_heaps
+        if incremental:
+            # Pass-level fetch guard: with nothing queued anywhere, or no
+            # drive customer slot free anywhere, no shuttle can be handed
+            # a fetch — the only remaining pass duty is the recharge
+            # check, which the memo makes one attribute read per shuttle.
+            # (Flushing slot notes first is pure cache maintenance.)
+            if d._slot_dirty or d._free_pids is None:
+                d.free_partitions()
+            if not d._partition_entries or not d._free_pids:
+                for shuttle_sim in d.shuttle_pool():
+                    if not shuttle_sim.busy and not shuttle_sim.no_recharge_memo:
+                        d.maybe_recharge(shuttle_sim)
+                return
+        # Donor ranking never changes within a pass (loads mutate in other
+        # events), so compute it lazily at most once per pass.
+        donors: Optional[List[int]] = None
         for shuttle_sim in d.shuttle_pool():
             if incremental:
                 # Pool members passed the idle scan; only ``busy`` can flip
@@ -122,23 +139,37 @@ class SilicaDispatch:
                 if free_pids is not None:
                     if pid not in free_pids:
                         continue
-                    drive = d.partition_drive(pid)
+                    # ``free_pids`` membership already proves this
+                    # partition's drive exists and has a free customer
+                    # slot; the route lookup is deferred until a platter
+                    # is actually in hand (most probes find empty heaps).
+                    drive = None
                 else:
                     drive = d.partition_drive(pid)
                     if drive is None or not drive.customer_slot_free:
                         continue
-                platter = d.pop_candidate(d.partition_heaps[pid])
+                # An empty heap can't yield a candidate and popping it has
+                # no side effects — skip the call on the common dry probe.
+                own_heap = heaps[pid]
+                platter = d.pop_candidate(own_heap) if own_heap else None
                 stolen = False
                 if platter is None and policy.work_stealing:
-                    for donor in d.steal_donors():
+                    if donors is None:
+                        donors = d.steal_donors()
+                    for donor in donors:
                         if donor == pid:
                             continue
-                        platter = d.pop_candidate(d.partition_heaps[donor])
+                        donor_heap = heaps[donor]
+                        if not donor_heap:
+                            continue
+                        platter = d.pop_candidate(donor_heap)
                         if platter is not None:
                             stolen = True
                             break
                 if platter is None:
                     continue
+                if drive is None:
+                    drive = d.partition_drive(pid)
                 if stolen:
                     policy.steals += 1
                     ctx.counters.steals.inc()
@@ -294,6 +325,13 @@ class DispatchSubsystem:
         # lets a pass skip a shuttle without walking its covered list.
         self._free_owner_count: Dict[int, int] = {}
         self._steal_donors: Optional[List[int]] = None
+        # Candidate-validity closure cache for :meth:`pop_candidate`. The
+        # closure binds the scheduler, the lifecycle's unavailable set, and
+        # the layout's locate method — the latter two are stable object
+        # identities for the life of the run, so the cache is keyed on the
+        # scheduler alone (the kernel swaps it in during composition).
+        self._pop_valid: Optional[Callable[[str], bool]] = None
+        self._pop_valid_scheduler: Optional[object] = None
         #: The current pass's idle-shuttle scan result (see
         #: :meth:`idle_short_circuit` / :meth:`shuttle_pool`).
         self._idle_pass: Optional[List[ShuttleSim]] = None
@@ -445,7 +483,10 @@ class DispatchSubsystem:
             partition = self.platter_partition[platter]
             cover = self.partition_cover.get(partition, partition)
             for s in pool:
-                if s.idle and s.shuttle.partition == cover:
+                # Partition compare first: it is a plain attribute chain,
+                # while ``idle`` is a property call — and most pool members
+                # are the wrong partition.
+                if s.shuttle.partition == cover and s.idle:
                     return s
             return None
         idle = [s for s in pool if s.idle]
@@ -490,16 +531,22 @@ class DispatchSubsystem:
         ends.
         """
         scheduler = self.ctx.scheduler
-        unavailable = self.lifecycle.unavailable
-        locate = self.robotics.layout.locate
+        valid = self._pop_valid
+        if valid is None or self._pop_valid_scheduler is not scheduler:
+            unavailable = self.lifecycle.unavailable
+            locate = self.robotics.layout.locate
 
-        def valid(platter: str) -> bool:
-            return (
-                scheduler.has_work(platter)
-                and not scheduler.in_service(platter)
-                and platter not in unavailable
-                and locate(platter) is not None
-            )
+            def valid(platter: str) -> bool:
+                """True when ``platter`` is still a live fetch candidate."""
+                return (
+                    scheduler.has_work(platter)
+                    and not scheduler.in_service(platter)
+                    and platter not in unavailable
+                    and locate(platter) is not None
+                )
+
+            self._pop_valid = valid
+            self._pop_valid_scheduler = scheduler
 
         before = len(heap)
         chosen = pop_min_valid(heap, valid)

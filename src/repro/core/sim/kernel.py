@@ -247,6 +247,21 @@ class SimKernel:
         m.gauge(
             "energy_per_platter_op", "Shuttle energy per platter operation", unit="joules"
         ).set(shuttle_metrics.energy_per_platter_op)
+        # Engine counters: deterministic under a pinned seed (pure functions
+        # of the schedule/cancel sequence), so they ride the EXACT gates.
+        engine = ctx.sim.scheduler_stats
+        m.gauge("engine_pushes", "Events pushed into the scheduler backend").set(
+            engine["pushes"]
+        )
+        m.gauge("engine_pops", "Live events dequeued by the scheduler backend").set(
+            engine["pops"]
+        )
+        m.gauge(
+            "engine_cancelled_skips", "Cancelled entries discarded at dequeue"
+        ).set(engine["cancelled_skips"])
+        m.gauge("engine_resizes", "Calendar-queue ring rebuilds (0 for heap)").set(
+            engine["resizes"]
+        )
         qos = None
         if self.config.tenancy is not None:
             admission = self.lifecycle.admission

@@ -28,8 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from .verification import VerificationSubsystem
 
 #: Event labels of pure shuttle-kinematics callbacks (travel + battery):
-#: the "motion" bucket of the subsystem wall-share table.
-MOTION_EVENT_LABELS = frozenset({"move", "recharge"})
+#: the "motion" bucket of the subsystem wall-share table. The ``*-trip``
+#: labels are the coarse-motion (``fine_motion_events=False``) closed-form
+#: trip completions that replace the per-hop move/pick/move/place chains.
+MOTION_EVENT_LABELS = frozenset({"move", "recharge", "fetch-trip", "return-trip"})
 
 #: Event labels of robotics service steps (pick/place handoffs and drive
 #: mount/read/unmount phases): the "robotics" bucket of the table.
@@ -59,8 +61,13 @@ class RoboticsSubsystem:
             lib_cfg = replace(lib_cfg, drives_per_read_rack=per_rack)
         self.layout = LibraryLayout(lib_cfg)
         drive_cfg = ReadDriveConfig(throughput_mbps=cfg.drive_throughput_mbps)
+        # The populated bays. A tiny fleet (fewer drives than bays) only
+        # instantiates a prefix of the layout's bays; the traffic policy
+        # must route against this list, not the full bay roster, or some
+        # partitions end up keyed to drives that do not exist.
+        live_bays = self.layout.drives[: cfg.num_drives]
         self.drives: List[DriveSim] = []
-        for bay in self.layout.drives[: cfg.num_drives]:
+        for bay in live_bays:
             model = ReadDriveModel(config=drive_cfg, seed=cfg.seed * 1000 + bay.drive_id)
             self.drives.append(DriveSim(bay.drive_id, model, bay.position))
         raw_shuttles = [
@@ -73,10 +80,16 @@ class RoboticsSubsystem:
         ]
         if cfg.policy == "silica":
             self.policy: Optional[TrafficPolicy] = PartitionedPolicy(
-                self.layout, raw_shuttles, ctx.rng, work_stealing=cfg.work_stealing
+                self.layout,
+                raw_shuttles,
+                ctx.rng,
+                work_stealing=cfg.work_stealing,
+                drive_bays=live_bays,
             )
         elif cfg.policy == "sp":
-            self.policy = ShortestPathsPolicy(self.layout, raw_shuttles, ctx.rng)
+            self.policy = ShortestPathsPolicy(
+                self.layout, raw_shuttles, ctx.rng, drive_bays=live_bays
+            )
         else:  # ns
             self.policy = None
         self.shuttles = [ShuttleSim(s) for s in raw_shuttles]
@@ -87,6 +100,14 @@ class RoboticsSubsystem:
         self._place_platters()
         self.travel_times: List[float] = []
         self.mount_counter = 0
+        #: Coarse motion (``fine_motion_events=False``) collapses each
+        #: fetch/return trip into one (fetch) or two (return) scheduled
+        #: completions instead of the four-hop move/pick/move/place chain.
+        self._fine_motion = cfg.fine_motion_events
+        #: When coarse motion evaluates a future hop eagerly, this carries
+        #: the hop's true simulated timestamp so the shuttle-model tracer
+        #: hooks stamp trace events with the same times fine motion would.
+        self._trace_ts: Optional[float] = None
         # Sibling subsystems, bound by :meth:`wire` during composition.
         self.dispatch: "DispatchSubsystem" = None  # type: ignore[assignment]
         self.lifecycle: "RequestLifecycle" = None  # type: ignore[assignment]
@@ -128,8 +149,12 @@ class RoboticsSubsystem:
             component = f"shuttle:{shuttle.shuttle_id}"
 
             def hook(kind: str, attrs: Dict[str, object]) -> None:
+                ts = self._trace_ts
                 self.ctx.tracer.emit(
-                    self.ctx.sim.now, f"shuttle.{kind}", component=component, **attrs
+                    ts if ts is not None else self.ctx.sim.now,
+                    f"shuttle.{kind}",
+                    component=component,
+                    **attrs,
                 )
 
             return hook
@@ -167,6 +192,19 @@ class RoboticsSubsystem:
             then()
 
         self.ctx.sim.schedule(plan.total_seconds, arrived, label="move")
+
+    def _plan_leg(self, shuttle: Shuttle, target: Position, depart: float):
+        """Plan one coarse-trip leg at its true departure time.
+
+        Calls the traffic policy exactly as :meth:`move` would at
+        ``depart`` — same corridor reservation window, same congestion
+        draws — and records the same travel accounting, so closed-form
+        trips stay draw-for-draw aligned with fine motion.
+        """
+        plan = self.policy.plan_move(shuttle, target, depart)
+        self.travel_times.append(plan.total_seconds)
+        self.ctx.counters.h_travel.observe(plan.total_seconds)
+        return plan
 
     def maybe_recharge(self, shuttle_sim: ShuttleSim) -> bool:
         """Send a low-battery shuttle to charge (controller duty, §4.1).
@@ -225,6 +263,9 @@ class RoboticsSubsystem:
                 platter=platter,
                 drive=drive.drive_id,
             )
+        if not self._fine_motion:
+            self._coarse_fetch(shuttle_sim, platter, drive, slot_pos, fetch_started)
+            return
 
         def at_shelf() -> None:
             pick_dur = shuttle.pick(platter, ctx.rng)
@@ -249,6 +290,61 @@ class RoboticsSubsystem:
 
         self.move(shuttle, slot_pos, at_shelf)
 
+    def _coarse_fetch(
+        self,
+        shuttle_sim: ShuttleSim,
+        platter: str,
+        drive: DriveSim,
+        slot_pos: Position,
+        fetch_started: float,
+    ) -> None:
+        """Closed-form fetch: evaluate every hop now, schedule one event.
+
+        RNG draws happen in the exact order fine motion makes them (leg-1
+        plan, pick, leg-2 plan, place) and each leg is planned at its true
+        departure time, so reservation windows and trip durations match
+        fine motion draw-for-draw on serialized geometries. Shuttle state
+        (position, battery, carrying) mutates eagerly at trip start; the
+        observable handoff — the customer arrival at the drive and its
+        dispatch wake-up — fires at the same simulated time fine motion
+        would fire it.
+        """
+        ctx = self.ctx
+        shuttle = shuttle_sim.shuttle
+        plan1 = self._plan_leg(shuttle, slot_pos, fetch_started)
+        t_shelf = fetch_started + plan1.total_seconds
+        self._trace_ts = t_shelf
+        shuttle.complete_move(
+            slot_pos,
+            plan1.base_seconds,
+            congestion_seconds=plan1.congestion_seconds,
+            stop_start_cycles=plan1.stop_start_cycles,
+        )
+        pick_dur = shuttle.pick(platter, ctx.rng)
+        t_picked = t_shelf + pick_dur
+        self.layout.remove(platter)
+        plan2 = self._plan_leg(shuttle, drive.position, t_picked)
+        t_drive = t_picked + plan2.total_seconds
+        self._trace_ts = t_drive
+        shuttle.complete_move(
+            drive.position,
+            plan2.base_seconds,
+            congestion_seconds=plan2.congestion_seconds,
+            stop_start_cycles=plan2.stop_start_cycles,
+        )
+        place_dur = shuttle.place(ctx.rng)
+        self._trace_ts = None
+        t_done = t_drive + place_dur
+
+        def trip_done() -> None:
+            shuttle_sim.busy = False
+            shuttle_sim.no_recharge_memo = False
+            drive.slot_reserved = False
+            self.on_customer_arrival(drive, platter, fetch_started=fetch_started)
+            ctx.request_dispatch()
+
+        ctx.sim.schedule(t_done - fetch_started, trip_done, label="fetch-trip")
+
     def start_return(self, shuttle_sim: ShuttleSim, drive: DriveSim) -> None:
         """Dispatch a shuttle to return the drive's finished platter home."""
         ctx = self.ctx
@@ -265,6 +361,9 @@ class RoboticsSubsystem:
                 platter=platter,
                 drive=drive.drive_id,
             )
+        if not self._fine_motion:
+            self._coarse_return(shuttle_sim, drive, platter, home, home_pos)
+            return
 
         def at_drive() -> None:
             pick_dur = shuttle.pick(platter, ctx.rng)
@@ -299,6 +398,73 @@ class RoboticsSubsystem:
             ctx.sim.schedule(place_dur, placed, label="return-place")
 
         self.move(shuttle, drive.position, at_drive)
+
+    def _coarse_return(
+        self,
+        shuttle_sim: ShuttleSim,
+        drive: DriveSim,
+        platter: str,
+        home: "object",
+        home_pos: Position,
+    ) -> None:
+        """Closed-form return: one mid-trip handoff plus one completion.
+
+        The pick-complete moment is observable — the drive's customer
+        slot frees and dispatch is woken — so it keeps its own scheduled
+        event (same ``return-pick`` label and simulated time as fine
+        motion); the rest of the trip collapses into the completion.
+        """
+        ctx = self.ctx
+        shuttle = shuttle_sim.shuttle
+        start = ctx.sim.now
+        plan1 = self._plan_leg(shuttle, drive.position, start)
+        t_drive = start + plan1.total_seconds
+        self._trace_ts = t_drive
+        shuttle.complete_move(
+            drive.position,
+            plan1.base_seconds,
+            congestion_seconds=plan1.congestion_seconds,
+            stop_start_cycles=plan1.stop_start_cycles,
+        )
+        pick_dur = shuttle.pick(platter, ctx.rng)
+        t_picked = t_drive + pick_dur
+        plan2 = self._plan_leg(shuttle, home_pos, t_picked)
+        t_home = t_picked + plan2.total_seconds
+        self._trace_ts = t_home
+        shuttle.complete_move(
+            home_pos,
+            plan2.base_seconds,
+            congestion_seconds=plan2.congestion_seconds,
+            stop_start_cycles=plan2.stop_start_cycles,
+        )
+        place_dur = shuttle.place(ctx.rng)
+        self._trace_ts = None
+        t_done = t_home + place_dur
+
+        def picked() -> None:
+            # Platter leaves the drive: customer slot frees up.
+            drive.awaiting_return = None
+            drive.return_assigned = False
+            self.dispatch.note_drive_slot(drive)
+            ctx.request_dispatch()
+
+        ctx.sim.schedule(t_picked - start, picked, label="return-pick")
+
+        def trip_done() -> None:
+            self.layout.store(platter, home)
+            self.dispatch.end_service(platter)
+            shuttle_sim.busy = False
+            shuttle_sim.no_recharge_memo = False
+            if ctx.tracer is not None:
+                ctx.tracer.emit(
+                    ctx.sim.now,
+                    "return.done",
+                    component=f"shuttle:{shuttle.shuttle_id}",
+                    platter=platter,
+                )
+            ctx.request_dispatch()
+
+        ctx.sim.schedule(t_done - start, trip_done, label="return-trip")
 
     # ------------------------------------------------------------------ #
     # Drive service

@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..library.layout import LibraryLayout, Position, SlotId
+from ..library.layout import DriveBay, LibraryLayout, Position, SlotId
 from ..library.shuttle import Shuttle
 
 
@@ -203,10 +203,25 @@ class TrafficPolicy:
 
     name = "base"
 
-    def __init__(self, layout: LibraryLayout, shuttles: Sequence[Shuttle], rng: np.random.Generator):
+    def __init__(
+        self,
+        layout: LibraryLayout,
+        shuttles: Sequence[Shuttle],
+        rng: np.random.Generator,
+        drive_bays: Optional[Sequence["DriveBay"]] = None,
+    ):
         self.layout = layout
         self.shuttles = list(shuttles)
         self.rng = rng
+        #: The drive bays actually populated with drives. A run with fewer
+        #: drives than the layout has bays (``SimConfig.num_drives`` below
+        #: the rack capacity) truncates the fleet, and routing decisions —
+        #: partition→drive assignment, SP's nearest-free-drive scan — must
+        #: only ever name drives that exist, or the work parked on them
+        #: can never be served.
+        self.drive_bays: List["DriveBay"] = (
+            list(drive_bays) if drive_bays is not None else list(layout.drives)
+        )
         self.reservations = ReservationTable()
         self.total_conflicts = 0
         #: penalty per yield: decelerate, wait for the other shuttle to
@@ -265,8 +280,9 @@ class PartitionedPolicy(TrafficPolicy):
         rng: np.random.Generator,
         work_stealing: bool = True,
         steal_threshold_bytes: float = 512e6,
+        drive_bays: Optional[Sequence[DriveBay]] = None,
     ):
-        super().__init__(layout, shuttles, rng)
+        super().__init__(layout, shuttles, rng, drive_bays=drive_bays)
         self.work_stealing = work_stealing
         self.steal_threshold_bytes = steal_threshold_bytes
         self.steals = 0
@@ -301,7 +317,9 @@ class PartitionedPolicy(TrafficPolicy):
         levels_per_row = [
             shelves // rows + (1 if i < shelves % rows else 0) for i in range(rows)
         ]
-        drives = self.layout.drives
+        # Only bays with live drives behind them: a partition keyed to an
+        # unpopulated bay would park fetches on a drive that never serves.
+        drives = self.drive_bays
         max_share = -(-n // max(1, len(drives)))  # ceil
         share: Dict[int, int] = {d.drive_id: 0 for d in drives}
         partitions: List[Partition] = []
@@ -409,8 +427,14 @@ class ShortestPathsPolicy(TrafficPolicy):
 
     name = "sp"
 
-    def __init__(self, layout: LibraryLayout, shuttles: Sequence[Shuttle], rng: np.random.Generator):
-        super().__init__(layout, shuttles, rng)
+    def __init__(
+        self,
+        layout: LibraryLayout,
+        shuttles: Sequence[Shuttle],
+        rng: np.random.Generator,
+        drive_bays: Optional[Sequence[DriveBay]] = None,
+    ):
+        super().__init__(layout, shuttles, rng, drive_bays=drive_bays)
         # Spread shuttles evenly as their initial/home positions.
         storage_racks = layout.storage_rack_indices()
         width = layout.config.rack_width_m
@@ -431,7 +455,7 @@ class ShortestPathsPolicy(TrafficPolicy):
         """Free drive minimizing travel from the slot (time-to-mount)."""
         slot_pos = self.layout.slot_position(slot)
         best, best_dist = None, float("inf")
-        for bay in self.layout.drives:
+        for bay in self.drive_bays:
             if not drive_free(bay.drive_id):
                 continue
             dist = abs(bay.position.x - slot_pos.x) + 0.5 * abs(

@@ -87,6 +87,7 @@ class CrabbingModel:
 
     @property
     def typical_seconds(self) -> float:
+        """Mean crab time for one rail transition (beta-distribution mean)."""
         mean_beta = self.alpha / (self.alpha + self.beta)
         return self.min_seconds + mean_beta * (self.max_seconds - self.min_seconds)
 
@@ -105,9 +106,11 @@ class PickPlaceModel:
     floor_seconds: float = 0.35
 
     def sample_place(self, rng: np.random.Generator) -> float:
+        """Draw one place-operation latency (floored normal), one RNG draw."""
         return max(self.floor_seconds, rng.normal(self.place_mean, self.place_sigma))
 
     def sample_pick(self, rng: np.random.Generator) -> float:
+        """Draw one pick latency: a place draw plus the platter-weight penalty."""
         return self.sample_place(rng) + self.pick_penalty
 
 

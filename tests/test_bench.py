@@ -305,16 +305,34 @@ class TestCompareDirs:
         with open(path, "w") as handle:
             json.dump(doc, handle)
 
-    def test_empty_baseline_dir_rejected(self, tmp_path):
+    def test_empty_baseline_dir_reports_all_new(self, tmp_path):
+        # A fresh checkout has candidates but no committed baselines yet:
+        # everything should report as a new scenario, exit clean.
         base = tmp_path / "base"
         base.mkdir()
         self.write(str(tmp_path / "cand"), make_doc())
-        with pytest.raises(BenchError, match="no BENCH_"):
-            compare_dirs(str(base), str(tmp_path / "cand"))
+        report = compare_dirs(str(base), str(tmp_path / "cand"))
+        assert report.missing_in_baseline == ["tiny"]
+        assert report.scenarios == []
+        assert report.exit_code() == 0
+        assert "no baseline yet" in report.format()
 
-    def test_missing_directory_rejected(self, tmp_path):
+    def test_missing_baseline_dir_reports_all_new(self, tmp_path):
+        self.write(str(tmp_path / "cand"), make_doc())
+        report = compare_dirs(str(tmp_path / "nope"), str(tmp_path / "cand"))
+        assert report.missing_in_baseline == ["tiny"]
+        assert report.exit_code() == 0
+
+    def test_missing_candidate_dir_still_rejected(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc())
         with pytest.raises(BenchError, match="no such artifact directory"):
-            compare_dirs(str(tmp_path / "nope"), str(tmp_path / "nope2"))
+            compare_dirs(str(tmp_path / "base"), str(tmp_path / "nope"))
+
+    def test_empty_candidate_dir_still_rejected(self, tmp_path):
+        self.write(str(tmp_path / "base"), make_doc())
+        (tmp_path / "cand").mkdir()
+        with pytest.raises(BenchError, match="no BENCH_"):
+            compare_dirs(str(tmp_path / "base"), str(tmp_path / "cand"))
 
     def test_missing_in_candidate_fails(self, tmp_path):
         self.write(str(tmp_path / "base"), make_doc("a"))

@@ -208,6 +208,111 @@ class TestSimulationEngineProperties:
         assert sim.events_processed == len(fired_after)
 
 
+#: One step of a randomized scheduler program. ``schedule`` delays are
+#: drawn from a small palette with repeats so equal timestamps (the
+#: tie-order case) arise constantly; the 1e5 outlier stretches the
+#: calendar queue's bucket span enough to force resizes.
+_scheduler_ops = st.one_of(
+    st.tuples(
+        st.just("schedule"),
+        st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5, 7.0, 40.0, 1e5]),
+        st.sampled_from([None, "child", "cancel-next"]),
+    ),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=100)),
+    st.tuples(st.just("run"), st.sampled_from([0.0, 1.0, 5.0, 250.0])),
+)
+
+
+class TestSchedulerBackendEquivalence:
+    """Heap and calendar backends must replay any schedule/cancel/run
+    interleaving byte-identically: same fire order, same clock, same
+    sampler ticks and observer labels, same engine counters (only the
+    calendar's resize count is backend-specific)."""
+
+    @staticmethod
+    def _execute(program, scheduler):
+        """Run ``program`` on a fresh engine; return every observable."""
+        sim = Simulation(scheduler=scheduler)
+        log = []
+        samples = []
+        observed = []
+        handles = []
+        sim.observer = lambda label, wall: observed.append(label)
+        sim.set_sampler(3.0, lambda ts: (samples.append(ts), 3.0)[1])
+
+        def make_callback(uid, action):
+            """A callback that logs, then optionally schedules or cancels."""
+
+            def fire():
+                log.append((sim.now, uid))
+                if action == "child":
+                    handles.append(
+                        sim.schedule(
+                            1.0, make_callback(uid + ".c", None), label="child"
+                        )
+                    )
+                elif action == "cancel-next":
+                    # Mid-run cancellation of the earliest still-pending
+                    # handle: exercises lazy-deletion skips in both
+                    # backends at matching points in the run.
+                    for handle in handles:
+                        if not handle.cancelled and handle.time >= sim.now:
+                            handle.cancel()
+                            break
+
+            return fire
+
+        for i, op in enumerate(program):
+            if op[0] == "schedule":
+                handles.append(
+                    sim.schedule(
+                        op[1], make_callback(str(i), op[2]), label=f"op{i}"
+                    )
+                )
+            elif op[0] == "cancel":
+                if handles:
+                    handles[op[1] % len(handles)].cancel()
+            else:  # run
+                sim.run(until=sim.now + op[1])
+        sim.run()
+        return log, samples, observed, sim.now, sim.events_processed, sim.scheduler_stats
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_scheduler_ops, min_size=1, max_size=40))
+    def test_backends_replay_identically(self, program):
+        heap = self._execute(program, "heap")
+        calendar = self._execute(program, "calendar")
+        # Fire order, sampler ticks, observer labels, clock, event count.
+        assert heap[:5] == calendar[:5]
+        heap_stats, calendar_stats = heap[5], calendar[5]
+        assert heap_stats["backend"] == "heap"
+        assert calendar_stats["backend"] == "calendar"
+        for key in ("pushes", "pops", "cancelled_skips"):
+            assert heap_stats[key] == calendar_stats[key]
+        assert heap_stats["resizes"] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_scheduler_ops, min_size=1, max_size=25))
+    def test_peek_matches_next_fire(self, program):
+        """``peek`` on either backend is exactly the next fired time."""
+        for scheduler in ("heap", "calendar"):
+            sim = Simulation(scheduler=scheduler)
+            for i, op in enumerate(program):
+                if op[0] == "schedule":
+                    sim.schedule(op[1], lambda: None)
+            fired = []
+            while True:
+                head = sim.peek()
+                if head is None:
+                    break
+                before = sim.events_processed
+                assert sim.step()
+                assert sim.now == head
+                assert sim.events_processed == before + 1
+                fired.append(head)
+            assert fired == sorted(fired)
+
+
 class TestWorkloadProperties:
     @given(
         st.lists(

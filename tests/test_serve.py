@@ -125,9 +125,8 @@ def test_split_path_drops_query_and_empty_segments():
 
 
 def small_core(**overrides) -> ArchiveServerCore:
-    # 4 drives keeps every dispatch partition mapped to a real drive;
-    # tinier fleets leave partitions whose geometry names absent drives,
-    # and reads placed there can never be fetched.
+    # 4 drives is plenty for these tests; tinier fleets also work now
+    # that partition geometry only routes to live drives.
     defaults = dict(
         dilation=0.0,
         seed=5,

@@ -180,6 +180,105 @@ def test_incremental_dispatch_replays_rescan_with_tenancy():
     )
 
 
+def _scheduler_run(config_kwargs, trace, start, end, scheduler, schedule=None):
+    tracer = Tracer()
+    config = SimConfig(event_scheduler=scheduler, **config_kwargs)
+    simulation = LibrarySimulation(config, tracer=tracer)
+    simulation.assign_trace(trace, start, end)
+    if schedule is not None:
+        simulation.apply_fault_schedule(schedule)
+    report = simulation.run()
+    metrics = simulation.metrics.as_dict()
+    # The ring-rebuild count is the one backend-specific stat (a heap
+    # never resizes); pushes/pops/cancelled-skips must match exactly.
+    metrics.pop("sim_engine_resizes", None)
+    return report, tracer.events(), metrics
+
+
+@pytest.mark.parametrize("policy", ["silica", "sp", "ns"])
+def test_scheduler_backends_replay_identically(policy):
+    """Heap and calendar backends replay every policy byte-identically."""
+    kwargs = dict(policy=policy, num_platters=400, num_drives=8,
+                  num_shuttles=8, seed=5)
+    trace, start, end = _trace()
+    _assert_identical(
+        _scheduler_run(kwargs, trace, start, end, "heap"),
+        _scheduler_run(kwargs, trace, start, end, "calendar"),
+    )
+
+
+def test_scheduler_backends_replay_identically_under_faults():
+    """Fault-heavy runs (lots of cancellations) replay across backends."""
+    kwargs = dict(num_platters=400, num_drives=8, num_shuttles=8,
+                  transient_read_error_prob=0.02, seed=7)
+    trace, start, end = _trace(seed=13)
+    chaos = ChaosConfig(
+        horizon_seconds=end + 0.1 * 3600.0,
+        shuttle=FaultModel(mtbf_seconds=900.0, mttr_seconds=120.0),
+        drive=FaultModel(mtbf_seconds=1200.0, mttr_seconds=240.0),
+        metadata=FaultModel(mtbf_seconds=1800.0, mttr_seconds=60.0),
+        seed=7,
+    )
+    schedule = FaultSchedule.generate(chaos, 8, 8)
+    _assert_identical(
+        _scheduler_run(kwargs, trace, start, end, "heap", schedule),
+        _scheduler_run(kwargs, trace, start, end, "calendar", schedule),
+    )
+
+
+def test_scheduler_backends_replay_identically_with_tenancy():
+    """QoS-scheduled (deadline fetch) runs replay across backends."""
+    registry = skewed_mix(num_tenants=4, seed=3, total_rate_per_second=0.6,
+                          zero_quota_tenant=True)
+    trace, start, end = _trace(registry=registry)
+    kwargs = dict(num_platters=400, num_drives=8, num_shuttles=8,
+                  tenancy=registry, fetch_policy="deadline", seed=3)
+    _assert_identical(
+        _scheduler_run(kwargs, trace, start, end, "heap"),
+        _scheduler_run(kwargs, trace, start, end, "calendar"),
+    )
+
+
+def _motion_run(config_kwargs, trace, start, end, fine):
+    tracer = Tracer()
+    config = SimConfig(fine_motion_events=fine, **config_kwargs)
+    simulation = LibrarySimulation(config, tracer=tracer)
+    simulation.assign_trace(trace, start, end)
+    report = simulation.run()
+    metrics = simulation.metrics.as_dict()
+    # Closed-form trips exist to schedule fewer events, so the engine
+    # counters differ by design; everything else must be byte-equal.
+    for key in list(metrics):
+        if key.startswith("sim_engine_"):
+            metrics.pop(key)
+    # Coarse mode emits a whole trip's trace records when the trip is
+    # planned (stamped with their true future timestamps); fine mode
+    # emits each as its event fires. Same records, different emission
+    # order — compare as sorted canonical JSON lines.
+    events = sorted(event.to_json() for event in tracer.events())
+    return report, events, metrics
+
+
+@pytest.mark.parametrize("policy", ["silica", "sp"])
+def test_coarse_motion_replays_fine_when_serialized(policy):
+    """Closed-form trips are byte-equal to fine motion on one drive/shuttle.
+
+    The equality only holds on serialized geometry: with a second drive,
+    its seek-jitter draws interleave with a trip's draws mid-flight in
+    fine mode but not in coarse mode, and the shared RNG stream reorders.
+    One drive plus one shuttle removes every interleaving source, so the
+    draw sequences — and therefore every simulated metric and trace
+    record — must match exactly.
+    """
+    kwargs = dict(policy=policy, num_platters=120, num_drives=1,
+                  num_shuttles=1, seed=5)
+    trace, start, end = _trace(rate=0.2)
+    _assert_identical(
+        _motion_run(kwargs, trace, start, end, fine=True),
+        _motion_run(kwargs, trace, start, end, fine=False),
+    )
+
+
 def test_facade_population_matches_kernel_iterator():
     """The facade's request list and the kernel's measured iterator agree."""
     config = SimConfig(num_platters=400, num_drives=8, num_shuttles=8, seed=21)

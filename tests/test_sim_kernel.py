@@ -146,7 +146,7 @@ class TestDispatch:
         dispatch.request_dispatch()
         dispatch.request_dispatch()
         # Both calls coalesce into one scheduled dispatch pass.
-        assert len(ctx.sim._queue) == 1
+        assert ctx.sim.pending == 1
 
 
 class TestLifecycle:

@@ -52,6 +52,32 @@ class TestPartitionConstruction:
         # two platter slots).
         assert all(count <= 2 for count in drive_share.values())
 
+    @pytest.mark.parametrize("num_drives", [1, 2, 3, 5, 9])
+    def test_tiny_fleets_only_route_to_live_drives(self, num_drives):
+        """Truncated drive fleets must never key a partition (or an SP
+        nearest-drive scan) to an unpopulated bay: work parked there could
+        never be fetched. Regression for the small-fleet geometry bug that
+        forced serve tests onto 4+ drives."""
+        from repro.core.sim import SimConfig
+        from repro.core.sim.kernel import SimKernel
+
+        for policy_name in ("silica", "sp"):
+            kernel = SimKernel(
+                SimConfig(
+                    policy=policy_name,
+                    num_platters=60,
+                    num_drives=num_drives,
+                    num_shuttles=4,
+                    seed=5,
+                )
+            )
+            robotics = kernel.robotics
+            live = {d.drive_id for d in robotics.drives}
+            assert {b.drive_id for b in robotics.policy.drive_bays} == live
+            if policy_name == "silica":
+                for partition in robotics.policy.partitions:
+                    assert partition.drive_id in live
+
     def test_shuttles_start_at_partition_homes(self):
         _, policy, shuttles = _make(PartitionedPolicy, 8)
         for shuttle, partition in zip(shuttles, policy.partitions):
